@@ -1,0 +1,206 @@
+//! Shared plumbing of the baseline tuners.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use ppatuner::QorOracle;
+
+/// Errors produced by baseline tuners.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The candidate set or budget is unusable.
+    InvalidInput {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// An internal surrogate model failed.
+    Model(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidInput { reason } => {
+                write!(f, "invalid baseline input: {reason}")
+            }
+            BaselineError::Model(msg) => write!(f, "surrogate model failure: {msg}"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+impl From<gp::GpError> for BaselineError {
+    fn from(e: gp::GpError) -> Self {
+        BaselineError::Model(e.to_string())
+    }
+}
+
+impl From<boost::BoostError> for BaselineError {
+    fn from(e: boost::BoostError) -> Self {
+        BaselineError::Model(e.to_string())
+    }
+}
+
+/// Outcome of one baseline run: what was measured and which of it is
+/// non-dominated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Candidate indices of the non-dominated measured configurations.
+    pub pareto_indices: Vec<usize>,
+    /// Every tool evaluation: `(candidate index, QoR vector)`.
+    pub evaluated: Vec<(usize, Vec<f64>)>,
+    /// Total tool runs.
+    pub runs: usize,
+}
+
+impl BaselineResult {
+    /// Builds the result from the evaluation log, extracting the
+    /// non-dominated subset.
+    pub fn from_evaluations(evaluated: Vec<(usize, Vec<f64>)>, runs: usize) -> Self {
+        let pts: Vec<Vec<f64>> = evaluated.iter().map(|(_, y)| y.clone()).collect();
+        let front = pareto::front::pareto_front(&pts);
+        let pareto_indices = front.into_iter().map(|j| evaluated[j].0).collect();
+        BaselineResult {
+            pareto_indices,
+            evaluated,
+            runs,
+        }
+    }
+}
+
+/// Validates the common (candidates, budget) inputs.
+pub(crate) fn check_inputs(candidates: &[Vec<f64>], budget: usize) -> Result<(), BaselineError> {
+    if candidates.is_empty() {
+        return Err(BaselineError::InvalidInput {
+            reason: "candidate set must not be empty",
+        });
+    }
+    let d = candidates[0].len();
+    if d == 0 || candidates.iter().any(|c| c.len() != d) {
+        return Err(BaselineError::InvalidInput {
+            reason: "candidates must share a non-zero dimension",
+        });
+    }
+    if budget == 0 {
+        return Err(BaselineError::InvalidInput {
+            reason: "budget must be at least one tool run",
+        });
+    }
+    Ok(())
+}
+
+/// Draws `n` distinct candidate indices uniformly.
+pub(crate) fn distinct_indices<R: Rng + ?Sized>(n: usize, total: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..total).collect();
+    idx.shuffle(rng);
+    idx.truncate(n.min(total));
+    idx
+}
+
+/// Evaluates `indices`, appending to the log and flag set.
+pub(crate) fn evaluate_all<O: QorOracle>(
+    indices: &[usize],
+    oracle: &mut O,
+    evaluated: &mut Vec<(usize, Vec<f64>)>,
+    flag: &mut [bool],
+) {
+    for &i in indices {
+        if flag[i] {
+            continue;
+        }
+        let y = oracle.evaluate(i);
+        flag[i] = true;
+        evaluated.push((i, y));
+    }
+}
+
+/// A random positive weight vector summing to 1 (for scalarized
+/// acquisitions that sweep the front).
+pub(crate) fn random_weights<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Vec<f64> {
+    let raw: Vec<f64> = (0..m).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|v| v / sum).collect()
+}
+
+/// Per-objective min/max normalizers from the evaluation log.
+pub(crate) fn objective_ranges(evaluated: &[(usize, Vec<f64>)]) -> Vec<(f64, f64)> {
+    let m = evaluated[0].1.len();
+    (0..m)
+        .map(|k| {
+            let lo = evaluated
+                .iter()
+                .map(|(_, y)| y[k])
+                .fold(f64::INFINITY, f64::min);
+            let hi = evaluated
+                .iter()
+                .map(|(_, y)| y[k])
+                .fold(f64::NEG_INFINITY, f64::max);
+            (lo, (hi - lo).max(1e-12))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn result_extracts_front() {
+        let evals = vec![
+            (7, vec![1.0, 4.0]),
+            (3, vec![2.0, 2.0]),
+            (9, vec![3.0, 3.0]), // dominated
+        ];
+        let r = BaselineResult::from_evaluations(evals, 3);
+        assert_eq!(r.pareto_indices, vec![7, 3]);
+        assert_eq!(r.runs, 3);
+    }
+
+    #[test]
+    fn input_checks() {
+        assert!(check_inputs(&[], 5).is_err());
+        assert!(check_inputs(&[vec![]], 5).is_err());
+        assert!(check_inputs(&[vec![1.0]], 0).is_err());
+        assert!(check_inputs(&[vec![1.0]], 1).is_ok());
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = distinct_indices(10, 100, &mut rng);
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        // Capped by the population size.
+        assert_eq!(distinct_indices(50, 5, &mut rng).len(), 5);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let w = random_weights(3, &mut rng);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_observations() {
+        let evals = vec![(0, vec![1.0, 10.0]), (1, vec![3.0, 5.0])];
+        let r = objective_ranges(&evals);
+        assert_eq!(r[0].0, 1.0);
+        assert!((r[0].1 - 2.0).abs() < 1e-12);
+        assert_eq!(r[1].0, 5.0);
+        assert!((r[1].1 - 5.0).abs() < 1e-12);
+    }
+}

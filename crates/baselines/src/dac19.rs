@@ -1,0 +1,346 @@
+//! DAC'19: recommender-system autotuning via latent-factor (matrix/tensor
+//! factorization) models (Kwon, Ziegler & Carloni, *A learning-based
+//! recommender system for autotuning design flows*).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ppatuner::QorOracle;
+
+use crate::common::{
+    check_inputs, distinct_indices, evaluate_all, random_weights, BaselineResult,
+};
+use crate::{BaselineError, Result};
+
+/// Options of the [`Dac19`] tuner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac19Params {
+    /// Total tool-run budget (the paper reports this method needing the
+    /// most runs: ~600 on Target1, ~130 on Target2).
+    pub budget: usize,
+    /// Runs spent on random initialization.
+    pub initial_samples: usize,
+    /// Recommendations evaluated per round.
+    pub batch: usize,
+    /// Discretization bins per parameter dimension.
+    pub bins: usize,
+    /// Latent-factor rank of the factorization model.
+    pub rank: usize,
+    /// SGD epochs per round.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization.
+    pub reg: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Dac19Params {
+    fn default() -> Self {
+        Dac19Params {
+            budget: 150,
+            initial_samples: 30,
+            batch: 10,
+            bins: 6,
+            rank: 4,
+            epochs: 60,
+            learning_rate: 0.05,
+            reg: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// The DAC'19 baseline: a factorization-machine recommender over
+/// discretized parameter levels.
+///
+/// Each (parameter, level) pair is an "item feature" with a bias and a
+/// rank-`r` latent vector; a configuration's predicted QoR is the global
+/// bias plus feature biases plus all pairwise latent interactions — the
+/// matrix-completion view of tool-parameter tuning. Rounds alternate SGD
+/// training on everything measured so far with evaluating a batch of
+/// recommended (predicted-good, weight-swept) configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac19 {
+    params: Dac19Params,
+}
+
+impl Dac19 {
+    /// Creates the tuner.
+    pub fn new(params: Dac19Params) -> Self {
+        Dac19 { params }
+    }
+
+    /// Runs recommendation rounds until the budget is spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BaselineError`] for unusable inputs.
+    pub fn tune<O: QorOracle>(
+        &self,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+    ) -> Result<BaselineResult> {
+        check_inputs(candidates, self.params.budget)?;
+        if self.params.bins < 2 || self.params.rank == 0 || self.params.batch == 0 {
+            return Err(BaselineError::InvalidInput {
+                reason: "bins >= 2, rank >= 1 and batch >= 1 required",
+            });
+        }
+        let n = candidates.len();
+        let dim = candidates[0].len();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        // Precompute each candidate's discretized feature indices.
+        let feats: Vec<Vec<usize>> = candidates
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .map(|(d, &x)| {
+                        let b = ((x.clamp(0.0, 1.0) * self.params.bins as f64) as usize)
+                            .min(self.params.bins - 1);
+                        d * self.params.bins + b
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_feats = dim * self.params.bins;
+
+        let init = self
+            .params
+            .initial_samples
+            .clamp(2, self.params.budget)
+            .min(n);
+        let mut evaluated: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut flag = vec![false; n];
+        let picks = distinct_indices(init, n, &mut rng);
+        evaluate_all(&picks, oracle, &mut evaluated, &mut flag);
+        let n_obj = evaluated[0].1.len();
+
+        while oracle.runs() < self.params.budget && evaluated.len() < n {
+            // Train one factorization model per objective.
+            let models: Vec<FactorModel> = (0..n_obj)
+                .map(|k| {
+                    let ys: Vec<f64> = evaluated.iter().map(|(_, y)| y[k]).collect();
+                    let xs: Vec<&[usize]> =
+                        evaluated.iter().map(|(i, _)| feats[*i].as_slice()).collect();
+                    FactorModel::train(&xs, &ys, n_feats, self.params, &mut rng)
+                })
+                .collect();
+
+            // Predict all unevaluated candidates; recommend a batch via
+            // random-weight scalarization sweeps (one weight vector per
+            // batch slot covers different front regions).
+            let unevaluated: Vec<usize> = (0..n).filter(|&i| !flag[i]).collect();
+            if unevaluated.is_empty() {
+                break;
+            }
+            let preds: Vec<Vec<f64>> = unevaluated
+                .iter()
+                .map(|&i| models.iter().map(|m| m.predict(&feats[i])).collect())
+                .collect();
+
+            let room = self.params.budget - oracle.runs();
+            let batch_n = self.params.batch.min(room).max(1);
+            let mut chosen: Vec<usize> = Vec::with_capacity(batch_n);
+            for _ in 0..batch_n {
+                let w = random_weights(n_obj, &mut rng);
+                let mut best: Option<(usize, f64)> = None;
+                for (pos, &i) in unevaluated.iter().enumerate() {
+                    if chosen.contains(&i) {
+                        continue;
+                    }
+                    let s: f64 = preds[pos].iter().zip(&w).map(|(&p, &wk)| p * wk).sum();
+                    match best {
+                        Some((_, bv)) if bv <= s => {}
+                        _ => best = Some((i, s)),
+                    }
+                }
+                if let Some((i, _)) = best {
+                    chosen.push(i);
+                }
+            }
+            evaluate_all(&chosen, oracle, &mut evaluated, &mut flag);
+        }
+
+        Ok(BaselineResult::from_evaluations(evaluated, oracle.runs()))
+    }
+}
+
+/// A rank-`r` factorization machine over one-hot (parameter, level)
+/// features, trained with plain SGD on standardized outputs.
+struct FactorModel {
+    mean: f64,
+    scale: f64,
+    bias: f64,
+    feat_bias: Vec<f64>,
+    latent: Vec<Vec<f64>>, // n_feats × rank
+}
+
+impl FactorModel {
+    fn train<R: Rng + ?Sized>(
+        xs: &[&[usize]],
+        ys: &[f64],
+        n_feats: usize,
+        p: Dac19Params,
+        rng: &mut R,
+    ) -> FactorModel {
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
+        let scale = if var > 1e-24 { var.sqrt() } else { 1.0 };
+        let z: Vec<f64> = ys.iter().map(|y| (y - mean) / scale).collect();
+
+        let mut model = FactorModel {
+            mean,
+            scale,
+            bias: 0.0,
+            feat_bias: vec![0.0; n_feats],
+            latent: (0..n_feats)
+                .map(|_| (0..p.rank).map(|_| rng.gen_range(-0.05..0.05)).collect())
+                .collect(),
+        };
+
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..p.epochs {
+            // Simple in-place Fisher–Yates reshuffle per epoch.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &s in &order {
+                let pred = model.predict_z(xs[s]);
+                let err = pred - z[s];
+                model.bias -= p.learning_rate * err;
+                // Precompute the latent sum for the interaction gradient.
+                let mut vsum = vec![0.0; p.rank];
+                for &f in xs[s] {
+                    for (r, vs) in vsum.iter_mut().enumerate() {
+                        *vs += model.latent[f][r];
+                    }
+                }
+                for &f in xs[s] {
+                    model.feat_bias[f] -= p.learning_rate
+                        * (err + p.reg * model.feat_bias[f]);
+                    for r in 0..p.rank {
+                        let vf = model.latent[f][r];
+                        let grad = vsum[r] - vf;
+                        model.latent[f][r] -=
+                            p.learning_rate * (err * grad + p.reg * vf);
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Standardized-space prediction.
+    fn predict_z(&self, feats: &[usize]) -> f64 {
+        let mut s = self.bias;
+        for &f in feats {
+            s += self.feat_bias[f];
+        }
+        // Pairwise interactions via the (Σv)² − Σv² identity.
+        let rank = self.latent.first().map_or(0, Vec::len);
+        for r in 0..rank {
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for &f in feats {
+                let v = self.latent[f][r];
+                sum += v;
+                sum_sq += v * v;
+            }
+            s += 0.5 * (sum * sum - sum_sq);
+        }
+        s
+    }
+
+    fn predict(&self, feats: &[usize]) -> f64 {
+        self.predict_z(feats) * self.scale + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatuner::VecOracle;
+
+    fn toy(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let candidates: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                vec![x, ((i * 7) % n) as f64 / n as f64]
+            })
+            .collect();
+        let truth = candidates
+            .iter()
+            .map(|p| vec![p[0] + 0.1, (1.0 - p[0]).powi(2) + 0.3 * p[1] + 0.1])
+            .collect();
+        (candidates, truth)
+    }
+
+    fn quick() -> Dac19Params {
+        Dac19Params {
+            budget: 30,
+            initial_samples: 12,
+            batch: 5,
+            epochs: 30,
+            seed: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let (candidates, truth) = toy(80);
+        let mut oracle = VecOracle::new(truth);
+        let r = Dac19::new(quick()).tune(&candidates, &mut oracle).unwrap();
+        assert!(r.runs <= 30);
+        assert!(r.runs >= 12);
+        assert!(!r.pareto_indices.is_empty());
+    }
+
+    #[test]
+    fn factor_model_learns_level_effects() {
+        // Output depends only on the level of dimension 0.
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Dac19Params {
+            epochs: 120,
+            ..Default::default()
+        };
+        let feats: Vec<Vec<usize>> = (0..60)
+            .map(|i| vec![(i % 6), 6 + (i / 10) % 6])
+            .collect();
+        let ys: Vec<f64> = feats.iter().map(|f| f[0] as f64 * 2.0).collect();
+        let xs: Vec<&[usize]> = feats.iter().map(Vec::as_slice).collect();
+        let model = FactorModel::train(&xs, &ys, 12, p, &mut rng);
+        let lo = model.predict(&[0, 6]);
+        let hi = model.predict(&[5, 6]);
+        assert!(hi > lo + 5.0, "hi {hi} vs lo {lo}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (candidates, truth) = toy(50);
+        let run = || {
+            let mut oracle = VecOracle::new(truth.clone());
+            Dac19::new(quick()).tune(&candidates, &mut oracle).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validates_params() {
+        let (candidates, truth) = toy(10);
+        let mut oracle = VecOracle::new(truth);
+        for p in [
+            Dac19Params { bins: 1, ..quick() },
+            Dac19Params { rank: 0, ..quick() },
+            Dac19Params { batch: 0, ..quick() },
+            Dac19Params { budget: 0, ..quick() },
+        ] {
+            assert!(Dac19::new(p).tune(&candidates, &mut oracle).is_err());
+        }
+    }
+}

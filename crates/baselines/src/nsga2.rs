@@ -1,0 +1,312 @@
+//! NSGA-II over a finite candidate set — the classical evolutionary
+//! multi-objective control (not in the paper's tables, but the standard
+//! non-model-based comparison point for Pareto-driven tuners).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use pareto::front::{crowding_distance, non_dominated_sort};
+use ppatuner::QorOracle;
+
+use crate::common::{check_inputs, distinct_indices, evaluate_all, BaselineResult};
+use crate::{BaselineError, Result};
+
+/// Options of the [`Nsga2`] tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nsga2Params {
+    /// Total tool-run budget.
+    pub budget: usize,
+    /// Population size.
+    pub population: usize,
+    /// Offspring produced (and evaluated) per generation.
+    pub offspring: usize,
+    /// Binary-tournament size.
+    pub tournament: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Params {
+    fn default() -> Self {
+        Nsga2Params {
+            budget: 100,
+            population: 24,
+            offspring: 12,
+            tournament: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// NSGA-II adapted to a finite candidate list: "crossover/mutation" picks
+/// an unevaluated candidate nearest the blend of two parents (plus an
+/// occasional random immigrant), so the search stays inside the
+/// benchmark's configuration set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nsga2 {
+    params: Nsga2Params,
+}
+
+impl Nsga2 {
+    /// Creates the tuner.
+    pub fn new(params: Nsga2Params) -> Self {
+        Nsga2 { params }
+    }
+
+    /// Runs the evolutionary loop until the budget is spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BaselineError`] for unusable inputs.
+    pub fn tune<O: QorOracle>(
+        &self,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+    ) -> Result<BaselineResult> {
+        check_inputs(candidates, self.params.budget)?;
+        if self.params.population < 4 || self.params.offspring == 0 {
+            return Err(BaselineError::InvalidInput {
+                reason: "population >= 4 and offspring >= 1 required",
+            });
+        }
+        let n = candidates.len();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        let init = self.params.population.min(self.params.budget).min(n);
+        let mut evaluated: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut flag = vec![false; n];
+        let picks = distinct_indices(init, n, &mut rng);
+        evaluate_all(&picks, oracle, &mut evaluated, &mut flag);
+
+        // Population: positions into `evaluated`.
+        let mut pop: Vec<usize> = (0..evaluated.len()).collect();
+
+        while oracle.runs() < self.params.budget && evaluated.len() < n {
+            // Parent selection by (rank, crowding) binary tournaments.
+            let pts: Vec<Vec<f64>> = pop.iter().map(|&e| evaluated[e].1.clone()).collect();
+            let (rank, crowd) = rank_and_crowding(&pts);
+            let tournament = |rng: &mut StdRng| -> usize {
+                let mut best = rng.gen_range(0..pop.len());
+                for _ in 1..self.params.tournament.max(2) {
+                    let c = rng.gen_range(0..pop.len());
+                    if (rank[c], std::cmp::Reverse(ordered(crowd[c])))
+                        < (rank[best], std::cmp::Reverse(ordered(crowd[best])))
+                    {
+                        best = c;
+                    }
+                }
+                best
+            };
+
+            // Offspring: blend two parents in configuration space, then
+            // snap to the nearest unevaluated candidate.
+            let room = self.params.budget - oracle.runs();
+            let n_children = self.params.offspring.min(room);
+            let mut children = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                let immigrant = rng.gen::<f64>() < 0.15;
+                let target_point: Vec<f64> = if immigrant {
+                    (0..candidates[0].len()).map(|_| rng.gen()).collect()
+                } else {
+                    let a = &candidates[evaluated[pop[tournament(&mut rng)]].0];
+                    let b = &candidates[evaluated[pop[tournament(&mut rng)]].0];
+                    let alpha: f64 = rng.gen();
+                    a.iter()
+                        .zip(b)
+                        .map(|(&x, &y)| {
+                            let v = alpha * x + (1.0 - alpha) * y;
+                            // Polynomial-ish mutation.
+                            (v + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0)
+                        })
+                        .collect()
+                };
+                if let Some(i) = nearest_unevaluated(candidates, &flag, &target_point, &children) {
+                    children.push(i);
+                }
+            }
+            if children.is_empty() {
+                break;
+            }
+            let first_new = evaluated.len();
+            evaluate_all(&children, oracle, &mut evaluated, &mut flag);
+
+            // Environmental selection: rank + crowding over parents and
+            // children, keep `population`.
+            pop.extend(first_new..evaluated.len());
+            let pts: Vec<Vec<f64>> = pop.iter().map(|&e| evaluated[e].1.clone()).collect();
+            pop = select_survivors(&pop, &pts, self.params.population);
+        }
+
+        Ok(BaselineResult::from_evaluations(evaluated, oracle.runs()))
+    }
+}
+
+/// Total-orderable wrapper for crowding values (∞ allowed, NaN impossible).
+fn ordered(v: f64) -> std::cmp::Reverse<u64> {
+    std::cmp::Reverse(v.to_bits())
+}
+
+/// Per-point (front rank, crowding distance within its front).
+fn rank_and_crowding(pts: &[Vec<f64>]) -> (Vec<usize>, Vec<f64>) {
+    let fronts = non_dominated_sort(pts);
+    let mut rank = vec![0usize; pts.len()];
+    let mut crowd = vec![0.0f64; pts.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        let sub: Vec<Vec<f64>> = front.iter().map(|&i| pts[i].clone()).collect();
+        let d = crowding_distance(&sub);
+        for (&i, &di) in front.iter().zip(&d) {
+            rank[i] = r;
+            crowd[i] = di;
+        }
+    }
+    (rank, crowd)
+}
+
+/// NSGA-II environmental selection: fill by front rank, break the last
+/// front by crowding distance.
+fn select_survivors(pop: &[usize], pts: &[Vec<f64>], keep: usize) -> Vec<usize> {
+    if pop.len() <= keep {
+        return pop.to_vec();
+    }
+    let fronts = non_dominated_sort(pts);
+    let mut out = Vec::with_capacity(keep);
+    for front in fronts {
+        if out.len() + front.len() <= keep {
+            out.extend(front.iter().map(|&i| pop[i]));
+            continue;
+        }
+        let sub: Vec<Vec<f64>> = front.iter().map(|&i| pts[i].clone()).collect();
+        let d = crowding_distance(&sub);
+        let mut order: Vec<usize> = (0..front.len()).collect();
+        order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).unwrap_or(std::cmp::Ordering::Equal));
+        for &k in order.iter().take(keep - out.len()) {
+            out.push(pop[front[k]]);
+        }
+        break;
+    }
+    out
+}
+
+/// Nearest unevaluated candidate to `target`, excluding already-chosen
+/// children.
+fn nearest_unevaluated(
+    candidates: &[Vec<f64>],
+    flag: &[bool],
+    target: &[f64],
+    chosen: &[usize],
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        if flag[i] || chosen.contains(&i) {
+            continue;
+        }
+        let d: f64 = c.iter().zip(target).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatuner::VecOracle;
+
+    fn toy(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let candidates: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / (n - 1) as f64, ((i * 31) % n) as f64 / n as f64])
+            .collect();
+        let truth = candidates
+            .iter()
+            .map(|p| vec![p[0] + 0.2 * p[1] + 0.1, (1.0 - p[0]).powi(2) + 0.1])
+            .collect();
+        (candidates, truth)
+    }
+
+    fn quick() -> Nsga2Params {
+        Nsga2Params {
+            budget: 40,
+            population: 12,
+            offspring: 6,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (candidates, truth) = toy(120);
+        let mut oracle = VecOracle::new(truth);
+        let r = Nsga2::new(quick()).tune(&candidates, &mut oracle).unwrap();
+        assert!(r.runs <= 40);
+        assert!(!r.pareto_indices.is_empty());
+    }
+
+    #[test]
+    fn improves_over_its_own_initialization() {
+        let (candidates, truth) = toy(200);
+        let golden: Vec<Vec<f64>> = pareto::front::pareto_front(&truth)
+            .into_iter()
+            .map(|i| truth[i].clone())
+            .collect();
+        let reference = pareto::hypervolume::reference_point(&truth, 1.1).unwrap();
+        let hv = |idx: &[usize]| {
+            let pts: Vec<Vec<f64>> = idx.iter().map(|&i| truth[i].clone()).collect();
+            pareto::hypervolume::hypervolume_error(&golden, &pts, &reference).unwrap()
+        };
+        // Evolution with extra budget should beat a same-seed random
+        // population of the initial size.
+        let mut o = VecOracle::new(truth.clone());
+        let evolved = Nsga2::new(Nsga2Params { budget: 60, ..quick() })
+            .tune(&candidates, &mut o)
+            .unwrap();
+        let mut o = VecOracle::new(truth.clone());
+        let random = crate::RandomSearch::new(12, 3).tune(&candidates, &mut o).unwrap();
+        assert!(
+            hv(&evolved.pareto_indices) <= hv(&random.pareto_indices) + 1e-9,
+            "evolved {} vs initial-random {}",
+            hv(&evolved.pareto_indices),
+            hv(&random.pareto_indices)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (candidates, truth) = toy(80);
+        let run = || {
+            let mut oracle = VecOracle::new(truth.clone());
+            Nsga2::new(quick()).tune(&candidates, &mut oracle).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let (candidates, truth) = toy(10);
+        let mut oracle = VecOracle::new(truth);
+        for p in [
+            Nsga2Params { population: 2, ..quick() },
+            Nsga2Params { offspring: 0, ..quick() },
+            Nsga2Params { budget: 0, ..quick() },
+        ] {
+            assert!(Nsga2::new(p).tune(&candidates, &mut oracle).is_err());
+        }
+    }
+
+    #[test]
+    fn survivor_selection_prefers_first_front() {
+        let pts = vec![
+            vec![1.0, 1.0], // rank 0
+            vec![2.0, 2.0], // rank 1
+            vec![0.5, 3.0], // rank 0
+            vec![3.0, 3.0], // rank 2
+        ];
+        let pop = vec![10, 11, 12, 13];
+        let kept = select_survivors(&pop, &pts, 2);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&10) && kept.contains(&12));
+    }
+}

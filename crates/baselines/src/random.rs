@@ -1,0 +1,107 @@
+//! Uniform random search (sanity-check control, not in the paper's
+//! tables but useful for calibrating every other method).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ppatuner::QorOracle;
+
+use crate::common::{check_inputs, distinct_indices, evaluate_all, BaselineResult};
+use crate::Result;
+
+/// Random search: evaluate `budget` distinct uniformly-drawn candidates
+/// and keep the non-dominated ones.
+///
+/// # Example
+///
+/// ```
+/// use baselines::RandomSearch;
+/// use ppatuner::VecOracle;
+///
+/// # fn main() -> Result<(), baselines::BaselineError> {
+/// let candidates: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+/// let truth: Vec<Vec<f64>> = candidates.iter().map(|p| vec![p[0], 1.0 - p[0]]).collect();
+/// let mut oracle = VecOracle::new(truth);
+/// let result = RandomSearch::new(10, 42).tune(&candidates, &mut oracle)?;
+/// assert_eq!(result.runs, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomSearch {
+    budget: usize,
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given tool-run budget and seed.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        RandomSearch { budget, seed }
+    }
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BaselineError::InvalidInput`] for an empty
+    /// candidate set or zero budget.
+    pub fn tune<O: QorOracle>(
+        &self,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+    ) -> Result<BaselineResult> {
+        check_inputs(candidates, self.budget)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let picks = distinct_indices(self.budget, candidates.len(), &mut rng);
+        let mut evaluated = Vec::new();
+        let mut flag = vec![false; candidates.len()];
+        evaluate_all(&picks, oracle, &mut evaluated, &mut flag);
+        Ok(BaselineResult::from_evaluations(evaluated, oracle.runs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppatuner::VecOracle;
+
+    #[test]
+    fn respects_budget_and_finds_front_members() {
+        let candidates: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 49.0]).collect();
+        let truth: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|p| vec![p[0] + 0.1, (1.0 - p[0]).powi(2) + 0.1])
+            .collect();
+        let mut oracle = VecOracle::new(truth.clone());
+        let result = RandomSearch::new(25, 3).tune(&candidates, &mut oracle).unwrap();
+        assert_eq!(result.runs, 25);
+        assert!(!result.pareto_indices.is_empty());
+        // Every reported index is non-dominated among the evaluated set.
+        for &i in &result.pareto_indices {
+            for (_, y) in &result.evaluated {
+                assert!(!pareto::dominance::dominates(y, &truth[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let candidates: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let truth: Vec<Vec<f64>> = candidates.iter().map(|p| vec![p[0], 1.0 - p[0]]).collect();
+        let run = |seed| {
+            let mut oracle = VecOracle::new(truth.clone());
+            RandomSearch::new(10, seed).tune(&candidates, &mut oracle).unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).evaluated, run(6).evaluated);
+    }
+
+    #[test]
+    fn budget_larger_than_population_is_capped() {
+        let candidates = vec![vec![0.0], vec![1.0]];
+        let truth = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let mut oracle = VecOracle::new(truth);
+        let result = RandomSearch::new(10, 0).tune(&candidates, &mut oracle).unwrap();
+        assert_eq!(result.runs, 2);
+    }
+}

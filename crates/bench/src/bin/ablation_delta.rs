@@ -1,0 +1,66 @@
+//! Ablation A2: the relaxation δ — the paper's "precision controller" —
+//! swept over the accuracy-vs-tool-runs trade-off on Scenario Two.
+//!
+//! Usage: `cargo run -p bench --release --bin ablation_delta [seed]`
+
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let scenario = Scenario::two(seed);
+    let space = ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let golden = scenario.target().golden_front(space);
+    let reference = pareto::hypervolume::reference_point(&table, 1.1).expect("ref");
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("source");
+
+    println!("A2: delta sweep on {} ({space})", scenario.name());
+    println!("{:>8} {:>8} {:>8} {:>6} {:>8} {:>8}", "delta", "HV", "ADRS", "runs", "verify", "iters");
+    for delta_rel in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20] {
+        let mut hv = 0.0;
+        let mut ad = 0.0;
+        let mut runs = 0.0;
+        let mut verify = 0.0;
+        let mut iters = 0.0;
+        let seeds = [seed, seed + 7, seed + 19];
+        for &sd in &seeds {
+            let config = PpaTunerConfig {
+                initial_samples: 36,
+                // Generous cap: δ controls where classification stops.
+                max_iterations: 60,
+                delta_rel,
+                seed: sd,
+                ..Default::default()
+            };
+            let mut oracle = VecOracle::new(table.clone());
+            let r = PpaTuner::new(config)
+                .run(&source, &candidates, &mut oracle)
+                .expect("tuning succeeds");
+            let predicted: Vec<Vec<f64>> =
+                r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
+            hv += pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)
+                .expect("hv");
+            ad += pareto::metrics::adrs(&golden, &predicted).expect("adrs");
+            runs += r.runs as f64;
+            verify += r.verification_runs as f64;
+            iters += r.iterations as f64;
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "{:>8.2} {:>8.4} {:>8.4} {:>6.0} {:>8.0} {:>8.0}",
+            delta_rel,
+            hv / n,
+            ad / n,
+            runs / n,
+            verify / n,
+            iters / n
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation A3: the region-scale coefficient τ of Eq. (9), swept on
+//! Scenario Two. Small τ classifies aggressively (fast, riskier); large τ
+//! is conservative (slow, safer).
+//!
+//! Usage: `cargo run -p bench --release --bin ablation_tau [seed]`
+
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let scenario = Scenario::two(seed);
+    let space = ObjectiveSpace::AreaPowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let golden = scenario.target().golden_front(space);
+    let reference = pareto::hypervolume::reference_point(&table, 1.1).expect("ref");
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("source");
+
+    println!("A3: tau sweep on {} ({space})", scenario.name());
+    println!("{:>6} {:>8} {:>8} {:>6} {:>8}", "tau", "HV", "ADRS", "runs", "dropped@end");
+    for tau in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
+        let mut hv = 0.0;
+        let mut ad = 0.0;
+        let mut runs = 0.0;
+        let mut dropped = 0.0;
+        let seeds = [seed, seed + 7, seed + 19];
+        for &sd in &seeds {
+            let config = PpaTunerConfig {
+                initial_samples: 36,
+                max_iterations: 26,
+                tau,
+                seed: sd,
+                ..Default::default()
+            };
+            let mut oracle = VecOracle::new(table.clone());
+            let r = PpaTuner::new(config)
+                .run(&source, &candidates, &mut oracle)
+                .expect("tuning succeeds");
+            let predicted: Vec<Vec<f64>> =
+                r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
+            hv += pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)
+                .expect("hv");
+            ad += pareto::metrics::adrs(&golden, &predicted).expect("adrs");
+            runs += r.runs as f64;
+            dropped += r.history.last().map_or(0.0, |h| h.dropped as f64);
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "{:>6.1} {:>8.4} {:>8.4} {:>6.0} {:>8.0}",
+            tau,
+            hv / n,
+            ad / n,
+            runs / n,
+            dropped / n
+        );
+    }
+}

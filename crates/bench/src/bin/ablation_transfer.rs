@@ -1,0 +1,63 @@
+//! Ablation A1: transfer GP vs. independent GP (no source data), on both
+//! scenarios. Isolates the contribution of the paper's transfer kernel.
+//!
+//! Usage: `cargo run -p bench --release --bin ablation_transfer [seed]`
+
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let cases = [
+        ("scenario-one", Scenario::one_with_counts(seed, 1500, 1200), 60, 20),
+        ("scenario-two", Scenario::two(seed), 36, 26),
+    ];
+    println!("A1: transfer vs no-transfer (3-seed means)");
+    for (name, scenario, init, iters) in cases {
+        for space in [ObjectiveSpace::PowerDelay, ObjectiveSpace::AreaPowerDelay] {
+            let candidates = scenario.target_candidates();
+            let table = scenario.target_table(space);
+            let golden = scenario.target().golden_front(space);
+            let reference = pareto::hypervolume::reference_point(&table, 1.1).expect("ref");
+            let (sx, sy) = scenario.source_xy(space);
+            let with_source = SourceData::new(sx, sy).expect("source");
+            for (label, source) in
+                [("transfer", with_source.clone()), ("no-transfer", SourceData::empty())]
+            {
+                let mut hv = 0.0;
+                let mut ad = 0.0;
+                let mut runs = 0;
+                let seeds = [seed, seed + 7, seed + 19];
+                for &sd in &seeds {
+                    let config = PpaTunerConfig {
+                        initial_samples: init,
+                        max_iterations: iters,
+                        seed: sd,
+                        ..Default::default()
+                    };
+                    let mut oracle = VecOracle::new(table.clone());
+                    let r = PpaTuner::new(config)
+                        .run(&source, &candidates, &mut oracle)
+                        .expect("tuning succeeds");
+                    let predicted: Vec<Vec<f64>> =
+                        r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
+                    hv += pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)
+                        .expect("hv");
+                    ad += pareto::metrics::adrs(&golden, &predicted).expect("adrs");
+                    runs += r.runs;
+                }
+                let n = seeds.len() as f64;
+                println!(
+                    "{name} {space} {label:<12} HV={:.4} ADRS={:.4} runs={:.0}",
+                    hv / n,
+                    ad / n,
+                    runs as f64 / n
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Calibration harness (not a paper artifact): runs all methods on
+//! reduced-scale scenarios and prints scores + wall-times, to verify the
+//! comparative shape before full table runs.
+//!
+//! Usage: `cargo run -p bench --release --bin calibrate [scale]`
+//! where `scale` ∈ {small, medium, two}.
+
+use std::time::Instant;
+
+use bench::{run_method, Budgets, Method};
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "medium".into());
+    let (scenario, budgets) = match scale.as_str() {
+        "small" => (
+            Scenario::two_with_counts(1, 200, 150).with_source_budget(100),
+            Budgets {
+                fixed: 20,
+                tcad_cap: 26,
+                dac_budget: 36,
+                ppatuner_init: 12,
+                ppatuner_iters: 10,
+            },
+        ),
+        "two" => (Scenario::two(1), Budgets::scenario_two()),
+        _ => (
+            Scenario::one_with_counts(1, 1000, 800).with_source_budget(200),
+            Budgets {
+                fixed: 80,
+                tcad_cap: 104,
+                dac_budget: 120,
+                ppatuner_init: 40,
+                ppatuner_iters: 15,
+            },
+        ),
+    };
+    println!(
+        "calibration: {} source={} target={}",
+        scenario.name(),
+        scenario.source().len(),
+        scenario.target().len()
+    );
+    for space in [ObjectiveSpace::PowerDelay, ObjectiveSpace::AreaPowerDelay] {
+        println!("--- {space} ---");
+        for m in Method::ALL {
+            let t0 = Instant::now();
+            let mut hv = 0.0;
+            let mut ad = 0.0;
+            let mut runs = 0;
+            const SEEDS: [u64; 3] = [17, 29, 43];
+            for &seed in &SEEDS {
+                let s = run_method(&scenario, space, m, &budgets, seed);
+                hv += s.hv_error;
+                ad += s.adrs;
+                runs += s.runs;
+            }
+            let n = SEEDS.len() as f64;
+            println!(
+                "{:<10} HV={:.3} ADRS={:.3} runs={:<6.1} ({:.1?})",
+                m.label(),
+                hv / n,
+                ad / n,
+                runs as f64 / n,
+                t0.elapsed()
+            );
+        }
+    }
+}

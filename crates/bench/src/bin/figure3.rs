@@ -1,0 +1,153 @@
+//! Regenerates **Figure 3** of the paper: the Pareto fronts in the power
+//! vs. delay space on the Target2 benchmark — the golden ("real") front
+//! and the front each method learned.
+//!
+//! Usage: `cargo run -p bench --release --bin figure3 [seed]`
+//! Writes `figure3.csv` (series: method, power_mw, delay_ns) and prints
+//! an ASCII rendering.
+
+use bench::{Budgets, Method};
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let space = ObjectiveSpace::PowerDelay;
+    eprintln!("generating Source2/Target2...");
+    let scenario = Scenario::two(seed);
+    let table = scenario.target_table(space);
+    let golden = scenario.target().golden_front(space);
+    let budgets = Budgets::scenario_two();
+
+    let mut series: Vec<(String, Vec<Vec<f64>>)> = vec![(
+        "golden".into(),
+        golden.clone(),
+    )];
+
+    for m in Method::ALL {
+        let indices: Vec<usize> = match m {
+            Method::PpaTuner => {
+                let (sx, sy) = scenario.source_xy(space);
+                let source = SourceData::new(sx, sy).expect("source ok");
+                let config = PpaTunerConfig {
+                    initial_samples: budgets.ppatuner_init,
+                    max_iterations: budgets.ppatuner_iters,
+                    seed,
+                    ..Default::default()
+                };
+                let mut oracle = VecOracle::new(table.clone());
+                PpaTuner::new(config)
+                    .run(&source, &scenario.target_candidates(), &mut oracle)
+                    .expect("ppatuner runs")
+                    .pareto_indices
+            }
+            _ => {
+                // Reuse the harness runner for the baselines by running
+                // them directly (the indices, not just the score).
+                let candidates = scenario.target_candidates();
+                let mut oracle = VecOracle::new(table.clone());
+                match m {
+                    Method::Tcad19 => baselines::Tcad19::new(baselines::Tcad19Params {
+                        budget: budgets.tcad_cap,
+                        initial_samples: (budgets.tcad_cap / 8).max(8),
+                        seed,
+                        ..Default::default()
+                    })
+                    .tune(&candidates, &mut oracle)
+                    .expect("tcad19")
+                    .pareto_indices,
+                    Method::Mlcad19 => baselines::Mlcad19::new(baselines::Mlcad19Params {
+                        budget: budgets.fixed,
+                        initial_samples: (budgets.fixed / 8).max(8),
+                        seed,
+                        ..Default::default()
+                    })
+                    .tune(&candidates, &mut oracle)
+                    .expect("mlcad19")
+                    .pareto_indices,
+                    Method::Dac19 => baselines::Dac19::new(baselines::Dac19Params {
+                        budget: budgets.dac_budget,
+                        initial_samples: (budgets.dac_budget / 6).max(8),
+                        seed,
+                        ..Default::default()
+                    })
+                    .tune(&candidates, &mut oracle)
+                    .expect("dac19")
+                    .pareto_indices,
+                    Method::Aspdac20 => {
+                        let (sx, sy) = scenario.source_xy(space);
+                        let source = SourceData::new(sx, sy).expect("source ok");
+                        baselines::Aspdac20::new(baselines::Aspdac20Params {
+                            budget: budgets.fixed,
+                            initial_samples: (budgets.fixed / 5).max(8),
+                            seed,
+                            ..Default::default()
+                        })
+                        .tune(&source, &candidates, &mut oracle)
+                        .expect("aspdac20")
+                        .pareto_indices
+                    }
+                    Method::PpaTuner => unreachable!("handled above"),
+                }
+            }
+        };
+        let pts: Vec<Vec<f64>> = indices.iter().map(|&i| table[i].clone()).collect();
+        series.push((m.label().to_lowercase().replace('\'', ""), pts));
+    }
+
+    // CSV output.
+    let mut csv = String::from("series,power_mw,delay_ns\n");
+    for (name, pts) in &series {
+        for p in pts {
+            csv.push_str(&format!("{name},{:.6},{:.6}\n", p[0], p[1]));
+        }
+    }
+    std::fs::write("figure3.csv", &csv).expect("write figure3.csv");
+    eprintln!("wrote figure3.csv ({} series)", series.len());
+
+    // ASCII rendering: golden front (G) vs PPATuner front (P).
+    println!("Figure 3: Pareto fronts in power vs delay space on Target2 (ASCII).");
+    println!("G = golden front, P = PPATuner, . = other methods");
+    let all: Vec<&Vec<f64>> = series.iter().flat_map(|(_, pts)| pts.iter()).collect();
+    let (p_lo, p_hi) = min_max(all.iter().map(|p| p[0]));
+    let (d_lo, d_hi) = min_max(all.iter().map(|p| p[1]));
+    const W: usize = 72;
+    const H: usize = 24;
+    let mut grid = vec![vec![' '; W]; H];
+    let plot = |pts: &[Vec<f64>], ch: char, grid: &mut Vec<Vec<char>>| {
+        for p in pts {
+            let x = ((p[0] - p_lo) / (p_hi - p_lo).max(1e-12) * (W - 1) as f64) as usize;
+            let y = ((p[1] - d_lo) / (d_hi - d_lo).max(1e-12) * (H - 1) as f64) as usize;
+            let row = H - 1 - y.min(H - 1);
+            let col = x.min(W - 1);
+            if grid[row][col] == ' ' || ch != '.' {
+                grid[row][col] = ch;
+            }
+        }
+    };
+    for (name, pts) in &series[1..] {
+        let ch = if name.starts_with("ppatuner") { 'P' } else { '.' };
+        plot(pts, ch, &mut grid);
+    }
+    plot(&series[0].1, 'G', &mut grid);
+    println!("delay {d_hi:.3} ns");
+    for row in grid {
+        println!("|{}", row.into_iter().collect::<String>());
+    }
+    println!("+{}", "-".repeat(W));
+    println!("delay {d_lo:.3} ns / power: {p_lo:.2} .. {p_hi:.2} mW");
+}
+
+fn min_max(iter: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in iter {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}

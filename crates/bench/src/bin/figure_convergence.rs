@@ -1,0 +1,55 @@
+//! Supplementary figure (not in the paper): the tuner's classification
+//! trajectory — undecided / Pareto / dropped candidates and tool runs per
+//! iteration — on Scenario Two. This visualizes Algorithm 1's engine: the
+//! monotone shrinkage of the undecided set.
+//!
+//! Usage: `cargo run -p bench --release --bin figure_convergence [seed]`
+//! Writes `figure_convergence.csv`.
+
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let scenario = Scenario::two(seed);
+    let space = ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("source");
+    let mut oracle = VecOracle::new(scenario.target_table(space));
+    let config = PpaTunerConfig {
+        initial_samples: 36,
+        max_iterations: 60,
+        seed,
+        ..Default::default()
+    };
+    let result = PpaTuner::new(config)
+        .run(&source, &candidates, &mut oracle)
+        .expect("tuning succeeds");
+
+    let mut csv = String::from("iteration,undecided,pareto,dropped,runs\n");
+    println!("{:>5} {:>10} {:>7} {:>8} {:>5}", "iter", "undecided", "pareto", "dropped", "runs");
+    for rec in &result.history {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            rec.iteration, rec.undecided, rec.pareto, rec.dropped, rec.runs
+        ));
+        if rec.iteration % 5 == 0 {
+            println!(
+                "{:>5} {:>10} {:>7} {:>8} {:>5}",
+                rec.iteration, rec.undecided, rec.pareto, rec.dropped, rec.runs
+            );
+        }
+    }
+    std::fs::write("figure_convergence.csv", &csv).expect("write csv");
+    println!(
+        "final: runs={} verification={} |P|={}",
+        result.runs,
+        result.verification_runs,
+        result.pareto_indices.len()
+    );
+}

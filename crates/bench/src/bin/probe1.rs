@@ -1,0 +1,39 @@
+//! One-off full-scale probe of Scenario One (not a paper artifact):
+//! PPATuner vs the two strongest baselines on one objective space.
+
+use std::time::Instant;
+
+use bench::{run_method, Budgets, Method};
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+
+fn main() {
+    let space = match std::env::args().nth(1).as_deref() {
+        Some("ad") => ObjectiveSpace::AreaDelay,
+        Some("apd") => ObjectiveSpace::AreaPowerDelay,
+        _ => ObjectiveSpace::PowerDelay,
+    };
+    let t0 = Instant::now();
+    let scenario = Scenario::one(1);
+    println!("generated benchmarks in {:.1?}", t0.elapsed());
+    let mut budgets = Budgets::scenario_one();
+    if let Some(init) = std::env::args().nth(2).and_then(|s| s.parse().ok()) {
+        budgets.ppatuner_init = init;
+    }
+    if let Some(iters) = std::env::args().nth(3).and_then(|s| s.parse().ok()) {
+        budgets.ppatuner_iters = iters;
+    }
+    {
+        let m = Method::PpaTuner;
+        let t = Instant::now();
+        let s = run_method(&scenario, space, m, &budgets, 17);
+        println!(
+            "{:<10} {space} HV={:.3} ADRS={:.3} runs={} ({:.1?})",
+            m.label(),
+            s.hv_error,
+            s.adrs,
+            s.runs,
+            t.elapsed()
+        );
+    }
+}

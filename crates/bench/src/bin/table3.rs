@@ -1,0 +1,87 @@
+//! Regenerates **Table 3** of the paper: the whole-performance comparison
+//! on the Target2 benchmark (Scenario Two — similar but larger design).
+//!
+//! Usage: `cargo run -p bench --release --bin table3 [seed]`
+//! Writes `table3.txt` and `table3.json` in the working directory.
+
+use std::time::Instant;
+
+use bench::{render_table, run_method, Budgets, Method, MethodScore};
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17);
+    let t0 = Instant::now();
+    eprintln!("generating Source2/Target2 (1440 + 727 flow runs)...");
+    let scenario = Scenario::two(seed);
+    eprintln!("benchmarks ready in {:.1?}", t0.elapsed());
+
+    let budgets = Budgets::scenario_two();
+    // Every cell is averaged over three seeds to damp selection luck.
+    let seeds = [seed, seed.wrapping_add(12), seed.wrapping_add(26)];
+    let mut rows: Vec<(ObjectiveSpace, Vec<MethodScore>)> = Vec::new();
+    for space in ObjectiveSpace::ALL {
+        let mut scores = Vec::new();
+        for m in Method::ALL {
+            let t = Instant::now();
+            let mut hv = 0.0;
+            let mut ad = 0.0;
+            let mut runs = 0usize;
+            for &sd in &seeds {
+                let s = run_method(&scenario, space, m, &budgets, sd);
+                hv += s.hv_error;
+                ad += s.adrs;
+                runs += s.runs;
+            }
+            let n = seeds.len() as f64;
+            let s = MethodScore {
+                hv_error: hv / n,
+                adrs: ad / n,
+                runs: (runs as f64 / n).round() as usize,
+            };
+            eprintln!(
+                "{space} / {:<10} HV={:.3} ADRS={:.3} runs={} ({:.1?})",
+                m.label(),
+                s.hv_error,
+                s.adrs,
+                s.runs,
+                t.elapsed()
+            );
+            scores.push(s);
+        }
+        rows.push((space, scores));
+    }
+
+    let table = render_table(
+        "Table 3: The whole performance comparison on Target2 benchmark.",
+        &rows,
+    );
+    println!("{table}");
+    std::fs::write("table3.txt", &table).expect("write table3.txt");
+    let json: Vec<_> = rows
+        .iter()
+        .map(|(space, scores)| {
+            serde_json::json!({
+                "space": space.label(),
+                "methods": Method::ALL.iter().zip(scores).map(|(m, s)| {
+                    serde_json::json!({
+                        "method": m.label(),
+                        "hv_error": s.hv_error,
+                        "adrs": s.adrs,
+                        "runs": s.runs,
+                    })
+                }).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    std::fs::write(
+        "table3.json",
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write table3.json");
+    eprintln!("total {:.1?}; wrote table3.txt and table3.json", t0.elapsed());
+}

@@ -1,0 +1,270 @@
+//! One offline benchmark: configurations, golden QoR values, golden
+//! fronts.
+
+use doe::{Config, LatinHypercube, ParamSpace};
+use pdsim::{Design, ObjectiveSpace, PdFlow, Qor, ToolParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::spaces::table1_space;
+
+/// Which of the paper's four benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    /// Small MAC, 12 parameters, 5000 points (scenario-one source).
+    Source1,
+    /// Small MAC, 12 parameters, 5000 points (scenario-one target).
+    Target1,
+    /// Small MAC, 9 parameters, 1440 points (scenario-two source).
+    Source2,
+    /// Large MAC, 9 parameters, 727 points (scenario-two target).
+    Target2,
+}
+
+impl BenchmarkId {
+    /// All four benchmarks in Table 1 order.
+    pub const ALL: [BenchmarkId; 4] = [
+        BenchmarkId::Source1,
+        BenchmarkId::Target1,
+        BenchmarkId::Source2,
+        BenchmarkId::Target2,
+    ];
+
+    /// The paper's name for the benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Source1 => "Source1",
+            BenchmarkId::Target1 => "Target1",
+            BenchmarkId::Source2 => "Source2",
+            BenchmarkId::Target2 => "Target2",
+        }
+    }
+
+    /// The Table 1 parameter space.
+    pub fn space(self) -> ParamSpace {
+        table1_space(self)
+    }
+
+    /// The number of offline configuration points (§4.1).
+    pub fn point_count(self) -> usize {
+        match self {
+            BenchmarkId::Source1 | BenchmarkId::Target1 => 5000,
+            BenchmarkId::Source2 => 1440,
+            BenchmarkId::Target2 => 727,
+        }
+    }
+
+    /// The design implemented by this benchmark. Source1, Target1, and
+    /// Source2 are the *same* ~20k-cell MAC (the paper generates them
+    /// from one design with different parameters); Target2 is the ~67k
+    /// MAC.
+    pub fn design(self) -> Design {
+        match self {
+            BenchmarkId::Source1 | BenchmarkId::Target1 | BenchmarkId::Source2 => {
+                Design::mac_small(42)
+            }
+            BenchmarkId::Target2 => Design::mac_large(43),
+        }
+    }
+
+    /// Per-benchmark LHS seed (fixed so the offline tables are stable).
+    fn lhs_seed(self) -> u64 {
+        match self {
+            BenchmarkId::Source1 => 0x51,
+            BenchmarkId::Target1 => 0x71,
+            BenchmarkId::Source2 => 0x52,
+            BenchmarkId::Target2 => 0x72,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One offline benchmark: LHS-sampled configurations with golden QoR
+/// values from the PD flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    id: BenchmarkId,
+    configs: Vec<Config>,
+    qors: Vec<Qor>,
+}
+
+impl Benchmark {
+    /// Generates the benchmark: Latin-hypercube sampling of the Table 1
+    /// space to the §4.1 point count, evaluated through the PD flow.
+    ///
+    /// Deterministic: the LHS seed is fixed per benchmark and the flow is
+    /// deterministic, so repeated generation yields identical tables.
+    pub fn generate(id: BenchmarkId) -> Self {
+        Self::generate_with_count(id, id.point_count())
+    }
+
+    /// Generates a (possibly smaller) benchmark — smaller counts keep
+    /// tests and examples fast while exercising identical code paths.
+    pub fn generate_with_count(id: BenchmarkId, points: usize) -> Self {
+        let space = id.space();
+        let mut rng = StdRng::seed_from_u64(id.lhs_seed());
+        let configs = LatinHypercube::new().sample_distinct(&space, points, 8, &mut rng);
+        let flow = PdFlow::new(id.design());
+        let qors = configs
+            .iter()
+            .map(|c| {
+                let params = ToolParams::from_config(&space, c)
+                    .expect("sampled configs belong to their space");
+                flow.run(&params)
+            })
+            .collect();
+        Benchmark { id, configs, qors }
+    }
+
+    /// The benchmark identity.
+    pub fn id(&self) -> BenchmarkId {
+        self.id
+    }
+
+    /// Number of configuration points.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` when the benchmark has no points.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Borrows the configurations.
+    pub fn configs(&self) -> &[Config] {
+        &self.configs
+    }
+
+    /// Borrows the golden QoR values (parallel to
+    /// [`configs`](Benchmark::configs)).
+    pub fn qors(&self) -> &[Qor] {
+        &self.qors
+    }
+
+    /// Encodes every configuration into `space`'s unit cube (use the
+    /// [`crate::joint_space`] of a scenario for transfer settings).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configuration does not belong to `space`.
+    pub fn encode_in(&self, space: &ParamSpace) -> Vec<Vec<f64>> {
+        self.configs
+            .iter()
+            .map(|c| space.encode(c).expect("benchmark configs fit the space"))
+            .collect()
+    }
+
+    /// The QoR table projected onto an objective subspace.
+    pub fn qor_table(&self, space: ObjectiveSpace) -> Vec<Vec<f64>> {
+        self.qors.iter().map(|q| q.project(space)).collect()
+    }
+
+    /// The golden Pareto front in an objective subspace (the paper's
+    /// "real Pareto set": the best of the offline table).
+    pub fn golden_front(&self, space: ObjectiveSpace) -> Vec<Vec<f64>> {
+        pareto::front::pareto_front_points(&self.qor_table(space))
+    }
+
+    /// Serializes to JSON (for caching expensive tables on disk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON produced by [`Benchmark::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_generation_is_deterministic() {
+        let a = Benchmark::generate_with_count(BenchmarkId::Source2, 40);
+        let b = Benchmark::generate_with_count(BenchmarkId::Source2, 40);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    fn qors_are_valid_and_varied() {
+        let b = Benchmark::generate_with_count(BenchmarkId::Target2, 60);
+        assert!(b.qors().iter().all(Qor::is_valid));
+        // The parameter space must actually move the QoR metrics.
+        for space in ObjectiveSpace::ALL {
+            let table = b.qor_table(space);
+            for k in 0..space.dim() {
+                let lo = table.iter().map(|r| r[k]).fold(f64::INFINITY, f64::min);
+                let hi = table
+                    .iter()
+                    .map(|r| r[k])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(
+                    hi > lo * 1.01,
+                    "{space}: objective {k} is flat ({lo}..{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn golden_front_is_nontrivial() {
+        let b = Benchmark::generate_with_count(BenchmarkId::Target1, 120);
+        let front = b.golden_front(ObjectiveSpace::PowerDelay);
+        assert!(front.len() >= 2, "front of {} points", front.len());
+        assert!(front.len() < b.len());
+    }
+
+    #[test]
+    fn encode_in_own_space_is_unit_cube() {
+        let b = Benchmark::generate_with_count(BenchmarkId::Source1, 25);
+        let enc = b.encode_in(&BenchmarkId::Source1.space());
+        assert_eq!(enc.len(), 25);
+        assert!(enc
+            .iter()
+            .all(|p| p.len() == 12 && p.iter().all(|&u| (0.0..=1.0).contains(&u))));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = Benchmark::generate_with_count(BenchmarkId::Target2, 10);
+        let json = b.to_json().unwrap();
+        let back = Benchmark::from_json(&json).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn ids_expose_paper_metadata() {
+        assert_eq!(BenchmarkId::Source1.point_count(), 5000);
+        assert_eq!(BenchmarkId::Target2.point_count(), 727);
+        assert_eq!(BenchmarkId::Source2.name(), "Source2");
+        assert_eq!(BenchmarkId::Target1.to_string(), "Target1");
+        // Source1/Target1/Source2 share one design; Target2 differs.
+        assert_eq!(
+            BenchmarkId::Source1.design(),
+            BenchmarkId::Target1.design()
+        );
+        assert_eq!(
+            BenchmarkId::Source1.design(),
+            BenchmarkId::Source2.design()
+        );
+        assert_ne!(BenchmarkId::Target2.design(), BenchmarkId::Source2.design());
+    }
+}

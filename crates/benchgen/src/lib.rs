@@ -1,0 +1,43 @@
+//! Offline benchmark construction for the PPATuner reproduction.
+//!
+//! The paper evaluates on four offline benchmarks (Table 1 + §4.1):
+//! Latin-hypercube-sampled tool-parameter configurations, each run through
+//! the PD flow once so that golden QoR values — and hence golden Pareto
+//! fronts — are known exactly:
+//!
+//! | Benchmark | Design          | Parameters | Points |
+//! |-----------|-----------------|-----------:|-------:|
+//! | Source1   | small MAC (~20k)| 12         | 5000   |
+//! | Target1   | small MAC (~20k)| 12         | 5000   |
+//! | Source2   | small MAC (~20k)| 9          | 1440   |
+//! | Target2   | large MAC (~67k)| 9          | 727    |
+//!
+//! This crate defines the exact parameter spaces of Table 1
+//! ([`BenchmarkId::space`]), generates the point sets through
+//! [`pdsim`] ([`Benchmark::generate`]), extracts golden fronts, and pairs
+//! benchmarks into the paper's two transfer scenarios ([`Scenario`]) with
+//! a **joint encoding**: source and target configurations are embedded in
+//! a shared unit cube built from the union of the two spaces' ranges, so
+//! the transfer kernel compares physically commensurate coordinates.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use benchgen::{Scenario};
+//! use pdsim::ObjectiveSpace;
+//!
+//! let scenario = Scenario::one(42); // Source1 → Target1
+//! let golden = scenario.target().golden_front(ObjectiveSpace::PowerDelay);
+//! assert!(!golden.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+mod scenario;
+mod spaces;
+
+pub use benchmark::{Benchmark, BenchmarkId};
+pub use scenario::Scenario;
+pub use spaces::{joint_space, table1_space};

@@ -1,0 +1,175 @@
+//! The paper's two transfer scenarios: a (source, target) benchmark pair
+//! with a joint encoding.
+
+use doe::ParamSpace;
+use pdsim::ObjectiveSpace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::spaces::joint_space;
+use crate::{Benchmark, BenchmarkId};
+
+/// A transfer-tuning scenario: source-task history plus a target-task
+/// candidate set, jointly encoded.
+///
+/// - [`Scenario::one`] — *same design, different parameter preferences*
+///   (§4.2.1): Source1 → Target1.
+/// - [`Scenario::two`] — *similar designs, small → large* (§4.2.2):
+///   Source2 → Target2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: &'static str,
+    source: Benchmark,
+    target: Benchmark,
+    joint: ParamSpace,
+    /// How many source points a tuner may use (the paper fixes 200).
+    source_budget: usize,
+    seed: u64,
+}
+
+impl Scenario {
+    /// Scenario One (Source1 → Target1) at full paper scale
+    /// (5000 + 5000 points; generation takes a few seconds).
+    pub fn one(seed: u64) -> Self {
+        Self::one_with_counts(seed, BenchmarkId::Source1.point_count(), BenchmarkId::Target1.point_count())
+    }
+
+    /// Scenario Two (Source2 → Target2) at full paper scale (1440 + 727).
+    pub fn two(seed: u64) -> Self {
+        Self::two_with_counts(seed, BenchmarkId::Source2.point_count(), BenchmarkId::Target2.point_count())
+    }
+
+    /// Scenario One at reduced scale (for tests/examples).
+    pub fn one_with_counts(seed: u64, source_points: usize, target_points: usize) -> Self {
+        let source = Benchmark::generate_with_count(BenchmarkId::Source1, source_points);
+        let target = Benchmark::generate_with_count(BenchmarkId::Target1, target_points);
+        Self::build("scenario-one", source, target, seed)
+    }
+
+    /// Scenario Two at reduced scale (for tests/examples).
+    pub fn two_with_counts(seed: u64, source_points: usize, target_points: usize) -> Self {
+        let source = Benchmark::generate_with_count(BenchmarkId::Source2, source_points);
+        let target = Benchmark::generate_with_count(BenchmarkId::Target2, target_points);
+        Self::build("scenario-two", source, target, seed)
+    }
+
+    fn build(name: &'static str, source: Benchmark, target: Benchmark, seed: u64) -> Self {
+        let joint = joint_space(&source.id().space(), &target.id().space());
+        Scenario {
+            name,
+            source,
+            target,
+            joint,
+            source_budget: 200,
+            seed,
+        }
+    }
+
+    /// Overrides how many source observations tuners see (paper: 200).
+    pub fn with_source_budget(mut self, n: usize) -> Self {
+        self.source_budget = n;
+        self
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The source benchmark.
+    pub fn source(&self) -> &Benchmark {
+        &self.source
+    }
+
+    /// The target benchmark.
+    pub fn target(&self) -> &Benchmark {
+        &self.target
+    }
+
+    /// The joint encoding space.
+    pub fn joint(&self) -> &ParamSpace {
+        &self.joint
+    }
+
+    /// The target candidates encoded in the joint unit cube.
+    pub fn target_candidates(&self) -> Vec<Vec<f64>> {
+        self.target.encode_in(&self.joint)
+    }
+
+    /// The golden QoR table of the target in an objective subspace
+    /// (this backs the tuner's oracle and metric computation).
+    pub fn target_table(&self, space: ObjectiveSpace) -> Vec<Vec<f64>> {
+        self.target.qor_table(space)
+    }
+
+    /// `source_budget` source observations (encoded jointly, with their
+    /// QoR vectors in the objective subspace), subsampled with this
+    /// scenario's seed — the paper's "200 data points in the source task".
+    pub fn source_xy(&self, space: ObjectiveSpace) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let encoded = self.source.encode_in(&self.joint);
+        let table = self.source.qor_table(space);
+        let mut idx: Vec<usize> = (0..self.source.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5005_e0e0);
+        idx.shuffle(&mut rng);
+        idx.truncate(self.source_budget.min(encoded.len()));
+        (
+            idx.iter().map(|&i| encoded[i].clone()).collect(),
+            idx.iter().map(|&i| table[i].clone()).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_two() -> Scenario {
+        Scenario::two_with_counts(7, 60, 40)
+    }
+
+    #[test]
+    fn candidates_and_tables_align() {
+        let s = small_two();
+        let cands = s.target_candidates();
+        let table = s.target_table(ObjectiveSpace::PowerDelay);
+        assert_eq!(cands.len(), 40);
+        assert_eq!(table.len(), 40);
+        assert!(cands.iter().all(|c| c.len() == 9));
+        assert!(table.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn source_budget_is_respected() {
+        let s = small_two().with_source_budget(25);
+        let (x, y) = s.source_xy(ObjectiveSpace::AreaPowerDelay);
+        assert_eq!(x.len(), 25);
+        assert_eq!(y.len(), 25);
+        assert!(y.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn source_subsample_is_seeded() {
+        let a = small_two().source_xy(ObjectiveSpace::PowerDelay);
+        let b = small_two().source_xy(ObjectiveSpace::PowerDelay);
+        assert_eq!(a, b);
+        let c = Scenario::two_with_counts(8, 60, 40).source_xy(ObjectiveSpace::PowerDelay);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn joint_encoding_has_union_dimension() {
+        let s = small_two();
+        assert_eq!(s.joint().dim(), 9);
+        assert_eq!(s.name(), "scenario-two");
+        assert_eq!(s.source().id(), BenchmarkId::Source2);
+        assert_eq!(s.target().id(), BenchmarkId::Target2);
+    }
+
+    #[test]
+    fn scenario_one_builds() {
+        let s = Scenario::one_with_counts(1, 30, 30);
+        assert_eq!(s.joint().dim(), 12);
+        assert_eq!(s.target_candidates().len(), 30);
+    }
+}

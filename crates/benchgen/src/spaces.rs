@@ -1,0 +1,237 @@
+//! The exact parameter spaces of the paper's Table 1.
+
+use doe::{ParamDef, ParamKind, ParamSpace};
+
+use crate::BenchmarkId;
+
+/// Builds the Table 1 parameter space of one benchmark.
+///
+/// Parameter names use the paper's spellings (which
+/// [`pdsim::ToolParams::from_config`] recognizes); "-" cells of Table 1
+/// are simply absent from the space and keep the flow defaults.
+///
+/// # Panics
+///
+/// Never panics: all ranges below are statically valid.
+pub fn table1_space(id: BenchmarkId) -> ParamSpace {
+    let defs = match id {
+        BenchmarkId::Source1 => vec![
+            ParamDef::float("freq", 950.0, 1050.0),
+            ParamDef::float("place_uncertainty", 50.0, 200.0),
+            ParamDef::enumeration("flowEffort", &["standard", "extreme"]),
+            ParamDef::boolean("uniform_density").into_ok(),
+            ParamDef::enumeration("cong_effort", &["auto", "high"]),
+            ParamDef::float("max_density", 0.65, 0.90),
+            ParamDef::float("max_Length", 160.0, 310.0),
+            ParamDef::float("max_Density", 0.65, 0.90),
+            ParamDef::float("max_transition", 0.19, 0.34),
+            ParamDef::float("max_capacitance", 0.08, 0.13),
+            ParamDef::int("max_fanout", 25, 50),
+            ParamDef::float("max_AllowedDelay", 0.00, 0.25),
+        ],
+        BenchmarkId::Target1 => vec![
+            ParamDef::float("freq", 1000.0, 1300.0),
+            ParamDef::float("place_uncertainty", 20.0, 100.0),
+            ParamDef::enumeration("flowEffort", &["standard", "extreme"]),
+            ParamDef::boolean("uniform_density").into_ok(),
+            ParamDef::enumeration("cong_effort", &["auto", "high"]),
+            ParamDef::float("max_density", 0.65, 0.90),
+            ParamDef::float("max_Length", 160.0, 300.0),
+            ParamDef::float("max_Density", 0.65, 0.90),
+            ParamDef::float("max_transition", 0.10, 0.35),
+            ParamDef::float("max_capacitance", 0.08, 0.20),
+            ParamDef::int("max_fanout", 25, 50),
+            ParamDef::float("max_AllowedDelay", 0.00, 0.25),
+        ],
+        BenchmarkId::Source2 => vec![
+            ParamDef::float("place_rcfactor", 1.00, 1.30),
+            ParamDef::enumeration("flowEffort", &["standard", "extreme"]),
+            ParamDef::enumeration("timing_effort", &["medium", "high"]),
+            ParamDef::boolean("clock_power_driven").into_ok(),
+            ParamDef::float("max_Length", 250.0, 350.0),
+            ParamDef::float("max_Density", 0.50, 1.00),
+            ParamDef::float("max_capacitance", 0.07, 0.12),
+            ParamDef::int("max_fanout", 25, 40),
+            ParamDef::float("max_AllowedDelay", 0.06, 0.12),
+        ],
+        BenchmarkId::Target2 => vec![
+            ParamDef::float("place_rcfactor", 1.00, 1.30),
+            ParamDef::enumeration("flowEffort", &["standard", "extreme"]),
+            ParamDef::enumeration("timing_effort", &["medium", "high"]),
+            ParamDef::boolean("clock_power_driven").into_ok(),
+            ParamDef::float("max_Length", 250.0, 350.0),
+            ParamDef::float("max_Density", 0.50, 1.00),
+            ParamDef::float("max_capacitance", 0.05, 0.15),
+            ParamDef::int("max_fanout", 25, 39),
+            ParamDef::float("max_AllowedDelay", 0.00, 0.12),
+        ],
+    };
+    let defs: Vec<ParamDef> = defs
+        .into_iter()
+        .map(|d| d.expect("table 1 ranges are statically valid"))
+        .collect();
+    ParamSpace::new(defs).expect("table 1 spaces are statically valid")
+}
+
+/// Builds a joint encoding space for a (source, target) benchmark pair:
+/// per-parameter union ranges so that the same physical value encodes to
+/// the same coordinate in both tasks.
+///
+/// # Panics
+///
+/// Panics when the two spaces do not share parameter names in order —
+/// true for the paper's pairs by construction.
+pub fn joint_space(source: &ParamSpace, target: &ParamSpace) -> ParamSpace {
+    assert_eq!(
+        source.dim(),
+        target.dim(),
+        "paired benchmarks must share dimensionality"
+    );
+    let defs: Vec<ParamDef> = source
+        .iter()
+        .zip(target.iter())
+        .map(|(s, t)| {
+            assert_eq!(s.name(), t.name(), "paired parameters must align by name");
+            merge_defs(s, t)
+        })
+        .collect();
+    ParamSpace::new(defs).expect("merged space is valid")
+}
+
+fn merge_defs(s: &ParamDef, t: &ParamDef) -> ParamDef {
+    match (s.kind(), t.kind()) {
+        (ParamKind::Float { min: a, max: b }, ParamKind::Float { min: c, max: d }) => {
+            ParamDef::float(s.name(), a.min(*c), b.max(*d)).expect("union range valid")
+        }
+        (ParamKind::Int { min: a, max: b }, ParamKind::Int { min: c, max: d }) => {
+            ParamDef::int(s.name(), *a.min(c), *b.max(d)).expect("union range valid")
+        }
+        (ParamKind::Enum { choices: a }, ParamKind::Enum { choices: b }) => {
+            assert_eq!(a, b, "paired enums must share choices");
+            let refs: Vec<&str> = a.iter().map(String::as_str).collect();
+            ParamDef::enumeration(s.name(), &refs).expect("enum valid")
+        }
+        (ParamKind::Bool, ParamKind::Bool) => ParamDef::boolean(s.name()),
+        _ => panic!(
+            "paired parameter `{}` has mismatched kinds across benchmarks",
+            s.name()
+        ),
+    }
+}
+
+/// Tiny helper so the table above can mix fallible and infallible
+/// constructors uniformly.
+trait IntoOk: Sized {
+    fn into_ok(self) -> Result<Self, doe::DoeError>;
+}
+
+impl IntoOk for ParamDef {
+    fn into_ok(self) -> Result<Self, doe::DoeError> {
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_table1() {
+        assert_eq!(table1_space(BenchmarkId::Source1).dim(), 12);
+        assert_eq!(table1_space(BenchmarkId::Target1).dim(), 12);
+        assert_eq!(table1_space(BenchmarkId::Source2).dim(), 9);
+        assert_eq!(table1_space(BenchmarkId::Target2).dim(), 9);
+    }
+
+    #[test]
+    fn scenario_pairs_align_by_name() {
+        for (s, t) in [
+            (BenchmarkId::Source1, BenchmarkId::Target1),
+            (BenchmarkId::Source2, BenchmarkId::Target2),
+        ] {
+            let ss = table1_space(s);
+            let ts = table1_space(t);
+            for (a, b) in ss.iter().zip(ts.iter()) {
+                assert_eq!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn joint_space_covers_both_ranges() {
+        let s = table1_space(BenchmarkId::Source1);
+        let t = table1_space(BenchmarkId::Target1);
+        let j = joint_space(&s, &t);
+        // freq union is [950, 1300].
+        let freq = j.param(j.index_of("freq").unwrap());
+        match freq.kind() {
+            ParamKind::Float { min, max } => {
+                assert_eq!(*min, 950.0);
+                assert_eq!(*max, 1300.0);
+            }
+            _ => panic!("freq must stay a float"),
+        }
+        // place_uncertainty union is [20, 200].
+        let pu = j.param(j.index_of("place_uncertainty").unwrap());
+        match pu.kind() {
+            ParamKind::Float { min, max } => {
+                assert_eq!(*min, 20.0);
+                assert_eq!(*max, 200.0);
+            }
+            _ => panic!("place_uncertainty must stay a float"),
+        }
+    }
+
+    #[test]
+    fn joint_encoding_is_physically_consistent() {
+        use doe::{Config, ParamValue};
+        let s = table1_space(BenchmarkId::Source2);
+        let t = table1_space(BenchmarkId::Target2);
+        let j = joint_space(&s, &t);
+        // The same physical configuration encodes identically regardless
+        // of which task it came from, because both use the joint space.
+        let c = Config::new(vec![
+            ParamValue::Float(1.15),
+            ParamValue::Enum(1),
+            ParamValue::Enum(0),
+            ParamValue::Bool(true),
+            ParamValue::Float(300.0),
+            ParamValue::Float(0.75),
+            ParamValue::Float(0.10),
+            ParamValue::Int(30),
+            ParamValue::Float(0.08),
+        ]);
+        let e1 = j.encode(&c).unwrap();
+        let e2 = j.encode(&c).unwrap();
+        assert_eq!(e1, e2);
+        assert!(e1.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn table1_ranges_spot_checks() {
+        // A few literal cells from the paper's Table 1.
+        let t2 = table1_space(BenchmarkId::Target2);
+        match t2.param(t2.index_of("max_capacitance").unwrap()).kind() {
+            ParamKind::Float { min, max } => {
+                assert_eq!(*min, 0.05);
+                assert_eq!(*max, 0.15);
+            }
+            _ => panic!(),
+        }
+        match t2.param(t2.index_of("max_fanout").unwrap()).kind() {
+            ParamKind::Int { min, max } => {
+                assert_eq!(*min, 25);
+                assert_eq!(*max, 39);
+            }
+            _ => panic!(),
+        }
+        let s1 = table1_space(BenchmarkId::Source1);
+        match s1.param(s1.index_of("max_transition").unwrap()).kind() {
+            ParamKind::Float { min, max } => {
+                assert_eq!(*min, 0.19);
+                assert_eq!(*max, 0.34);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when fitting tree models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoostError {
+    /// Training data is empty or inconsistent.
+    InvalidTrainingData {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A fitting parameter is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BoostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoostError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+            BoostError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for BoostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!BoostError::InvalidTrainingData { reason: "empty" }
+            .to_string()
+            .is_empty());
+        assert!(BoostError::InvalidParameter {
+            name: "learning_rate",
+            value: -1.0
+        }
+        .to_string()
+        .contains("learning_rate"));
+    }
+}

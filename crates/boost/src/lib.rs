@@ -1,0 +1,40 @@
+//! Gradient-boosted regression trees, from scratch.
+//!
+//! The ASPDAC'20 baseline (FIST) reimplemented in the `baselines` crate needs an
+//! ensemble boosting-tree regressor with **feature importances** for its
+//! importance-guided sampling. This crate provides:
+//!
+//! - [`RegressionTree`]: a CART regression tree (variance-reduction
+//!   splits, depth/leaf-size limits);
+//! - [`GradientBoosting`]: stagewise least-squares boosting with
+//!   shrinkage and row subsampling, plus aggregated feature importances.
+//!
+//! # Example
+//!
+//! ```
+//! use boost::{GradientBoosting, GbmParams};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), boost::BoostError> {
+//! let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 59.0]).collect();
+//! let y: Vec<f64> = x.iter().map(|p| if p[0] > 0.5 { 2.0 } else { 0.0 }).collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let model = GradientBoosting::fit(&x, &y, GbmParams::default(), &mut rng)?;
+//! assert!((model.predict(&[0.9]) - 2.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gbm;
+mod tree;
+
+pub use error::BoostError;
+pub use gbm::{GbmParams, GradientBoosting};
+pub use tree::{RegressionTree, TreeParams};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T, E = BoostError> = std::result::Result<T, E>;

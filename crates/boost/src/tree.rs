@@ -1,0 +1,352 @@
+//! CART regression trees with variance-reduction splits.
+
+use crate::{BoostError, Result};
+
+/// Growth limits of a [`RegressionTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs before it may split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must receive.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 4,
+            min_samples_split: 8,
+            min_samples_leaf: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Total squared-error reduction achieved by this split (for
+        /// feature importances).
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A binary regression tree fit by greedy variance-reduction splitting.
+///
+/// # Example
+///
+/// ```
+/// use boost::{RegressionTree, TreeParams};
+///
+/// # fn main() -> Result<(), boost::BoostError> {
+/// let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+/// let tree = RegressionTree::fit(&x, &y, TreeParams::default())?;
+/// assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
+/// assert!((tree.predict(&[15.0]) - 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostError::InvalidTrainingData`] when the data is empty
+    /// or inconsistent, or [`BoostError::InvalidParameter`] for degenerate
+    /// limits.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: TreeParams) -> Result<Self> {
+        if x.is_empty() {
+            return Err(BoostError::InvalidTrainingData {
+                reason: "need at least one sample",
+            });
+        }
+        if x.len() != y.len() {
+            return Err(BoostError::InvalidTrainingData {
+                reason: "x and y lengths differ",
+            });
+        }
+        let dim = x[0].len();
+        if dim == 0 || x.iter().any(|r| r.len() != dim) {
+            return Err(BoostError::InvalidTrainingData {
+                reason: "samples must share a non-zero dimension",
+            });
+        }
+        if params.min_samples_leaf == 0 {
+            return Err(BoostError::InvalidParameter {
+                name: "min_samples_leaf",
+                value: 0.0,
+            });
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            dim,
+        };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, idx, 0, &params);
+        Ok(tree)
+    }
+
+    /// Grows a subtree over `idx`; returns the node id.
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let make_leaf = |tree: &mut RegressionTree| {
+            tree.nodes.push(Node::Leaf { value: mean });
+            tree.nodes.len() - 1
+        };
+        if depth >= params.max_depth || idx.len() < params.min_samples_split {
+            return make_leaf(self);
+        }
+        match best_split(x, y, &idx, params.min_samples_leaf) {
+            None => make_leaf(self),
+            Some(split) => {
+                let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+                for &i in &idx {
+                    if x[i][split.feature] <= split.threshold {
+                        left_idx.push(i);
+                    } else {
+                        right_idx.push(i);
+                    }
+                }
+                // Reserve the split slot, then grow children.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.grow(x, y, left_idx, depth + 1, params);
+                let right = self.grow(x, y, right_idx, depth + 1, params);
+                self.nodes[id] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    gain: split.gain,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+
+    /// Predicts one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query dimension mismatch");
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulates this tree's split gains into `importances`
+    /// (length = input dimension).
+    pub(crate) fn accumulate_importances(&self, importances: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                importances[*feature] += gain.max(0.0);
+            }
+        }
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+/// Exhaustive best split over all features and sample-adjacent
+/// thresholds; returns `None` when no split satisfies the leaf minimum or
+/// improves the squared error.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    min_leaf: usize,
+) -> Option<SplitChoice> {
+    let n = idx.len();
+    let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let dim = x[idx[0]].len();
+    let mut best: Option<SplitChoice> = None;
+    let mut order: Vec<usize> = idx.to_vec();
+    for feature in 0..dim {
+        order.sort_by(|&a, &b| {
+            x[a][feature]
+                .partial_cmp(&x[b][feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for k in 0..(n - 1) {
+            let i = order[k];
+            left_sum += y[i];
+            left_sq += y[i] * y[i];
+            let n_left = k + 1;
+            let n_right = n - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let xv = x[order[k]][feature];
+            let xn = x[order[k + 1]][feature];
+            if xn <= xv {
+                continue; // no threshold separates equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / n_left as f64)
+                + (right_sq - right_sum * right_sum / n_right as f64);
+            let gain = parent_sse - sse;
+            if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(SplitChoice {
+                    feature,
+                    threshold: 0.5 * (xv + xn),
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| if i < 15 { -1.0 } else { 3.0 }).collect();
+        let t = RegressionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        assert!((t.predict(&[2.0]) + 1.0).abs() < 1e-9);
+        assert!((t.predict(&[20.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![4.0; 10];
+        let t = RegressionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[100.0]), 4.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 1,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+            },
+        )
+        .unwrap();
+        // Depth 1 → at most one split + two leaves.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let x: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let y = vec![0.0, 0.0, 0.0, 10.0];
+        let t = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 5,
+                min_samples_split: 2,
+                min_samples_leaf: 2,
+            },
+        )
+        .unwrap();
+        // The only useful split (3 vs 1) violates min_leaf = 2; the 2-2
+        // split is chosen instead or the node stays a leaf.
+        for node in 0..t.node_count() {
+            if let Node::Split { threshold, .. } = t.nodes[node] {
+                assert!((threshold - 1.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 carries the signal.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 1.0 }).collect();
+        let t = RegressionTree::fit(&x, &y, TreeParams::default()).unwrap();
+        let mut imp = vec![0.0; 2];
+        t.accumulate_importances(&mut imp);
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(RegressionTree::fit(&[], &[], TreeParams::default()).is_err());
+        assert!(
+            RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], TreeParams::default()).is_err()
+        );
+        assert!(RegressionTree::fit(&[vec![]], &[1.0], TreeParams::default()).is_err());
+        let bad = TreeParams {
+            min_samples_leaf: 0,
+            ..Default::default()
+        };
+        assert!(RegressionTree::fit(&[vec![1.0]], &[1.0], bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_checks_dimension() {
+        let t = RegressionTree::fit(&[vec![1.0]], &[1.0], TreeParams::default()).unwrap();
+        t.predict(&[1.0, 2.0]);
+    }
+}

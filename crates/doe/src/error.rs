@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or using parameter spaces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DoeError {
+    /// A parameter definition is malformed (empty range, no choices, ...).
+    InvalidParam {
+        /// Parameter name.
+        name: String,
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A space definition is malformed (duplicate names, no parameters).
+    InvalidSpace {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A configuration does not match the space (wrong arity or a value of
+    /// the wrong kind / out of range at `index`).
+    ConfigMismatch {
+        /// Index of the offending parameter, or the configuration arity
+        /// when the arity itself is wrong.
+        index: usize,
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// An encoded point has the wrong dimension for the space.
+    DimensionMismatch {
+        /// Expected dimension (the space's parameter count).
+        expected: usize,
+        /// Dimension of the supplied point.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DoeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoeError::InvalidParam { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DoeError::InvalidSpace { reason } => write!(f, "invalid parameter space: {reason}"),
+            DoeError::ConfigMismatch { index, reason } => {
+                write!(f, "configuration mismatch at parameter {index}: {reason}")
+            }
+            DoeError::DimensionMismatch { expected, got } => {
+                write!(f, "encoded point has dimension {got}, space expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for DoeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DoeError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("dimension 2"));
+        let e = DoeError::InvalidParam {
+            name: "freq".into(),
+            reason: "min exceeds max",
+        };
+        assert!(e.to_string().contains("freq"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Halton low-discrepancy sequences.
+//!
+//! A deterministic alternative to Latin-hypercube sampling: successive
+//! points fill the unit cube quasi-uniformly, so a benchmark can be
+//! *extended* without regenerating it (LHS stratification only holds for
+//! a fixed sample count).
+
+use crate::{Config, ParamSpace};
+
+/// The first 16 primes — Halton bases for up to 16 dimensions.
+const PRIMES: [u32; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// Radical inverse of `n` in base `b` — the core of the Halton sequence.
+fn radical_inverse(mut n: u64, b: u64) -> f64 {
+    let mut inv = 0.0;
+    let mut denom = 1.0;
+    while n > 0 {
+        denom *= b as f64;
+        inv += (n % b) as f64 / denom;
+        n /= b;
+    }
+    inv
+}
+
+/// A Halton sequence generator over a [`ParamSpace`].
+///
+/// # Example
+///
+/// ```
+/// use doe::{Halton, ParamDef, ParamSpace};
+///
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let space = ParamSpace::new(vec![
+///     ParamDef::float("x", 0.0, 1.0)?,
+///     ParamDef::int("k", 1, 8)?,
+/// ])?;
+/// let mut seq = Halton::new(&space)?;
+/// let first_ten: Vec<_> = (0..10).map(|_| seq.next_config()).collect();
+/// assert_eq!(first_ten.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halton {
+    space: ParamSpace,
+    /// 1-based index (index 0 is the degenerate all-zeros point).
+    index: u64,
+}
+
+impl Halton {
+    /// Creates a generator for `space`, starting at the first point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DoeError::InvalidSpace`] when the space has more
+    /// than 16 dimensions (no Halton base available).
+    pub fn new(space: &ParamSpace) -> crate::Result<Self> {
+        if space.dim() > PRIMES.len() {
+            return Err(crate::DoeError::InvalidSpace {
+                reason: "halton supports at most 16 dimensions",
+            });
+        }
+        Ok(Halton {
+            space: space.clone(),
+            index: 1,
+        })
+    }
+
+    /// Skips ahead (useful to decorrelate from other consumers).
+    pub fn skip(&mut self, n: u64) {
+        self.index = self.index.saturating_add(n);
+    }
+
+    /// The next unit-cube point.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        let i = self.index;
+        self.index += 1;
+        (0..self.space.dim())
+            .map(|d| radical_inverse(i, PRIMES[d] as u64))
+            .collect()
+    }
+
+    /// The next configuration (the unit-cube point decoded into the
+    /// space).
+    pub fn next_config(&mut self) -> Config {
+        let p = self.next_point();
+        self.space.decode(&p).expect("halton point has space dimension")
+    }
+
+    /// Draws `n` configurations.
+    pub fn take_configs(&mut self, n: usize) -> Vec<Config> {
+        (0..n).map(|_| self.next_config()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamDef;
+
+    fn space(d: usize) -> ParamSpace {
+        ParamSpace::new(
+            (0..d)
+                .map(|i| ParamDef::float(&format!("x{i}"), 0.0, 1.0).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn radical_inverse_base2_matches_known_values() {
+        assert_eq!(radical_inverse(1, 2), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(3, 2), 0.75);
+        assert_eq!(radical_inverse(4, 2), 0.125);
+    }
+
+    #[test]
+    fn radical_inverse_base3_matches_known_values() {
+        assert!((radical_inverse(1, 3) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((radical_inverse(2, 3) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((radical_inverse(3, 3) - 1.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn points_stay_in_unit_cube_and_are_distinct() {
+        let mut h = Halton::new(&space(5)).unwrap();
+        let pts: Vec<Vec<f64>> = (0..50).map(|_| h.next_point()).collect();
+        for p in &pts {
+            assert!(p.iter().all(|&u| (0.0..1.0).contains(&u)));
+        }
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_ne!(pts[i], pts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_beats_worst_case() {
+        // First 64 base-2 coordinates hit every length-1/8 interval.
+        let mut h = Halton::new(&space(1)).unwrap();
+        let mut hits = [false; 8];
+        for _ in 0..64 {
+            let p = h.next_point();
+            hits[(p[0] * 8.0) as usize] = true;
+        }
+        assert!(hits.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn skip_changes_the_stream() {
+        let mut a = Halton::new(&space(2)).unwrap();
+        let mut b = Halton::new(&space(2)).unwrap();
+        b.skip(10);
+        assert_ne!(a.next_point(), b.next_point());
+    }
+
+    #[test]
+    fn rejects_high_dimensions() {
+        assert!(Halton::new(&space(17)).is_err());
+        assert!(Halton::new(&space(16)).is_ok());
+    }
+
+    #[test]
+    fn configs_are_valid() {
+        let s = ParamSpace::new(vec![
+            ParamDef::float("f", -2.0, 5.0).unwrap(),
+            ParamDef::enumeration("e", &["a", "b", "c"]).unwrap(),
+            ParamDef::boolean("b"),
+        ])
+        .unwrap();
+        let mut h = Halton::new(&s).unwrap();
+        for c in h.take_configs(30) {
+            assert!(s.validate(&c).is_ok());
+        }
+    }
+}

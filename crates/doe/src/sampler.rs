@@ -1,0 +1,283 @@
+//! Design-of-experiments samplers over a [`ParamSpace`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Config, ParamSpace};
+
+/// Latin hypercube sampler.
+///
+/// This is the scheme the paper uses to construct its offline benchmarks
+/// (§4.1): each of the `d` axes is divided into `n` equal strata and every
+/// stratum is hit exactly once, giving much better marginal coverage than
+/// i.i.d. uniform sampling for the same budget.
+///
+/// # Example
+///
+/// ```
+/// use doe::{ParamSpace, ParamDef, LatinHypercube};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), doe::DoeError> {
+/// let space = ParamSpace::new(vec![ParamDef::float("x", 0.0, 1.0)?])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pts = LatinHypercube::new().sample(&space, 10, &mut rng);
+/// assert_eq!(pts.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatinHypercube {
+    /// When `true`, each sample sits at the center of its stratum instead
+    /// of a uniformly random position inside it.
+    centered: bool,
+}
+
+impl LatinHypercube {
+    /// Creates a sampler with random in-stratum jitter (the usual LHS).
+    pub fn new() -> Self {
+        LatinHypercube { centered: false }
+    }
+
+    /// Creates a centered sampler (deterministic given the permutation):
+    /// each point sits at its stratum midpoint.
+    pub fn centered() -> Self {
+        LatinHypercube { centered: true }
+    }
+
+    /// Draws `n` configurations from `space`.
+    ///
+    /// Duplicates are possible in *configuration* space when a discrete
+    /// parameter has fewer than `n` levels (several strata then share a
+    /// level); callers that need distinct configurations should deduplicate
+    /// (see [`sample_distinct`](Self::sample_distinct)).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        space: &ParamSpace,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Config> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let d = space.dim();
+        // One independent stratum permutation per axis.
+        let mut perms: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for _ in 0..d {
+            let mut p: Vec<usize> = (0..n).collect();
+            p.shuffle(rng);
+            perms.push(p);
+        }
+        (0..n)
+            .map(|i| {
+                let unit: Vec<f64> = (0..d)
+                    .map(|j| {
+                        let stratum = perms[j][i] as f64;
+                        let offset = if self.centered { 0.5 } else { rng.gen::<f64>() };
+                        (stratum + offset) / n as f64
+                    })
+                    .collect();
+                space.decode(&unit).expect("unit point has space dimension")
+            })
+            .collect()
+    }
+
+    /// Draws configurations until `n` *distinct* ones are collected (or the
+    /// space is exhausted for fully discrete spaces). At most
+    /// `max_rounds` LHS rounds are attempted.
+    pub fn sample_distinct<R: Rng + ?Sized>(
+        &self,
+        space: &ParamSpace,
+        n: usize,
+        max_rounds: usize,
+        rng: &mut R,
+    ) -> Vec<Config> {
+        let cap = space.cardinality().unwrap_or(usize::MAX).min(n);
+        let mut out: Vec<Config> = Vec::with_capacity(cap);
+        for _ in 0..max_rounds.max(1) {
+            for c in self.sample(space, n, rng) {
+                if out.len() >= cap {
+                    return out;
+                }
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            if out.len() >= cap {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Draws `n` i.i.d. uniform configurations from `space`.
+pub fn sample_random<R: Rng + ?Sized>(space: &ParamSpace, n: usize, rng: &mut R) -> Vec<Config> {
+    (0..n)
+        .map(|_| {
+            let unit: Vec<f64> = (0..space.dim()).map(|_| rng.gen::<f64>()).collect();
+            space.decode(&unit).expect("unit point has space dimension")
+        })
+        .collect()
+}
+
+/// Enumerates the full factorial design of a fully discrete space, using
+/// `levels_per_float` equally spaced levels for any continuous parameter.
+///
+/// The result is capped at `max_points` configurations (the cap guards
+/// against accidental combinatorial blow-ups); the enumeration is in
+/// mixed-radix order, so a cap truncates rather than subsamples.
+pub fn full_factorial(space: &ParamSpace, levels_per_float: usize, max_points: usize) -> Vec<Config> {
+    let levels: Vec<usize> = space
+        .iter()
+        .map(|p| p.levels().unwrap_or(levels_per_float.max(2)))
+        .collect();
+    let total: usize = levels
+        .iter()
+        .try_fold(1usize, |acc, &l| acc.checked_mul(l))
+        .unwrap_or(usize::MAX);
+    let n = total.min(max_points);
+    let mut out = Vec::with_capacity(n);
+    let d = space.dim();
+    let mut idx = vec![0usize; d];
+    for _ in 0..n {
+        let unit: Vec<f64> = (0..d)
+            .map(|j| (idx[j] as f64 + 0.5) / levels[j] as f64)
+            .collect();
+        out.push(space.decode(&unit).expect("unit point has space dimension"));
+        // Increment mixed-radix counter.
+        for j in (0..d).rev() {
+            idx[j] += 1;
+            if idx[j] < levels[j] {
+                break;
+            }
+            idx[j] = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParamDef, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn float_space(d: usize) -> ParamSpace {
+        ParamSpace::new(
+            (0..d)
+                .map(|i| ParamDef::float(&format!("x{i}"), 0.0, 1.0).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lhs_stratifies_each_axis() {
+        let space = float_space(3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20;
+        let pts = LatinHypercube::new().sample(&space, n, &mut rng);
+        assert_eq!(pts.len(), n);
+        // Each axis: exactly one sample per stratum [k/n, (k+1)/n).
+        for axis in 0..3 {
+            let mut hits = vec![0usize; n];
+            for c in &pts {
+                let v = c.values()[axis].as_float().unwrap();
+                let k = ((v * n as f64).floor() as usize).min(n - 1);
+                hits[k] += 1;
+            }
+            assert!(hits.iter().all(|&h| h == 1), "axis {axis}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn lhs_centered_hits_midpoints() {
+        let space = float_space(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = LatinHypercube::centered().sample(&space, 4, &mut rng);
+        let mut vals: Vec<f64> = pts
+            .iter()
+            .map(|c| c.values()[0].as_float().unwrap())
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (v, want) in vals.iter().zip([0.125, 0.375, 0.625, 0.875]) {
+            assert!((v - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lhs_zero_points() {
+        let space = float_space(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(LatinHypercube::new().sample(&space, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn lhs_is_deterministic_per_seed() {
+        let space = float_space(2);
+        let a = LatinHypercube::new().sample(&space, 8, &mut StdRng::seed_from_u64(9));
+        let b = LatinHypercube::new().sample(&space, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = LatinHypercube::new().sample(&space, 8, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_distinct_respects_cardinality() {
+        let space = ParamSpace::new(vec![
+            ParamDef::boolean("a"),
+            ParamDef::boolean("b"),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = LatinHypercube::new().sample_distinct(&space, 100, 20, &mut rng);
+        assert_eq!(pts.len(), 4);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_ne!(pts[i], pts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_sampling_stays_in_domain() {
+        let space = ParamSpace::new(vec![
+            ParamDef::float("x", -5.0, 5.0).unwrap(),
+            ParamDef::int("k", 2, 7).unwrap(),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for c in sample_random(&space, 50, &mut rng) {
+            assert!(space.validate(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn full_factorial_enumerates_discrete() {
+        let space = ParamSpace::new(vec![
+            ParamDef::enumeration("e", &["a", "b", "c"]).unwrap(),
+            ParamDef::boolean("f"),
+        ])
+        .unwrap();
+        let pts = full_factorial(&space, 2, 1000);
+        assert_eq!(pts.len(), 6);
+        // First point is (Enum(0), Bool(false)) in mixed-radix order.
+        assert_eq!(pts[0].values()[0], ParamValue::Enum(0));
+        assert_eq!(pts[0].values()[1], ParamValue::Bool(false));
+        // All distinct.
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_ne!(pts[i], pts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_factorial_caps_size() {
+        let space = float_space(4);
+        let pts = full_factorial(&space, 10, 100);
+        assert_eq!(pts.len(), 100);
+    }
+}

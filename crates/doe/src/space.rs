@@ -1,0 +1,499 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Config, DoeError, ParamValue, Result};
+
+/// The kind (type and domain) of one tunable tool parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A continuous parameter on the closed interval `[min, max]`.
+    Float {
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// An integer parameter on the closed interval `[min, max]`.
+    Int {
+        /// Lower bound (inclusive).
+        min: i64,
+        /// Upper bound (inclusive).
+        max: i64,
+    },
+    /// An ordered enumeration (e.g. effort levels). The position in
+    /// `choices` is the ordinal used for encoding, so list choices from
+    /// weakest to strongest where a natural order exists.
+    Enum {
+        /// The admissible option names, in encoding order.
+        choices: Vec<String>,
+    },
+    /// A boolean switch.
+    Bool,
+}
+
+/// Definition of one tunable tool parameter: a name plus a [`ParamKind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    name: String,
+    kind: ParamKind,
+}
+
+impl ParamDef {
+    /// Defines a continuous parameter on `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::InvalidParam`] when the range is empty or
+    /// non-finite.
+    pub fn float(name: &str, min: f64, max: f64) -> Result<Self> {
+        if !(min.is_finite() && max.is_finite()) {
+            return Err(DoeError::InvalidParam {
+                name: name.to_owned(),
+                reason: "bounds must be finite",
+            });
+        }
+        if min >= max {
+            return Err(DoeError::InvalidParam {
+                name: name.to_owned(),
+                reason: "min must be strictly less than max",
+            });
+        }
+        Ok(ParamDef {
+            name: name.to_owned(),
+            kind: ParamKind::Float { min, max },
+        })
+    }
+
+    /// Defines an integer parameter on `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::InvalidParam`] when `min >= max`.
+    pub fn int(name: &str, min: i64, max: i64) -> Result<Self> {
+        if min >= max {
+            return Err(DoeError::InvalidParam {
+                name: name.to_owned(),
+                reason: "min must be strictly less than max",
+            });
+        }
+        Ok(ParamDef {
+            name: name.to_owned(),
+            kind: ParamKind::Int { min, max },
+        })
+    }
+
+    /// Defines an enumerated parameter with the given ordered choices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::InvalidParam`] when fewer than two choices are
+    /// given or choices repeat.
+    pub fn enumeration(name: &str, choices: &[&str]) -> Result<Self> {
+        if choices.len() < 2 {
+            return Err(DoeError::InvalidParam {
+                name: name.to_owned(),
+                reason: "enumeration needs at least two choices",
+            });
+        }
+        for (i, c) in choices.iter().enumerate() {
+            if choices[..i].contains(c) {
+                return Err(DoeError::InvalidParam {
+                    name: name.to_owned(),
+                    reason: "enumeration choices must be distinct",
+                });
+            }
+        }
+        Ok(ParamDef {
+            name: name.to_owned(),
+            kind: ParamKind::Enum {
+                choices: choices.iter().map(|c| (*c).to_owned()).collect(),
+            },
+        })
+    }
+
+    /// Defines a boolean switch.
+    pub fn boolean(name: &str) -> Self {
+        ParamDef {
+            name: name.to_owned(),
+            kind: ParamKind::Bool,
+        }
+    }
+
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter kind.
+    pub fn kind(&self) -> &ParamKind {
+        &self.kind
+    }
+
+    /// Number of discrete levels, or `None` for continuous parameters.
+    pub fn levels(&self) -> Option<usize> {
+        match &self.kind {
+            ParamKind::Float { .. } => None,
+            ParamKind::Int { min, max } => Some((max - min + 1) as usize),
+            ParamKind::Enum { choices } => Some(choices.len()),
+            ParamKind::Bool => Some(2),
+        }
+    }
+
+    /// Checks that `value` belongs to this parameter's domain.
+    pub fn accepts(&self, value: &ParamValue) -> bool {
+        match (&self.kind, value) {
+            (ParamKind::Float { min, max }, ParamValue::Float(v)) => {
+                v.is_finite() && *v >= *min && *v <= *max
+            }
+            (ParamKind::Int { min, max }, ParamValue::Int(v)) => *v >= *min && *v <= *max,
+            (ParamKind::Enum { choices }, ParamValue::Enum(i)) => *i < choices.len(),
+            (ParamKind::Bool, ParamValue::Bool(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Maps a unit-interval coordinate `u ∈ [0, 1]` to a value in the
+    /// parameter's domain (clamping `u` first). Discrete parameters divide
+    /// the interval into equal-width bins.
+    pub fn value_from_unit(&self, u: f64) -> ParamValue {
+        let u = u.clamp(0.0, 1.0);
+        match &self.kind {
+            ParamKind::Float { min, max } => ParamValue::Float(min + u * (max - min)),
+            ParamKind::Int { min, max } => {
+                let levels = (max - min + 1) as f64;
+                let idx = ((u * levels).floor() as i64).min(max - min);
+                ParamValue::Int(min + idx)
+            }
+            ParamKind::Enum { choices } => {
+                let levels = choices.len() as f64;
+                let idx = ((u * levels).floor() as usize).min(choices.len() - 1);
+                ParamValue::Enum(idx)
+            }
+            ParamKind::Bool => ParamValue::Bool(u >= 0.5),
+        }
+    }
+
+    /// Maps a domain value to its canonical unit-interval coordinate
+    /// (bin centers for discrete parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::ConfigMismatch`] when the value does not belong
+    /// to this parameter's domain.
+    pub fn unit_from_value(&self, value: &ParamValue) -> Result<f64> {
+        if !self.accepts(value) {
+            return Err(DoeError::ConfigMismatch {
+                index: 0,
+                reason: "value outside the parameter domain",
+            });
+        }
+        Ok(match (&self.kind, value) {
+            (ParamKind::Float { min, max }, ParamValue::Float(v)) => (v - min) / (max - min),
+            (ParamKind::Int { min, max }, ParamValue::Int(v)) => {
+                let levels = (max - min + 1) as f64;
+                ((v - min) as f64 + 0.5) / levels
+            }
+            (ParamKind::Enum { choices }, ParamValue::Enum(i)) => {
+                (*i as f64 + 0.5) / choices.len() as f64
+            }
+            (ParamKind::Bool, ParamValue::Bool(b)) => {
+                if *b {
+                    0.75
+                } else {
+                    0.25
+                }
+            }
+            _ => unreachable!("accepts() filtered mismatched kinds"),
+        })
+    }
+}
+
+/// A typed tool-parameter space: an ordered list of [`ParamDef`]s.
+///
+/// The order of parameters is significant — it fixes the coordinate order
+/// of [`Config`]s and of the unit-cube encoding that surrogate models see.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    params: Vec<ParamDef>,
+}
+
+impl ParamSpace {
+    /// Builds a space from an ordered parameter list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::InvalidSpace`] when the list is empty or names
+    /// repeat.
+    pub fn new(params: Vec<ParamDef>) -> Result<Self> {
+        if params.is_empty() {
+            return Err(DoeError::InvalidSpace {
+                reason: "space needs at least one parameter",
+            });
+        }
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(DoeError::InvalidSpace {
+                    reason: "parameter names must be distinct",
+                });
+            }
+        }
+        Ok(ParamSpace { params })
+    }
+
+    /// Number of parameters (= encoding dimension).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Iterates over the parameter definitions in coordinate order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ParamDef> {
+        self.params.iter()
+    }
+
+    /// Borrows the parameter at coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn param(&self, i: usize) -> &ParamDef {
+        &self.params[i]
+    }
+
+    /// Finds a parameter's coordinate index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// Validates that `config` belongs to this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::ConfigMismatch`] describing the first violation.
+    pub fn validate(&self, config: &Config) -> Result<()> {
+        if config.len() != self.dim() {
+            return Err(DoeError::ConfigMismatch {
+                index: config.len(),
+                reason: "configuration arity differs from space dimension",
+            });
+        }
+        for (i, (p, v)) in self.params.iter().zip(config.values()).enumerate() {
+            if !p.accepts(v) {
+                return Err(DoeError::ConfigMismatch {
+                    index: i,
+                    reason: "value outside the parameter domain",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes a configuration as a point in the unit cube `[0, 1]^d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::ConfigMismatch`] when the configuration does not
+    /// belong to this space.
+    pub fn encode(&self, config: &Config) -> Result<Vec<f64>> {
+        self.validate(config)?;
+        self.params
+            .iter()
+            .zip(config.values())
+            .enumerate()
+            .map(|(i, (p, v))| {
+                p.unit_from_value(v).map_err(|_| DoeError::ConfigMismatch {
+                    index: i,
+                    reason: "value outside the parameter domain",
+                })
+            })
+            .collect()
+    }
+
+    /// Decodes a unit-cube point into the nearest valid configuration
+    /// (coordinates are clamped to `[0, 1]`, discrete parameters snap to
+    /// their bins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DoeError::DimensionMismatch`] when `point.len() != dim()`.
+    pub fn decode(&self, point: &[f64]) -> Result<Config> {
+        if point.len() != self.dim() {
+            return Err(DoeError::DimensionMismatch {
+                expected: self.dim(),
+                got: point.len(),
+            });
+        }
+        Ok(Config::new(
+            self.params
+                .iter()
+                .zip(point)
+                .map(|(p, &u)| p.value_from_unit(u))
+                .collect(),
+        ))
+    }
+
+    /// Total number of discrete configurations, or `None` if any parameter
+    /// is continuous.
+    pub fn cardinality(&self) -> Option<usize> {
+        self.params
+            .iter()
+            .map(|p| p.levels())
+            .try_fold(1usize, |acc, l| l.and_then(|l| acc.checked_mul(l)))
+    }
+}
+
+impl<'a> IntoIterator for &'a ParamSpace {
+    type Item = &'a ParamDef;
+    type IntoIter = std::slice::Iter<'a, ParamDef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.params.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::float("density", 0.5, 1.0).unwrap(),
+            ParamDef::int("fanout", 25, 50).unwrap(),
+            ParamDef::enumeration("effort", &["standard", "express", "extreme"]).unwrap(),
+            ParamDef::boolean("uniform"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builders_validate() {
+        assert!(ParamDef::float("x", 1.0, 1.0).is_err());
+        assert!(ParamDef::float("x", f64::NAN, 1.0).is_err());
+        assert!(ParamDef::int("x", 5, 5).is_err());
+        assert!(ParamDef::enumeration("x", &["only"]).is_err());
+        assert!(ParamDef::enumeration("x", &["a", "a"]).is_err());
+        assert!(ParamSpace::new(vec![]).is_err());
+        let dup = ParamSpace::new(vec![
+            ParamDef::boolean("same"),
+            ParamDef::boolean("same"),
+        ]);
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn levels_and_cardinality() {
+        let s = space();
+        assert_eq!(s.param(0).levels(), None);
+        assert_eq!(s.param(1).levels(), Some(26));
+        assert_eq!(s.param(2).levels(), Some(3));
+        assert_eq!(s.param(3).levels(), Some(2));
+        assert_eq!(s.cardinality(), None);
+        let discrete = ParamSpace::new(vec![
+            ParamDef::int("a", 0, 3).unwrap(),
+            ParamDef::boolean("b"),
+        ])
+        .unwrap();
+        assert_eq!(discrete.cardinality(), Some(8));
+    }
+
+    #[test]
+    fn value_from_unit_covers_domain() {
+        let p = ParamDef::int("fanout", 25, 50).unwrap();
+        assert_eq!(p.value_from_unit(0.0), ParamValue::Int(25));
+        assert_eq!(p.value_from_unit(1.0), ParamValue::Int(50));
+        assert_eq!(p.value_from_unit(-3.0), ParamValue::Int(25));
+        assert_eq!(p.value_from_unit(9.0), ParamValue::Int(50));
+        let e = ParamDef::enumeration("effort", &["a", "b", "c"]).unwrap();
+        assert_eq!(e.value_from_unit(0.0), ParamValue::Enum(0));
+        assert_eq!(e.value_from_unit(0.5), ParamValue::Enum(1));
+        assert_eq!(e.value_from_unit(1.0), ParamValue::Enum(2));
+        let b = ParamDef::boolean("flag");
+        assert_eq!(b.value_from_unit(0.49), ParamValue::Bool(false));
+        assert_eq!(b.value_from_unit(0.5), ParamValue::Bool(true));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = space();
+        let c = Config::new(vec![
+            ParamValue::Float(0.7),
+            ParamValue::Int(30),
+            ParamValue::Enum(2),
+            ParamValue::Bool(true),
+        ]);
+        let z = s.encode(&c).unwrap();
+        assert_eq!(z.len(), 4);
+        assert!(z.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        let back = s.decode(&z).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact_at_bounds() {
+        let s = ParamSpace::new(vec![ParamDef::float("x", -2.0, 6.0).unwrap()]).unwrap();
+        for v in [-2.0, 0.0, 6.0] {
+            let c = Config::new(vec![ParamValue::Float(v)]);
+            let z = s.encode(&c).unwrap();
+            let back = s.decode(&z).unwrap();
+            match back.values()[0] {
+                ParamValue::Float(got) => assert!((got - v).abs() < 1e-12),
+                _ => panic!("kind changed"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let s = space();
+        let wrong_arity = Config::new(vec![ParamValue::Bool(true)]);
+        assert!(matches!(
+            s.validate(&wrong_arity).unwrap_err(),
+            DoeError::ConfigMismatch { .. }
+        ));
+        let wrong_kind = Config::new(vec![
+            ParamValue::Int(1),
+            ParamValue::Int(30),
+            ParamValue::Enum(0),
+            ParamValue::Bool(false),
+        ]);
+        assert!(matches!(
+            s.validate(&wrong_kind).unwrap_err(),
+            DoeError::ConfigMismatch { index: 0, .. }
+        ));
+        let out_of_range = Config::new(vec![
+            ParamValue::Float(0.7),
+            ParamValue::Int(100),
+            ParamValue::Enum(0),
+            ParamValue::Bool(false),
+        ]);
+        assert!(matches!(
+            s.validate(&out_of_range).unwrap_err(),
+            DoeError::ConfigMismatch { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn decode_checks_dimension() {
+        let s = space();
+        assert!(matches!(
+            s.decode(&[0.5]).unwrap_err(),
+            DoeError::DimensionMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn index_of_finds_names() {
+        let s = space();
+        assert_eq!(s.index_of("effort"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = space();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ParamSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

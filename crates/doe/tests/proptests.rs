@@ -1,0 +1,84 @@
+//! Property-based tests of parameter spaces and samplers.
+
+use doe::{full_factorial, sample_random, LatinHypercube, ParamDef, ParamSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_space() -> impl Strategy<Value = ParamSpace> {
+    // 1-4 parameters with assorted kinds.
+    prop::collection::vec(0u8..4, 1..5).prop_map(|kinds| {
+        let defs = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let name = format!("p{i}");
+                match k % 4 {
+                    0 => ParamDef::float(&name, -1.0, 3.0).unwrap(),
+                    1 => ParamDef::int(&name, 2, 9).unwrap(),
+                    2 => ParamDef::enumeration(&name, &["a", "b", "c"]).unwrap(),
+                    _ => ParamDef::boolean(&name),
+                }
+            })
+            .collect();
+        ParamSpace::new(defs).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn encode_decode_roundtrip_is_stable(space in arb_space(), seed in 0u64..1000) {
+        // decode(encode(c)) == c for sampled configurations.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for c in sample_random(&space, 10, &mut rng) {
+            let z = space.encode(&c).unwrap();
+            prop_assert!(z.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            let back = space.decode(&z).unwrap();
+            // Floats may round; re-encoding must agree.
+            let z2 = space.encode(&back).unwrap();
+            for (a, b) in z.iter().zip(&z2) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_samples_are_valid_and_stratified(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 12;
+        let samples = LatinHypercube::new().sample(&space, n, &mut rng);
+        prop_assert_eq!(samples.len(), n);
+        for c in &samples {
+            prop_assert!(space.validate(c).is_ok());
+        }
+        // Continuous axes are perfectly stratified.
+        for (axis, def) in space.iter().enumerate() {
+            if def.levels().is_none() {
+                let mut hits = vec![0usize; n];
+                for c in &samples {
+                    let u = space.encode(c).unwrap()[axis];
+                    hits[((u * n as f64) as usize).min(n - 1)] += 1;
+                }
+                prop_assert!(hits.iter().all(|&h| h == 1), "axis {axis}: {hits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_factorial_is_distinct_and_valid(space in arb_space()) {
+        let pts = full_factorial(&space, 3, 400);
+        for c in &pts {
+            prop_assert!(space.validate(c).is_ok());
+        }
+        if let Some(card) = space.cardinality() {
+            prop_assert_eq!(pts.len(), card.min(400));
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    prop_assert_ne!(&pts[i], &pts[j]);
+                }
+            }
+        }
+    }
+}

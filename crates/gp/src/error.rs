@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use linalg::LinalgError;
+
+/// Errors produced by GP construction, fitting, and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// Training inputs are empty or inconsistent.
+    InvalidTrainingData {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A hyper-parameter is out of its admissible range.
+    InvalidHyperparameter {
+        /// Name of the offending hyper-parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A query point has the wrong dimension.
+    DimensionMismatch {
+        /// Expected input dimension.
+        expected: usize,
+        /// Observed dimension.
+        got: usize,
+    },
+    /// The kernel matrix could not be factored even with jitter.
+    Factorization(LinalgError),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+            GpError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyper-parameter {name} = {value}")
+            }
+            GpError::DimensionMismatch { expected, got } => {
+                write!(f, "query has dimension {got}, model expects {expected}")
+            }
+            GpError::Factorization(e) => write!(f, "kernel matrix factorization failed: {e}"),
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::Factorization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Factorization(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = GpError::InvalidHyperparameter {
+            name: "lengthscale",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("lengthscale"));
+        let e = GpError::from(LinalgError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+    }
+}

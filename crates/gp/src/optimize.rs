@@ -1,0 +1,407 @@
+//! Hyper-parameter optimization: a Nelder–Mead simplex minimizer and
+//! multi-start marginal-likelihood training for the transfer GP.
+
+use rand::Rng;
+
+use crate::transfer::{TaskData, TransferGp, TransferGpConfig};
+use crate::Result;
+
+/// Options of the Nelder–Mead simplex minimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 200,
+            f_tol: 1e-8,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Minimizes `f` from `x0` with the Nelder–Mead simplex method.
+///
+/// Returns the best point and its objective value. Objective values that
+/// are NaN are treated as `+∞`, so `f` may signal infeasibility that way.
+///
+/// # Example
+///
+/// ```
+/// use gp::optimize::{nelder_mead, NelderMeadOptions};
+///
+/// let (x, fx) = nelder_mead(
+///     |p| (p[0] - 2.0).powi(2) + (p[1] + 1.0).powi(2),
+///     &[0.0, 0.0],
+///     NelderMeadOptions::default(),
+/// );
+/// assert!((x[0] - 2.0).abs() < 1e-3 && (x[1] + 1.0).abs() < 1e-3);
+/// assert!(fx < 1e-6);
+/// ```
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: NelderMeadOptions,
+) -> (Vec<f64>, f64) {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead needs at least one coordinate");
+    let clean = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += opts.initial_step;
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|p| clean(f(p))).collect();
+    let mut evals = simplex.len();
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    while evals < opts.max_evals {
+        // Order the simplex.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+        if (values[worst] - values[best]).abs() < opts.f_tol {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for &i in &order[..n] {
+            for (c, &x) in centroid.iter_mut().zip(&simplex[i]) {
+                *c += x / n as f64;
+            }
+        }
+
+        let lerp = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(&c, &w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = lerp(alpha);
+        let fr = clean(f(&xr));
+        evals += 1;
+        if fr < values[best] {
+            // Expansion.
+            let xe = lerp(gamma);
+            let fe = clean(f(&xe));
+            evals += 1;
+            if fe < fr {
+                simplex[worst] = xe;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                values[worst] = fr;
+            }
+        } else if fr < values[second_worst] {
+            simplex[worst] = xr;
+            values[worst] = fr;
+        } else {
+            // Contraction.
+            let xc = lerp(-rho);
+            let fc = clean(f(&xc));
+            evals += 1;
+            if fc < values[worst] {
+                simplex[worst] = xc;
+                values[worst] = fc;
+            } else {
+                // Shrink toward the best point.
+                let best_point = simplex[best].clone();
+                for i in 0..=n {
+                    if i == best {
+                        continue;
+                    }
+                    for (x, &b) in simplex[i].iter_mut().zip(&best_point) {
+                        *x = b + sigma * (*x - b);
+                    }
+                    values[i] = clean(f(&simplex[i]));
+                    evals += 1;
+                }
+            }
+        }
+    }
+
+    let mut best_i = 0;
+    for i in 1..values.len() {
+        if values[i] < values[best_i] {
+            best_i = i;
+        }
+    }
+    (simplex.swap_remove(best_i), values[best_i])
+}
+
+/// Budget of the transfer-GP hyper-parameter search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitBudget {
+    /// Random multi-start restarts.
+    pub restarts: usize,
+    /// Nelder–Mead evaluations per restart.
+    pub evals_per_restart: usize,
+}
+
+impl Default for FitBudget {
+    fn default() -> Self {
+        FitBudget {
+            restarts: 3,
+            evals_per_restart: 120,
+        }
+    }
+}
+
+/// Internal: negative log of a log-normal(ln 0.5, 0.75) prior over the
+/// lengthscales (up to a constant).
+fn lengthscale_penalty(lengthscales: &[f64]) -> f64 {
+    let mu = 0.5f64.ln();
+    let sigma = 0.75;
+    lengthscales
+        .iter()
+        .map(|&l| {
+            let d = l.ln() - mu;
+            d * d / (2.0 * sigma * sigma)
+        })
+        .sum()
+}
+
+/// Internal: decode an unconstrained optimizer vector into a config.
+fn decode(theta: &[f64], dim: usize) -> TransferGpConfig {
+    let ls: Vec<f64> = theta[..dim]
+        .iter()
+        .map(|&t| t.exp().clamp(1e-3, 1e3))
+        .collect();
+    TransferGpConfig {
+        lengthscales: ls,
+        signal_var: theta[dim].exp().clamp(1e-6, 1e4),
+        lambda: theta[dim + 1].tanh().clamp(-0.999, 0.999),
+        noise_source: theta[dim + 2].exp().clamp(1e-8, 1.0),
+        noise_target: theta[dim + 3].exp().clamp(1e-8, 1.0),
+    }
+}
+
+/// Trains a [`TransferGp`] by maximizing the log marginal likelihood of
+/// the **target** data conditioned on the source (the paper's training
+/// objective) over ARD lengthscales, signal variance, cross-task factor
+/// λ, and per-task noises, with multi-start Nelder–Mead.
+///
+/// `dim` is the input dimension; `rng` drives the restart initialization
+/// (pass a seeded RNG for reproducibility).
+///
+/// # Errors
+///
+/// Propagates fitting errors of the final model (the search itself treats
+/// failed factorizations as infinitely bad candidates).
+pub fn fit_transfer_gp<R: Rng + ?Sized>(
+    source: &TaskData,
+    target: &TaskData,
+    dim: usize,
+    budget: FitBudget,
+    rng: &mut R,
+) -> Result<TransferGp> {
+    let nll = |theta: &[f64]| -> f64 {
+        let cfg = decode(theta, dim);
+        let ls_prior = lengthscale_penalty(&cfg.lengthscales);
+        match TransferGp::fit(source.clone(), target.clone(), cfg) {
+            // MAP objective: a log-normal prior on the lengthscales keeps
+            // the few-shot fit from collapsing onto noise.
+            Ok(model) => -model.log_conditional_likelihood() + ls_prior,
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let mut best_theta: Option<(Vec<f64>, f64)> = None;
+    for restart in 0..budget.restarts.max(1) {
+        // First start: sensible defaults; later starts: randomized.
+        let x0: Vec<f64> = if restart == 0 {
+            let mut v = vec![(0.4f64).ln(); dim];
+            v.push(0.0); // signal_var = 1
+            v.push(1.0); // λ = tanh(1) ≈ 0.76
+            v.push((1e-3f64).ln());
+            v.push((1e-3f64).ln());
+            v
+        } else {
+            let mut v: Vec<f64> = (0..dim)
+                .map(|_| rng.gen_range(-2.0..0.5)) // ℓ ∈ [e⁻², e^0.5]
+                .collect();
+            v.push(rng.gen_range(-1.0..1.0));
+            v.push(rng.gen_range(-1.5..1.5));
+            v.push(rng.gen_range(-9.0..-2.0));
+            v.push(rng.gen_range(-9.0..-2.0));
+            v
+        };
+        let (theta, value) = nelder_mead(
+            nll,
+            &x0,
+            NelderMeadOptions {
+                max_evals: budget.evals_per_restart,
+                ..Default::default()
+            },
+        );
+        match &best_theta {
+            Some((_, bv)) if *bv <= value => {}
+            _ => best_theta = Some((theta, value)),
+        }
+    }
+
+    let (theta, _) = best_theta.expect("at least one restart ran");
+    TransferGp::fit(source.clone(), target.clone(), decode(&theta, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nelder_mead_minimizes_quadratic() {
+        let (x, fx) = nelder_mead(
+            |p| p.iter().map(|v| (v - 1.0) * (v - 1.0)).sum(),
+            &[5.0, -3.0, 0.0],
+            NelderMeadOptions {
+                max_evals: 500,
+                ..Default::default()
+            },
+        );
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-2, "{x:?}");
+        }
+        assert!(fx < 1e-3);
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_rosenbrock_2d() {
+        let rosen = |p: &[f64]| {
+            let (a, b) = (p[0], p[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let (x, fx) = nelder_mead(
+            rosen,
+            &[-1.0, 1.0],
+            NelderMeadOptions {
+                max_evals: 2000,
+                f_tol: 1e-12,
+                initial_step: 0.5,
+            },
+        );
+        assert!(fx < 1e-3, "f={fx} at {x:?}");
+    }
+
+    #[test]
+    fn nelder_mead_handles_nan_objective() {
+        // NaN outside the unit disc; optimum at origin is reachable.
+        let (x, fx) = nelder_mead(
+            |p| {
+                let r2 = p[0] * p[0] + p[1] * p[1];
+                if r2 > 1.0 {
+                    f64::NAN
+                } else {
+                    r2
+                }
+            },
+            &[0.4, 0.3],
+            NelderMeadOptions {
+                max_evals: 300,
+                ..Default::default()
+            },
+        );
+        assert!(fx < 1e-3, "f={fx} at {x:?}");
+    }
+
+    #[test]
+    fn decode_clamps_ranges() {
+        let cfg = decode(&[100.0, 100.0, 100.0, 100.0, 100.0], 1);
+        assert!(cfg.lengthscales[0] <= 1e3);
+        assert!(cfg.signal_var <= 1e4);
+        assert!(cfg.lambda <= 0.999);
+        assert!(cfg.noise_source <= 1.0);
+        let cfg = decode(&[-100.0, -100.0, -100.0, -100.0, -100.0], 1);
+        assert!(cfg.lengthscales[0] >= 1e-3);
+        assert!(cfg.lambda >= -0.999);
+        assert!(cfg.noise_target >= 1e-8);
+    }
+
+    #[test]
+    fn fit_recovers_positive_transfer() {
+        // Source and target are the same function: training should pick a
+        // clearly positive λ.
+        let f = |x: f64| (4.0 * x).sin();
+        let source = TaskData::new(
+            (0..25).map(|i| vec![i as f64 / 24.0]).collect(),
+            (0..25).map(|i| f(i as f64 / 24.0)).collect(),
+        );
+        let target = TaskData::new(
+            vec![vec![0.1], vec![0.4], vec![0.7], vec![1.0]],
+            vec![f(0.1), f(0.4), f(0.7), f(1.0)],
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = fit_transfer_gp(
+            &source,
+            &target,
+            1,
+            FitBudget {
+                restarts: 2,
+                evals_per_restart: 150,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            model.lambda() > 0.3,
+            "expected positive transfer, got λ = {}",
+            model.lambda()
+        );
+        // And the fit should predict well off the target observations.
+        let (m, _) = model.predict(&[0.25]).unwrap();
+        assert!((m - f(0.25)).abs() < 0.2, "mean {m} vs {}", f(0.25));
+    }
+
+    #[test]
+    fn fit_detects_unrelated_tasks() {
+        // Source is pure noise w.r.t. the target function: λ should stay
+        // small in magnitude (the model declines to transfer).
+        let source = TaskData::new(
+            (0..25).map(|i| vec![i as f64 / 24.0]).collect(),
+            (0..25)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        let f = |x: f64| x;
+        let target = TaskData::new(
+            (0..8).map(|i| vec![i as f64 / 7.0]).collect(),
+            (0..8).map(|i| f(i as f64 / 7.0)).collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = fit_transfer_gp(
+            &source,
+            &target,
+            1,
+            FitBudget {
+                restarts: 3,
+                evals_per_restart: 150,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            model.lambda().abs() < 0.6,
+            "unrelated tasks should get weak transfer, got λ = {}",
+            model.lambda()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Output standardization.
+//!
+//! GP priors are zero-mean with O(1) signal variance; raw QoR values
+//! (areas in thousands of µm², delays below 1 ns) are not. Each task's
+//! outputs are affinely mapped to zero mean / unit variance before
+//! fitting and mapped back for prediction. Standardizing *per task* also
+//! aligns tasks of different output scale (a 3× larger design), which is
+//! what lets the transfer kernel see their shared shape.
+
+/// An affine output transform `z = (y − mean) / scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Standardizer {
+    mean: f64,
+    scale: f64,
+}
+
+impl Standardizer {
+    /// Fits the transform to a sample. Degenerate samples (empty, or zero
+    /// variance) get `scale = 1` so the transform stays invertible.
+    pub fn fit(y: &[f64]) -> Self {
+        if y.is_empty() {
+            return Standardizer {
+                mean: 0.0,
+                scale: 1.0,
+            };
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64;
+        let scale = if var > 1e-24 { var.sqrt() } else { 1.0 };
+        Standardizer { mean, scale }
+    }
+
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Standardizer {
+            mean: 0.0,
+            scale: 1.0,
+        }
+    }
+
+    /// Fitted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Fitted scale (standard deviation, or 1 for degenerate samples).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Applies the transform to one value.
+    pub fn transform(&self, y: f64) -> f64 {
+        (y - self.mean) / self.scale
+    }
+
+    /// Applies the transform to a slice, returning a new vector.
+    pub fn transform_vec(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().map(|&v| self.transform(v)).collect()
+    }
+
+    /// Inverts the transform for a predictive mean.
+    pub fn inverse(&self, z: f64) -> f64 {
+        z * self.scale + self.mean
+    }
+
+    /// Inverts the transform for a predictive *variance* (scales by
+    /// `scale²`; the mean shift cancels).
+    pub fn inverse_var(&self, var_z: f64) -> f64 {
+        var_z * self.scale * self.scale
+    }
+}
+
+impl Default for Standardizer {
+    fn default() -> Self {
+        Standardizer::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let y = [10.0, 12.0, 14.0, 16.0];
+        let s = Standardizer::fit(&y);
+        for &v in &y {
+            assert!((s.inverse(s.transform(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardized_sample_has_zero_mean_unit_var() {
+        let y = [3.0, -1.0, 4.0, 1.0, 5.0, 9.0];
+        let s = Standardizer::fit(&y);
+        let z = s.transform_vec(&y);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples_stay_invertible() {
+        let s = Standardizer::fit(&[]);
+        assert_eq!(s.transform(5.0), 5.0);
+        let s = Standardizer::fit(&[7.0, 7.0, 7.0]);
+        assert_eq!(s.scale(), 1.0);
+        assert_eq!(s.transform(7.0), 0.0);
+        assert_eq!(s.inverse(0.0), 7.0);
+    }
+
+    #[test]
+    fn variance_inversion_squares_scale() {
+        let s = Standardizer::fit(&[0.0, 10.0]);
+        assert!((s.inverse_var(1.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_default() {
+        assert_eq!(Standardizer::default(), Standardizer::identity());
+    }
+}

@@ -1,0 +1,493 @@
+use linalg::{Cholesky, Matrix};
+
+use crate::kernel::{Kernel, SquaredExponential, Task, TransferKernel};
+use crate::standardize::Standardizer;
+use crate::{GpError, Result};
+
+/// Training data of one task: inputs (unit-cube encoded parameter
+/// configurations) and observed outputs (one QoR metric).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskData {
+    /// Input points.
+    pub x: Vec<Vec<f64>>,
+    /// Observed outputs, parallel to `x`.
+    pub y: Vec<f64>,
+}
+
+impl TaskData {
+    /// Creates task data from parallel input/output lists.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        TaskData { x, y }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when the task has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Hyper-parameters of a [`TransferGp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferGpConfig {
+    /// ARD lengthscales of the shared base kernel.
+    pub lengthscales: Vec<f64>,
+    /// Signal variance of the base kernel (standardized output space).
+    pub signal_var: f64,
+    /// Cross-task correlation factor `λ = 2(1/(1+a))^b − 1 ∈ (−1, 1]`.
+    pub lambda: f64,
+    /// Source-task observation noise variance `β_s⁻¹` (standardized).
+    pub noise_source: f64,
+    /// Target-task observation noise variance `β_t⁻¹` (standardized).
+    pub noise_target: f64,
+}
+
+impl TransferGpConfig {
+    /// A reasonable default for unit-cube inputs: moderately smooth,
+    /// strong positive transfer.
+    pub fn default_for_dim(dim: usize) -> Self {
+        TransferGpConfig {
+            lengthscales: vec![0.4; dim.max(1)],
+            signal_var: 1.0,
+            lambda: 0.8,
+            noise_source: 1e-3,
+            noise_target: 1e-3,
+        }
+    }
+}
+
+/// The two-task transfer Gaussian process of PPATuner §3.1 (Eq. 8).
+///
+/// The joint prior over source and target observations uses the transfer
+/// kernel `K̃` (Eq. 7) plus the per-task noise matrix
+/// `Λ = diag(β_s⁻¹ I_N, β_t⁻¹ I_M)`. Inference for a target-task query is
+/// standard GP inference against the joint training set:
+///
+/// `μ(x) = k(x, X)ᵀ (K̃ + Λ)⁻¹ y`,
+/// `σ²(x) = k(x, x) + β_t⁻¹ − k(x, X)ᵀ (K̃ + Λ)⁻¹ k(x, X)`.
+///
+/// Outputs are standardized **per task**, so a source design with a
+/// different output scale (e.g. 3× the power) still transfers its shape.
+///
+/// # Example
+///
+/// ```
+/// use gp::{TransferGp, TransferGpConfig, TaskData};
+///
+/// # fn main() -> Result<(), gp::GpError> {
+/// // Source: dense observations of f; target: few observations of a
+/// // shifted copy of f.
+/// let f = |x: f64| (5.0 * x).sin();
+/// let source = TaskData::new(
+///     (0..25).map(|i| vec![i as f64 / 24.0]).collect(),
+///     (0..25).map(|i| f(i as f64 / 24.0)).collect(),
+/// );
+/// let target = TaskData::new(
+///     vec![vec![0.1], vec![0.5], vec![0.9]],
+///     vec![f(0.1) + 0.2, f(0.5) + 0.2, f(0.9) + 0.2],
+/// );
+/// let tgp = TransferGp::fit(source, target, TransferGpConfig::default_for_dim(1))?;
+/// let (mean, var) = tgp.predict(&[0.3])?;
+/// assert!((mean - (f(0.3) + 0.2)).abs() < 0.3);
+/// assert!(var >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TransferGp {
+    kernel: TransferKernel<SquaredExponential>,
+    x_source: Vec<Vec<f64>>,
+    x_target: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    std_target: Standardizer,
+    noise_target: f64,
+    z_joint: Vec<f64>,
+    /// Log marginal likelihood of the source block alone (0 when empty).
+    source_lml: f64,
+    config: TransferGpConfig,
+}
+
+impl TransferGp {
+    /// Fits the transfer GP on source + target data.
+    ///
+    /// The source may be empty, in which case the model degenerates to a
+    /// plain GP on the target task (useful for no-transfer ablations).
+    ///
+    /// # Errors
+    ///
+    /// - [`GpError::InvalidTrainingData`] when the target task is empty,
+    ///   input dimensions disagree, or values are non-finite;
+    /// - [`GpError::InvalidHyperparameter`] for out-of-range
+    ///   hyper-parameters;
+    /// - [`GpError::Factorization`] when the joint kernel matrix cannot be
+    ///   factored.
+    pub fn fit(source: TaskData, target: TaskData, config: TransferGpConfig) -> Result<Self> {
+        if target.is_empty() {
+            return Err(GpError::InvalidTrainingData {
+                reason: "target task needs at least one observation",
+            });
+        }
+        if source.x.len() != source.y.len() || target.x.len() != target.y.len() {
+            return Err(GpError::InvalidTrainingData {
+                reason: "x and y lengths differ",
+            });
+        }
+        for v in [config.noise_source, config.noise_target] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(GpError::InvalidHyperparameter {
+                    name: "noise",
+                    value: v,
+                });
+            }
+        }
+        let base = SquaredExponential::new(config.signal_var, config.lengthscales.clone())?;
+        let dim = base.dim();
+        for row in source.x.iter().chain(&target.x) {
+            if row.len() != dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::InvalidTrainingData {
+                    reason: "training inputs must be finite",
+                });
+            }
+        }
+        if source
+            .y
+            .iter()
+            .chain(&target.y)
+            .any(|v| !v.is_finite())
+        {
+            return Err(GpError::InvalidTrainingData {
+                reason: "training outputs must be finite",
+            });
+        }
+        let kernel = TransferKernel::with_lambda(base, config.lambda)?;
+
+        // Per-task standardization.
+        let std_source = if source.is_empty() {
+            Standardizer::identity()
+        } else {
+            Standardizer::fit(&source.y)
+        };
+        let std_target = Standardizer::fit(&target.y);
+        let n = source.len();
+        let m = target.len();
+        let mut z_joint = Vec::with_capacity(n + m);
+        z_joint.extend(source.y.iter().map(|&v| std_source.transform(v)));
+        z_joint.extend(target.y.iter().map(|&v| std_target.transform(v)));
+
+        // Joint kernel matrix K̃ + Λ.
+        let task_of = |i: usize| if i < n { Task::Source } else { Task::Target };
+        let point_of = |i: usize| -> &[f64] {
+            if i < n {
+                &source.x[i]
+            } else {
+                &target.x[i - n]
+            }
+        };
+        let mut k = Matrix::from_fn(n + m, n + m, |i, j| {
+            kernel.eval_task(point_of(i), task_of(i), point_of(j), task_of(j))
+        });
+        for i in 0..(n + m) {
+            let noise = if i < n {
+                config.noise_source
+            } else {
+                config.noise_target
+            };
+            k[(i, i)] += noise;
+        }
+        let (chol, _jitter) = Cholesky::new_with_jitter(&k, 1e-10, 12)?;
+        let alpha = chol.solve_vec(&z_joint)?;
+
+        // Source-block marginal likelihood, for the conditional objective.
+        let source_lml = if n == 0 {
+            0.0
+        } else {
+            let k_ss = k.submatrix(0, n, 0, n);
+            let (chol_s, _) = Cholesky::new_with_jitter(&k_ss, 1e-10, 12)?;
+            let z_s = &z_joint[..n];
+            let alpha_s = chol_s.solve_vec(z_s)?;
+            -0.5 * linalg::vecops::dot(z_s, &alpha_s) - 0.5 * chol_s.log_det()
+                - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+        };
+
+        Ok(TransferGp {
+            kernel,
+            x_source: source.x,
+            x_target: target.x,
+            alpha,
+            chol,
+            std_target,
+            noise_target: config.noise_target,
+            z_joint,
+            source_lml,
+            config,
+        })
+    }
+
+    /// Number of source observations.
+    pub fn source_len(&self) -> usize {
+        self.x_source.len()
+    }
+
+    /// Number of target observations.
+    pub fn target_len(&self) -> usize {
+        self.x_target.len()
+    }
+
+    /// The cross-task factor λ in use.
+    pub fn lambda(&self) -> f64 {
+        self.kernel.lambda()
+    }
+
+    /// The hyper-parameter configuration in use.
+    pub fn config(&self) -> &TransferGpConfig {
+        &self.config
+    }
+
+    /// Predictive mean and variance for a **target-task** query, in the
+    /// target task's natural units (Eq. 8). The variance includes the
+    /// target observation noise `β_t⁻¹`, i.e. it predicts a tool
+    /// measurement, not the latent function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] for queries of the wrong
+    /// dimension.
+    pub fn predict(&self, x: &[f64]) -> Result<(f64, f64)> {
+        let (mean, var_latent) = self.predict_latent(x)?;
+        Ok((
+            mean,
+            var_latent + self.std_target.inverse_var(self.noise_target),
+        ))
+    }
+
+    /// Predictive mean and **latent-function** variance (no observation
+    /// noise) for a target-task query. This is the variance the tuner's
+    /// uncertainty regions use: it can shrink below the tool-noise floor
+    /// as evidence accumulates, so classification converges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] for queries of the wrong
+    /// dimension.
+    pub fn predict_latent(&self, x: &[f64]) -> Result<(f64, f64)> {
+        if x.len() != self.kernel.base().dim() {
+            return Err(GpError::DimensionMismatch {
+                expected: self.kernel.base().dim(),
+                got: x.len(),
+            });
+        }
+        let mut k_star = Vec::with_capacity(self.x_source.len() + self.x_target.len());
+        for xi in &self.x_source {
+            k_star.push(self.kernel.eval_task(xi, Task::Source, x, Task::Target));
+        }
+        for xi in &self.x_target {
+            k_star.push(self.kernel.eval_task(xi, Task::Target, x, Task::Target));
+        }
+        let mean_z = linalg::vecops::dot(&k_star, &self.alpha);
+        let v = self.chol.solve_lower_only(&k_star)?;
+        let c = self.kernel.eval_task(x, Task::Target, x, Task::Target);
+        let var_z = (c - linalg::vecops::dot(&v, &v)).max(0.0);
+        Ok((
+            self.std_target.inverse(mean_z),
+            self.std_target.inverse_var(var_z),
+        ))
+    }
+
+    /// Batch prediction for target-task queries.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first dimension mismatch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<(f64, f64)>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Log marginal likelihood of the joint (standardized) data.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.z_joint.len() as f64;
+        let fit = -0.5 * linalg::vecops::dot(&self.z_joint, &self.alpha);
+        let complexity = -0.5 * self.chol.log_det();
+        fit + complexity - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Log marginal likelihood of the **target** data conditioned on the
+    /// source data, `log p(y_T | y_S, θ) = log p(y_T, y_S) − log p(y_S)`.
+    ///
+    /// This is the training objective the paper prescribes ("learned by
+    /// maximizing the marginal likelihood of data of the target task"):
+    /// it rewards hyper-parameters for predicting the *target* well given
+    /// the source, instead of compromising them to also explain source
+    /// regions the target never visits. Equals the plain target marginal
+    /// likelihood when the source is empty.
+    pub fn log_conditional_likelihood(&self) -> f64 {
+        self.log_marginal_likelihood() - self.source_lml
+    }
+}
+
+impl std::fmt::Debug for TransferGp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferGp")
+            .field("n_source", &self.x_source.len())
+            .field("n_target", &self.x_target.len())
+            .field("lambda", &self.kernel.lambda())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(x: f64) -> f64 {
+        (5.0 * x).sin()
+    }
+
+    fn source_dense() -> TaskData {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| f(p[0])).collect();
+        TaskData::new(x, y)
+    }
+
+    fn target_sparse(shift: f64) -> TaskData {
+        let pts = [0.05, 0.35, 0.65, 0.95];
+        TaskData::new(
+            pts.iter().map(|&p| vec![p]).collect(),
+            pts.iter().map(|&p| f(p) + shift).collect(),
+        )
+    }
+
+    #[test]
+    fn transfer_beats_target_only_gp() {
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.15],
+            signal_var: 1.0,
+            lambda: 0.95,
+            noise_source: 1e-4,
+            noise_target: 1e-4,
+        };
+        let with_source =
+            TransferGp::fit(source_dense(), target_sparse(0.0), cfg.clone()).unwrap();
+        let without_source =
+            TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg).unwrap();
+        // Error at a point far from target observations but covered by the
+        // source.
+        let q = [0.2];
+        let truth = f(0.2);
+        let e_with = (with_source.predict(&q).unwrap().0 - truth).abs();
+        let e_without = (without_source.predict(&q).unwrap().0 - truth).abs();
+        assert!(
+            e_with < e_without,
+            "transfer {e_with} should beat no-transfer {e_without}"
+        );
+    }
+
+    #[test]
+    fn transfer_reduces_uncertainty() {
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.15],
+            signal_var: 1.0,
+            lambda: 0.95,
+            noise_source: 1e-4,
+            noise_target: 1e-4,
+        };
+        let with_source =
+            TransferGp::fit(source_dense(), target_sparse(0.0), cfg.clone()).unwrap();
+        let without_source =
+            TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg).unwrap();
+        let q = [0.2];
+        assert!(with_source.predict(&q).unwrap().1 < without_source.predict(&q).unwrap().1);
+    }
+
+    #[test]
+    fn lambda_zero_ignores_source() {
+        let cfg_zero = TransferGpConfig {
+            lengthscales: vec![0.15],
+            signal_var: 1.0,
+            lambda: 1e-12,
+            noise_source: 1e-4,
+            noise_target: 1e-4,
+        };
+        // Source deliberately misleading (negated function).
+        let mut bad_source = source_dense();
+        for y in &mut bad_source.y {
+            *y = -*y;
+        }
+        let tgp = TransferGp::fit(bad_source, target_sparse(0.0), cfg_zero.clone()).unwrap();
+        let alone = TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg_zero).unwrap();
+        let q = [0.5];
+        let (m1, _) = tgp.predict(&q).unwrap();
+        let (m2, _) = alone.predict(&q).unwrap();
+        assert!((m1 - m2).abs() < 1e-6, "λ≈0 must neutralize the source");
+    }
+
+    #[test]
+    fn per_task_standardization_absorbs_scale_shift() {
+        // Source outputs 100× larger than target: shape transfers anyway.
+        let mut scaled_source = source_dense();
+        for y in &mut scaled_source.y {
+            *y *= 100.0;
+        }
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.15],
+            signal_var: 1.0,
+            lambda: 0.95,
+            noise_source: 1e-4,
+            noise_target: 1e-4,
+        };
+        let tgp = TransferGp::fit(scaled_source, target_sparse(0.0), cfg).unwrap();
+        let (m, _) = tgp.predict(&[0.2]).unwrap();
+        assert!((m - f(0.2)).abs() < 0.25, "mean {m} vs {}", f(0.2));
+    }
+
+    #[test]
+    fn rejects_empty_target_and_mismatches() {
+        let cfg = TransferGpConfig::default_for_dim(1);
+        assert!(TransferGp::fit(source_dense(), TaskData::default(), cfg.clone()).is_err());
+        let bad_dim = TaskData::new(vec![vec![0.1, 0.2]], vec![1.0]);
+        assert!(TransferGp::fit(TaskData::default(), bad_dim, cfg.clone()).is_err());
+        let ragged = TaskData::new(vec![vec![0.1]], vec![1.0, 2.0]);
+        assert!(TransferGp::fit(TaskData::default(), ragged, cfg).is_err());
+    }
+
+    #[test]
+    fn likelihood_prefers_true_lambda() {
+        // Target is an exact copy of the source function: high λ should
+        // explain the joint data better than λ ≈ 0.
+        let mk = |lambda: f64| TransferGpConfig {
+            lengthscales: vec![0.15],
+            signal_var: 1.0,
+            lambda,
+            noise_source: 1e-3,
+            noise_target: 1e-3,
+        };
+        let high =
+            TransferGp::fit(source_dense(), target_sparse(0.0), mk(0.95)).unwrap();
+        let low = TransferGp::fit(source_dense(), target_sparse(0.0), mk(1e-6)).unwrap();
+        assert!(high.log_marginal_likelihood() > low.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn accessors() {
+        let tgp = TransferGp::fit(
+            source_dense(),
+            target_sparse(0.1),
+            TransferGpConfig::default_for_dim(1),
+        )
+        .unwrap();
+        assert_eq!(tgp.source_len(), 30);
+        assert_eq!(tgp.target_len(), 4);
+        assert!((tgp.lambda() - 0.8).abs() < 1e-12);
+        let dbg = format!("{tgp:?}");
+        assert!(dbg.contains("TransferGp"));
+    }
+}

@@ -1,0 +1,286 @@
+use crate::solve::{solve_lower, solve_lower_transposed};
+use crate::{LinalgError, Matrix, Result};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// This is the workhorse of the Gaussian-process crate: kernel matrices are
+/// factored once per fit and then reused for solves, log-determinants, and
+/// predictive variances.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0,  0.0],
+///                             &[-5.0,  0.0, 11.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// // Reconstruction: L Lᵀ = A.
+/// let l = chol.factor();
+/// let rebuilt = l.matmul(&l.transpose())?;
+/// assert!((rebuilt.sub(&a)?.max_abs()) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor; entries above the diagonal are zero.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; the caller is responsible for
+    /// `a` being (numerically) symmetric.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] if `a` is not square.
+    /// - [`LinalgError::InvalidDimension`] if `a` is empty.
+    /// - [`LinalgError::NotPositiveDefinite`] if a pivot is ≤ 0 or
+    ///   non-finite; the error reports the failing pivot index and value.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidDimension {
+                what: "cholesky of an empty matrix",
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if !(s.is_finite() && s > 0.0) {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: s });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factors `a + jitter·I`, retrying with jitter escalated by ×10 up to
+    /// `max_tries` times when the factorization fails.
+    ///
+    /// Kernel matrices are often positive definite only up to rounding; this
+    /// is the standard remedy. Returns the factorization together with the
+    /// jitter that finally succeeded (`0.0` when none was needed and
+    /// `jitter0 <= 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the last [`LinalgError::NotPositiveDefinite`] when all
+    /// attempts fail, or shape errors immediately.
+    pub fn new_with_jitter(a: &Matrix, jitter0: f64, max_tries: usize) -> Result<(Self, f64)> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(e @ (LinalgError::NotSquare { .. } | LinalgError::InvalidDimension { .. })) => {
+                return Err(e)
+            }
+            Err(_) => {}
+        }
+        let mut jitter = if jitter0 > 0.0 { jitter0 } else { 1e-10 };
+        let mut last_err = LinalgError::NotPositiveDefinite {
+            pivot: 0,
+            value: f64::NAN,
+        };
+        for _ in 0..max_tries.max(1) {
+            let mut aj = a.clone();
+            aj.add_diag(jitter);
+            match Cholesky::new(&aj) {
+                Ok(c) => return Ok((c, jitter)),
+                Err(e) => last_err = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last_err)
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension `n` of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via the two triangular solves
+    /// `L z = b`, `Lᵀ x = z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let z = solve_lower(&self.l, b)?;
+        solve_lower_transposed(&self.l, &z)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_mat",
+                lhs: self.l.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves the single triangular system `L z = b` (useful for computing
+    /// predictive variances as `‖z‖²` without the second substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_lower_only(&self, b: &[f64]) -> Result<Vec<f64>> {
+        solve_lower(&self.l, b)
+    }
+
+    /// Log-determinant of `A`: `2 Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse `A⁻¹` (avoid when a solve suffices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates triangular-solve failures (which cannot occur for a factor
+    /// produced by [`Cholesky::new`], whose diagonal is strictly positive).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_matches_known_result() {
+        // Classic example: L = [[5,0,0],[3,3,0],[-1,1,3]].
+        let c = Cholesky::new(&spd3()).unwrap();
+        let l = c.factor();
+        let expect = [[5.0, 0.0, 0.0], [3.0, 3.0, 0.0], [-1.0, 1.0, 3.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((l[(i, j)] - expect[i][j]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_mat_inverts() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(3);
+        assert!(prod.sub(&id).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(A) = (5*3*3)^2 = 2025.
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!((c.log_det() - 2025.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        let err = Cholesky::new(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::InvalidDimension { .. }
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 matrix: PSD but not PD.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+        let (c, jitter) = Cholesky::new_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn jitter_zero_when_already_pd() {
+        let (_, jitter) = Cholesky::new_with_jitter(&spd3(), 1e-10, 5).unwrap();
+        assert_eq!(jitter, 0.0);
+    }
+
+    #[test]
+    fn jitter_propagates_shape_errors() {
+        let err = Cholesky::new_with_jitter(&Matrix::zeros(2, 3), 1e-10, 5).unwrap_err();
+        assert!(matches!(err, LinalgError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!(c.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(c.solve_mat(&Matrix::zeros(2, 2)).is_err());
+    }
+}

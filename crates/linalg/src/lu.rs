@@ -1,0 +1,190 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization with partial pivoting: `P·A = L·U`.
+///
+/// Used for general (not necessarily symmetric) square systems, e.g. the
+/// normal-equation blocks of the recommender baseline.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, Lu};
+///
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]])?; // needs pivoting
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve_vec(&[4.0, 5.0])?;
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined factors: strictly-lower part holds L (unit diagonal
+    /// implied), upper part holds U.
+    lu: Matrix,
+    /// Row permutation: solution row `i` reads right-hand-side row `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] if `a` is not square.
+    /// - [`LinalgError::InvalidDimension`] if `a` is empty.
+    /// - [`LinalgError::Singular`] if the matrix is numerically singular.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidDimension {
+                what: "lu of an empty matrix",
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot: largest |entry| in column k at/below the diagonal.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-300 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let upd = m * lu[(k, j)];
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension `n` of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve_vec",
+                lhs: self.lu.shape(),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then L (unit-diagonal forward) then U (backward).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        self.sign * (0..self.dim()).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_with_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[2.0, 1.0, 0.0]])
+            .unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x_true = [1.0, 2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lu.solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_matches_known_value() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_tracks_permutation() {
+        // Swapping rows of the identity gives det = -1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::new(&a).unwrap_err(),
+            LinalgError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Lu::new(&Matrix::zeros(0, 0)).is_err());
+        let lu = Lu::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        let x = lu.solve_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert!((lu.det() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,165 @@
+//! Triangular substitution solvers.
+//!
+//! These operate on full (square) [`Matrix`] storage but only read the
+//! relevant triangle, which is how the Cholesky and LU factors store their
+//! results.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Solves `L x = b` by forward substitution, reading only the lower
+/// triangle (including the diagonal) of `l`.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] if `l` is not square.
+/// - [`LinalgError::ShapeMismatch`] if `b.len() != l.rows()`.
+/// - [`LinalgError::Singular`] if a diagonal entry vanishes.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_triangular_args(l, b, "solve_lower")?;
+    let n = l.rows();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        let row = l.row(i);
+        for (j, xj) in x.iter().enumerate().take(i) {
+            s -= row[j] * xj;
+        }
+        let d = row[i];
+        if d.abs() < f64::MIN_POSITIVE {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` by backward substitution, reading only the upper
+/// triangle (including the diagonal) of `u`.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower`].
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_triangular_args(u, b, "solve_upper")?;
+    let n = u.rows();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        let row = u.row(i);
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            s -= row[j] * xj;
+        }
+        let d = row[i];
+        if d.abs() < f64::MIN_POSITIVE {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `Lᵀ x = b` by backward substitution, reading only the lower
+/// triangle of `l` (useful after a Cholesky factorization, avoiding an
+/// explicit transpose).
+///
+/// # Errors
+///
+/// Same conditions as [`solve_lower`].
+pub fn solve_lower_transposed(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_triangular_args(l, b, "solve_lower_transposed")?;
+    let n = l.rows();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        // (Lᵀ)[i][j] = L[j][i] for j > i.
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            s -= l[(j, i)] * xj;
+        }
+        let d = l[(i, i)];
+        if d.abs() < f64::MIN_POSITIVE {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+fn check_triangular_args(m: &Matrix, b: &[f64], op: &'static str) -> Result<()> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare { shape: m.shape() });
+    }
+    if b.len() != m.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op,
+            lhs: m.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_solve_matches_hand_computation() {
+        // L = [[2,0],[1,3]], b = [4, 7] → x = [2, 5/3]
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower(&l, &[4.0, 7.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-15);
+        assert!((x[1] - 5.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn upper_solve_matches_hand_computation() {
+        // U = [[2,1],[0,3]], b = [5, 6] → x = [1.5, 2]
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        let x = solve_upper(&u, &[5.0, 6.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-15);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_transposed_equals_explicit_transpose() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[0.5, -1.0, 4.0]])
+            .unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let via_t = solve_upper(&l.transpose(), &b).unwrap();
+        let direct = solve_lower_transposed(&l, &b).unwrap();
+        for (a, c) in via_t.iter().zip(&direct) {
+            assert!((a - c).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ignores_other_triangle() {
+        // Garbage above the diagonal must not affect solve_lower.
+        let l = Matrix::from_rows(&[&[2.0, 99.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower(&l, &[4.0, 7.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let m = Matrix::zeros(2, 3);
+        assert!(matches!(
+            solve_lower(&m, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        let sq = Matrix::identity(2);
+        assert!(matches!(
+            solve_upper(&sq, &[1.0]).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_singular_pivot() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            solve_lower(&l, &[1.0, 1.0]).unwrap_err(),
+            LinalgError::Singular { pivot: 0 }
+        ));
+    }
+}

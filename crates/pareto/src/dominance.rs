@@ -1,0 +1,137 @@
+//! Pareto dominance tests (minimization convention).
+
+use std::cmp::Ordering;
+
+/// Outcome of comparing two points under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dominance {
+    /// The first point dominates the second.
+    Dominates,
+    /// The second point dominates the first.
+    DominatedBy,
+    /// The points are identical in every objective.
+    Equal,
+    /// Neither point dominates the other.
+    Incomparable,
+}
+
+/// Compares two equal-length objective vectors under minimization.
+///
+/// `a` dominates `b` iff `a[i] <= b[i]` for all `i` and `a[j] < b[j]` for
+/// some `j`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn compare(a: &[f64], b: &[f64]) -> Dominance {
+    assert_eq!(a.len(), b.len(), "dominance compare: length mismatch");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        match x.partial_cmp(&y) {
+            Some(Ordering::Less) => a_better = true,
+            Some(Ordering::Greater) => b_better = true,
+            Some(Ordering::Equal) => {}
+            // NaN is incomparable with everything: treat as mutual
+            // non-dominance, which keeps NaN points out of fronts safely.
+            None => return Dominance::Incomparable,
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => Dominance::Incomparable,
+    }
+}
+
+/// `true` iff `a` dominates `b` (strictly better in at least one
+/// objective, no worse in any).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    compare(a, b) == Dominance::Dominates
+}
+
+/// `true` iff `a` weakly dominates `b` (`a[i] <= b[i]` for all `i`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    matches!(compare(a, b), Dominance::Dominates | Dominance::Equal)
+}
+
+/// δ-relaxed weak dominance: `true` iff `a[i] <= b[i] + delta[i]` for all
+/// `i`. This is the comparison underlying the tuner's dropping rule
+/// (Eq. 11) and Pareto-classification rule (Eq. 12): dominance up to a
+/// user-chosen per-objective slack.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn delta_dominates(a: &[f64], b: &[f64], delta: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "delta_dominates: length mismatch");
+    assert_eq!(a.len(), delta.len(), "delta_dominates: delta length mismatch");
+    a.iter()
+        .zip(b)
+        .zip(delta)
+        .all(|((&x, &y), &d)| x <= y + d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance() {
+        assert_eq!(compare(&[1.0, 2.0], &[2.0, 3.0]), Dominance::Dominates);
+        assert_eq!(compare(&[2.0, 3.0], &[1.0, 2.0]), Dominance::DominatedBy);
+    }
+
+    #[test]
+    fn equal_points() {
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 2.0]), Dominance::Equal);
+        assert!(!dominates(&[1.0], &[1.0]));
+        assert!(weakly_dominates(&[1.0], &[1.0]));
+    }
+
+    #[test]
+    fn incomparable_points() {
+        assert_eq!(compare(&[1.0, 3.0], &[3.0, 1.0]), Dominance::Incomparable);
+        assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0]));
+    }
+
+    #[test]
+    fn partial_improvement_dominates() {
+        // Equal in one coordinate, better in the other.
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(weakly_dominates(&[1.0, 2.0], &[1.0, 3.0]));
+    }
+
+    #[test]
+    fn nan_is_incomparable() {
+        assert_eq!(
+            compare(&[f64::NAN, 1.0], &[0.0, 2.0]),
+            Dominance::Incomparable
+        );
+    }
+
+    #[test]
+    fn delta_relaxation() {
+        // a is 0.5 worse in objective 0; δ = 1.0 forgives that.
+        assert!(delta_dominates(&[2.5, 1.0], &[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!delta_dominates(&[2.5, 1.0], &[2.0, 1.0], &[0.1, 0.1]));
+        // δ = 0 reduces to weak dominance.
+        assert!(delta_dominates(&[1.0, 1.0], &[1.0, 1.0], &[0.0, 0.0]));
+        assert!(!delta_dominates(&[1.1, 1.0], &[1.0, 1.0], &[0.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn compare_panics_on_length() {
+        compare(&[1.0], &[1.0, 2.0]);
+    }
+}

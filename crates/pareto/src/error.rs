@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the multi-objective utilities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParetoError {
+    /// Point sets must share one dimension; the offending point differs.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Observed dimension.
+        got: usize,
+    },
+    /// An empty set was supplied where at least one point is required.
+    EmptySet {
+        /// Name of the empty argument.
+        what: &'static str,
+    },
+    /// A point lies outside the dominated region of the reference point,
+    /// so its hypervolume contribution would be negative.
+    ReferenceNotDominated {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A coordinate was NaN.
+    NanCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// ADRS is undefined when a golden reference coordinate is zero
+    /// (the indicator divides by it).
+    ZeroReferenceCoordinate {
+        /// Index of the offending golden point.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ParetoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParetoError::DimensionMismatch { expected, got } => {
+                write!(f, "point has dimension {got}, expected {expected}")
+            }
+            ParetoError::EmptySet { what } => write!(f, "{what} must not be empty"),
+            ParetoError::ReferenceNotDominated { index } => write!(
+                f,
+                "point {index} is not dominated by the reference point"
+            ),
+            ParetoError::NanCoordinate { index } => {
+                write!(f, "point {index} has a NaN coordinate")
+            }
+            ParetoError::ZeroReferenceCoordinate { index } => {
+                write!(f, "golden point {index} has a zero coordinate, adrs undefined")
+            }
+        }
+    }
+}
+
+impl Error for ParetoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ParetoError::EmptySet { what: "front" }
+            .to_string()
+            .contains("front"));
+        assert!(ParetoError::DimensionMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+    }
+}

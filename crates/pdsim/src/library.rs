@@ -1,0 +1,274 @@
+//! A fictive 7 nm standard-cell library.
+//!
+//! The values are not any foundry's numbers; they are chosen to be
+//! *mutually consistent* (relative areas, caps, leakages and delays follow
+//! the usual ordering of a real library) so that netlist-level roll-ups —
+//! total area, pin cap, leakage, logic depth × stage delay — land in
+//! realistic ranges for a ~20k-cell block at a GHz-class clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Combinational/sequential cell functions used by the MAC generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input XOR.
+    Xor2,
+    /// AND-OR-invert (2-1).
+    Aoi21,
+    /// 3-input majority (carry) gate.
+    Maj3,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// D flip-flop (positive edge).
+    Dff,
+    /// Clock-tree buffer.
+    ClkBuf,
+}
+
+impl CellKind {
+    /// All kinds, for iteration.
+    pub const ALL: [CellKind; 11] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Xor2,
+        CellKind::Aoi21,
+        CellKind::Maj3,
+        CellKind::Mux2,
+        CellKind::Dff,
+        CellKind::ClkBuf,
+    ];
+
+    /// `true` for sequential cells.
+    pub fn is_sequential(self) -> bool {
+        self == CellKind::Dff
+    }
+}
+
+/// Drive strength of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Drive {
+    /// Unit drive.
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+}
+
+impl Drive {
+    /// Numeric strength multiplier.
+    pub fn strength(self) -> f64 {
+        match self {
+            Drive::X1 => 1.0,
+            Drive::X2 => 2.0,
+            Drive::X4 => 4.0,
+        }
+    }
+}
+
+/// Electrical/physical characteristics of one cell kind at drive X1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Footprint in µm².
+    pub area_um2: f64,
+    /// Input pin capacitance in fF (per input).
+    pub input_cap_ff: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+    /// Parasitic (intrinsic) delay in ps.
+    pub intrinsic_ps: f64,
+    /// Logical effort (relative drive cost of the function).
+    pub logical_effort: f64,
+    /// Number of inputs.
+    pub inputs: usize,
+    /// Internal (short-circuit + internal node) energy per toggle, in fJ.
+    pub internal_energy_fj: f64,
+}
+
+/// The cell library: [`CellSpec`]s per [`CellKind`], with drive-strength
+/// scaling rules.
+///
+/// # Example
+///
+/// ```
+/// use pdsim::{CellLibrary, CellKind, Drive};
+///
+/// let lib = CellLibrary::sevennm();
+/// let inv = lib.spec(CellKind::Inv);
+/// assert!(inv.area_um2 < lib.spec(CellKind::Dff).area_um2);
+/// assert!(lib.area(CellKind::Inv, Drive::X4) > lib.area(CellKind::Inv, Drive::X1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    specs: Vec<(CellKind, CellSpec)>,
+    /// Wire resistance per µm, in Ω.
+    pub wire_res_ohm_per_um: f64,
+    /// Wire capacitance per µm, in fF.
+    pub wire_cap_ff_per_um: f64,
+    /// Supply voltage, in V.
+    pub vdd: f64,
+    /// Technology time constant τ (ps per unit effort delay).
+    pub tau_ps: f64,
+}
+
+impl CellLibrary {
+    /// The fictive 7 nm library used throughout the reproduction.
+    pub fn sevennm() -> Self {
+        use CellKind::*;
+        let specs = vec![
+            (Inv,    CellSpec { area_um2: 0.09, input_cap_ff: 0.7, leakage_nw: 1.0, intrinsic_ps: 4.0,  logical_effort: 1.00, inputs: 1, internal_energy_fj: 0.10 }),
+            (Buf,    CellSpec { area_um2: 0.12, input_cap_ff: 0.8, leakage_nw: 1.3, intrinsic_ps: 7.0,  logical_effort: 1.10, inputs: 1, internal_energy_fj: 0.16 }),
+            (Nand2,  CellSpec { area_um2: 0.12, input_cap_ff: 0.9, leakage_nw: 1.5, intrinsic_ps: 5.0,  logical_effort: 1.33, inputs: 2, internal_energy_fj: 0.14 }),
+            (Nor2,   CellSpec { area_um2: 0.12, input_cap_ff: 0.9, leakage_nw: 1.6, intrinsic_ps: 6.0,  logical_effort: 1.67, inputs: 2, internal_energy_fj: 0.15 }),
+            (And2,   CellSpec { area_um2: 0.14, input_cap_ff: 0.9, leakage_nw: 1.7, intrinsic_ps: 7.0,  logical_effort: 1.50, inputs: 2, internal_energy_fj: 0.17 }),
+            (Xor2,   CellSpec { area_um2: 0.22, input_cap_ff: 1.4, leakage_nw: 2.6, intrinsic_ps: 9.0,  logical_effort: 1.90, inputs: 2, internal_energy_fj: 0.30 }),
+            (Aoi21,  CellSpec { area_um2: 0.16, input_cap_ff: 1.0, leakage_nw: 1.9, intrinsic_ps: 7.0,  logical_effort: 1.70, inputs: 3, internal_energy_fj: 0.20 }),
+            (Maj3,   CellSpec { area_um2: 0.25, input_cap_ff: 1.5, leakage_nw: 2.8, intrinsic_ps: 9.0,  logical_effort: 2.00, inputs: 3, internal_energy_fj: 0.32 }),
+            (Mux2,   CellSpec { area_um2: 0.18, input_cap_ff: 1.1, leakage_nw: 2.0, intrinsic_ps: 8.0,  logical_effort: 1.70, inputs: 3, internal_energy_fj: 0.22 }),
+            (Dff,    CellSpec { area_um2: 0.55, input_cap_ff: 1.1, leakage_nw: 3.5, intrinsic_ps: 35.0, logical_effort: 1.50, inputs: 2, internal_energy_fj: 0.90 }),
+            (ClkBuf, CellSpec { area_um2: 0.14, input_cap_ff: 1.0, leakage_nw: 1.8, intrinsic_ps: 8.0,  logical_effort: 1.10, inputs: 1, internal_energy_fj: 0.20 }),
+        ];
+        CellLibrary {
+            specs,
+            wire_res_ohm_per_um: 18.0,
+            wire_cap_ff_per_um: 0.20,
+            vdd: 0.75,
+            tau_ps: 1.8,
+        }
+    }
+
+    /// Borrows the spec for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for libraries built by [`CellLibrary::sevennm`], which
+    /// covers every [`CellKind`].
+    pub fn spec(&self, kind: CellKind) -> &CellSpec {
+        self.specs
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| s)
+            .expect("library covers every cell kind")
+    }
+
+    /// Area of an instance at the given drive (stronger transistors grow
+    /// the footprint sub-linearly).
+    pub fn area(&self, kind: CellKind, drive: Drive) -> f64 {
+        self.spec(kind).area_um2 * (0.6 + 0.4 * drive.strength())
+    }
+
+    /// Input capacitance per pin at the given drive (scales with strength).
+    pub fn input_cap(&self, kind: CellKind, drive: Drive) -> f64 {
+        self.spec(kind).input_cap_ff * drive.strength()
+    }
+
+    /// Leakage at the given drive (scales with strength).
+    pub fn leakage(&self, kind: CellKind, drive: Drive) -> f64 {
+        self.spec(kind).leakage_nw * drive.strength()
+    }
+
+    /// Stage delay (ps) of an instance driving `load_ff` of capacitance,
+    /// in the logical-effort model: `d = intrinsic + τ·g·h` with electrical
+    /// effort `h = load / input_cap`.
+    pub fn stage_delay_ps(&self, kind: CellKind, drive: Drive, load_ff: f64) -> f64 {
+        let s = self.spec(kind);
+        let cin = self.input_cap(kind, drive);
+        let h = (load_ff / cin).max(0.0);
+        s.intrinsic_ps + self.tau_ps * s.logical_effort * h
+    }
+
+    /// Setup time of the flip-flop, in ps.
+    pub fn dff_setup_ps(&self) -> f64 {
+        12.0
+    }
+
+    /// Clock pin capacitance of a flip-flop, in fF.
+    pub fn dff_clk_cap_ff(&self) -> f64 {
+        0.9
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::sevennm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_all_kinds() {
+        let lib = CellLibrary::sevennm();
+        for kind in CellKind::ALL {
+            let s = lib.spec(kind);
+            assert!(s.area_um2 > 0.0 && s.input_cap_ff > 0.0 && s.leakage_nw > 0.0);
+            assert!(s.inputs >= 1);
+        }
+    }
+
+    #[test]
+    fn relative_ordering_is_sane() {
+        let lib = CellLibrary::sevennm();
+        // Flops are the biggest cells; inverters the smallest.
+        assert!(lib.spec(CellKind::Dff).area_um2 > lib.spec(CellKind::Xor2).area_um2);
+        assert!(lib.spec(CellKind::Inv).area_um2 <= lib.spec(CellKind::Nand2).area_um2);
+        // XOR is slower (higher effort) than NAND.
+        assert!(
+            lib.spec(CellKind::Xor2).logical_effort > lib.spec(CellKind::Nand2).logical_effort
+        );
+    }
+
+    #[test]
+    fn drive_scaling_monotone() {
+        let lib = CellLibrary::sevennm();
+        for kind in CellKind::ALL {
+            assert!(lib.area(kind, Drive::X4) > lib.area(kind, Drive::X2));
+            assert!(lib.area(kind, Drive::X2) > lib.area(kind, Drive::X1));
+            assert!(lib.input_cap(kind, Drive::X4) > lib.input_cap(kind, Drive::X1));
+            assert!(lib.leakage(kind, Drive::X4) > lib.leakage(kind, Drive::X1));
+        }
+    }
+
+    #[test]
+    fn stronger_drive_is_faster_under_load() {
+        let lib = CellLibrary::sevennm();
+        let load = 20.0; // fF
+        let d1 = lib.stage_delay_ps(CellKind::Nand2, Drive::X1, load);
+        let d4 = lib.stage_delay_ps(CellKind::Nand2, Drive::X4, load);
+        assert!(d4 < d1, "X4 {d4} should beat X1 {d1} at heavy load");
+    }
+
+    #[test]
+    fn stage_delay_grows_with_load() {
+        let lib = CellLibrary::sevennm();
+        let d_light = lib.stage_delay_ps(CellKind::Inv, Drive::X1, 1.0);
+        let d_heavy = lib.stage_delay_ps(CellKind::Inv, Drive::X1, 10.0);
+        assert!(d_heavy > d_light);
+    }
+
+    #[test]
+    fn sequential_flag() {
+        assert!(CellKind::Dff.is_sequential());
+        assert!(!CellKind::Inv.is_sequential());
+    }
+
+    #[test]
+    fn default_is_sevennm() {
+        assert_eq!(CellLibrary::default(), CellLibrary::sevennm());
+    }
+}

@@ -1,0 +1,291 @@
+//! Tunable tool parameters — the knobs of the paper's Table 1.
+//!
+//! The struct covers the union of both benchmark families' parameters; a
+//! benchmark that does not tune a knob simply leaves it at the default
+//! (matching the "-" cells of Table 1). [`ToolParams::from_config`] binds a
+//! [`doe::Config`] drawn from a named [`doe::ParamSpace`] onto the struct,
+//! so tuners stay agnostic of the flow's internals.
+
+use doe::{Config, ParamSpace};
+use serde::{Deserialize, Serialize};
+
+/// `flowEffort`: overall flow effort (quality vs. turnaround trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FlowEffort {
+    /// Balanced default flow.
+    #[default]
+    Standard,
+    /// Maximum-effort flow: better QoR, much longer runtime.
+    Extreme,
+}
+
+/// `timing_effort`: effort of timing-driven optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TimingEffort {
+    /// Default timing effort.
+    #[default]
+    Medium,
+    /// Aggressive timing optimization (upsizing, restructuring).
+    High,
+}
+
+/// `cong_effort`: effort of congestion relief during placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CongEffort {
+    /// Tool-selected effort.
+    #[default]
+    Auto,
+    /// Maximum congestion-relief effort.
+    High,
+}
+
+/// One full tool-parameter configuration (the union of Table 1 rows).
+///
+/// # Example
+///
+/// ```
+/// use pdsim::{ToolParams, FlowEffort};
+///
+/// let p = ToolParams {
+///     freq_mhz: 1200.0,
+///     flow_effort: FlowEffort::Extreme,
+///     ..ToolParams::default()
+/// };
+/// assert!(p.clock_period_ns() < 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToolParams {
+    /// Target clock frequency, MHz (`freq`).
+    pub freq_mhz: f64,
+    /// RC pessimism factor used by pre-route optimization
+    /// (`place_rcfactor`).
+    pub place_rcfactor: f64,
+    /// Clock uncertainty margin during placement, ps
+    /// (`place_uncertainty`).
+    pub place_uncertainty_ps: f64,
+    /// Overall flow effort (`flowEffort`).
+    pub flow_effort: FlowEffort,
+    /// Timing optimization effort (`timing_effort`).
+    pub timing_effort: TimingEffort,
+    /// Power-aware clock-tree synthesis (`clock_power_driven`).
+    pub clock_power_driven: bool,
+    /// Even cell distribution for low-utilization designs
+    /// (`uniform_density`).
+    pub uniform_density: bool,
+    /// Congestion-relief effort (`cong_effort`).
+    pub cong_effort: CongEffort,
+    /// Maximum local-bin density during global placement (`max_density`).
+    pub max_density: f64,
+    /// Maximum wire length before buffering, µm (`max_Length`, a DRV rule).
+    pub max_length_um: f64,
+    /// Maximum area utilization (`max_Density`).
+    pub max_utilization: f64,
+    /// Maximum transition (slew) time, ns (`max_transition`).
+    pub max_transition_ns: f64,
+    /// Maximum pin capacitance, pF (`max_capacitance`).
+    pub max_capacitance_pf: f64,
+    /// Maximum fanout before buffering (`max_fanout`).
+    pub max_fanout: i64,
+    /// Extra allowed path delay (slack relaxation), ns
+    /// (`max_AllowedDelay`).
+    pub max_allowed_delay_ns: f64,
+}
+
+impl Default for ToolParams {
+    fn default() -> Self {
+        ToolParams {
+            freq_mhz: 1000.0,
+            place_rcfactor: 1.1,
+            place_uncertainty_ps: 50.0,
+            flow_effort: FlowEffort::Standard,
+            timing_effort: TimingEffort::Medium,
+            clock_power_driven: false,
+            uniform_density: false,
+            cong_effort: CongEffort::Auto,
+            max_density: 0.80,
+            max_length_um: 250.0,
+            max_utilization: 0.75,
+            max_transition_ns: 0.25,
+            max_capacitance_pf: 0.10,
+            max_fanout: 32,
+            max_allowed_delay_ns: 0.0,
+        }
+    }
+}
+
+impl ToolParams {
+    /// Target clock period, ns.
+    pub fn clock_period_ns(&self) -> f64 {
+        1000.0 / self.freq_mhz
+    }
+
+    /// Binds a [`Config`] from `space` onto a parameter struct, starting
+    /// from the defaults. Parameters absent from the space keep their
+    /// default values (the "-" cells of Table 1).
+    ///
+    /// Recognized parameter names are the Table 1 spellings: `freq`,
+    /// `place_rcfactor`, `place_uncertainty`, `flowEffort`,
+    /// `timing_effort`, `clock_power_driven`, `uniform_density`,
+    /// `cong_effort`, `max_density`, `max_Length`, `max_Density`,
+    /// `max_transition`, `max_capacitance`, `max_fanout`,
+    /// `max_AllowedDelay`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`doe::DoeError`] when the configuration does not match
+    /// the space; unknown parameter names are ignored (forward
+    /// compatibility with extended spaces).
+    pub fn from_config(space: &ParamSpace, config: &Config) -> Result<Self, doe::DoeError> {
+        space.validate(config)?;
+        let mut p = ToolParams::default();
+        for (def, value) in space.iter().zip(config.values()) {
+            match def.name() {
+                "freq" => p.freq_mhz = value.to_f64(),
+                "place_rcfactor" => p.place_rcfactor = value.to_f64(),
+                "place_uncertainty" => p.place_uncertainty_ps = value.to_f64(),
+                "flowEffort" => {
+                    p.flow_effort = if value.to_f64() >= 1.0 {
+                        FlowEffort::Extreme
+                    } else {
+                        FlowEffort::Standard
+                    }
+                }
+                "timing_effort" => {
+                    p.timing_effort = if value.to_f64() >= 1.0 {
+                        TimingEffort::High
+                    } else {
+                        TimingEffort::Medium
+                    }
+                }
+                "clock_power_driven" => {
+                    p.clock_power_driven = value.as_bool().unwrap_or(value.to_f64() >= 0.5)
+                }
+                "uniform_density" => {
+                    p.uniform_density = value.as_bool().unwrap_or(value.to_f64() >= 0.5)
+                }
+                "cong_effort" => {
+                    p.cong_effort = if value.to_f64() >= 1.0 {
+                        CongEffort::High
+                    } else {
+                        CongEffort::Auto
+                    }
+                }
+                "max_density" => p.max_density = value.to_f64(),
+                "max_Length" => p.max_length_um = value.to_f64(),
+                "max_Density" => p.max_utilization = value.to_f64(),
+                "max_transition" => p.max_transition_ns = value.to_f64(),
+                "max_capacitance" => p.max_capacitance_pf = value.to_f64(),
+                "max_fanout" => p.max_fanout = value.as_int().unwrap_or(value.to_f64() as i64),
+                "max_AllowedDelay" => p.max_allowed_delay_ns = value.to_f64(),
+                _ => {}
+            }
+        }
+        Ok(p)
+    }
+
+    /// A stable 64-bit fingerprint of the configuration (used to seed the
+    /// flow's deterministic noise).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        let mut mix = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.freq_mhz.to_bits());
+        mix(self.place_rcfactor.to_bits());
+        mix(self.place_uncertainty_ps.to_bits());
+        mix(self.flow_effort as u64);
+        mix(self.timing_effort as u64);
+        mix(self.clock_power_driven as u64);
+        mix(self.uniform_density as u64);
+        mix(self.cong_effort as u64);
+        mix(self.max_density.to_bits());
+        mix(self.max_length_um.to_bits());
+        mix(self.max_utilization.to_bits());
+        mix(self.max_transition_ns.to_bits());
+        mix(self.max_capacitance_pf.to_bits());
+        mix(self.max_fanout as u64);
+        mix(self.max_allowed_delay_ns.to_bits());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe::ParamDef;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::float("freq", 1000.0, 1300.0).unwrap(),
+            ParamDef::enumeration("flowEffort", &["standard", "extreme"]).unwrap(),
+            ParamDef::boolean("uniform_density"),
+            ParamDef::int("max_fanout", 25, 50).unwrap(),
+            ParamDef::float("max_Density", 0.65, 0.90).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn default_period_is_one_ns() {
+        assert!((ToolParams::default().clock_period_ns() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_config_binds_named_parameters() {
+        use doe::ParamValue::*;
+        let s = space();
+        let c = Config::new(vec![
+            Float(1200.0),
+            Enum(1),
+            Bool(true),
+            Int(40),
+            Float(0.9),
+        ]);
+        let p = ToolParams::from_config(&s, &c).unwrap();
+        assert_eq!(p.freq_mhz, 1200.0);
+        assert_eq!(p.flow_effort, FlowEffort::Extreme);
+        assert!(p.uniform_density);
+        assert_eq!(p.max_fanout, 40);
+        assert_eq!(p.max_utilization, 0.9);
+        // Unbound parameters keep defaults.
+        assert_eq!(p.place_rcfactor, ToolParams::default().place_rcfactor);
+    }
+
+    #[test]
+    fn from_config_rejects_mismatched() {
+        use doe::ParamValue::*;
+        let s = space();
+        let wrong = Config::new(vec![Float(1200.0)]);
+        assert!(ToolParams::from_config(&s, &wrong).is_err());
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        use doe::ParamValue::*;
+        let s = ParamSpace::new(vec![
+            ParamDef::float("freq", 900.0, 1100.0).unwrap(),
+            ParamDef::float("mystery_knob", 0.0, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let c = Config::new(vec![Float(1000.0), Float(0.3)]);
+        let p = ToolParams::from_config(&s, &c).unwrap();
+        assert_eq!(p.freq_mhz, 1000.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = ToolParams::default();
+        let mut b = a.clone();
+        b.max_fanout = 33;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), ToolParams::default().fingerprint());
+    }
+
+    #[test]
+    fn enum_defaults() {
+        assert_eq!(FlowEffort::default(), FlowEffort::Standard);
+        assert_eq!(TimingEffort::default(), TimingEffort::Medium);
+        assert_eq!(CongEffort::default(), CongEffort::Auto);
+    }
+}

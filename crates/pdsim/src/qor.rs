@@ -1,0 +1,194 @@
+//! Quality-of-results types: the (area, power, delay) triple and the
+//! objective subspaces explored in the paper's Tables 2–3.
+
+use serde::{Deserialize, Serialize};
+
+/// One post-layout QoR metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Core area in µm² (smaller is better).
+    Area,
+    /// Total power in mW (smaller is better).
+    Power,
+    /// Critical-path delay in ns (smaller is better).
+    Delay,
+}
+
+impl Objective {
+    /// All three objectives in canonical (area, power, delay) order.
+    pub const ALL: [Objective; 3] = [Objective::Area, Objective::Power, Objective::Delay];
+
+    /// Short lowercase name (`"area"`, `"power"`, `"delay"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Area => "area",
+            Objective::Power => "power",
+            Objective::Delay => "delay",
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An objective subspace: which QoR metrics a tuning run trades off.
+///
+/// These are the three "Multi-objective" rows of the paper's Tables 2–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectiveSpace {
+    /// Area vs. delay.
+    AreaDelay,
+    /// Power vs. delay.
+    PowerDelay,
+    /// Area vs. power vs. delay.
+    AreaPowerDelay,
+}
+
+impl ObjectiveSpace {
+    /// The three spaces in the order the paper tabulates them.
+    pub const ALL: [ObjectiveSpace; 3] = [
+        ObjectiveSpace::AreaDelay,
+        ObjectiveSpace::PowerDelay,
+        ObjectiveSpace::AreaPowerDelay,
+    ];
+
+    /// The objectives spanned, in tabulation order.
+    pub fn objectives(self) -> &'static [Objective] {
+        match self {
+            ObjectiveSpace::AreaDelay => &[Objective::Area, Objective::Delay],
+            ObjectiveSpace::PowerDelay => &[Objective::Power, Objective::Delay],
+            ObjectiveSpace::AreaPowerDelay => {
+                &[Objective::Area, Objective::Power, Objective::Delay]
+            }
+        }
+    }
+
+    /// Dimensionality of the space (2 or 3).
+    pub fn dim(self) -> usize {
+        self.objectives().len()
+    }
+
+    /// The paper's row label, e.g. `"Area-Delay"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObjectiveSpace::AreaDelay => "Area-Delay",
+            ObjectiveSpace::PowerDelay => "Power-Delay",
+            ObjectiveSpace::AreaPowerDelay => "Area-Power-Delay",
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectiveSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Post-layout quality of results reported by one PD-flow run.
+///
+/// All three metrics are minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Qor {
+    /// Core area in µm².
+    pub area_um2: f64,
+    /// Total (dynamic + clock + leakage) power in mW.
+    pub power_mw: f64,
+    /// Critical-path delay in ns.
+    pub delay_ns: f64,
+}
+
+impl Qor {
+    /// Creates a QoR triple.
+    pub fn new(area_um2: f64, power_mw: f64, delay_ns: f64) -> Self {
+        Qor {
+            area_um2,
+            power_mw,
+            delay_ns,
+        }
+    }
+
+    /// The value of one objective.
+    pub fn objective(&self, obj: Objective) -> f64 {
+        match obj {
+            Objective::Area => self.area_um2,
+            Objective::Power => self.power_mw,
+            Objective::Delay => self.delay_ns,
+        }
+    }
+
+    /// Projects the QoR onto an objective subspace, in tabulation order.
+    pub fn project(&self, space: ObjectiveSpace) -> Vec<f64> {
+        space.objectives().iter().map(|&o| self.objective(o)).collect()
+    }
+
+    /// Full (area, power, delay) vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![self.area_um2, self.power_mw, self.delay_ns]
+    }
+
+    /// `true` when all three metrics are finite and strictly positive.
+    pub fn is_valid(&self) -> bool {
+        [self.area_um2, self.power_mw, self.delay_ns]
+            .iter()
+            .all(|v| v.is_finite() && *v > 0.0)
+    }
+}
+
+impl std::fmt::Display for Qor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "area={:.1}um2 power={:.3}mW delay={:.4}ns",
+            self.area_um2, self.power_mw, self.delay_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_names() {
+        assert_eq!(Objective::Area.name(), "area");
+        assert_eq!(Objective::Power.to_string(), "power");
+        assert_eq!(Objective::ALL.len(), 3);
+    }
+
+    #[test]
+    fn space_projections() {
+        let q = Qor::new(100.0, 20.0, 0.9);
+        assert_eq!(q.project(ObjectiveSpace::AreaDelay), vec![100.0, 0.9]);
+        assert_eq!(q.project(ObjectiveSpace::PowerDelay), vec![20.0, 0.9]);
+        assert_eq!(
+            q.project(ObjectiveSpace::AreaPowerDelay),
+            vec![100.0, 20.0, 0.9]
+        );
+        assert_eq!(ObjectiveSpace::AreaDelay.dim(), 2);
+        assert_eq!(ObjectiveSpace::AreaPowerDelay.dim(), 3);
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(ObjectiveSpace::AreaDelay.label(), "Area-Delay");
+        assert_eq!(ObjectiveSpace::PowerDelay.label(), "Power-Delay");
+        assert_eq!(ObjectiveSpace::AreaPowerDelay.label(), "Area-Power-Delay");
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Qor::new(1.0, 1.0, 1.0).is_valid());
+        assert!(!Qor::new(0.0, 1.0, 1.0).is_valid());
+        assert!(!Qor::new(1.0, f64::NAN, 1.0).is_valid());
+        assert!(!Qor::new(1.0, 1.0, -0.5).is_valid());
+    }
+
+    #[test]
+    fn display_contains_units() {
+        let s = Qor::new(1.0, 2.0, 3.0).to_string();
+        assert!(s.contains("um2") && s.contains("mW") && s.contains("ns"));
+    }
+}

@@ -1,0 +1,481 @@
+//! Per-stage models of the physical-design flow.
+//!
+//! Each stage is a pure function from (design features, tool parameters,
+//! upstream results) to a small result struct; [`crate::PdFlow`] composes
+//! them. The models are first-order physical: logical-effort gate delays,
+//! Rent's-rule wirelength, RC wire delay with buffer segmentation,
+//! `C·V²·f` dynamic power. Their purpose is to give the tuner a truthful
+//! *shape* of parameter→QoR response, not sign-off accuracy.
+
+use crate::design::Design;
+use crate::library::{CellKind, Drive};
+use crate::params::{CongEffort, FlowEffort, TimingEffort, ToolParams};
+
+/// Virtual sizing chosen by synthesis/pre-route optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisResult {
+    /// Mean drive-strength multiplier applied to the netlist (≥ 0.8).
+    pub sizing: f64,
+    /// The timing pressure that produced it (ideal delay / required
+    /// period); > 1 means the target is aggressive.
+    pub pressure: f64,
+    /// Whether the optimizer escalated to aggressive restructuring
+    /// (commercial tools switch strategy once the target looks
+    /// unreachable, producing a QoR regime change rather than a smooth
+    /// response).
+    pub restructured: bool,
+}
+
+/// Placement outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementResult {
+    /// Core area in µm² (cell area over utilization).
+    pub core_area_um2: f64,
+    /// Average point-to-point net length, µm.
+    pub avg_net_len_um: f64,
+    /// Congestion figure (≈ 0.3 relaxed … > 1 congested).
+    pub congestion: f64,
+}
+
+/// Clock-tree synthesis outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtsResult {
+    /// Global skew + uncertainty margin actually consumed, ps.
+    pub skew_ps: f64,
+    /// Clock-network power, mW.
+    pub clock_power_mw: f64,
+    /// Inserted clock buffers.
+    pub clock_buffers: usize,
+}
+
+/// Routing and DRV-fixing outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteResult {
+    /// Detour factor from congestion (≥ 1).
+    pub detour: f64,
+    /// Signal buffers inserted to satisfy DRV rules.
+    pub buffers: usize,
+    /// Total routed wire capacitance, fF.
+    pub wire_cap_ff: f64,
+    /// Wire delay along the critical path, ps.
+    pub critical_wire_ps: f64,
+}
+
+/// Synthesis / pre-route optimization: pick a virtual sizing from the
+/// timing pressure.
+pub fn synthesize(design: &Design, p: &ToolParams) -> SynthesisResult {
+    let st = design.stats();
+    let lib = design.library();
+
+    // Ideal (sizing = 1) register-to-register delay estimate.
+    let avg_cin = st.input_cap_ff / st.pins.max(1) as f64;
+    let avg_load = avg_cin * st.avg_fanout + 1.0 * lib.wire_cap_ff_per_um * 5.0;
+    let stage_ps = lib.stage_delay_ps(CellKind::Nand2, Drive::X1, avg_load);
+    let ideal_ns = st.comb_depth as f64 * stage_ps * 1e-3;
+
+    // Required period after subtracting margins; max_AllowedDelay relaxes.
+    let t_req = (p.clock_period_ns() - p.place_uncertainty_ps * 1e-3
+        + p.max_allowed_delay_ns)
+        .max(0.1);
+    let pressure = ideal_ns / t_req;
+
+    let mut sizing = 0.75 + 0.45 * pressure.powf(1.6);
+    // RC pessimism makes the optimizer see slower wires and upsize.
+    sizing *= p.place_rcfactor.powf(0.35);
+    if p.timing_effort == TimingEffort::High {
+        sizing *= 1.10;
+    }
+    if p.flow_effort == FlowEffort::Extreme {
+        // Smarter restructuring substitutes for brute-force upsizing.
+        sizing *= 0.96;
+    }
+    // Regime switch: once the target looks unreachable, the optimizer
+    // escalates to aggressive restructuring — a discontinuity in the
+    // parameter→QoR mapping (cheaper delay, big power/area surcharge),
+    // shared by designs of the same family since it is a property of the
+    // flow, not of one netlist.
+    let threshold = 0.47 * p.place_rcfactor.powf(0.15);
+    let restructured = pressure > threshold;
+    if restructured {
+        sizing *= 1.10;
+    }
+    SynthesisResult {
+        sizing: sizing.clamp(0.8, 3.0),
+        pressure,
+        restructured,
+    }
+}
+
+/// Global placement: core area, statistical wirelength, congestion.
+pub fn place(design: &Design, p: &ToolParams, syn: &SynthesisResult) -> PlacementResult {
+    let st = design.stats();
+    let ch = design.character();
+
+    let placed_area = st.area_x1_um2 * syn.sizing.powf(0.9);
+    let core_area = placed_area / p.max_utilization.clamp(0.3, 1.0);
+
+    // Rent's-rule-flavoured average net length.
+    let pitch = (core_area / st.cells.max(1) as f64).sqrt();
+    let mut avg_len = 1.25 * pitch * st.avg_fanout.powf(0.6) * ch.wire_scale;
+
+    // Congestion driven by utilization and local bin density.
+    let mut congestion = 0.55
+        * (p.max_utilization / 0.75).powf(2.5)
+        * (p.max_density / 0.80).powf(1.5)
+        * ch.cong_sens;
+    if p.uniform_density {
+        congestion *= 0.82;
+        avg_len *= 1.05;
+    }
+    if p.cong_effort == CongEffort::High {
+        congestion *= 0.75;
+        avg_len *= 1.03;
+    }
+    if p.flow_effort == FlowEffort::Extreme {
+        congestion *= 0.90;
+        avg_len *= 0.97;
+    }
+    PlacementResult {
+        core_area_um2: core_area,
+        avg_net_len_um: avg_len,
+        congestion,
+    }
+}
+
+/// Clock-tree synthesis: skew and clock power.
+pub fn cts(design: &Design, p: &ToolParams, pl: &PlacementResult) -> CtsResult {
+    let st = design.stats();
+    let lib = design.library();
+    let ch = design.character();
+
+    let clock_buffers = st.flops.div_ceil(18);
+    let mut skew_ps = 18.0 * (1.0 + 0.30 * pl.congestion) * ch.clock_scale;
+
+    // Clock network capacitance: flop clock pins + buffers + clock wiring.
+    let mut clock_cap_ff = st.flops as f64 * lib.dff_clk_cap_ff()
+        + clock_buffers as f64 * lib.input_cap(CellKind::ClkBuf, Drive::X2)
+        + st.flops as f64 * 1.6 * lib.wire_cap_ff_per_um;
+    if p.clock_power_driven {
+        // Power-aware CTS: smaller tree, slightly worse skew.
+        clock_cap_ff *= 0.84;
+        skew_ps *= 1.12;
+    }
+    if p.flow_effort == FlowEffort::Extreme {
+        skew_ps *= 0.92;
+    }
+    // Clock toggles every cycle: P = C·V²·f (fF · V² · MHz → nW → mW).
+    let clock_power_mw =
+        clock_cap_ff * lib.vdd * lib.vdd * p.freq_mhz * 1e-6 * ch.clock_scale;
+    CtsResult {
+        skew_ps,
+        clock_power_mw,
+        clock_buffers,
+    }
+}
+
+/// Detailed routing and DRV fixing: detour, buffer insertion, wire
+/// parasitics, critical-path wire delay.
+pub fn route(design: &Design, p: &ToolParams, pl: &PlacementResult) -> RouteResult {
+    let st = design.stats();
+    let lib = design.library();
+
+    let detour = 1.0 + 0.80 * (pl.congestion - 0.50).max(0.0).powf(1.5);
+
+    // DRV-driven buffering. Each rule converts a violation rate into
+    // inserted buffers; tighter rules buffer more nets.
+    let nets = st.nets as f64;
+    let buf_len = nets * 0.045 * ((400.0 - p.max_length_um) / 300.0).max(0.0).powf(1.3);
+    let buf_tran = nets * 0.080 * ((0.30 - p.max_transition_ns) / 0.25).max(0.0).powf(1.2);
+    let buf_cap = nets * 0.050 * ((0.15 - p.max_capacitance_pf) / 0.15).max(0.0).powf(1.2);
+    let buf_fan = nets * 0.50 * (-(p.max_fanout as f64) / 12.0).exp();
+    let buffers = (buf_len + buf_tran + buf_cap + buf_fan).round().max(0.0) as usize;
+
+    // Total wire capacitance.
+    let wire_cap_ff = nets * pl.avg_net_len_um * detour * lib.wire_cap_ff_per_um
+        + buffers as f64 * lib.input_cap(CellKind::Buf, Drive::X2);
+
+    // Critical wire: a multi-hop cross-die net, segmented by the
+    // effective max length (transition and capacitance rules also shorten
+    // segments). Repeaters are strong (X4) buffers.
+    let die_edge = pl.core_area_um2.sqrt();
+    let l_crit = 3.5 * die_edge * detour;
+    let seg_tran = p.max_transition_ns / 0.25; // relative slack of the slew rule
+    let seg_cap = p.max_capacitance_pf / 0.10;
+    let eff_seg_um = (p.max_length_um * seg_tran.min(seg_cap).clamp(0.5, 1.5)).max(20.0);
+    let segments = (l_crit / eff_seg_um).ceil().max(1.0);
+    let seg_len = l_crit / segments;
+    let r = lib.wire_res_ohm_per_um * seg_len;
+    let c = lib.wire_cap_ff_per_um * seg_len;
+    // 0.5·R·C per segment (fF·Ω = fs → ps) plus a repeater delay per hop.
+    let per_seg_ps = 0.5 * r * c * 1e-3
+        + if segments > 1.0 {
+            lib.stage_delay_ps(CellKind::Buf, Drive::X4, c)
+        } else {
+            0.0
+        };
+    let critical_wire_ps = segments * per_seg_ps;
+
+    RouteResult {
+        detour,
+        buffers,
+        wire_cap_ff,
+        critical_wire_ps,
+    }
+}
+
+/// Static timing analysis: critical-path delay in ns.
+pub fn sta(
+    design: &Design,
+    p: &ToolParams,
+    syn: &SynthesisResult,
+    pl: &PlacementResult,
+    ct: &CtsResult,
+    rt: &RouteResult,
+) -> f64 {
+    let st = design.stats();
+    let lib = design.library();
+    let ch = design.character();
+
+    // Effective logic depth: restructuring at higher efforts removes
+    // levels.
+    let mut depth = st.comb_depth as f64;
+    if p.timing_effort == TimingEffort::High {
+        depth *= 0.94;
+    }
+    if p.flow_effort == FlowEffort::Extreme {
+        depth *= 0.95;
+    }
+
+    // Average stage delay under the chosen sizing: the cell's own input
+    // cap scales with sizing, the wire load does not.
+    let avg_cin = st.input_cap_ff / st.pins.max(1) as f64;
+    let wire_load = pl.avg_net_len_um * rt.detour * lib.wire_cap_ff_per_um;
+    let gate_load = avg_cin * syn.sizing * st.avg_fanout;
+    let spec = lib.spec(CellKind::Nand2);
+    let h = (gate_load + wire_load) / (avg_cin * syn.sizing);
+    let stage_ps = spec.intrinsic_ps + lib.tau_ps * spec.logical_effort * h;
+
+    // Critical-path-selective upsizing buys delay with diminishing
+    // returns; congestion (layer demotion, coupling) taxes every stage.
+    let sizing_gain = syn.sizing.powf(0.35 * ch.sizing_response);
+    let cong_penalty = 1.0 + 0.12 * (pl.congestion - 0.55).max(0.0);
+    // Restructuring shortens the path beyond what sizing alone buys.
+    let restructure_gain = if syn.restructured { 0.96 } else { 1.0 };
+    let logic_ps = depth * stage_ps * cong_penalty * restructure_gain / sizing_gain;
+    let wire_ps = rt.critical_wire_ps;
+    let margin_ps = ct.skew_ps + lib.dff_setup_ps();
+
+    (logic_ps + wire_ps + margin_ps) * 1e-3
+}
+
+/// Power roll-up: dynamic + clock + leakage, in mW.
+pub fn power(
+    design: &Design,
+    p: &ToolParams,
+    syn: &SynthesisResult,
+    ct: &CtsResult,
+    rt: &RouteResult,
+) -> f64 {
+    let st = design.stats();
+    let lib = design.library();
+    let ch = design.character();
+
+    let switched_cap_ff = st.input_cap_ff * syn.sizing + rt.wire_cap_ff;
+    let mut dynamic_mw =
+        ch.activity * switched_cap_ff * lib.vdd * lib.vdd * p.freq_mhz * 1e-6;
+    // Internal cell energy.
+    dynamic_mw += ch.activity
+        * st.cells as f64
+        * 0.2
+        * syn.sizing
+        * p.freq_mhz
+        * 1e-6; // fJ·MHz → nW → mW
+
+    let buf_leak_nw = rt.buffers as f64 * lib.leakage(CellKind::Buf, Drive::X2);
+    let leakage_mw =
+        (st.leakage_nw * syn.sizing.powf(1.6) + buf_leak_nw) * ch.leak_scale * 1e-6;
+
+    let mut total = dynamic_mw + ct.clock_power_mw + leakage_mw;
+    if p.flow_effort == FlowEffort::Extreme {
+        total *= 0.97;
+    }
+    total
+}
+
+/// Area roll-up: core area including DRV buffers, in µm².
+pub fn area(design: &Design, p: &ToolParams, syn: &SynthesisResult, rt: &RouteResult) -> f64 {
+    let st = design.stats();
+    let lib = design.library();
+    let placed = st.area_x1_um2 * syn.sizing.powf(0.9)
+        + rt.buffers as f64 * lib.area(CellKind::Buf, Drive::X2);
+    let mut a = placed / p.max_utilization.clamp(0.3, 1.0);
+    if p.flow_effort == FlowEffort::Extreme {
+        a *= 0.985;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Design;
+
+    fn design() -> Design {
+        Design::mac_small(42)
+    }
+
+    #[test]
+    fn sizing_grows_with_frequency() {
+        let d = design();
+        let slow = synthesize(&d, &ToolParams { freq_mhz: 950.0, ..Default::default() });
+        let fast = synthesize(&d, &ToolParams { freq_mhz: 1300.0, ..Default::default() });
+        assert!(fast.sizing > slow.sizing);
+        assert!(fast.pressure > slow.pressure);
+    }
+
+    #[test]
+    fn allowed_delay_relaxes_sizing() {
+        let d = design();
+        let tight = synthesize(&d, &ToolParams { max_allowed_delay_ns: 0.0, ..Default::default() });
+        let relaxed =
+            synthesize(&d, &ToolParams { max_allowed_delay_ns: 0.25, ..Default::default() });
+        assert!(relaxed.sizing < tight.sizing);
+    }
+
+    #[test]
+    fn rc_pessimism_upsizes() {
+        let d = design();
+        let nominal = synthesize(&d, &ToolParams { place_rcfactor: 1.0, ..Default::default() });
+        let pessimistic =
+            synthesize(&d, &ToolParams { place_rcfactor: 1.3, ..Default::default() });
+        assert!(pessimistic.sizing > nominal.sizing);
+    }
+
+    #[test]
+    fn utilization_trades_area_for_congestion() {
+        let d = design();
+        let syn = synthesize(&d, &ToolParams::default());
+        let loose = place(&d, &ToolParams { max_utilization: 0.55, ..Default::default() }, &syn);
+        let tight = place(&d, &ToolParams { max_utilization: 0.95, ..Default::default() }, &syn);
+        assert!(tight.core_area_um2 < loose.core_area_um2);
+        assert!(tight.congestion > loose.congestion);
+    }
+
+    #[test]
+    fn congestion_relief_options_work() {
+        let d = design();
+        let syn = synthesize(&d, &ToolParams::default());
+        let base = place(&d, &ToolParams::default(), &syn);
+        let uniform =
+            place(&d, &ToolParams { uniform_density: true, ..Default::default() }, &syn);
+        let high_cong =
+            place(&d, &ToolParams { cong_effort: CongEffort::High, ..Default::default() }, &syn);
+        assert!(uniform.congestion < base.congestion);
+        assert!(uniform.avg_net_len_um > base.avg_net_len_um);
+        assert!(high_cong.congestion < base.congestion);
+    }
+
+    #[test]
+    fn power_driven_cts_saves_clock_power() {
+        let d = design();
+        let syn = synthesize(&d, &ToolParams::default());
+        let pl = place(&d, &ToolParams::default(), &syn);
+        let base = cts(&d, &ToolParams::default(), &pl);
+        let saver = cts(
+            &d,
+            &ToolParams { clock_power_driven: true, ..Default::default() },
+            &pl,
+        );
+        assert!(saver.clock_power_mw < base.clock_power_mw);
+        assert!(saver.skew_ps > base.skew_ps);
+    }
+
+    #[test]
+    fn tighter_drv_rules_insert_more_buffers() {
+        let d = design();
+        let syn = synthesize(&d, &ToolParams::default());
+        let pl = place(&d, &ToolParams::default(), &syn);
+        let loose = route(
+            &d,
+            &ToolParams {
+                max_length_um: 350.0,
+                max_transition_ns: 0.34,
+                max_capacitance_pf: 0.20,
+                max_fanout: 50,
+                ..Default::default()
+            },
+            &pl,
+        );
+        let tight = route(
+            &d,
+            &ToolParams {
+                max_length_um: 160.0,
+                max_transition_ns: 0.10,
+                max_capacitance_pf: 0.05,
+                max_fanout: 25,
+                ..Default::default()
+            },
+            &pl,
+        );
+        assert!(tight.buffers > loose.buffers);
+        // Repeatered critical wire beats the unsegmented long wire.
+        assert!(
+            tight.critical_wire_ps < loose.critical_wire_ps,
+            "tight {} vs loose {}",
+            tight.critical_wire_ps,
+            loose.critical_wire_ps
+        );
+    }
+
+    #[test]
+    fn sta_produces_sub_5ns_delay() {
+        let d = design();
+        let p = ToolParams::default();
+        let syn = synthesize(&d, &p);
+        let pl = place(&d, &p, &syn);
+        let ct = cts(&d, &p, &pl);
+        let rt = route(&d, &p, &pl);
+        let delay = sta(&d, &p, &syn, &pl, &ct, &rt);
+        assert!((0.05..5.0).contains(&delay), "delay {delay} ns");
+    }
+
+    #[test]
+    fn power_in_milliwatt_range() {
+        let d = design();
+        let p = ToolParams::default();
+        let syn = synthesize(&d, &p);
+        let pl = place(&d, &p, &syn);
+        let ct = cts(&d, &p, &pl);
+        let rt = route(&d, &p, &pl);
+        let pw = power(&d, &p, &syn, &ct, &rt);
+        assert!((0.5..200.0).contains(&pw), "power {pw} mW");
+    }
+
+    #[test]
+    fn higher_frequency_costs_power() {
+        let d = design();
+        let run = |freq: f64| {
+            let p = ToolParams { freq_mhz: freq, ..Default::default() };
+            let syn = synthesize(&d, &p);
+            let pl = place(&d, &p, &syn);
+            let ct = cts(&d, &p, &pl);
+            let rt = route(&d, &p, &pl);
+            power(&d, &p, &syn, &ct, &rt)
+        };
+        assert!(run(1300.0) > run(950.0));
+    }
+
+    #[test]
+    fn area_includes_buffers_and_utilization() {
+        let d = design();
+        let p = ToolParams::default();
+        let syn = synthesize(&d, &p);
+        let pl = place(&d, &p, &syn);
+        let rt = route(&d, &p, &pl);
+        let a = area(&d, &p, &syn, &rt);
+        assert!(a > d.stats().area_x1_um2, "area must exceed raw cell area");
+        let p_tight = ToolParams { max_utilization: 0.90, ..Default::default() };
+        let a_tight = area(&d, &p_tight, &syn, &rt);
+        assert!(a_tight < a);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the PD-flow simulator: the monotone physical
+//! relationships the tuner relies on must hold across the whole
+//! parameter domain, not just at hand-picked points.
+
+use pdsim::{Design, PdFlow, ToolParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = ToolParams> {
+    (
+        900.0f64..1350.0,
+        1.0f64..1.3,
+        10.0f64..220.0,
+        0.6f64..0.95,
+        150.0f64..360.0,
+        (0.45f64..1.0, 0.08f64..0.36, 0.05f64..0.21, 20i64..52, 0.0f64..0.3),
+    )
+        .prop_map(|(freq, rc, unc, dens, len, (util, tran, cap, fan, allowed))| {
+            ToolParams {
+                freq_mhz: freq,
+                place_rcfactor: rc,
+                place_uncertainty_ps: unc,
+                max_density: dens,
+                max_length_um: len,
+                max_utilization: util,
+                max_transition_ns: tran,
+                max_capacitance_pf: cap,
+                max_fanout: fan,
+                max_allowed_delay_ns: allowed,
+                ..ToolParams::default()
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qor_is_always_valid(p in arb_params()) {
+        let flow = PdFlow::new(Design::mac_small(42));
+        let q = flow.run(&p);
+        prop_assert!(q.is_valid(), "{q}");
+        // Sanity windows for a ~24k-cell block at GHz-class clocks.
+        prop_assert!((1_000.0..200_000.0).contains(&q.area_um2), "area {q}");
+        prop_assert!((0.1..500.0).contains(&q.power_mw), "power {q}");
+        prop_assert!((0.05..10.0).contains(&q.delay_ns), "delay {q}");
+    }
+
+    #[test]
+    fn higher_frequency_never_cuts_power(p in arb_params()) {
+        let flow = PdFlow::new(Design::mac_small(42)).with_jitter(0.0);
+        let slow = flow.run(&ToolParams { freq_mhz: 950.0, ..p.clone() });
+        let fast = flow.run(&ToolParams { freq_mhz: 1300.0, ..p });
+        prop_assert!(fast.power_mw > slow.power_mw);
+    }
+
+    #[test]
+    fn looser_utilization_always_costs_area(p in arb_params()) {
+        let flow = PdFlow::new(Design::mac_small(42)).with_jitter(0.0);
+        let tight = flow.run(&ToolParams { max_utilization: 0.95, ..p.clone() });
+        let loose = flow.run(&ToolParams { max_utilization: 0.55, ..p });
+        prop_assert!(loose.area_um2 > tight.area_um2);
+    }
+
+    #[test]
+    fn determinism_holds_everywhere(p in arb_params()) {
+        let flow = PdFlow::new(Design::mac_large(43));
+        prop_assert_eq!(flow.run(&p), flow.run(&p));
+    }
+
+    #[test]
+    fn jitter_scales_with_amplitude(p in arb_params()) {
+        let d = Design::mac_small(42);
+        let clean = PdFlow::new(d.clone()).with_jitter(0.0).run(&p);
+        let noisy = PdFlow::new(d).with_jitter(0.05).run(&p);
+        for (c, n) in clean.to_vec().iter().zip(noisy.to_vec()) {
+            prop_assert!((n / c - 1.0).abs() <= 0.0500001);
+        }
+    }
+
+    #[test]
+    fn similar_designs_move_together_under_frequency(p in arb_params()) {
+        // The transfer premise as a property: a frequency push moves both
+        // designs' power up and their delays in the same direction —
+        // except in wire-dominated corners where the responses are both
+        // near zero (there, small opposite-signed drifts are physical).
+        let small = PdFlow::new(Design::mac_small(1)).with_jitter(0.0);
+        let large = PdFlow::new(Design::mac_large(2)).with_jitter(0.0);
+        let lo = ToolParams { freq_mhz: 950.0, ..p.clone() };
+        let hi = ToolParams { freq_mhz: 1320.0, ..p };
+        let (s_lo, s_hi) = (small.run(&lo), small.run(&hi));
+        let (l_lo, l_hi) = (large.run(&lo), large.run(&hi));
+        prop_assert!(s_hi.power_mw > s_lo.power_mw);
+        prop_assert!(l_hi.power_mw > l_lo.power_mw);
+        let ds = s_hi.delay_ns - s_lo.delay_ns;
+        let dl = l_hi.delay_ns - l_lo.delay_ns;
+        let small_magnitude =
+            ds.abs() < 0.03 * s_lo.delay_ns || dl.abs() < 0.03 * l_lo.delay_ns;
+        prop_assert!(
+            ds * dl >= 0.0 || small_magnitude,
+            "designs diverge strongly: {ds} vs {dl}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! The decision-making stage: δ-domination dropping (Eq. 11) and
+//! δ-accurate Pareto classification (Eq. 12).
+
+use crate::region::UncertaintyRegion;
+
+/// Classification state of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Not yet decided; still competing.
+    Undecided,
+    /// Classified as (δ-accurate) Pareto-optimal.
+    Pareto,
+    /// δ-dominated by another candidate; out of the race.
+    Dropped,
+}
+
+/// Outcome of one decision pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecisionOutcome {
+    /// Candidates dropped this pass.
+    pub dropped: Vec<usize>,
+    /// Candidates promoted to Pareto this pass.
+    pub promoted: Vec<usize>,
+}
+
+/// `true` iff `a ≤ b + delta` componentwise (δ-relaxed weak dominance).
+fn delta_leq(a: &[f64], b: &[f64], delta: &[f64]) -> bool {
+    a.iter()
+        .zip(b)
+        .zip(delta)
+        .all(|((&x, &y), &d)| x <= y + d)
+}
+
+/// Runs one decision pass over the candidates (Eqs. 11–12), in place.
+///
+/// For every undecided candidate `x`:
+///
+/// - **Drop** (Eq. 11) when some other active candidate `x'` satisfies
+///   `max(U(x')) ≤ min(U(x)) + δ`: even `x'`'s worst case δ-dominates
+///   `x`'s best case, so `x` cannot be needed for the front.
+/// - **Promote** (Eq. 12) when *no* other active candidate `x'` satisfies
+///   `min(U(x')) + δ ≤ max(U(x))` componentwise: no rival's best case can
+///   beat `x`'s worst case by more than δ, so `x` is at most δ-worse than
+///   any true Pareto point.
+///
+/// "Active" means `Undecided` or `Pareto` (dropped candidates no longer
+/// influence decisions). Promotion is checked after dropping, as in
+/// Algorithm 1 (lines 8–9).
+///
+/// # Panics
+///
+/// Panics when `regions`, `statuses` lengths differ or `delta` does not
+/// match the QoR dimension.
+pub fn classify(
+    regions: &[UncertaintyRegion],
+    statuses: &mut [Status],
+    delta: &[f64],
+) -> DecisionOutcome {
+    assert_eq!(regions.len(), statuses.len(), "classify: length mismatch");
+    let n = regions.len();
+    let mut outcome = DecisionOutcome::default();
+    if n == 0 {
+        return outcome;
+    }
+    assert_eq!(regions[0].dim(), delta.len(), "classify: delta dimension");
+
+    // Pass 1: dropping (Eq. 11). Compare against the statuses as of the
+    // start of the pass so the result does not depend on index order.
+    // When two candidates δ-dominate each other (near-duplicates within
+    // the slack), only the less preferred one drops: preference is the
+    // smaller pessimistic-corner sum, then the smaller index.
+    let before: Vec<Status> = statuses.to_vec();
+    let prefer = |a: usize, b: usize| -> bool {
+        let sa: f64 = regions[a].pessimistic().iter().sum();
+        let sb: f64 = regions[b].pessimistic().iter().sum();
+        match sa.partial_cmp(&sb) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => a < b,
+        }
+    };
+    for i in 0..n {
+        if before[i] != Status::Undecided {
+            continue;
+        }
+        let opt_i = regions[i].optimistic();
+        let dominated = (0..n).any(|j| {
+            j != i
+                && before[j] != Status::Dropped
+                && delta_leq(regions[j].pessimistic(), opt_i, delta)
+                && !(delta_leq(regions[i].pessimistic(), regions[j].optimistic(), delta)
+                    && prefer(i, j))
+        });
+        if dominated {
+            statuses[i] = Status::Dropped;
+            outcome.dropped.push(i);
+        }
+    }
+
+    // Pass 2: promotion (Eq. 12), against post-drop statuses.
+    let after_drop: Vec<Status> = statuses.to_vec();
+    for i in 0..n {
+        if after_drop[i] != Status::Undecided {
+            continue;
+        }
+        let pess_i = regions[i].pessimistic();
+        let might_be_beaten = (0..n).any(|j| {
+            j != i && after_drop[j] != Status::Dropped && {
+                // x' might δ-dominate x: opt(x') + δ ≤ pess(x).
+                regions[j]
+                    .optimistic()
+                    .iter()
+                    .zip(pess_i)
+                    .zip(delta)
+                    .all(|((&oj, &pi), &d)| oj + d <= pi)
+            }
+        });
+        if !might_be_beaten {
+            statuses[i] = Status::Pareto;
+            outcome.promoted.push(i);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(v: &[f64]) -> UncertaintyRegion {
+        UncertaintyRegion::point(v)
+    }
+
+    fn boxed(lo: &[f64], hi: &[f64]) -> UncertaintyRegion {
+        let mut u = UncertaintyRegion::unbounded(lo.len());
+        u.intersect(lo, hi);
+        u
+    }
+
+    #[test]
+    fn exact_points_reduce_to_pareto_logic() {
+        // (1,4), (2,2), (4,1) front; (3,3) dominated by (2,2).
+        let regions = vec![
+            pt(&[1.0, 4.0]),
+            pt(&[2.0, 2.0]),
+            pt(&[4.0, 1.0]),
+            pt(&[3.0, 3.0]),
+        ];
+        let mut statuses = vec![Status::Undecided; 4];
+        let out = classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert_eq!(out.dropped, vec![3]);
+        assert_eq!(statuses[0], Status::Pareto);
+        assert_eq!(statuses[1], Status::Pareto);
+        assert_eq!(statuses[2], Status::Pareto);
+        assert_eq!(statuses[3], Status::Dropped);
+    }
+
+    #[test]
+    fn uncertain_candidates_stay_undecided() {
+        // A wide box overlapping the known point: neither droppable nor
+        // promotable.
+        let regions = vec![pt(&[2.0, 2.0]), boxed(&[1.0, 1.0], &[4.0, 4.0])];
+        let mut statuses = vec![Status::Undecided; 2];
+        classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert_eq!(statuses[1], Status::Undecided);
+        // The known point cannot be promoted either: the box's optimistic
+        // corner (1,1) dominates it.
+        assert_eq!(statuses[0], Status::Undecided);
+    }
+
+    #[test]
+    fn clearly_bad_box_is_dropped() {
+        // Box entirely dominated by the point even in its best case.
+        let regions = vec![pt(&[1.0, 1.0]), boxed(&[3.0, 3.0], &[5.0, 5.0])];
+        let mut statuses = vec![Status::Undecided; 2];
+        let out = classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert_eq!(out.dropped, vec![1]);
+        // With the rival gone, the point is promoted.
+        assert_eq!(statuses[0], Status::Pareto);
+    }
+
+    #[test]
+    fn delta_relaxation_drops_near_duplicates() {
+        // (2.05, 2.05) is within δ = 0.1 of (2, 2): dropped.
+        let regions = vec![pt(&[2.0, 2.0]), pt(&[2.05, 2.05])];
+        let mut statuses = vec![Status::Undecided; 2];
+        let out = classify(&regions, &mut statuses, &[0.1, 0.1]);
+        assert_eq!(out.dropped, vec![1]);
+        assert_eq!(statuses[0], Status::Pareto);
+    }
+
+    #[test]
+    fn identical_points_keep_first() {
+        let regions = vec![pt(&[2.0, 2.0]), pt(&[2.0, 2.0])];
+        let mut statuses = vec![Status::Undecided; 2];
+        classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert_eq!(statuses[0], Status::Pareto);
+        assert_eq!(statuses[1], Status::Dropped);
+    }
+
+    #[test]
+    fn dropped_candidates_do_not_influence() {
+        // A dominating rival that is already dropped must not drop others.
+        let regions = vec![pt(&[1.0, 1.0]), pt(&[2.0, 2.0])];
+        let mut statuses = vec![Status::Dropped, Status::Undecided];
+        let out = classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert!(out.dropped.is_empty());
+        assert_eq!(statuses[1], Status::Pareto);
+    }
+
+    #[test]
+    fn incomparable_points_all_promote() {
+        let regions = vec![pt(&[1.0, 4.0]), pt(&[4.0, 1.0])];
+        let mut statuses = vec![Status::Undecided; 2];
+        let out = classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert_eq!(out.promoted.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let out = classify(&[], &mut [], &[0.0]);
+        assert!(out.dropped.is_empty() && out.promoted.is_empty());
+    }
+
+    #[test]
+    fn pareto_members_still_drop_rivals() {
+        // An already-promoted candidate keeps suppressing dominated ones.
+        let regions = vec![pt(&[1.0, 1.0]), pt(&[3.0, 3.0])];
+        let mut statuses = vec![Status::Pareto, Status::Undecided];
+        let out = classify(&regions, &mut statuses, &[0.0, 0.0]);
+        assert_eq!(out.dropped, vec![1]);
+    }
+}

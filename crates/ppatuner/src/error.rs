@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use gp::GpError;
+
+/// Errors produced by the tuner.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TunerError {
+    /// The candidate set or source data is malformed.
+    InvalidInput {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Name of the offending option.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The surrogate model failed to fit or predict.
+    Surrogate(GpError),
+}
+
+impl fmt::Display for TunerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TunerError::InvalidInput { reason } => write!(f, "invalid tuner input: {reason}"),
+            TunerError::InvalidConfig { name, value } => {
+                write!(f, "invalid tuner configuration: {name} = {value}")
+            }
+            TunerError::Surrogate(e) => write!(f, "surrogate model failure: {e}"),
+        }
+    }
+}
+
+impl Error for TunerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TunerError::Surrogate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpError> for TunerError {
+    fn from(e: GpError) -> Self {
+        TunerError::Surrogate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TunerError::InvalidConfig {
+            name: "tau",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("tau"));
+        let e = TunerError::from(GpError::InvalidTrainingData {
+            reason: "empty",
+        });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,138 @@
+//! The expensive-evaluation interface: what stands in for the PD tool.
+
+/// The PD tool as the tuner sees it: a function from candidate index to a
+/// golden QoR vector (minimization), with a run counter.
+///
+/// Implementations wrap whatever actually produces QoR values — the
+/// `pdsim` flow, a precomputed benchmark table, or a mock. Each
+/// [`evaluate`](QorOracle::evaluate) call is one tool run; the paper
+/// counts these as the runtime cost (source-task history is free).
+pub trait QorOracle {
+    /// Runs the tool for candidate `index` and returns its QoR vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `index` is out of range.
+    fn evaluate(&mut self, index: usize) -> Vec<f64>;
+
+    /// Number of tool runs so far.
+    fn runs(&self) -> usize;
+}
+
+/// An oracle backed by a precomputed QoR table — the offline-benchmark
+/// setting of the paper's evaluation (§4.1).
+///
+/// # Example
+///
+/// ```
+/// use ppatuner::{QorOracle, VecOracle};
+///
+/// let mut o = VecOracle::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(o.evaluate(1), vec![3.0, 4.0]);
+/// assert_eq!(o.runs(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecOracle {
+    table: Vec<Vec<f64>>,
+    runs: usize,
+}
+
+impl VecOracle {
+    /// Wraps a QoR table (one vector per candidate).
+    pub fn new(table: Vec<Vec<f64>>) -> Self {
+        VecOracle { table, runs: 0 }
+    }
+
+    /// Number of candidates in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Borrows the full golden table (for metric computation; does not
+    /// count as tool runs).
+    pub fn table(&self) -> &[Vec<f64>] {
+        &self.table
+    }
+}
+
+impl QorOracle for VecOracle {
+    fn evaluate(&mut self, index: usize) -> Vec<f64> {
+        self.runs += 1;
+        self.table[index].clone()
+    }
+
+    fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+/// Decorator that adds run counting to a closure-based oracle — useful
+/// when the evaluation is a live `pdsim` flow rather than a table.
+pub struct CountingOracle<F> {
+    f: F,
+    runs: usize,
+}
+
+impl<F: FnMut(usize) -> Vec<f64>> CountingOracle<F> {
+    /// Wraps an evaluation closure.
+    pub fn new(f: F) -> Self {
+        CountingOracle { f, runs: 0 }
+    }
+}
+
+impl<F: FnMut(usize) -> Vec<f64>> QorOracle for CountingOracle<F> {
+    fn evaluate(&mut self, index: usize) -> Vec<f64> {
+        self.runs += 1;
+        (self.f)(index)
+    }
+
+    fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+impl<F> std::fmt::Debug for CountingOracle<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountingOracle")
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_oracle_counts_runs() {
+        let mut o = VecOracle::new(vec![vec![1.0], vec![2.0]]);
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+        assert_eq!(o.runs(), 0);
+        o.evaluate(0);
+        o.evaluate(1);
+        o.evaluate(0);
+        assert_eq!(o.runs(), 3);
+        assert_eq!(o.table().len(), 2);
+    }
+
+    #[test]
+    fn counting_oracle_wraps_closures() {
+        let mut o = CountingOracle::new(|i| vec![i as f64 * 2.0]);
+        assert_eq!(o.evaluate(3), vec![6.0]);
+        assert_eq!(o.runs(), 1);
+        assert!(format!("{o:?}").contains("runs"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn vec_oracle_panics_out_of_range() {
+        let mut o = VecOracle::new(vec![vec![1.0]]);
+        o.evaluate(5);
+    }
+}

@@ -1,0 +1,763 @@
+//! The PPATuner loop (Algorithm 1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use gp::optimize::{fit_transfer_gp, FitBudget};
+use gp::{TaskData, TransferGp, TransferGpConfig};
+
+use crate::decision::{classify, Status};
+use crate::oracle::QorOracle;
+use crate::region::UncertaintyRegion;
+use crate::{Result, TunerError};
+
+/// Historical (source-task) tool-run data: encoded configurations and
+/// their QoR vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceData {
+    x: Vec<Vec<f64>>,
+    y: Vec<Vec<f64>>,
+}
+
+impl SourceData {
+    /// Creates source data from parallel configuration/QoR lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::InvalidInput`] when lengths disagree or the
+    /// QoR vectors have inconsistent dimensions.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<Vec<f64>>) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(TunerError::InvalidInput {
+                reason: "source x and y lengths differ",
+            });
+        }
+        if let Some(first) = y.first() {
+            let m = first.len();
+            if m == 0 || y.iter().any(|v| v.len() != m) {
+                return Err(TunerError::InvalidInput {
+                    reason: "source QoR vectors must share a non-zero dimension",
+                });
+            }
+        }
+        Ok(SourceData { x, y })
+    }
+
+    /// An empty source (no-transfer operation).
+    pub fn empty() -> Self {
+        SourceData::default()
+    }
+
+    /// Number of source observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when there is no source history.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of QoR objectives, or `None` when empty.
+    pub fn objectives(&self) -> Option<usize> {
+        self.y.first().map(Vec::len)
+    }
+
+    /// Borrows the encoded source configurations.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Borrows the source QoR vectors (parallel to [`inputs`]).
+    ///
+    /// [`inputs`]: SourceData::inputs
+    pub fn outputs(&self) -> &[Vec<f64>] {
+        &self.y
+    }
+
+    /// The single-objective view of objective `k` as GP task data.
+    fn task_data(&self, k: usize) -> TaskData {
+        TaskData::new(self.x.clone(), self.y.iter().map(|v| v[k]).collect())
+    }
+}
+
+/// Configuration of the tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpaTunerConfig {
+    /// Region-scale coefficient τ of Eq. (9): the box is `μ ± √τ·σ`.
+    pub tau: f64,
+    /// Per-objective relaxation δ, as a fraction of each objective's
+    /// observed range after initialization (the paper's "precision
+    /// controller").
+    pub delta_rel: f64,
+    /// Target-task configurations evaluated during initialization
+    /// (the paper's "no more than 5 % of the data").
+    pub initial_samples: usize,
+    /// Maximum loop iterations `T_max`.
+    pub max_iterations: usize,
+    /// Configurations sent to the tool per iteration (the paper's batch
+    /// trials via parallel licenses).
+    pub batch_size: usize,
+    /// Re-train GP hyper-parameters every this many iterations (between
+    /// refits, the model is re-conditioned on new data with cached
+    /// hyper-parameters).
+    pub refit_every: usize,
+    /// Hyper-parameter search budget per refit.
+    pub fit_budget: FitBudget,
+    /// RNG seed (initial sampling + hyper-parameter restarts).
+    pub seed: u64,
+    /// Threads used for batched GP prediction.
+    pub threads: usize,
+    /// When the iteration cap is hit before every candidate is decided,
+    /// also include the surrogate's predicted front (non-dominated
+    /// predictive means over still-active candidates) in the final
+    /// verification pass — the paper's "predicted Pareto-optimal
+    /// parameter combinations". Disable for the strict
+    /// classified-set-only ablation.
+    pub include_predicted_front: bool,
+}
+
+impl Default for PpaTunerConfig {
+    fn default() -> Self {
+        PpaTunerConfig {
+            tau: 1.5,
+            delta_rel: 0.05,
+            initial_samples: 20,
+            max_iterations: 300,
+            batch_size: 1,
+            refit_every: 25,
+            fit_budget: FitBudget::default(),
+            seed: 0,
+            threads: 8,
+            include_predicted_front: true,
+        }
+    }
+}
+
+impl PpaTunerConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.tau.is_finite() && self.tau > 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "tau",
+                value: self.tau,
+            });
+        }
+        if !(self.delta_rel.is_finite() && self.delta_rel >= 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "delta_rel",
+                value: self.delta_rel,
+            });
+        }
+        if self.initial_samples < 2 {
+            return Err(TunerError::InvalidConfig {
+                name: "initial_samples",
+                value: self.initial_samples as f64,
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "batch_size",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One row of the tuning trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Candidates still undecided after this iteration.
+    pub undecided: usize,
+    /// Candidates classified Pareto so far.
+    pub pareto: usize,
+    /// Candidates dropped so far.
+    pub dropped: usize,
+    /// Tool runs so far.
+    pub runs: usize,
+}
+
+/// Outcome of one tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Candidate indices of the final Pareto set: the union of the
+    /// classified set and the measured front, verified on golden values
+    /// by the final evaluation pass (Algorithm 1's closing step: "the
+    /// predicted Pareto-optimal parameter combinations will be fed into
+    /// the PD tools ... for evaluation").
+    pub pareto_indices: Vec<usize>,
+    /// Every tool evaluation made during the search:
+    /// `(candidate index, QoR vector)`.
+    pub evaluated: Vec<(usize, Vec<f64>)>,
+    /// Tool runs consumed by the search (initialization + selection) —
+    /// the paper's "Runs" column.
+    pub runs: usize,
+    /// Additional tool runs spent verifying the predicted Pareto set
+    /// after the search (reported separately, as in the paper).
+    pub verification_runs: usize,
+    /// Loop iterations executed.
+    pub iterations: usize,
+    /// Per-iteration trajectory (for convergence plots).
+    pub history: Vec<IterationRecord>,
+    /// The absolute per-objective δ the run used.
+    pub delta: Vec<f64>,
+}
+
+/// The Pareto-driven auto-tuner (Algorithm 1).
+///
+/// See the [crate-level documentation](crate) for the loop structure and
+/// an end-to-end example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpaTuner {
+    config: PpaTunerConfig,
+}
+
+impl PpaTuner {
+    /// Creates a tuner with the given configuration.
+    pub fn new(config: PpaTunerConfig) -> Self {
+        PpaTuner { config }
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &PpaTunerConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 over `candidates` (unit-cube-encoded
+    /// configurations of the target task), pulling golden QoR values from
+    /// `oracle` and transferring knowledge from `source`.
+    ///
+    /// # Errors
+    ///
+    /// - [`TunerError::InvalidInput`] for an empty/inconsistent candidate
+    ///   set or source;
+    /// - [`TunerError::InvalidConfig`] for out-of-range options;
+    /// - [`TunerError::Surrogate`] when GP fitting fails irrecoverably.
+    pub fn run<O: QorOracle>(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+    ) -> Result<TuneResult> {
+        self.config.validate()?;
+        if candidates.is_empty() {
+            return Err(TunerError::InvalidInput {
+                reason: "candidate set must not be empty",
+            });
+        }
+        let dim = candidates[0].len();
+        if dim == 0 || candidates.iter().any(|c| c.len() != dim) {
+            return Err(TunerError::InvalidInput {
+                reason: "candidates must share a non-zero dimension",
+            });
+        }
+        if !source.is_empty() && source.x[0].len() != dim {
+            return Err(TunerError::InvalidInput {
+                reason: "source and candidate dimensions differ",
+            });
+        }
+
+        let n = candidates.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // ------------------------------------------------- initialization
+        // Greedy maximin selection seeded by a random pick: the random
+        // sampling of the paper with better space coverage for the same
+        // budget (pure-random ablation: shuffle and truncate instead).
+        let init_count = self.config.initial_samples.min(n);
+        let mut init_idx: Vec<usize> = Vec::with_capacity(init_count);
+        {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            init_idx.push(order[0]);
+            let mut dist = vec![f64::INFINITY; n];
+            while init_idx.len() < init_count {
+                let last = *init_idx.last().expect("non-empty");
+                for (i, d) in dist.iter_mut().enumerate() {
+                    let dd = sq_dist(&candidates[i], &candidates[last]);
+                    if dd < *d {
+                        *d = dd;
+                    }
+                }
+                let next = (0..n)
+                    .filter(|i| !init_idx.contains(i))
+                    .max_by(|&a, &b| {
+                        dist[a].partial_cmp(&dist[b]).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("candidates remain");
+                init_idx.push(next);
+            }
+        }
+
+        let mut evaluated: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut evaluated_flag = vec![false; n];
+        for &i in &init_idx {
+            let y = oracle.evaluate(i);
+            evaluated_flag[i] = true;
+            evaluated.push((i, y));
+        }
+        let n_obj = evaluated[0].1.len();
+        if n_obj == 0 || evaluated.iter().any(|(_, y)| y.len() != n_obj) {
+            return Err(TunerError::InvalidInput {
+                reason: "oracle QoR vectors must share a non-zero dimension",
+            });
+        }
+        if let Some(m) = source.objectives() {
+            if m != n_obj {
+                return Err(TunerError::InvalidInput {
+                    reason: "source and oracle objective counts differ",
+                });
+            }
+        }
+
+        // Absolute δ from the observed initialization ranges.
+        let delta: Vec<f64> = (0..n_obj)
+            .map(|k| {
+                let vals: Vec<f64> = evaluated.iter().map(|(_, y)| y[k]).collect();
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                (hi - lo).max(f64::MIN_POSITIVE) * self.config.delta_rel
+            })
+            .collect();
+
+        let mut regions: Vec<UncertaintyRegion> =
+            (0..n).map(|_| UncertaintyRegion::unbounded(n_obj)).collect();
+        for (i, y) in &evaluated {
+            regions[*i].collapse_to(y);
+        }
+        let mut statuses = vec![Status::Undecided; n];
+
+        let source_tasks: Vec<TaskData> = (0..n_obj).map(|k| source.task_data(k)).collect();
+        let mut cached_configs: Vec<Option<TransferGpConfig>> = vec![None; n_obj];
+
+        let mut history = Vec::new();
+        let mut iterations = 0;
+        let mut last_models: Option<Vec<TransferGp>> = None;
+
+        // ------------------------------------------------------- the loop
+        for t in 0..self.config.max_iterations {
+            let undecided_exists = statuses.contains(&Status::Undecided);
+            if !undecided_exists {
+                break;
+            }
+            iterations = t + 1;
+
+            // ---- model calibration (Algorithm 1, lines 4-6)
+            let target_tasks: Vec<TaskData> = (0..n_obj)
+                .map(|k| {
+                    TaskData::new(
+                        evaluated.iter().map(|(i, _)| candidates[*i].clone()).collect(),
+                        evaluated.iter().map(|(_, y)| y[k]).collect(),
+                    )
+                })
+                .collect();
+
+            let mut models: Vec<TransferGp> = Vec::with_capacity(n_obj);
+            for k in 0..n_obj {
+                let needs_refit =
+                    cached_configs[k].is_none() || t % self.config.refit_every.max(1) == 0;
+                let model = if needs_refit {
+                    let m = fit_transfer_gp(
+                        &source_tasks[k],
+                        &target_tasks[k],
+                        dim,
+                        self.config.fit_budget,
+                        &mut rng,
+                    )?;
+                    cached_configs[k] = Some(m.config().clone());
+                    m
+                } else {
+                    let cfg = cached_configs[k].clone().expect("checked above");
+                    TransferGp::fit(source_tasks[k].clone(), target_tasks[k].clone(), cfg)?
+                };
+                models.push(model);
+            }
+
+            // Predict boxes for active, un-evaluated candidates.
+            let active: Vec<usize> = (0..n)
+                .filter(|&i| statuses[i] != Status::Dropped && !evaluated_flag[i])
+                .collect();
+            let boxes = predict_boxes(
+                &models,
+                candidates,
+                &active,
+                self.config.tau,
+                self.config.threads,
+            )?;
+            for (pos, &i) in active.iter().enumerate() {
+                let (lo, hi) = &boxes[pos];
+                regions[i].intersect(lo, hi);
+            }
+            last_models = Some(models);
+
+            // ---- decision-making (lines 7-9)
+            classify(&regions, &mut statuses, &delta);
+
+            if !statuses.contains(&Status::Undecided) {
+                record(&mut history, t, &statuses, oracle.runs());
+                break;
+            }
+
+            // ---- selection (lines 10-11): longest-diameter active
+            // candidates, batched.
+            let mut selectable: Vec<(usize, f64)> = (0..n)
+                .filter(|&i| statuses[i] != Status::Dropped && !evaluated_flag[i])
+                .map(|i| (i, regions[i].diameter()))
+                .collect();
+            selectable.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let batch: Vec<usize> = selectable
+                .iter()
+                .take(self.config.batch_size)
+                .filter(|(_, d)| *d > 0.0)
+                .map(|(i, _)| *i)
+                .collect();
+            if batch.is_empty() {
+                // Everything informative has been measured.
+                record(&mut history, t, &statuses, oracle.runs());
+                break;
+            }
+            for i in batch {
+                let y = oracle.evaluate(i);
+                regions[i].collapse_to(&y);
+                evaluated_flag[i] = true;
+                evaluated.push((i, y));
+            }
+
+            record(&mut history, t, &statuses, oracle.runs());
+        }
+
+        // Final classification pass so late evaluations settle the sets.
+        classify(&regions, &mut statuses, &delta);
+        let search_runs = oracle.runs();
+
+        // Closing step of the paper's flow: the predicted Pareto set is
+        // fed through the PD tool for verification. Candidate set = the
+        // classified Pareto members plus the measured front; verification
+        // evaluates any member not yet measured, and the final answer is
+        // the non-dominated subset on golden values.
+        let mut final_candidates: Vec<usize> = (0..n)
+            .filter(|&i| statuses[i] == Status::Pareto)
+            .collect();
+        // When the loop stopped before full classification, add the
+        // surrogate's predicted front over the still-active candidates.
+        if self.config.include_predicted_front {
+            if let Some(models) = &last_models {
+                let undecided: Vec<usize> = (0..n)
+                    .filter(|&i| statuses[i] == Status::Undecided && !evaluated_flag[i])
+                    .collect();
+                if !undecided.is_empty() {
+                    let mut mus: Vec<Vec<f64>> = Vec::with_capacity(undecided.len());
+                    for &i in &undecided {
+                        let mut mu = Vec::with_capacity(n_obj);
+                        for model in models {
+                            mu.push(model.predict_latent(&candidates[i])?.0);
+                        }
+                        mus.push(mu);
+                    }
+                    for j in pareto::front::pareto_front(&mus) {
+                        let idx = undecided[j];
+                        if !final_candidates.contains(&idx) {
+                            final_candidates.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let pts: Vec<Vec<f64>> = evaluated.iter().map(|(_, y)| y.clone()).collect();
+            for j in pareto::front::pareto_front(&pts) {
+                let idx = evaluated[j].0;
+                if !final_candidates.contains(&idx) {
+                    final_candidates.push(idx);
+                }
+            }
+        }
+        let mut truth: Vec<(usize, Vec<f64>)> = Vec::with_capacity(final_candidates.len());
+        for &i in &final_candidates {
+            let y = match evaluated.iter().find(|(j, _)| *j == i) {
+                Some((_, y)) => y.clone(),
+                None => oracle.evaluate(i),
+            };
+            truth.push((i, y));
+        }
+        let pts: Vec<Vec<f64>> = truth.iter().map(|(_, y)| y.clone()).collect();
+        let pareto_indices: Vec<usize> = pareto::front::pareto_front(&pts)
+            .into_iter()
+            .map(|j| truth[j].0)
+            .collect();
+
+        Ok(TuneResult {
+            pareto_indices,
+            runs: search_runs,
+            verification_runs: oracle.runs() - search_runs,
+            iterations,
+            history,
+            delta,
+            evaluated,
+        })
+    }
+}
+
+fn record(history: &mut Vec<IterationRecord>, t: usize, statuses: &[Status], runs: usize) {
+    let mut undecided = 0;
+    let mut pareto = 0;
+    let mut dropped = 0;
+    for s in statuses {
+        match s {
+            Status::Undecided => undecided += 1,
+            Status::Pareto => pareto += 1,
+            Status::Dropped => dropped += 1,
+        }
+    }
+    history.push(IterationRecord {
+        iteration: t,
+        undecided,
+        pareto,
+        dropped,
+        runs,
+    });
+}
+
+/// Predicts `[μ − √τ·σ, μ + √τ·σ]` boxes for the active candidates, in
+/// parallel chunks across `threads` scoped threads.
+fn predict_boxes(
+    models: &[TransferGp],
+    candidates: &[Vec<f64>],
+    active: &[usize],
+    tau: f64,
+    threads: usize,
+) -> Result<Vec<(Vec<f64>, Vec<f64>)>> {
+    let n_obj = models.len();
+    let scale = tau.sqrt();
+    let work = |i: usize| -> Result<(Vec<f64>, Vec<f64>)> {
+        let mut lo = Vec::with_capacity(n_obj);
+        let mut hi = Vec::with_capacity(n_obj);
+        for model in models {
+            let (mu, var) = model.predict_latent(&candidates[i])?;
+            let sd = var.max(0.0).sqrt();
+            lo.push(mu - scale * sd);
+            hi.push(mu + scale * sd);
+        }
+        Ok((lo, hi))
+    };
+
+    let threads = threads.max(1).min(active.len().max(1));
+    if threads == 1 || active.len() < 64 {
+        return active.iter().map(|&i| work(i)).collect();
+    }
+
+    let chunk = active.len().div_ceil(threads);
+    let mut results: Vec<Option<Result<Vec<(Vec<f64>, Vec<f64>)>>>> =
+        (0..threads).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (slot, ids) in active.chunks(chunk).enumerate() {
+            handles.push((
+                slot,
+                s.spawn(move || ids.iter().map(|&i| work(i)).collect::<Result<Vec<_>>>()),
+            ));
+        }
+        for (slot, h) in handles {
+            results[slot] = Some(h.join().expect("prediction worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(active.len());
+    for r in results.into_iter().flatten() {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Squared Euclidean distance (local helper; avoids a linalg dependency).
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::VecOracle;
+
+    /// A deterministic toy landscape: 1-D configurations, two objectives
+    /// with a clean convex trade-off plus one dominated "bump" region.
+    fn toy(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let candidates: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let truth: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|p| {
+                let x = p[0];
+                let bump = if (0.4..0.6).contains(&x) { 0.3 } else { 0.0 };
+                vec![x + bump + 0.05, (1.0 - x).powi(2) + bump + 0.05]
+            })
+            .collect();
+        (candidates, truth)
+    }
+
+    fn shifted_source(candidates: &[Vec<f64>], truth: &[Vec<f64>]) -> SourceData {
+        SourceData::new(
+            candidates.to_vec(),
+            truth
+                .iter()
+                .map(|y| y.iter().map(|v| v * 1.1 + 0.02).collect())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> PpaTunerConfig {
+        PpaTunerConfig {
+            initial_samples: 8,
+            max_iterations: 40,
+            refit_every: 10,
+            fit_budget: FitBudget {
+                restarts: 1,
+                evals_per_restart: 60,
+            },
+            threads: 2,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_true_front_on_toy_problem() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let mut oracle = VecOracle::new(truth.clone());
+        let result = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
+
+        assert!(!result.pareto_indices.is_empty());
+        // The predicted set should stay close to the true front: ADRS of
+        // the predicted configurations' true values must be small.
+        let golden: Vec<Vec<f64>> = pareto::front::pareto_front(&truth)
+            .into_iter()
+            .map(|i| truth[i].clone())
+            .collect();
+        let predicted: Vec<Vec<f64>> = result
+            .pareto_indices
+            .iter()
+            .map(|&i| truth[i].clone())
+            .collect();
+        let adrs = pareto::metrics::adrs(&golden, &predicted).unwrap();
+        assert!(adrs < 0.25, "adrs {adrs}");
+    }
+
+    #[test]
+    fn uses_fewer_runs_than_exhaustive() {
+        let (candidates, truth) = toy(60);
+        let source = shifted_source(&candidates, &truth);
+        let mut oracle = VecOracle::new(truth);
+        let result = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
+        assert!(
+            result.runs < 60,
+            "tuner used {} runs on 60 candidates",
+            result.runs
+        );
+        assert_eq!(result.runs, result.evaluated.len());
+    }
+
+    #[test]
+    fn works_without_source_data() {
+        let (candidates, truth) = toy(30);
+        let mut oracle = VecOracle::new(truth);
+        let result = PpaTuner::new(quick_config())
+            .run(&SourceData::empty(), &candidates, &mut oracle)
+            .unwrap();
+        assert!(!result.pareto_indices.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let run = || {
+            let mut oracle = VecOracle::new(truth.clone());
+            PpaTuner::new(quick_config())
+                .run(&source, &candidates, &mut oracle)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.pareto_indices, b.pareto_indices);
+        assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn history_is_monotone_in_decisions() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let mut oracle = VecOracle::new(truth);
+        let result = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
+        for w in result.history.windows(2) {
+            assert!(w[1].dropped >= w[0].dropped, "drops cannot be undone");
+            assert!(w[1].runs >= w[0].runs);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut oracle = VecOracle::new(vec![vec![1.0, 2.0]]);
+        let tuner = PpaTuner::new(quick_config());
+        assert!(matches!(
+            tuner.run(&SourceData::empty(), &[], &mut oracle),
+            Err(TunerError::InvalidInput { .. })
+        ));
+        let bad_cfg = PpaTunerConfig {
+            tau: -1.0,
+            ..quick_config()
+        };
+        assert!(matches!(
+            PpaTuner::new(bad_cfg).run(&SourceData::empty(), &[vec![0.0]], &mut oracle),
+            Err(TunerError::InvalidConfig { name: "tau", .. })
+        ));
+        let bad_init = PpaTunerConfig {
+            initial_samples: 1,
+            ..quick_config()
+        };
+        assert!(matches!(
+            PpaTuner::new(bad_init).run(&SourceData::empty(), &[vec![0.0]], &mut oracle),
+            Err(TunerError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn source_data_validation() {
+        assert!(SourceData::new(vec![vec![0.0]], vec![]).is_err());
+        assert!(SourceData::new(vec![vec![0.0]], vec![vec![]]).is_err());
+        assert!(
+            SourceData::new(vec![vec![0.0]], vec![vec![1.0, 2.0]]).is_ok()
+        );
+        let s = SourceData::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.objectives(), Some(2));
+    }
+
+    #[test]
+    fn batch_mode_evaluates_multiple_per_iteration() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let cfg = PpaTunerConfig {
+            batch_size: 4,
+            max_iterations: 5,
+            ..quick_config()
+        };
+        let mut oracle = VecOracle::new(truth);
+        let result = PpaTuner::new(cfg).run(&source, &candidates, &mut oracle).unwrap();
+        // 8 init + up to 5 iterations × 4 batch.
+        assert!(result.runs <= 8 + 20);
+        assert!(result.runs > 8);
+    }
+}

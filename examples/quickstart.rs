@@ -1,0 +1,61 @@
+//! Quickstart: tune the physical-design flow of a small MAC design over
+//! the power–delay trade-off, transferring knowledge from a source task.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced-scale version of the paper's Scenario Two: a 1440-point
+    // source benchmark on the small MAC and a 727-point target benchmark
+    // on the large MAC, here shrunk to keep the example fast.
+    let scenario = Scenario::two_with_counts(42, 300, 250);
+    let space = ObjectiveSpace::PowerDelay;
+
+    // Tool-parameter configurations of the target task, unit-cube encoded.
+    let candidates = scenario.target_candidates();
+
+    // The "PD tool": here a precomputed golden table; swap in any
+    // `QorOracle` implementation to drive a live flow.
+    let mut oracle = VecOracle::new(scenario.target_table(space));
+
+    // 200 historical tool runs from the source task.
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy)?;
+
+    let config = PpaTunerConfig {
+        initial_samples: 16,
+        max_iterations: 20,
+        seed: 7,
+        ..Default::default()
+    };
+    let result = PpaTuner::new(config).run(&source, &candidates, &mut oracle)?;
+
+    println!(
+        "tuned with {} tool runs (+{} verification runs), {} iterations",
+        result.runs, result.verification_runs, result.iterations
+    );
+    println!("predicted Pareto-optimal configurations:");
+    let table = scenario.target_table(space);
+    for &i in &result.pareto_indices {
+        println!(
+            "  candidate {:>4}: power = {:6.3} mW, delay = {:6.4} ns",
+            i, table[i][0], table[i][1]
+        );
+    }
+
+    // How good is it? Compare against the golden front of the benchmark.
+    let golden = scenario.target().golden_front(space);
+    let predicted: Vec<Vec<f64>> = result
+        .pareto_indices
+        .iter()
+        .map(|&i| table[i].clone())
+        .collect();
+    let reference = pareto::hypervolume::reference_point(&table, 1.1)?;
+    let hv_err = pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)?;
+    let adrs = pareto::metrics::adrs(&golden, &predicted)?;
+    println!("hypervolume error = {hv_err:.4}, ADRS = {adrs:.4}");
+    Ok(())
+}

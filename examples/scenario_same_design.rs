@@ -1,0 +1,47 @@
+//! Scenario One of the paper (§4.2.1): same design, different parameter
+//! preferences. Shows the value of transferring source-task knowledge by
+//! running the tuner with and without the historical data.
+//!
+//! Run with: `cargo run --release --example scenario_same_design`
+
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Reduced-scale Source1 → Target1 (full scale is 5000 + 5000 points).
+    let scenario = Scenario::one_with_counts(1, 600, 500).with_source_budget(200);
+    let space = ObjectiveSpace::AreaPowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let golden = scenario.target().golden_front(space);
+    let reference = pareto::hypervolume::reference_point(&table, 1.1)?;
+
+    let (sx, sy) = scenario.source_xy(space);
+    let with_history = SourceData::new(sx, sy)?;
+
+    println!("Scenario One: tuning {} candidates in {} objectives", candidates.len(), space.dim());
+    for (label, source) in [("with transfer", with_history), ("without transfer", SourceData::empty())] {
+        let config = PpaTunerConfig {
+            initial_samples: 25,
+            max_iterations: 20,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut oracle = VecOracle::new(table.clone());
+        let result = PpaTuner::new(config).run(&source, &candidates, &mut oracle)?;
+        let predicted: Vec<Vec<f64>> = result
+            .pareto_indices
+            .iter()
+            .map(|&i| table[i].clone())
+            .collect();
+        let hv = pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)?;
+        let adrs = pareto::metrics::adrs(&golden, &predicted)?;
+        println!(
+            "{label:<18}: HV error = {hv:.4}, ADRS = {adrs:.4}, runs = {}, |front| = {}",
+            result.runs,
+            result.pareto_indices.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Scenario Two of the paper (§4.2.2): transferring from a small design
+//! to a similar larger one, with every method of Tables 2–3 compared on
+//! the same reduced-scale benchmark.
+//!
+//! Run with: `cargo run --release --example scenario_similar_designs`
+
+use baselines::{
+    Aspdac20, Aspdac20Params, Dac19, Dac19Params, Mlcad19, Mlcad19Params, RandomSearch,
+    Tcad19, Tcad19Params,
+};
+use benchgen::Scenario;
+use pdsim::ObjectiveSpace;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::two_with_counts(5, 400, 300).with_source_budget(200);
+    let space = ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let golden = scenario.target().golden_front(space);
+    let reference = pareto::hypervolume::reference_point(&table, 1.1)?;
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy)?;
+
+    let report = |label: &str, indices: &[usize], runs: usize| {
+        let predicted: Vec<Vec<f64>> = indices.iter().map(|&i| table[i].clone()).collect();
+        let hv =
+            pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference).unwrap();
+        let adrs = pareto::metrics::adrs(&golden, &predicted).unwrap();
+        println!("{label:<12} HV={hv:.4} ADRS={adrs:.4} runs={runs}");
+    };
+
+    println!(
+        "Scenario Two on {} target candidates ({} golden front points)",
+        candidates.len(),
+        golden.len()
+    );
+
+    let budget = 36;
+
+    let mut o = VecOracle::new(table.clone());
+    let r = RandomSearch::new(budget, 5).tune(&candidates, &mut o)?;
+    report("random", &r.pareto_indices, r.runs);
+
+    let mut o = VecOracle::new(table.clone());
+    let r = Tcad19::new(Tcad19Params {
+        budget: budget + 12,
+        initial_samples: 12,
+        seed: 5,
+        ..Default::default()
+    })
+    .tune(&candidates, &mut o)?;
+    report("TCAD'19", &r.pareto_indices, r.runs);
+
+    let mut o = VecOracle::new(table.clone());
+    let r = Mlcad19::new(Mlcad19Params {
+        budget,
+        initial_samples: 12,
+        seed: 5,
+        ..Default::default()
+    })
+    .tune(&candidates, &mut o)?;
+    report("MLCAD'19", &r.pareto_indices, r.runs);
+
+    let mut o = VecOracle::new(table.clone());
+    let r = Dac19::new(Dac19Params {
+        budget: budget + 30,
+        initial_samples: 15,
+        seed: 5,
+        ..Default::default()
+    })
+    .tune(&candidates, &mut o)?;
+    report("DAC'19", &r.pareto_indices, r.runs);
+
+    let mut o = VecOracle::new(table.clone());
+    let r = Aspdac20::new(Aspdac20Params {
+        budget,
+        initial_samples: 12,
+        seed: 5,
+        ..Default::default()
+    })
+    .tune(&source, &candidates, &mut o)?;
+    report("ASPDAC'20", &r.pareto_indices, r.runs);
+
+    let mut o = VecOracle::new(table.clone());
+    let r = PpaTuner::new(PpaTunerConfig {
+        initial_samples: 15,
+        max_iterations: 18,
+        seed: 5,
+        ..Default::default()
+    })
+    .run(&source, &candidates, &mut o)?;
+    report("PPATuner", &r.pareto_indices, r.runs);
+
+    Ok(())
+}

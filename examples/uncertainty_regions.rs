@@ -1,0 +1,49 @@
+//! Figure 2 of the paper, as runnable code: uncertainty regions, their
+//! monotone shrinkage (Eq. 10), and the δ-classification rules
+//! (Eqs. 11–12) on a hand-crafted two-objective example.
+//!
+//! Run with: `cargo run --example uncertainty_regions`
+
+use ppatuner::{classify, Status, UncertaintyRegion};
+
+fn main() {
+    // Three candidates in a (power, delay) space:
+    //   a: measured exactly at (2, 2)        — a strong trade-off point;
+    //   b: uncertain box around (1.5, 3.5)   — might extend the front;
+    //   c: uncertain box around (4, 4)       — probably dominated.
+    let a = UncertaintyRegion::point(&[2.0, 2.0]);
+
+    let mut b = UncertaintyRegion::unbounded(2);
+    b.intersect(&[1.0, 3.0], &[2.0, 4.0]);
+
+    let mut c = UncertaintyRegion::unbounded(2);
+    c.intersect(&[3.0, 3.0], &[5.0, 5.0]);
+
+    let regions = vec![a, b, c];
+    let mut statuses = vec![Status::Undecided; 3];
+    let delta = [0.1, 0.1];
+
+    println!("iteration 1: wide model uncertainty");
+    for (i, r) in regions.iter().enumerate() {
+        println!(
+            "  candidate {i}: optimistic {:?}, pessimistic {:?}, diameter {:.3}",
+            r.optimistic(),
+            r.pessimistic(),
+            r.diameter()
+        );
+    }
+    let outcome = classify(&regions, &mut statuses, &delta);
+    println!("  dropped: {:?}, promoted: {:?}", outcome.dropped, outcome.promoted);
+    println!("  statuses: {statuses:?}");
+
+    // The model saw more data: candidate b's region shrinks (Eq. 10 —
+    // intersection can only tighten), candidate c is unchanged.
+    let mut regions = regions;
+    regions[1].intersect(&[1.2, 3.1], &[1.6, 3.6]);
+    println!("\niteration 2: candidate 1 tightened to {:?} .. {:?}",
+        regions[1].optimistic(), regions[1].pessimistic());
+    let outcome = classify(&regions, &mut statuses, &delta);
+    println!("  dropped: {:?}, promoted: {:?}", outcome.dropped, outcome.promoted);
+    println!("  statuses: {statuses:?}");
+    println!("\nδ-accuracy: every promoted candidate is at most δ = {delta:?} worse\nthan any true Pareto point in each objective (Eq. 12).");
+}

@@ -1,0 +1,27 @@
+//! Workspace umbrella crate of the PPATuner reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! surface lives in the member crates, re-exported here for convenience:
+//!
+//! - [`ppatuner`] — the Pareto-driven transfer-GP auto-tuner (the paper's
+//!   contribution);
+//! - [`benchgen`] — the paper's four offline benchmarks and two transfer
+//!   scenarios;
+//! - [`pdsim`] — the physical-design-flow simulator standing in for the
+//!   closed commercial tool;
+//! - [`baselines`] — the compared methods of Tables 2–3;
+//! - [`gp`], [`pareto`], [`doe`], [`boost`], [`linalg`] — substrates.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the reproduction methodology and measured results.
+
+pub use baselines;
+pub use benchgen;
+pub use boost;
+pub use doe;
+pub use gp;
+pub use linalg;
+pub use pareto;
+pub use pdsim;
+pub use ppatuner;
