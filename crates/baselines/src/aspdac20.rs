@@ -8,9 +8,7 @@ use rand::SeedableRng;
 use boost::{GbmParams, GradientBoosting};
 use ppatuner::{QorOracle, SourceData};
 
-use crate::common::{
-    check_inputs, evaluate_all, random_weights, BaselineResult,
-};
+use crate::common::{check_inputs, evaluate_all, random_weights, BaselineResult};
 use crate::Result;
 
 /// Options of the [`Aspdac20`] tuner.
@@ -94,8 +92,10 @@ impl Aspdac20 {
                 .partial_cmp(&importances[a])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let important: Vec<usize> =
-            ranked.into_iter().take(self.params.top_features.max(1)).collect();
+        let important: Vec<usize> = ranked
+            .into_iter()
+            .take(self.params.top_features.max(1))
+            .collect();
 
         // ---- Phase 2a: importance-stratified initialization. Cluster
         // candidates by the sign pattern (low/high halves) of important
@@ -146,8 +146,10 @@ impl Aspdac20 {
 
         // ---- Phase 2b: boosted-tree exploit/explore rounds.
         while oracle.runs() < self.params.budget && evaluated.len() < n {
-            let x: Vec<Vec<f64>> =
-                evaluated.iter().map(|(i, _)| candidates[*i].clone()).collect();
+            let x: Vec<Vec<f64>> = evaluated
+                .iter()
+                .map(|(i, _)| candidates[*i].clone())
+                .collect();
             let mut models = Vec::with_capacity(n_obj);
             for k in 0..n_obj {
                 let y: Vec<f64> = evaluated.iter().map(|(_, v)| v[k]).collect();

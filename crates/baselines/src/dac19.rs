@@ -8,9 +8,7 @@ use rand::SeedableRng;
 
 use ppatuner::QorOracle;
 
-use crate::common::{
-    check_inputs, distinct_indices, evaluate_all, random_weights, BaselineResult,
-};
+use crate::common::{check_inputs, distinct_indices, evaluate_all, random_weights, BaselineResult};
 use crate::{BaselineError, Result};
 
 /// Options of the [`Dac19`] tuner.
@@ -125,8 +123,10 @@ impl Dac19 {
             let models: Vec<FactorModel> = (0..n_obj)
                 .map(|k| {
                     let ys: Vec<f64> = evaluated.iter().map(|(_, y)| y[k]).collect();
-                    let xs: Vec<&[usize]> =
-                        evaluated.iter().map(|(i, _)| feats[*i].as_slice()).collect();
+                    let xs: Vec<&[usize]> = evaluated
+                        .iter()
+                        .map(|(i, _)| feats[*i].as_slice())
+                        .collect();
                     FactorModel::train(&xs, &ys, n_feats, self.params, &mut rng)
                 })
                 .collect();
@@ -221,13 +221,10 @@ impl FactorModel {
                     }
                 }
                 for &f in xs[s] {
-                    model.feat_bias[f] -= p.learning_rate
-                        * (err + p.reg * model.feat_bias[f]);
-                    for r in 0..p.rank {
-                        let vf = model.latent[f][r];
-                        let grad = vsum[r] - vf;
-                        model.latent[f][r] -=
-                            p.learning_rate * (err * grad + p.reg * vf);
+                    model.feat_bias[f] -= p.learning_rate * (err + p.reg * model.feat_bias[f]);
+                    for (&vs, vf) in vsum.iter().zip(model.latent[f].iter_mut()) {
+                        let grad = vs - *vf;
+                        *vf -= p.learning_rate * (err * grad + p.reg * *vf);
                     }
                 }
             }
@@ -309,9 +306,7 @@ mod tests {
             epochs: 120,
             ..Default::default()
         };
-        let feats: Vec<Vec<usize>> = (0..60)
-            .map(|i| vec![(i % 6), 6 + (i / 10) % 6])
-            .collect();
+        let feats: Vec<Vec<usize>> = (0..60).map(|i| vec![(i % 6), 6 + (i / 10) % 6]).collect();
         let ys: Vec<f64> = feats.iter().map(|f| f[0] as f64 * 2.0).collect();
         let xs: Vec<&[usize]> = feats.iter().map(Vec::as_slice).collect();
         let model = FactorModel::train(&xs, &ys, 12, p, &mut rng);
@@ -337,8 +332,14 @@ mod tests {
         for p in [
             Dac19Params { bins: 1, ..quick() },
             Dac19Params { rank: 0, ..quick() },
-            Dac19Params { batch: 0, ..quick() },
-            Dac19Params { budget: 0, ..quick() },
+            Dac19Params {
+                batch: 0,
+                ..quick()
+            },
+            Dac19Params {
+                budget: 0,
+                ..quick()
+            },
         ] {
             assert!(Dac19::new(p).tune(&candidates, &mut oracle).is_err());
         }

@@ -10,8 +10,7 @@ use gp::GpRegressor;
 use ppatuner::QorOracle;
 
 use crate::common::{
-    check_inputs, distinct_indices, evaluate_all, objective_ranges, random_weights,
-    BaselineResult,
+    check_inputs, distinct_indices, evaluate_all, objective_ranges, random_weights, BaselineResult,
 };
 use crate::Result;
 
@@ -114,7 +113,10 @@ impl Mlcad19 {
         while oracle.runs() < self.params.budget && evaluated.len() < n {
             // Fit one GP per objective; periodically re-select the
             // lengthscale by marginal likelihood over a small grid.
-            let x: Vec<Vec<f64>> = evaluated.iter().map(|(i, _)| candidates[*i].clone()).collect();
+            let x: Vec<Vec<f64>> = evaluated
+                .iter()
+                .map(|(i, _)| candidates[*i].clone())
+                .collect();
             let mut gps = Vec::with_capacity(n_obj);
             for k in 0..n_obj {
                 let y: Vec<f64> = evaluated.iter().map(|(_, v)| v[k]).collect();
@@ -212,7 +214,9 @@ mod tests {
     fn stays_within_budget() {
         let (candidates, truth) = toy(60);
         let mut oracle = VecOracle::new(truth);
-        let r = Mlcad19::new(quick()).tune(&candidates, &mut oracle).unwrap();
+        let r = Mlcad19::new(quick())
+            .tune(&candidates, &mut oracle)
+            .unwrap();
         assert_eq!(r.runs, 20);
         assert!(!r.pareto_indices.is_empty());
     }
@@ -243,7 +247,9 @@ mod tests {
         let mut rand_sum = 0.0;
         for seed in 0..5 {
             let mut o2 = VecOracle::new(truth.clone());
-            let rs = crate::RandomSearch::new(30, seed).tune(&candidates, &mut o2).unwrap();
+            let rs = crate::RandomSearch::new(30, seed)
+                .tune(&candidates, &mut o2)
+                .unwrap();
             rand_sum += hv_err(&rs.pareto_indices);
         }
         assert!(
@@ -259,7 +265,9 @@ mod tests {
         let (candidates, truth) = toy(40);
         let run = || {
             let mut oracle = VecOracle::new(truth.clone());
-            Mlcad19::new(quick()).tune(&candidates, &mut oracle).unwrap()
+            Mlcad19::new(quick())
+                .tune(&candidates, &mut oracle)
+                .unwrap()
         };
         assert_eq!(run(), run());
     }
@@ -268,7 +276,10 @@ mod tests {
     fn rejects_zero_budget() {
         let (candidates, truth) = toy(10);
         let mut oracle = VecOracle::new(truth);
-        let p = Mlcad19Params { budget: 0, ..quick() };
+        let p = Mlcad19Params {
+            budget: 0,
+            ..quick()
+        };
         assert!(Mlcad19::new(p).tune(&candidates, &mut oracle).is_err());
     }
 }

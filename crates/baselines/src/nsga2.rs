@@ -260,11 +260,16 @@ mod tests {
         // Evolution with extra budget should beat a same-seed random
         // population of the initial size.
         let mut o = VecOracle::new(truth.clone());
-        let evolved = Nsga2::new(Nsga2Params { budget: 60, ..quick() })
+        let evolved = Nsga2::new(Nsga2Params {
+            budget: 60,
+            ..quick()
+        })
+        .tune(&candidates, &mut o)
+        .unwrap();
+        let mut o = VecOracle::new(truth.clone());
+        let random = crate::RandomSearch::new(12, 3)
             .tune(&candidates, &mut o)
             .unwrap();
-        let mut o = VecOracle::new(truth.clone());
-        let random = crate::RandomSearch::new(12, 3).tune(&candidates, &mut o).unwrap();
         assert!(
             hv(&evolved.pareto_indices) <= hv(&random.pareto_indices) + 1e-9,
             "evolved {} vs initial-random {}",
@@ -288,9 +293,18 @@ mod tests {
         let (candidates, truth) = toy(10);
         let mut oracle = VecOracle::new(truth);
         for p in [
-            Nsga2Params { population: 2, ..quick() },
-            Nsga2Params { offspring: 0, ..quick() },
-            Nsga2Params { budget: 0, ..quick() },
+            Nsga2Params {
+                population: 2,
+                ..quick()
+            },
+            Nsga2Params {
+                offspring: 0,
+                ..quick()
+            },
+            Nsga2Params {
+                budget: 0,
+                ..quick()
+            },
         ] {
             assert!(Nsga2::new(p).tune(&candidates, &mut oracle).is_err());
         }

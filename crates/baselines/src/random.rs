@@ -73,7 +73,9 @@ mod tests {
             .map(|p| vec![p[0] + 0.1, (1.0 - p[0]).powi(2) + 0.1])
             .collect();
         let mut oracle = VecOracle::new(truth.clone());
-        let result = RandomSearch::new(25, 3).tune(&candidates, &mut oracle).unwrap();
+        let result = RandomSearch::new(25, 3)
+            .tune(&candidates, &mut oracle)
+            .unwrap();
         assert_eq!(result.runs, 25);
         assert!(!result.pareto_indices.is_empty());
         // Every reported index is non-dominated among the evaluated set.
@@ -90,7 +92,9 @@ mod tests {
         let truth: Vec<Vec<f64>> = candidates.iter().map(|p| vec![p[0], 1.0 - p[0]]).collect();
         let run = |seed| {
             let mut oracle = VecOracle::new(truth.clone());
-            RandomSearch::new(10, seed).tune(&candidates, &mut oracle).unwrap()
+            RandomSearch::new(10, seed)
+                .tune(&candidates, &mut oracle)
+                .unwrap()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5).evaluated, run(6).evaluated);
@@ -101,7 +105,9 @@ mod tests {
         let candidates = vec![vec![0.0], vec![1.0]];
         let truth = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
         let mut oracle = VecOracle::new(truth);
-        let result = RandomSearch::new(10, 0).tune(&candidates, &mut oracle).unwrap();
+        let result = RandomSearch::new(10, 0)
+            .tune(&candidates, &mut oracle)
+            .unwrap();
         assert_eq!(result.runs, 2);
     }
 }

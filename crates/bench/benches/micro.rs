@@ -126,6 +126,52 @@ fn tuner_decision_bench(c: &mut Criterion) {
     });
 }
 
+fn tuner_observability_bench(c: &mut Criterion) {
+    use benchgen::Scenario;
+    use obs::{RecordingSink, NULL_SINK};
+    use pdsim::ObjectiveSpace;
+    use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+    let scenario = Scenario::two_with_counts(42, 200, 160);
+    let space = ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("source");
+    let config = PpaTunerConfig {
+        initial_samples: 12,
+        max_iterations: 4,
+        seed: 9,
+        ..Default::default()
+    };
+
+    // The null sink must be free: `run` and `run_observed(&NULL_SINK)` are
+    // the same code path, and event construction is skipped when the
+    // observer is disabled. These two benches should be within noise
+    // (<2%); the recording variant shows the cost of actually tracing.
+    let mut group = c.benchmark_group("tuner");
+    group.bench_function("loop_null_sink", |b| {
+        b.iter(|| {
+            let mut oracle = VecOracle::new(table.clone());
+            PpaTuner::new(config.clone())
+                .run_observed(&source, &candidates, &mut oracle, &NULL_SINK)
+                .expect("tuning succeeds")
+                .runs
+        })
+    });
+    group.bench_function("loop_recording_sink", |b| {
+        b.iter(|| {
+            let sink = RecordingSink::new();
+            let mut oracle = VecOracle::new(table.clone());
+            PpaTuner::new(config.clone())
+                .run_observed(&source, &candidates, &mut oracle, &sink)
+                .expect("tuning succeeds")
+                .runs
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     gp_benches,
@@ -133,6 +179,7 @@ criterion_group!(
     hypervolume_bench,
     lhs_bench,
     pdsim_bench,
-    tuner_decision_bench
+    tuner_decision_bench,
+    tuner_observability_bench
 );
 criterion_main!(benches);

@@ -1,17 +1,18 @@
 //! Ablation A2: the relaxation δ — the paper's "precision controller" —
 //! swept over the accuracy-vs-tool-runs trade-off on Scenario Two.
 //!
-//! Usage: `cargo run -p bench --release --bin ablation_delta [seed]`
+//! Usage: `cargo run -p bench --release --bin ablation_delta [seed]
+//!         [--trace <path>] [-q|-v]`
 
+use bench::{BinArgs, Sinks};
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
 use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17);
+    let args = BinArgs::parse(17);
+    let sinks = Sinks::from_args(&args);
+    let seed = args.seed;
     let scenario = Scenario::two(seed);
     let space = ObjectiveSpace::PowerDelay;
     let candidates = scenario.target_candidates();
@@ -22,7 +23,10 @@ fn main() {
     let source = SourceData::new(sx, sy).expect("source");
 
     println!("A2: delta sweep on {} ({space})", scenario.name());
-    println!("{:>8} {:>8} {:>8} {:>6} {:>8} {:>8}", "delta", "HV", "ADRS", "runs", "verify", "iters");
+    println!(
+        "{:>8} {:>8} {:>8} {:>6} {:>8} {:>8}",
+        "delta", "HV", "ADRS", "runs", "verify", "iters"
+    );
     for delta_rel in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20] {
         let mut hv = 0.0;
         let mut ad = 0.0;
@@ -41,7 +45,7 @@ fn main() {
             };
             let mut oracle = VecOracle::new(table.clone());
             let r = PpaTuner::new(config)
-                .run(&source, &candidates, &mut oracle)
+                .run_observed(&source, &candidates, &mut oracle, &sinks.observer())
                 .expect("tuning succeeds");
             let predicted: Vec<Vec<f64>> =
                 r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
@@ -63,4 +67,5 @@ fn main() {
             iters / n
         );
     }
+    sinks.flush();
 }

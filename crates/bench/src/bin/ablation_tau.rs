@@ -2,17 +2,18 @@
 //! Scenario Two. Small τ classifies aggressively (fast, riskier); large τ
 //! is conservative (slow, safer).
 //!
-//! Usage: `cargo run -p bench --release --bin ablation_tau [seed]`
+//! Usage: `cargo run -p bench --release --bin ablation_tau [seed]
+//!         [--trace <path>] [-q|-v]`
 
+use bench::{BinArgs, Sinks};
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
 use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17);
+    let args = BinArgs::parse(17);
+    let sinks = Sinks::from_args(&args);
+    let seed = args.seed;
     let scenario = Scenario::two(seed);
     let space = ObjectiveSpace::AreaPowerDelay;
     let candidates = scenario.target_candidates();
@@ -23,7 +24,10 @@ fn main() {
     let source = SourceData::new(sx, sy).expect("source");
 
     println!("A3: tau sweep on {} ({space})", scenario.name());
-    println!("{:>6} {:>8} {:>8} {:>6} {:>8}", "tau", "HV", "ADRS", "runs", "dropped@end");
+    println!(
+        "{:>6} {:>8} {:>8} {:>6} {:>8}",
+        "tau", "HV", "ADRS", "runs", "dropped@end"
+    );
     for tau in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
         let mut hv = 0.0;
         let mut ad = 0.0;
@@ -40,7 +44,7 @@ fn main() {
             };
             let mut oracle = VecOracle::new(table.clone());
             let r = PpaTuner::new(config)
-                .run(&source, &candidates, &mut oracle)
+                .run_observed(&source, &candidates, &mut oracle, &sinks.observer())
                 .expect("tuning succeeds");
             let predicted: Vec<Vec<f64>> =
                 r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
@@ -60,4 +64,5 @@ fn main() {
             dropped / n
         );
     }
+    sinks.flush();
 }

@@ -1,19 +1,25 @@
 //! Ablation A1: transfer GP vs. independent GP (no source data), on both
 //! scenarios. Isolates the contribution of the paper's transfer kernel.
 //!
-//! Usage: `cargo run -p bench --release --bin ablation_transfer [seed]`
+//! Usage: `cargo run -p bench --release --bin ablation_transfer [seed]
+//!         [--trace <path>] [-q|-v]`
 
+use bench::{BinArgs, Sinks};
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
 use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17);
+    let args = BinArgs::parse(17);
+    let sinks = Sinks::from_args(&args);
+    let seed = args.seed;
     let cases = [
-        ("scenario-one", Scenario::one_with_counts(seed, 1500, 1200), 60, 20),
+        (
+            "scenario-one",
+            Scenario::one_with_counts(seed, 1500, 1200),
+            60,
+            20,
+        ),
         ("scenario-two", Scenario::two(seed), 36, 26),
     ];
     println!("A1: transfer vs no-transfer (3-seed means)");
@@ -25,9 +31,10 @@ fn main() {
             let reference = pareto::hypervolume::reference_point(&table, 1.1).expect("ref");
             let (sx, sy) = scenario.source_xy(space);
             let with_source = SourceData::new(sx, sy).expect("source");
-            for (label, source) in
-                [("transfer", with_source.clone()), ("no-transfer", SourceData::empty())]
-            {
+            for (label, source) in [
+                ("transfer", with_source.clone()),
+                ("no-transfer", SourceData::empty()),
+            ] {
                 let mut hv = 0.0;
                 let mut ad = 0.0;
                 let mut runs = 0;
@@ -41,7 +48,7 @@ fn main() {
                     };
                     let mut oracle = VecOracle::new(table.clone());
                     let r = PpaTuner::new(config)
-                        .run(&source, &candidates, &mut oracle)
+                        .run_observed(&source, &candidates, &mut oracle, &sinks.observer())
                         .expect("tuning succeeds");
                     let predicted: Vec<Vec<f64>> =
                         r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
@@ -60,4 +67,5 @@ fn main() {
             }
         }
     }
+    sinks.flush();
 }

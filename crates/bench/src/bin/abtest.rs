@@ -14,33 +14,41 @@ fn main() {
         let reference = pareto::hypervolume::reference_point(&table, 1.1).unwrap();
         let (sx, sy) = scenario.source_xy(space);
         let with_source = SourceData::new(sx, sy).unwrap();
-        for &(tau, delta_rel) in &[(1.0, 0.05), (1.5, 0.05), (2.0, 0.05), (2.0, 0.08), (3.0, 0.03), (1.0, 0.08)] {
-        for seed in [17u64, 29, 43] {
-            {
-                let (label, source) = ("with", with_source.clone());
-                let config = PpaTunerConfig {
-                    initial_samples: 36,
-                    max_iterations: 26,
-                    tau,
-                    delta_rel,
-                    seed,
-                    ..Default::default()
-                };
-                let mut oracle = VecOracle::new(table.clone());
-                let r = PpaTuner::new(config)
-                    .run(&source, &candidates, &mut oracle)
-                    .unwrap();
-                let predicted: Vec<Vec<f64>> =
-                    r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
-                let hv = pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)
-                    .unwrap();
-                let adrs = pareto::metrics::adrs(&golden, &predicted).unwrap();
-                println!(
+        for &(tau, delta_rel) in &[
+            (1.0, 0.05),
+            (1.5, 0.05),
+            (2.0, 0.05),
+            (2.0, 0.08),
+            (3.0, 0.03),
+            (1.0, 0.08),
+        ] {
+            for seed in [17u64, 29, 43] {
+                {
+                    let (label, source) = ("with", with_source.clone());
+                    let config = PpaTunerConfig {
+                        initial_samples: 36,
+                        max_iterations: 26,
+                        tau,
+                        delta_rel,
+                        seed,
+                        ..Default::default()
+                    };
+                    let mut oracle = VecOracle::new(table.clone());
+                    let r = PpaTuner::new(config)
+                        .run(&source, &candidates, &mut oracle)
+                        .unwrap();
+                    let predicted: Vec<Vec<f64>> =
+                        r.pareto_indices.iter().map(|&i| table[i].clone()).collect();
+                    let hv =
+                        pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)
+                            .unwrap();
+                    let adrs = pareto::metrics::adrs(&golden, &predicted).unwrap();
+                    println!(
                     "{space} tau={tau} delta={delta_rel} seed={seed} {label:<8} HV={hv:.4} ADRS={adrs:.4} runs={} verify={} iters={}",
                     r.runs, r.verification_runs, r.iterations
                 );
+                }
             }
-        }
         }
     }
 }

@@ -23,10 +23,7 @@ fn main() {
     let golden = scenario.target().golden_front(space);
     let budgets = Budgets::scenario_two();
 
-    let mut series: Vec<(String, Vec<Vec<f64>>)> = vec![(
-        "golden".into(),
-        golden.clone(),
-    )];
+    let mut series: Vec<(String, Vec<Vec<f64>>)> = vec![("golden".into(), golden.clone())];
 
     for m in Method::ALL {
         let indices: Vec<usize> = match m {
@@ -51,33 +48,39 @@ fn main() {
                 let candidates = scenario.target_candidates();
                 let mut oracle = VecOracle::new(table.clone());
                 match m {
-                    Method::Tcad19 => baselines::Tcad19::new(baselines::Tcad19Params {
-                        budget: budgets.tcad_cap,
-                        initial_samples: (budgets.tcad_cap / 8).max(8),
-                        seed,
-                        ..Default::default()
-                    })
-                    .tune(&candidates, &mut oracle)
-                    .expect("tcad19")
-                    .pareto_indices,
-                    Method::Mlcad19 => baselines::Mlcad19::new(baselines::Mlcad19Params {
-                        budget: budgets.fixed,
-                        initial_samples: (budgets.fixed / 8).max(8),
-                        seed,
-                        ..Default::default()
-                    })
-                    .tune(&candidates, &mut oracle)
-                    .expect("mlcad19")
-                    .pareto_indices,
-                    Method::Dac19 => baselines::Dac19::new(baselines::Dac19Params {
-                        budget: budgets.dac_budget,
-                        initial_samples: (budgets.dac_budget / 6).max(8),
-                        seed,
-                        ..Default::default()
-                    })
-                    .tune(&candidates, &mut oracle)
-                    .expect("dac19")
-                    .pareto_indices,
+                    Method::Tcad19 => {
+                        baselines::Tcad19::new(baselines::Tcad19Params {
+                            budget: budgets.tcad_cap,
+                            initial_samples: (budgets.tcad_cap / 8).max(8),
+                            seed,
+                            ..Default::default()
+                        })
+                        .tune(&candidates, &mut oracle)
+                        .expect("tcad19")
+                        .pareto_indices
+                    }
+                    Method::Mlcad19 => {
+                        baselines::Mlcad19::new(baselines::Mlcad19Params {
+                            budget: budgets.fixed,
+                            initial_samples: (budgets.fixed / 8).max(8),
+                            seed,
+                            ..Default::default()
+                        })
+                        .tune(&candidates, &mut oracle)
+                        .expect("mlcad19")
+                        .pareto_indices
+                    }
+                    Method::Dac19 => {
+                        baselines::Dac19::new(baselines::Dac19Params {
+                            budget: budgets.dac_budget,
+                            initial_samples: (budgets.dac_budget / 6).max(8),
+                            seed,
+                            ..Default::default()
+                        })
+                        .tune(&candidates, &mut oracle)
+                        .expect("dac19")
+                        .pareto_indices
+                    }
                     Method::Aspdac20 => {
                         let (sx, sy) = scenario.source_xy(space);
                         let source = SourceData::new(sx, sy).expect("source ok");
@@ -130,7 +133,11 @@ fn main() {
         }
     };
     for (name, pts) in &series[1..] {
-        let ch = if name.starts_with("ppatuner") { 'P' } else { '.' };
+        let ch = if name.starts_with("ppatuner") {
+            'P'
+        } else {
+            '.'
+        };
         plot(pts, ch, &mut grid);
     }
     plot(&series[0].1, 'G', &mut grid);

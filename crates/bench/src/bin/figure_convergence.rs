@@ -3,19 +3,20 @@
 //! iteration — on Scenario Two. This visualizes Algorithm 1's engine: the
 //! monotone shrinkage of the undecided set.
 //!
-//! Usage: `cargo run -p bench --release --bin figure_convergence [seed]`
-//! Writes `figure_convergence.csv`.
+//! Usage: `cargo run -p bench --release --bin figure_convergence [seed]
+//!         [--trace <path>] [-q|-v]`
+//! Writes `figure_convergence.csv`; the optional JSONL trace feeds
+//! `trace_report`.
 
+use bench::{BinArgs, Sinks};
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
 use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17);
-    let scenario = Scenario::two(seed);
+    let args = BinArgs::parse(17);
+    let sinks = Sinks::from_args(&args);
+    let scenario = Scenario::two(args.seed);
     let space = ObjectiveSpace::PowerDelay;
     let candidates = scenario.target_candidates();
     let (sx, sy) = scenario.source_xy(space);
@@ -24,32 +25,32 @@ fn main() {
     let config = PpaTunerConfig {
         initial_samples: 36,
         max_iterations: 60,
-        seed,
+        seed: args.seed,
         ..Default::default()
     };
     let result = PpaTuner::new(config)
-        .run(&source, &candidates, &mut oracle)
+        .run_observed(&source, &candidates, &mut oracle, &sinks.observer())
         .expect("tuning succeeds");
 
-    let mut csv = String::from("iteration,undecided,pareto,dropped,runs\n");
-    println!("{:>5} {:>10} {:>7} {:>8} {:>5}", "iter", "undecided", "pareto", "dropped", "runs");
+    let mut csv = String::from("iteration,undecided,pareto,dropped,runs,duration_s,gp_fit_s\n");
     for rec in &result.history {
         csv.push_str(&format!(
-            "{},{},{},{},{}\n",
-            rec.iteration, rec.undecided, rec.pareto, rec.dropped, rec.runs
+            "{},{},{},{},{},{:.6},{:.6}\n",
+            rec.iteration,
+            rec.undecided,
+            rec.pareto,
+            rec.dropped,
+            rec.runs,
+            rec.duration_s,
+            rec.gp_fit_s
         ));
-        if rec.iteration % 5 == 0 {
-            println!(
-                "{:>5} {:>10} {:>7} {:>8} {:>5}",
-                rec.iteration, rec.undecided, rec.pareto, rec.dropped, rec.runs
-            );
-        }
     }
     std::fs::write("figure_convergence.csv", &csv).expect("write csv");
-    println!(
-        "final: runs={} verification={} |P|={}",
+    sinks.message(format!(
+        "wrote figure_convergence.csv: runs={} verification={} |P|={}",
         result.runs,
         result.verification_runs,
         result.pareto_indices.len()
-    );
+    ));
+    sinks.flush();
 }

@@ -1,14 +1,29 @@
 use pdsim::*;
 fn main() {
-    for (name, d) in [("small", Design::mac_small(42)), ("large", Design::mac_large(43))] {
+    for (name, d) in [
+        ("small", Design::mac_small(42)),
+        ("large", Design::mac_large(43)),
+    ] {
         let p = ToolParams::default();
         let syn = stages::synthesize(&d, &p);
-        println!("{name}: cells={} depth={} pressure={:.3} restructured={} sizing={:.3}",
-            d.stats().cells, d.stats().comb_depth, syn.pressure, syn.restructured, syn.sizing);
+        println!(
+            "{name}: cells={} depth={} pressure={:.3} restructured={} sizing={:.3}",
+            d.stats().cells,
+            d.stats().comb_depth,
+            syn.pressure,
+            syn.restructured,
+            syn.sizing
+        );
         for ad in [0.0, 0.06, 0.12] {
-            let p = ToolParams { max_allowed_delay_ns: ad, ..Default::default() };
+            let p = ToolParams {
+                max_allowed_delay_ns: ad,
+                ..Default::default()
+            };
             let syn = stages::synthesize(&d, &p);
-            println!("  allowed={ad}: pressure={:.3} restructured={}", syn.pressure, syn.restructured);
+            println!(
+                "  allowed={ad}: pressure={:.3} restructured={}",
+                syn.pressure, syn.restructured
+            );
         }
     }
 }

@@ -62,7 +62,8 @@ fn main() {
         println!();
     }
     println!();
-    println!("Point counts: Source1={} Target1={} Source2={} Target2={}",
+    println!(
+        "Point counts: Source1={} Target1={} Source2={} Target2={}",
         BenchmarkId::Source1.point_count(),
         BenchmarkId::Target1.point_count(),
         BenchmarkId::Source2.point_count(),

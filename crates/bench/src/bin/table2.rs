@@ -3,24 +3,24 @@
 //! parameter spaces/preferences). Five methods × three objective spaces,
 //! reporting hypervolume error, ADRS, and tool runs.
 //!
-//! Usage: `cargo run -p bench --release --bin table2 [seed]`
+//! Usage: `cargo run -p bench --release --bin table2 [seed]
+//!         [--trace <path>] [-q|-v]`
 //! Writes `table2.txt` and `table2.json` in the working directory.
 
 use std::time::Instant;
 
-use bench::{render_table, run_method, Budgets, Method, MethodScore};
+use bench::{render_table, run_method_observed, BinArgs, Budgets, Method, MethodScore, Sinks};
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17);
+    let args = BinArgs::parse(17);
+    let sinks = Sinks::from_args(&args);
+    let seed = args.seed;
     let t0 = Instant::now();
-    eprintln!("generating Source1/Target1 (5000 + 5000 flow runs)...");
+    sinks.message("generating Source1/Target1 (5000 + 5000 flow runs)...");
     let scenario = Scenario::one(seed);
-    eprintln!("benchmarks ready in {:.1?}", t0.elapsed());
+    sinks.message(format!("benchmarks ready in {:.1?}", t0.elapsed()));
 
     let budgets = Budgets::scenario_one();
     // Every cell is averaged over three seeds to damp selection luck.
@@ -34,7 +34,7 @@ fn main() {
             let mut ad = 0.0;
             let mut runs = 0usize;
             for &sd in &seeds {
-                let s = run_method(&scenario, space, m, &budgets, sd);
+                let s = run_method_observed(&scenario, space, m, &budgets, sd, &sinks.observer());
                 hv += s.hv_error;
                 ad += s.adrs;
                 runs += s.runs;
@@ -45,14 +45,14 @@ fn main() {
                 adrs: ad / n,
                 runs: (runs as f64 / n).round() as usize,
             };
-            eprintln!(
+            sinks.message(format!(
                 "{space} / {:<10} HV={:.3} ADRS={:.3} runs={} ({:.1?})",
                 m.label(),
                 s.hv_error,
                 s.adrs,
                 s.runs,
                 t.elapsed()
-            );
+            ));
             scores.push(s);
         }
         rows.push((space, scores));
@@ -85,5 +85,9 @@ fn main() {
         serde_json::to_string_pretty(&json).expect("serialize"),
     )
     .expect("write table2.json");
-    eprintln!("total {:.1?}; wrote table2.txt and table2.json", t0.elapsed());
+    sinks.message(format!(
+        "total {:.1?}; wrote table2.txt and table2.json",
+        t0.elapsed()
+    ));
+    sinks.flush();
 }

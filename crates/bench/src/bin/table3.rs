@@ -1,24 +1,24 @@
 //! Regenerates **Table 3** of the paper: the whole-performance comparison
 //! on the Target2 benchmark (Scenario Two — similar but larger design).
 //!
-//! Usage: `cargo run -p bench --release --bin table3 [seed]`
+//! Usage: `cargo run -p bench --release --bin table3 [seed]
+//!         [--trace <path>] [-q|-v]`
 //! Writes `table3.txt` and `table3.json` in the working directory.
 
 use std::time::Instant;
 
-use bench::{render_table, run_method, Budgets, Method, MethodScore};
+use bench::{render_table, run_method_observed, BinArgs, Budgets, Method, MethodScore, Sinks};
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17);
+    let args = BinArgs::parse(17);
+    let sinks = Sinks::from_args(&args);
+    let seed = args.seed;
     let t0 = Instant::now();
-    eprintln!("generating Source2/Target2 (1440 + 727 flow runs)...");
+    sinks.message("generating Source2/Target2 (1440 + 727 flow runs)...");
     let scenario = Scenario::two(seed);
-    eprintln!("benchmarks ready in {:.1?}", t0.elapsed());
+    sinks.message(format!("benchmarks ready in {:.1?}", t0.elapsed()));
 
     let budgets = Budgets::scenario_two();
     // Every cell is averaged over three seeds to damp selection luck.
@@ -32,7 +32,7 @@ fn main() {
             let mut ad = 0.0;
             let mut runs = 0usize;
             for &sd in &seeds {
-                let s = run_method(&scenario, space, m, &budgets, sd);
+                let s = run_method_observed(&scenario, space, m, &budgets, sd, &sinks.observer());
                 hv += s.hv_error;
                 ad += s.adrs;
                 runs += s.runs;
@@ -43,14 +43,14 @@ fn main() {
                 adrs: ad / n,
                 runs: (runs as f64 / n).round() as usize,
             };
-            eprintln!(
+            sinks.message(format!(
                 "{space} / {:<10} HV={:.3} ADRS={:.3} runs={} ({:.1?})",
                 m.label(),
                 s.hv_error,
                 s.adrs,
                 s.runs,
                 t.elapsed()
-            );
+            ));
             scores.push(s);
         }
         rows.push((space, scores));
@@ -83,5 +83,9 @@ fn main() {
         serde_json::to_string_pretty(&json).expect("serialize"),
     )
     .expect("write table3.json");
-    eprintln!("total {:.1?}; wrote table3.txt and table3.json", t0.elapsed());
+    sinks.message(format!(
+        "total {:.1?}; wrote table3.txt and table3.json",
+        t0.elapsed()
+    ));
+    sinks.flush();
 }

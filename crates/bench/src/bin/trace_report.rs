@@ -1,0 +1,200 @@
+//! Aggregates a JSONL event trace (written via `--trace <path>` by the
+//! experiment bins, or by any [`obs::JsonlSink`]) into a timing and
+//! convergence summary: where the wall-clock went per phase, how the
+//! δ-dominance classification progressed, and how the GP fits behaved.
+//!
+//! Usage: `cargo run -p bench --bin trace_report -- <trace.jsonl>`
+
+use std::collections::BTreeMap;
+
+use obs::Event;
+
+#[derive(Default)]
+struct Phase {
+    count: usize,
+    seconds: f64,
+}
+
+impl Phase {
+    fn add(&mut self, secs: f64) {
+        self.count += 1;
+        self.seconds += secs;
+    }
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace_report <trace.jsonl>");
+        std::process::exit(2);
+    });
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
+
+    let mut events: Vec<Event> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Event>(line) {
+            Ok(e) => events.push(e),
+            Err(e) => eprintln!("warning: line {}: unparseable event: {e}", lineno + 1),
+        }
+    }
+    if events.is_empty() {
+        eprintln!("trace {path} contains no events");
+        std::process::exit(1);
+    }
+
+    let mut phases: BTreeMap<String, Phase> = BTreeMap::new();
+    let mut iterations: Vec<(usize, usize, usize, usize, usize, f64)> = Vec::new();
+    let mut gp_evals = 0usize;
+    let mut gp_restarts = 0usize;
+    let mut gp_refits = 0usize;
+    let mut gp_jittered = 0usize;
+    let mut lambda_by_objective: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+    let mut run_start: Option<String> = None;
+    let mut run_end: Option<String> = None;
+
+    for e in &events {
+        match e {
+            Event::RunStart {
+                candidates,
+                objectives,
+                dim,
+                initial_samples,
+                max_iterations,
+                seed,
+            } => {
+                run_start = Some(format!(
+                    "{candidates} candidates, {objectives} objectives, dim {dim}, \
+                     {initial_samples} initial samples, cap {max_iterations} iters, seed {seed}"
+                ));
+            }
+            Event::GpFit {
+                objective,
+                refit,
+                lambda,
+                restarts,
+                evals,
+                jitter,
+                duration_s,
+                ..
+            } => {
+                phases.entry("gp-fit".into()).or_default().add(*duration_s);
+                gp_evals += evals;
+                gp_restarts += restarts;
+                gp_refits += usize::from(*refit);
+                gp_jittered += usize::from(*jitter > 0.0);
+                lambda_by_objective
+                    .entry(*objective)
+                    .and_modify(|(_, last)| *last = *lambda)
+                    .or_insert((*lambda, *lambda));
+            }
+            Event::ToolEval { duration_s, .. } => {
+                phases
+                    .entry("tool-eval".into())
+                    .or_default()
+                    .add(*duration_s);
+            }
+            Event::Stage {
+                stage, duration_s, ..
+            } => {
+                phases
+                    .entry(format!("flow/{stage}"))
+                    .or_default()
+                    .add(*duration_s);
+            }
+            Event::IterationEnd {
+                iteration,
+                runs,
+                pareto,
+                dropped,
+                undecided,
+                hypervolume,
+                duration_s,
+                ..
+            } => {
+                phases
+                    .entry("iteration".into())
+                    .or_default()
+                    .add(*duration_s);
+                iterations.push((
+                    *iteration,
+                    *runs,
+                    *pareto,
+                    *dropped,
+                    *undecided,
+                    *hypervolume,
+                ));
+            }
+            Event::RunEnd {
+                iterations: it,
+                runs,
+                verification_runs,
+                pareto,
+                duration_s,
+            } => {
+                run_end = Some(format!(
+                    "{it} iterations, {runs} runs (+{verification_runs} verification), \
+                     {pareto} pareto points, {duration_s:.3} s total"
+                ));
+            }
+            Event::Classify { .. } | Event::Select { .. } | Event::Message { .. } => {}
+        }
+    }
+
+    println!("trace report: {path} ({} events)", events.len());
+    if let Some(s) = &run_start {
+        println!("run:   {s}");
+    }
+    if let Some(s) = &run_end {
+        println!("done:  {s}");
+    }
+
+    println!("\nwhere the time went:");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12}",
+        "phase", "count", "total s", "mean ms"
+    );
+    for (name, p) in &phases {
+        println!(
+            "{:<14} {:>8} {:>12.3} {:>12.2}",
+            name,
+            p.count,
+            p.seconds,
+            if p.count == 0 {
+                0.0
+            } else {
+                p.seconds / p.count as f64 * 1e3
+            }
+        );
+    }
+
+    if gp_refits > 0 || gp_evals > 0 {
+        println!(
+            "\ngp fitting: {gp_refits} full refits ({gp_restarts} restarts, {gp_evals} objective \
+             evals), {gp_jittered} fits needed Cholesky jitter"
+        );
+        for (k, (first, last)) in &lambda_by_objective {
+            println!("  objective {k}: lambda {first:.3} -> {last:.3}");
+        }
+    }
+
+    if !iterations.is_empty() {
+        println!("\nclassification trajectory (iteration: runs, pareto/dropped/undecided, hv):");
+        let stride = (iterations.len() / 12).max(1);
+        for (n, (it, runs, pareto, dropped, undecided, hv)) in iterations.iter().enumerate() {
+            if n % stride == 0 || n + 1 == iterations.len() {
+                println!(
+                    "  {it:>4}: runs {runs:>5}  P {pareto:>4}  D {dropped:>4}  U {undecided:>4}  \
+                     hv {hv:.4}"
+                );
+            }
+        }
+        let (first, last) = (&iterations[0], &iterations[iterations.len() - 1]);
+        println!(
+            "  undecided {} -> {}, hypervolume {:.4} -> {:.4}",
+            first.4, last.4, first.5, last.5
+        );
+    }
+}

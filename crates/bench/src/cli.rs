@@ -1,0 +1,141 @@
+//! Shared CLI plumbing for the experiment binaries: seed parsing plus the
+//! observability flags every bin understands.
+//!
+//! Flags (in any order, mixed with the positional seed):
+//!
+//! - `--trace <path>` — write a JSONL event trace (analyze it with the
+//!   `trace_report` bin);
+//! - `-q` / `--quiet` — only run-level progress on stderr;
+//! - `-v` / `--verbose` — per-fit and per-evaluation progress on stderr.
+
+use obs::{JsonlSink, MultiSink, Observer, StderrSink, Verbosity};
+
+/// Parsed command line of an experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinArgs {
+    /// Experiment seed (first positional integer; default per bin).
+    pub seed: u64,
+    /// `--trace <path>`: where to write the JSONL trace, if anywhere.
+    pub trace: Option<String>,
+    /// Stderr verbosity (`-q` / default / `-v`).
+    pub verbosity: Verbosity,
+}
+
+impl BinArgs {
+    /// Parses `std::env::args()`, falling back to `default_seed`.
+    ///
+    /// Unknown flags are ignored so bins can add their own on top.
+    pub fn parse(default_seed: u64) -> Self {
+        Self::parse_from(std::env::args().skip(1), default_seed)
+    }
+
+    fn parse_from(args: impl Iterator<Item = String>, default_seed: u64) -> Self {
+        let mut out = BinArgs {
+            seed: default_seed,
+            trace: None,
+            verbosity: Verbosity::Normal,
+        };
+        let mut args = args.peekable();
+        let mut seed_seen = false;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => out.trace = args.next(),
+                "-q" | "--quiet" => out.verbosity = Verbosity::Quiet,
+                "-v" | "--verbose" => out.verbosity = Verbosity::Verbose,
+                other => {
+                    if !seed_seen {
+                        if let Ok(s) = other.parse() {
+                            out.seed = s;
+                            seed_seen = true;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The sinks an experiment binary writes to, built from [`BinArgs`].
+///
+/// Owns the underlying sinks; borrow a combined observer with
+/// [`Sinks::observer`] and pass it to `PpaTuner::run_observed` (or emit
+/// progress events directly).
+pub struct Sinks {
+    stderr: StderrSink,
+    jsonl: Option<JsonlSink>,
+}
+
+impl Sinks {
+    /// Opens the trace file (if requested) and configures stderr.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace file cannot be created — a misspelled path
+    /// should fail the experiment up front, not silently drop the trace.
+    pub fn from_args(args: &BinArgs) -> Self {
+        Sinks {
+            stderr: StderrSink::new(args.verbosity),
+            jsonl: args.trace.as_ref().map(|p| {
+                JsonlSink::create(p).unwrap_or_else(|e| panic!("cannot create trace {p}: {e}"))
+            }),
+        }
+    }
+
+    /// A fan-out observer over stderr + the optional JSONL trace.
+    pub fn observer(&self) -> MultiSink<'_> {
+        let mut multi = MultiSink::new();
+        multi.push(&self.stderr);
+        if let Some(j) = &self.jsonl {
+            multi.push(j);
+        }
+        multi
+    }
+
+    /// Emits a run-level progress message (replaces bespoke `eprintln!`).
+    pub fn message(&self, text: impl Into<String>) {
+        self.observer()
+            .emit(&obs::Event::Message { text: text.into() });
+    }
+
+    /// Flushes the trace file, if one is open.
+    pub fn flush(&self) {
+        if let Some(j) = &self.jsonl {
+            j.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BinArgs {
+        BinArgs::parse_from(args.iter().map(|s| s.to_string()), 17)
+    }
+
+    #[test]
+    fn default_seed_and_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 17);
+        assert_eq!(a.trace, None);
+        assert_eq!(a.verbosity, Verbosity::Normal);
+    }
+
+    #[test]
+    fn seed_trace_and_verbosity_in_any_order() {
+        let a = parse(&["--trace", "t.jsonl", "42", "-v"]);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.verbosity, Verbosity::Verbose);
+        let b = parse(&["7", "--quiet"]);
+        assert_eq!(b.seed, 7);
+        assert_eq!(b.verbosity, Verbosity::Quiet);
+    }
+
+    #[test]
+    fn only_first_positional_is_the_seed() {
+        let a = parse(&["5", "9"]);
+        assert_eq!(a.seed, 5);
+    }
+}

@@ -9,12 +9,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use benchgen::Scenario;
 use gp::optimize::FitBudget;
+use obs::{Observer, NULL_SINK};
 use pareto::hypervolume::{hypervolume_error, reference_point};
 use pareto::metrics::adrs;
 use pdsim::ObjectiveSpace;
 use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+pub use cli::{BinArgs, Sinks};
 
 /// One method's scores on one objective space: the three columns of
 /// Tables 2–3.
@@ -157,6 +162,23 @@ pub fn run_method(
     budgets: &Budgets,
     seed: u64,
 ) -> MethodScore {
+    run_method_observed(scenario, space, method, budgets, seed, &NULL_SINK)
+}
+
+/// Like [`run_method`], but streams PPATuner's trace events to
+/// `observer` (the baseline methods are not instrumented and run silently).
+///
+/// # Panics
+///
+/// Same as [`run_method`].
+pub fn run_method_observed(
+    scenario: &Scenario,
+    space: ObjectiveSpace,
+    method: Method,
+    budgets: &Budgets,
+    seed: u64,
+    observer: &dyn Observer,
+) -> MethodScore {
     let candidates = scenario.target_candidates();
     let table = scenario.target_table(space);
     let mut oracle = VecOracle::new(table);
@@ -230,7 +252,7 @@ pub fn run_method(
                 ..Default::default()
             };
             let r = PpaTuner::new(config)
-                .run(&source, &candidates, &mut oracle)
+                .run_observed(&source, &candidates, &mut oracle, observer)
                 .expect("ppatuner runs");
             (r.pareto_indices, r.runs)
         }
@@ -240,10 +262,7 @@ pub fn run_method(
 
 /// Renders a Tables-2/3-shaped comparison as plain text: one row per
 /// objective space, HV/ADRS/Runs per method, plus Average and Ratio rows.
-pub fn render_table(
-    title: &str,
-    rows: &[(ObjectiveSpace, Vec<MethodScore>)],
-) -> String {
+pub fn render_table(title: &str, rows: &[(ObjectiveSpace, Vec<MethodScore>)]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
@@ -315,7 +334,11 @@ mod tests {
         let rows = vec![(
             ObjectiveSpace::AreaDelay,
             vec![
-                MethodScore { hv_error: 0.1, adrs: 0.05, runs: 100 };
+                MethodScore {
+                    hv_error: 0.1,
+                    adrs: 0.05,
+                    runs: 100
+                };
                 Method::ALL.len()
             ],
         )];

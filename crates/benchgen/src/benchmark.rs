@@ -212,10 +212,7 @@ mod tests {
             let table = b.qor_table(space);
             for k in 0..space.dim() {
                 let lo = table.iter().map(|r| r[k]).fold(f64::INFINITY, f64::min);
-                let hi = table
-                    .iter()
-                    .map(|r| r[k])
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let hi = table.iter().map(|r| r[k]).fold(f64::NEG_INFINITY, f64::max);
                 assert!(
                     hi > lo * 1.01,
                     "{space}: objective {k} is flat ({lo}..{hi})"
@@ -257,14 +254,8 @@ mod tests {
         assert_eq!(BenchmarkId::Source2.name(), "Source2");
         assert_eq!(BenchmarkId::Target1.to_string(), "Target1");
         // Source1/Target1/Source2 share one design; Target2 differs.
-        assert_eq!(
-            BenchmarkId::Source1.design(),
-            BenchmarkId::Target1.design()
-        );
-        assert_eq!(
-            BenchmarkId::Source1.design(),
-            BenchmarkId::Source2.design()
-        );
+        assert_eq!(BenchmarkId::Source1.design(), BenchmarkId::Target1.design());
+        assert_eq!(BenchmarkId::Source1.design(), BenchmarkId::Source2.design());
         assert_ne!(BenchmarkId::Target2.design(), BenchmarkId::Source2.design());
     }
 }

@@ -32,12 +32,20 @@ impl Scenario {
     /// Scenario One (Source1 → Target1) at full paper scale
     /// (5000 + 5000 points; generation takes a few seconds).
     pub fn one(seed: u64) -> Self {
-        Self::one_with_counts(seed, BenchmarkId::Source1.point_count(), BenchmarkId::Target1.point_count())
+        Self::one_with_counts(
+            seed,
+            BenchmarkId::Source1.point_count(),
+            BenchmarkId::Target1.point_count(),
+        )
     }
 
     /// Scenario Two (Source2 → Target2) at full paper scale (1440 + 727).
     pub fn two(seed: u64) -> Self {
-        Self::two_with_counts(seed, BenchmarkId::Source2.point_count(), BenchmarkId::Target2.point_count())
+        Self::two_with_counts(
+            seed,
+            BenchmarkId::Source2.point_count(),
+            BenchmarkId::Target2.point_count(),
+        )
     }
 
     /// Scenario One at reduced scale (for tests/examples).

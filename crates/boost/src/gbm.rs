@@ -131,9 +131,7 @@ impl GradientBoosting {
     ///
     /// Panics if `x.len()` differs from the training dimension.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// Predicts a batch of points.
@@ -190,8 +188,7 @@ mod tests {
             .map(|(xi, yi)| (model.predict(xi) - yi).powi(2))
             .sum::<f64>()
             / y.len() as f64;
-        let mse_mean: f64 =
-            y.iter().map(|yi| (mean - yi).powi(2)).sum::<f64>() / y.len() as f64;
+        let mse_mean: f64 = y.iter().map(|yi| (mean - yi).powi(2)).sum::<f64>() / y.len() as f64;
         assert!(mse_model < 0.2 * mse_mean, "{mse_model} vs {mse_mean}");
     }
 
@@ -231,10 +228,22 @@ mod tests {
         let y = vec![1.0];
         let mut r = rng();
         let mut bad = |p: GbmParams| GradientBoosting::fit(&x, &y, p, &mut r).is_err();
-        assert!(bad(GbmParams { n_trees: 0, ..Default::default() }));
-        assert!(bad(GbmParams { learning_rate: 0.0, ..Default::default() }));
-        assert!(bad(GbmParams { learning_rate: 1.5, ..Default::default() }));
-        assert!(bad(GbmParams { subsample: 0.0, ..Default::default() }));
+        assert!(bad(GbmParams {
+            n_trees: 0,
+            ..Default::default()
+        }));
+        assert!(bad(GbmParams {
+            learning_rate: 0.0,
+            ..Default::default()
+        }));
+        assert!(bad(GbmParams {
+            learning_rate: 1.5,
+            ..Default::default()
+        }));
+        assert!(bad(GbmParams {
+            subsample: 0.0,
+            ..Default::default()
+        }));
         assert!(GradientBoosting::fit(&[], &[], GbmParams::default(), &mut r).is_err());
     }
 

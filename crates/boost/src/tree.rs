@@ -164,7 +164,11 @@ impl RegressionTree {
                     right,
                     ..
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -200,12 +204,7 @@ struct SplitChoice {
 /// Exhaustive best split over all features and sample-adjacent
 /// thresholds; returns `None` when no split satisfies the leaf minimum or
 /// improves the squared error.
-fn best_split(
-    x: &[Vec<f64>],
-    y: &[f64],
-    idx: &[usize],
-    min_leaf: usize,
-) -> Option<SplitChoice> {
+fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[usize], min_leaf: usize) -> Option<SplitChoice> {
     let n = idx.len();
     let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
     let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
@@ -214,6 +213,7 @@ fn best_split(
     let dim = x[idx[0]].len();
     let mut best: Option<SplitChoice> = None;
     let mut order: Vec<usize> = idx.to_vec();
+    #[allow(clippy::needless_range_loop)] // `feature` is a column index, not a row.
     for feature in 0..dim {
         order.sort_by(|&a, &b| {
             x[a][feature]
@@ -319,9 +319,7 @@ mod tests {
     #[test]
     fn picks_the_informative_feature() {
         // Feature 1 is pure noise; feature 0 carries the signal.
-        let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![i as f64, (i % 7) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 1.0 }).collect();
         let t = RegressionTree::fit(&x, &y, TreeParams::default()).unwrap();
         let mut imp = vec![0.0; 2];
@@ -332,9 +330,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(RegressionTree::fit(&[], &[], TreeParams::default()).is_err());
-        assert!(
-            RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], TreeParams::default()).is_err()
-        );
+        assert!(RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], TreeParams::default()).is_err());
         assert!(RegressionTree::fit(&[vec![]], &[1.0], TreeParams::default()).is_err());
         let bad = TreeParams {
             min_samples_leaf: 0,

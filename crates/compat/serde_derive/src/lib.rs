@@ -1,0 +1,523 @@
+//! Offline drop-in `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for the in-tree `serde` shim.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate is written against the compiler's built-in `proc_macro` API alone
+//! (no `syn`/`quote`). It hand-parses the item definition — enough for the
+//! non-generic structs and enums this workspace derives on — and emits
+//! impls of the shim's `Serialize`/`Deserialize` traits that reproduce
+//! serde's default JSON shapes:
+//!
+//! - named struct → object of its fields
+//! - newtype struct → the inner value, transparently
+//! - tuple struct → array of its fields
+//! - unit enum variant → `"Variant"`
+//! - newtype enum variant → `{"Variant": value}`
+//! - tuple enum variant → `{"Variant": [..]}`
+//! - struct enum variant → `{"Variant": {..}}`
+//!
+//! Unsupported shapes (generic items, unions) produce a clear
+//! compile-time error instead of silently wrong output.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Skips attribute tokens (`#[...]` / `#![...]`) starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == '!' {
+                            i += 1;
+                        }
+                    }
+                }
+                // The bracketed attribute body.
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts the fields of a tuple-struct/-variant body: top-level commas
+/// (outside `<...>`) plus one, with trailing commas ignored.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut fields = 1usize;
+    for (k, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if k + 1 == tokens.len() {
+                        // trailing comma
+                    } else {
+                        fields += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parses the named fields of a braced struct/variant body.
+fn named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of a braced enum body.
+fn enum_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(named_fields(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("cannot derive for `{keyword}` items"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde shim cannot derive for generic item `{name}`"
+            ));
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "enum" {
+                Ok(Item::Enum {
+                    name,
+                    variants: enum_variants(g)?,
+                })
+            } else {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: named_fields(g)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: tuple_arity(g),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        other => Err(format!("unsupported item body: {other:?}")),
+    }
+}
+
+// ------------------------------------------------------------- Serialize
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                                 ::std::string::String::from({vname:?})),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from({vname:?}), \
+                                     ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let vals: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from({vname:?}), \
+                                     ::serde::Value::Object(::std::vec![{}]))]),",
+                                vals.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// ----------------------------------------------------------- Deserialize
+
+fn named_fields_ctor(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get({f:?})\
+                     .ok_or_else(|| ::serde::DeError::missing_field({f:?}))?)?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn tuple_ctor(arity: usize, arr: &str) -> String {
+    let inits: Vec<String> = (0..arity)
+        .map(|k| format!("::serde::Deserialize::from_value(&{arr}[{k}])?"))
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { name, fields } => format!(
+            "match value {{\n\
+                 ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
+                 other => Err(::serde::DeError::expected(\"object\", other)),\n\
+             }}",
+            named_fields_ctor(fields, "value")
+        ),
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Item::TupleStruct { name, arity } => format!(
+            "{{\n\
+                 let arr = value.as_array()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"array\", value))?;\n\
+                 if arr.len() != {arity} {{\n\
+                     return Err(::serde::DeError::custom(::std::format!(\n\
+                         \"expected array of length {arity}, got {{}}\", arr.len())));\n\
+                 }}\n\
+                 Ok({name}({}))\n\
+             }}",
+            tuple_ctor(*arity, "arr")
+        ),
+        Item::UnitStruct { name } => format!(
+            "match value {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::DeError::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => unreachable!(),
+                        Shape::Tuple(1) => format!(
+                            "{vname:?} => Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Shape::Tuple(n) => format!(
+                            "{vname:?} => {{\n\
+                                 let arr = inner.as_array()\
+                                     .ok_or_else(|| ::serde::DeError::expected(\
+                                         \"array\", inner))?;\n\
+                                 if arr.len() != {n} {{\n\
+                                     return Err(::serde::DeError::custom(\
+                                         ::std::format!(\"expected array of length {n}, \
+                                          got {{}}\", arr.len())));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }}",
+                            tuple_ctor(*n, "arr")
+                        ),
+                        Shape::Named(fields) => format!(
+                            "{vname:?} => match inner {{\n\
+                                 ::serde::Value::Object(_) => Ok({name}::{vname} {{ {} }}),\n\
+                                 other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                             }},",
+                            named_fields_ctor(fields, "inner")
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::DeError::custom(::std::format!(\n\
+                             \"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::custom(::std::format!(\n\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"enum\", other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    let name = match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -46,7 +46,10 @@ impl fmt::Display for DoeError {
                 write!(f, "configuration mismatch at parameter {index}: {reason}")
             }
             DoeError::DimensionMismatch { expected, got } => {
-                write!(f, "encoded point has dimension {got}, space expects {expected}")
+                write!(
+                    f,
+                    "encoded point has dimension {got}, space expects {expected}"
+                )
             }
         }
     }

@@ -84,7 +84,9 @@ impl Halton {
     /// space).
     pub fn next_config(&mut self) -> Config {
         let p = self.next_point();
-        self.space.decode(&p).expect("halton point has space dimension")
+        self.space
+            .decode(&p)
+            .expect("halton point has space dimension")
     }
 
     /// Draws `n` configurations.

@@ -127,7 +127,11 @@ pub fn sample_random<R: Rng + ?Sized>(space: &ParamSpace, n: usize, rng: &mut R)
 /// The result is capped at `max_points` configurations (the cap guards
 /// against accidental combinatorial blow-ups); the enumeration is in
 /// mixed-radix order, so a cap truncates rather than subsamples.
-pub fn full_factorial(space: &ParamSpace, levels_per_float: usize, max_points: usize) -> Vec<Config> {
+pub fn full_factorial(
+    space: &ParamSpace,
+    levels_per_float: usize,
+    max_points: usize,
+) -> Vec<Config> {
     let levels: Vec<usize> = space
         .iter()
         .map(|p| p.levels().unwrap_or(levels_per_float.max(2)))
@@ -226,11 +230,7 @@ mod tests {
 
     #[test]
     fn sample_distinct_respects_cardinality() {
-        let space = ParamSpace::new(vec![
-            ParamDef::boolean("a"),
-            ParamDef::boolean("b"),
-        ])
-        .unwrap();
+        let space = ParamSpace::new(vec![ParamDef::boolean("a"), ParamDef::boolean("b")]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let pts = LatinHypercube::new().sample_distinct(&space, 100, 20, &mut rng);
         assert_eq!(pts.len(), 4);

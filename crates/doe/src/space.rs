@@ -371,10 +371,7 @@ mod tests {
         assert!(ParamDef::enumeration("x", &["only"]).is_err());
         assert!(ParamDef::enumeration("x", &["a", "a"]).is_err());
         assert!(ParamSpace::new(vec![]).is_err());
-        let dup = ParamSpace::new(vec![
-            ParamDef::boolean("same"),
-            ParamDef::boolean("same"),
-        ]);
+        let dup = ParamSpace::new(vec![ParamDef::boolean("same"), ParamDef::boolean("same")]);
         assert!(dup.is_err());
     }
 

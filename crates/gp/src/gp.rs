@@ -132,7 +132,11 @@ impl<K: Kernel> GpRegressor<K> {
                 got: x.len(),
             });
         }
-        let k_star: Vec<f64> = self.x_train.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let k_star: Vec<f64> = self
+            .x_train
+            .iter()
+            .map(|xi| self.kernel.eval(xi, x))
+            .collect();
         let mean_z = linalg::vecops::dot(&k_star, &self.alpha);
         // var = k(x,x) − ‖L⁻¹ k*‖².
         let v = self.chol.solve_lower_only(&k_star)?;

@@ -206,10 +206,16 @@ impl<K: Kernel> TransferKernel<K> {
     /// `b <= 0`.
     pub fn from_gamma_prior(base: K, a: f64, b: f64) -> Result<Self> {
         if !(a.is_finite() && a > 0.0) {
-            return Err(GpError::InvalidHyperparameter { name: "a", value: a });
+            return Err(GpError::InvalidHyperparameter {
+                name: "a",
+                value: a,
+            });
         }
         if !(b.is_finite() && b > 0.0) {
-            return Err(GpError::InvalidHyperparameter { name: "b", value: b });
+            return Err(GpError::InvalidHyperparameter {
+                name: "b",
+                value: b,
+            });
         }
         let lambda = 2.0 * (1.0 / (1.0 + a)).powf(b) - 1.0;
         Ok(TransferKernel { base, lambda })
@@ -329,10 +335,7 @@ mod tests {
         let across = tk.eval_task(&x, Task::Source, &y, Task::Target);
         assert!((across - 0.6 * within).abs() < 1e-12);
         // Within-target equals within-source (same base kernel).
-        assert_eq!(
-            tk.eval_task(&x, Task::Target, &y, Task::Target),
-            within
-        );
+        assert_eq!(tk.eval_task(&x, Task::Target, &y, Task::Target), within);
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn nelder_mead(
     while evals < opts.max_evals {
         // Order the simplex.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -194,6 +198,22 @@ fn decode(theta: &[f64], dim: usize) -> TransferGpConfig {
     }
 }
 
+/// How much work a [`fit_transfer_gp_reported`] call actually did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Multi-start restarts executed.
+    pub restarts: usize,
+    /// MAP-objective evaluations consumed across all restarts (each is one
+    /// full `TransferGp::fit` + conditional-likelihood computation).
+    pub evals: usize,
+    /// Best (lowest) MAP objective value found.
+    pub best_objective: f64,
+    /// Log marginal likelihood of the returned model.
+    pub log_marginal: f64,
+    /// Diagonal jitter the returned model's factorization needed.
+    pub jitter: f64,
+}
+
 /// Trains a [`TransferGp`] by maximizing the log marginal likelihood of
 /// the **target** data conditioned on the source (the paper's training
 /// objective) over ARD lengthscales, signal variance, cross-task factor
@@ -213,7 +233,26 @@ pub fn fit_transfer_gp<R: Rng + ?Sized>(
     budget: FitBudget,
     rng: &mut R,
 ) -> Result<TransferGp> {
+    fit_transfer_gp_reported(source, target, dim, budget, rng).map(|(model, _)| model)
+}
+
+/// Like [`fit_transfer_gp`], but also returns a [`FitReport`] describing
+/// the budget actually consumed — for observability sinks and budget
+/// tuning.
+///
+/// # Errors
+///
+/// Same as [`fit_transfer_gp`].
+pub fn fit_transfer_gp_reported<R: Rng + ?Sized>(
+    source: &TaskData,
+    target: &TaskData,
+    dim: usize,
+    budget: FitBudget,
+    rng: &mut R,
+) -> Result<(TransferGp, FitReport)> {
+    let evals = std::cell::Cell::new(0usize);
     let nll = |theta: &[f64]| -> f64 {
+        evals.set(evals.get() + 1);
         let cfg = decode(theta, dim);
         let ls_prior = lengthscale_penalty(&cfg.lengthscales);
         match TransferGp::fit(source.clone(), target.clone(), cfg) {
@@ -224,8 +263,9 @@ pub fn fit_transfer_gp<R: Rng + ?Sized>(
         }
     };
 
+    let restarts = budget.restarts.max(1);
     let mut best_theta: Option<(Vec<f64>, f64)> = None;
-    for restart in 0..budget.restarts.max(1) {
+    for restart in 0..restarts {
         // First start: sensible defaults; later starts: randomized.
         let x0: Vec<f64> = if restart == 0 {
             let mut v = vec![(0.4f64).ln(); dim];
@@ -258,8 +298,16 @@ pub fn fit_transfer_gp<R: Rng + ?Sized>(
         }
     }
 
-    let (theta, _) = best_theta.expect("at least one restart ran");
-    TransferGp::fit(source.clone(), target.clone(), decode(&theta, dim))
+    let (theta, best_objective) = best_theta.expect("at least one restart ran");
+    let model = TransferGp::fit(source.clone(), target.clone(), decode(&theta, dim))?;
+    let report = FitReport {
+        restarts,
+        evals: evals.get(),
+        best_objective,
+        log_marginal: model.log_marginal_likelihood(),
+        jitter: model.jitter(),
+    };
+    Ok((model, report))
 }
 
 #[cfg(test)]
@@ -369,6 +417,40 @@ mod tests {
         // And the fit should predict well off the target observations.
         let (m, _) = model.predict(&[0.25]).unwrap();
         assert!((m - f(0.25)).abs() < 0.2, "mean {m} vs {}", f(0.25));
+    }
+
+    #[test]
+    fn reported_fit_accounts_for_budget() {
+        let f = |x: f64| (4.0 * x).sin();
+        let source = TaskData::new(
+            (0..20).map(|i| vec![i as f64 / 19.0]).collect(),
+            (0..20).map(|i| f(i as f64 / 19.0)).collect(),
+        );
+        let target = TaskData::new(
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+            vec![f(0.1), f(0.5), f(0.9)],
+        );
+        let budget = FitBudget {
+            restarts: 2,
+            evals_per_restart: 40,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let (model, report) =
+            fit_transfer_gp_reported(&source, &target, 1, budget, &mut rng).unwrap();
+        assert_eq!(report.restarts, 2);
+        // Each restart consumes at least the initial simplex (dim + 5
+        // points) and at most the per-restart cap plus one last shrink
+        // round's overshoot.
+        assert!(report.evals >= 2 * 6, "evals {}", report.evals);
+        assert!(report.evals <= 2 * (40 + 6), "evals {}", report.evals);
+        assert!(report.best_objective.is_finite());
+        assert!((report.log_marginal - model.log_marginal_likelihood()).abs() < 1e-12);
+        assert!(report.jitter >= 0.0);
+
+        // The plain entry point must agree with the reported one.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let plain = fit_transfer_gp(&source, &target, 1, budget, &mut rng2).unwrap();
+        assert_eq!(plain.config(), model.config());
     }
 
     #[test]

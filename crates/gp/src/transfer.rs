@@ -108,6 +108,9 @@ pub struct TransferGp {
     z_joint: Vec<f64>,
     /// Log marginal likelihood of the source block alone (0 when empty).
     source_lml: f64,
+    /// Diagonal jitter that `Cholesky::new_with_jitter` had to add to the
+    /// joint kernel before factorization succeeded (0 when none).
+    jitter: f64,
     config: TransferGpConfig,
 }
 
@@ -159,12 +162,7 @@ impl TransferGp {
                 });
             }
         }
-        if source
-            .y
-            .iter()
-            .chain(&target.y)
-            .any(|v| !v.is_finite())
-        {
+        if source.y.iter().chain(&target.y).any(|v| !v.is_finite()) {
             return Err(GpError::InvalidTrainingData {
                 reason: "training outputs must be finite",
             });
@@ -204,7 +202,7 @@ impl TransferGp {
             };
             k[(i, i)] += noise;
         }
-        let (chol, _jitter) = Cholesky::new_with_jitter(&k, 1e-10, 12)?;
+        let (chol, jitter) = Cholesky::new_with_jitter(&k, 1e-10, 12)?;
         let alpha = chol.solve_vec(&z_joint)?;
 
         // Source-block marginal likelihood, for the conditional objective.
@@ -215,7 +213,8 @@ impl TransferGp {
             let (chol_s, _) = Cholesky::new_with_jitter(&k_ss, 1e-10, 12)?;
             let z_s = &z_joint[..n];
             let alpha_s = chol_s.solve_vec(z_s)?;
-            -0.5 * linalg::vecops::dot(z_s, &alpha_s) - 0.5 * chol_s.log_det()
+            -0.5 * linalg::vecops::dot(z_s, &alpha_s)
+                - 0.5 * chol_s.log_det()
                 - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
         };
 
@@ -229,6 +228,7 @@ impl TransferGp {
             noise_target: config.noise_target,
             z_joint,
             source_lml,
+            jitter,
             config,
         })
     }
@@ -246,6 +246,13 @@ impl TransferGp {
     /// The cross-task factor λ in use.
     pub fn lambda(&self) -> f64 {
         self.kernel.lambda()
+    }
+
+    /// Diagonal jitter added so the joint kernel's Cholesky factorization
+    /// succeeded (0 when the matrix was well-conditioned as-is). Useful as
+    /// a conditioning diagnostic in traces.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
     }
 
     /// The hyper-parameter configuration in use.
@@ -375,10 +382,8 @@ mod tests {
             noise_source: 1e-4,
             noise_target: 1e-4,
         };
-        let with_source =
-            TransferGp::fit(source_dense(), target_sparse(0.0), cfg.clone()).unwrap();
-        let without_source =
-            TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg).unwrap();
+        let with_source = TransferGp::fit(source_dense(), target_sparse(0.0), cfg.clone()).unwrap();
+        let without_source = TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg).unwrap();
         // Error at a point far from target observations but covered by the
         // source.
         let q = [0.2];
@@ -400,10 +405,8 @@ mod tests {
             noise_source: 1e-4,
             noise_target: 1e-4,
         };
-        let with_source =
-            TransferGp::fit(source_dense(), target_sparse(0.0), cfg.clone()).unwrap();
-        let without_source =
-            TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg).unwrap();
+        let with_source = TransferGp::fit(source_dense(), target_sparse(0.0), cfg.clone()).unwrap();
+        let without_source = TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg).unwrap();
         let q = [0.2];
         assert!(with_source.predict(&q).unwrap().1 < without_source.predict(&q).unwrap().1);
     }
@@ -470,8 +473,7 @@ mod tests {
             noise_source: 1e-3,
             noise_target: 1e-3,
         };
-        let high =
-            TransferGp::fit(source_dense(), target_sparse(0.0), mk(0.95)).unwrap();
+        let high = TransferGp::fit(source_dense(), target_sparse(0.0), mk(0.95)).unwrap();
         let low = TransferGp::fit(source_dense(), target_sparse(0.0), mk(1e-6)).unwrap();
         assert!(high.log_marginal_likelihood() > low.log_marginal_likelihood());
     }

@@ -186,12 +186,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]).unwrap()
     }
 
     #[test]
@@ -240,7 +235,10 @@ mod tests {
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
         let err = Cholesky::new(&a).unwrap_err();
-        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 1, .. }));
+        assert!(matches!(
+            err,
+            LinalgError::NotPositiveDefinite { pivot: 1, .. }
+        ));
     }
 
     #[test]

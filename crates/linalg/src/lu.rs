@@ -110,15 +110,15 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s;
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn solves_with_pivoting() {
-        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[2.0, 1.0, 0.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[2.0, 1.0, 0.0]]).unwrap();
         let lu = Lu::new(&a).unwrap();
         let x_true = [1.0, 2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();

@@ -191,7 +191,9 @@ impl Matrix {
 
     /// Copies the main diagonal into a new vector.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Returns the transpose as a new matrix.
@@ -271,8 +273,7 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let vi = v[i];
+        for (i, &vi) in v.iter().enumerate() {
             if vi == 0.0 {
                 continue;
             }
@@ -505,7 +506,10 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = sample();
         let err = a.matmul(&sample()).unwrap_err();
-        assert!(matches!(err, LinalgError::ShapeMismatch { op: "matmul", .. }));
+        assert!(matches!(
+            err,
+            LinalgError::ShapeMismatch { op: "matmul", .. }
+        ));
     }
 
     #[test]

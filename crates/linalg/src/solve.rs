@@ -122,8 +122,8 @@ mod tests {
 
     #[test]
     fn lower_transposed_equals_explicit_transpose() {
-        let l = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[0.5, -1.0, 4.0]])
-            .unwrap();
+        let l =
+            Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[0.5, -1.0, 4.0]]).unwrap();
         let b = [1.0, -2.0, 3.0];
         let via_t = solve_upper(&l.transpose(), &b).unwrap();
         let direct = solve_lower_transposed(&l, &b).unwrap();

@@ -1,0 +1,208 @@
+//! Typed trace events emitted by the tuner and its collaborators.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured trace event.
+///
+/// Events serialize to externally-tagged JSON (`{"GpFit": {...}}`), one
+/// object per line in a JSONL trace. Every payload is self-describing so a
+/// trace can be analyzed without the emitting binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A tuning run began.
+    RunStart {
+        /// Number of candidate configurations in the search space.
+        candidates: usize,
+        /// Number of PPA objectives being minimized.
+        objectives: usize,
+        /// Dimensionality of the configuration space.
+        dim: usize,
+        /// Size of the maximin initial design.
+        initial_samples: usize,
+        /// Iteration budget of the refinement loop.
+        max_iterations: usize,
+        /// RNG seed (reproduces the run exactly).
+        seed: u64,
+    },
+
+    /// A transfer-GP surrogate was (re)fitted for one objective.
+    GpFit {
+        /// Refinement iteration (0 = the fit right after the initial design).
+        iteration: usize,
+        /// Objective index this surrogate models.
+        objective: usize,
+        /// Whether hyperparameters were re-optimized (`true`) or the model
+        /// was warm-refitted with cached hyperparameters (`false`).
+        refit: bool,
+        /// Fitted ARD lengthscales of the SE kernel.
+        lengthscales: Vec<f64>,
+        /// Fitted signal variance.
+        signal_var: f64,
+        /// Observation noise on the target task.
+        noise_target: f64,
+        /// Transfer correlation factor `λ = 2(1/(1+a))^b − 1`; 0 when no
+        /// source data is available.
+        lambda: f64,
+        /// Multi-start restarts consumed by the hyperparameter search.
+        restarts: usize,
+        /// Objective evaluations consumed across all restarts.
+        evals: usize,
+        /// Final log marginal likelihood of the fitted model.
+        log_marginal: f64,
+        /// Jitter added to the kernel diagonal before Cholesky succeeded
+        /// (0 when the factorization succeeded unmodified).
+        jitter: f64,
+        /// Wall-clock seconds spent fitting.
+        duration_s: f64,
+    },
+
+    /// The (simulated) physical-design tool evaluated one configuration.
+    ToolEval {
+        /// Refinement iteration (0 covers the initial design).
+        iteration: usize,
+        /// Candidate index that was evaluated.
+        candidate: usize,
+        /// Measured QoR vector (one value per objective).
+        qor: Vec<f64>,
+        /// Wall-clock seconds spent in the evaluation.
+        duration_s: f64,
+    },
+
+    /// One stage of the physical-design flow finished (placement, CTS,
+    /// routing, STA, ...). Emitted by flow drivers that time stages.
+    Stage {
+        /// Candidate index the flow is running for.
+        candidate: usize,
+        /// Stage name (`"synth"`, `"place"`, `"cts"`, `"route"`, `"sta"`).
+        stage: String,
+        /// Wall-clock seconds spent in the stage.
+        duration_s: f64,
+    },
+
+    /// δ-dominance classification of the candidate set completed.
+    Classify {
+        /// Refinement iteration.
+        iteration: usize,
+        /// Candidates currently classified as Pareto-optimal.
+        pareto: usize,
+        /// Candidates δ-dominated (dropped from further consideration).
+        dropped: usize,
+        /// Candidates still undecided (uncertainty regions overlap).
+        undecided: usize,
+        /// Absolute per-objective δ thresholds used this iteration.
+        delta: Vec<f64>,
+    },
+
+    /// Candidates were selected for evaluation this iteration.
+    Select {
+        /// Refinement iteration.
+        iteration: usize,
+        /// Chosen candidate indices, in selection order.
+        chosen: Vec<usize>,
+        /// Uncertainty-region diameter of each chosen candidate at
+        /// selection time (the selection criterion).
+        diameters: Vec<f64>,
+    },
+
+    /// One refinement iteration finished.
+    IterationEnd {
+        /// Refinement iteration.
+        iteration: usize,
+        /// Cumulative tool evaluations so far.
+        runs: usize,
+        /// Pareto / dropped / undecided counts after this iteration.
+        pareto: usize,
+        /// Candidates δ-dominated so far.
+        dropped: usize,
+        /// Candidates still undecided.
+        undecided: usize,
+        /// Hypervolume of the evaluated set's current Pareto front, measured
+        /// against the observed nadir (monotone as the front improves).
+        hypervolume: f64,
+        /// Wall-clock seconds for the whole iteration.
+        duration_s: f64,
+        /// Wall-clock seconds of that spent fitting GPs.
+        gp_fit_s: f64,
+    },
+
+    /// The tuning run finished (after the verification pass).
+    RunEnd {
+        /// Iterations actually executed.
+        iterations: usize,
+        /// Tool evaluations consumed by the refinement loop.
+        runs: usize,
+        /// Extra evaluations spent verifying the predicted front.
+        verification_runs: usize,
+        /// Size of the reported Pareto set.
+        pareto: usize,
+        /// Total wall-clock seconds.
+        duration_s: f64,
+    },
+
+    /// A free-form diagnostic message.
+    Message {
+        /// Human-readable text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The variant name, as it appears as the JSON tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "RunStart",
+            Event::GpFit { .. } => "GpFit",
+            Event::ToolEval { .. } => "ToolEval",
+            Event::Stage { .. } => "Stage",
+            Event::Classify { .. } => "Classify",
+            Event::Select { .. } => "Select",
+            Event::IterationEnd { .. } => "IterationEnd",
+            Event::RunEnd { .. } => "RunEnd",
+            Event::Message { .. } => "Message",
+        }
+    }
+
+    /// The iteration this event belongs to, when it has one.
+    pub fn iteration(&self) -> Option<usize> {
+        match self {
+            Event::GpFit { iteration, .. }
+            | Event::ToolEval { iteration, .. }
+            | Event::Classify { iteration, .. }
+            | Event::Select { iteration, .. }
+            | Event::IterationEnd { iteration, .. } => Some(*iteration),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_json_tag() {
+        let e = Event::Classify {
+            iteration: 3,
+            pareto: 5,
+            dropped: 10,
+            undecided: 2,
+            delta: vec![0.01, 0.02],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.starts_with("{\"Classify\":"), "{json}");
+        assert_eq!(e.kind(), "Classify");
+        assert_eq!(e.iteration(), Some(3));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let e = Event::Select {
+            iteration: 1,
+            chosen: vec![4, 9],
+            diameters: vec![0.5, 0.25],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

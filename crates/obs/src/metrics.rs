@@ -1,0 +1,397 @@
+//! Thread-safe metrics: counters, gauges, histograms, and RAII span timers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets per decade (geometric spacing).
+const BUCKETS_PER_DECADE: usize = 8;
+/// Smallest representable bucket edge; values below land in underflow.
+const MIN_EDGE_EXP10: i32 = -9;
+/// Largest representable bucket edge; values at or above land in overflow.
+const MAX_EDGE_EXP10: i32 = 9;
+/// Interior bucket count: `(MAX - MIN) decades × BUCKETS_PER_DECADE`.
+const BUCKETS: usize = ((MAX_EDGE_EXP10 - MIN_EDGE_EXP10) as usize) * BUCKETS_PER_DECADE;
+
+/// A fixed-bucket histogram of non-negative values.
+///
+/// Buckets are geometrically spaced — 8 per decade from `1e-9` to `1e9` —
+/// so quantile estimates carry at most ~15% relative error anywhere in that
+/// range, which is plenty for timing data. Recording is lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    /// f64 bit patterns maintained via CAS loops.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Geometric bucket index of `v`, or `Err(true)` for overflow /
+/// `Err(false)` for underflow.
+fn bucket_index(v: f64) -> Result<usize, bool> {
+    if v.is_nan() || v <= 0.0 {
+        return Err(false);
+    }
+    let log = v.log10() - MIN_EDGE_EXP10 as f64;
+    if log < 0.0 {
+        return Err(false);
+    }
+    let idx = (log * BUCKETS_PER_DECADE as f64).floor() as usize;
+    if idx >= BUCKETS {
+        Err(true)
+    } else {
+        Ok(idx)
+    }
+}
+
+/// Lower edge of bucket `idx`.
+fn bucket_lower(idx: usize) -> f64 {
+    10f64.powf(MIN_EDGE_EXP10 as f64 + idx as f64 / BUCKETS_PER_DECADE as f64)
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation. Negative or non-finite values count toward
+    /// the underflow bucket (they still appear in `count`, not in `sum`).
+    pub fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        match bucket_index(v) {
+            Ok(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            Err(true) => self.overflow.fetch_add(1, Ordering::Relaxed),
+            Err(false) => self.underflow.fetch_add(1, Ordering::Relaxed),
+        };
+        if v.is_finite() {
+            atomic_f64_update(&self.sum_bits, |s| s + v);
+            atomic_f64_update(&self.min_bits, |m| m.min(v));
+            atomic_f64_update(&self.max_bits, |m| m.max(v));
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the lower edge of
+    /// the bucket containing it. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow.load(Ordering::Relaxed);
+        if seen >= rank {
+            return Some(
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed)).min(bucket_lower(0)),
+            );
+        }
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_lower(i));
+            }
+        }
+        Some(f64::from_bits(self.max_bits.load(Ordering::Relaxed)))
+    }
+
+    /// A point-in-time summary of this histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            )
+        };
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            min,
+            max,
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Point-in-time histogram statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all finite observations.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// All operations take `&self` and are safe to call from many threads;
+/// metrics are created lazily on first touch.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.counter_cell(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the named counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_cell(name).load(Ordering::Relaxed)
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.gauge_cell(name).store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value of the named gauge (0.0 if never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        f64::from_bits(self.gauge_cell(name).load(Ordering::Relaxed))
+    }
+
+    /// The named histogram, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Starts a span timer; when the returned guard drops (or
+    /// [`Span::finish`] is called), the elapsed seconds are recorded into
+    /// the histogram named `name`.
+    pub fn span(&self, name: impl Into<String>) -> Span<'_> {
+        Span {
+            registry: self,
+            name: name.into(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// A serializable snapshot of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A serializable point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// RAII wall-clock timer tied to a [`Registry`] histogram.
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    name: String,
+    start: Instant,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Stops the timer now, records the duration, and returns the elapsed
+    /// seconds. Without an explicit call, `Drop` records instead.
+    pub fn finish(mut self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.registry.observe(&self.name, secs);
+        self.done = true;
+        secs
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let secs = self.start.elapsed().as_secs_f64();
+            self.registry.observe(&self.name, secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        assert_eq!(r.counter("evals"), 0);
+        r.counter_add("evals", 3);
+        r.counter_add("evals", 2);
+        assert_eq!(r.counter("evals"), 5);
+        r.gauge_set("hv", 0.75);
+        assert!((r.gauge("hv") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_truth() {
+        let h = Histogram::default();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // uniform on (0, 1]
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Bucket edges carry at most one bucket (~33%) of relative error.
+        assert!((0.3..=0.5).contains(&p50), "p50 {p50}");
+        assert!((0.7..=0.99).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        let s = h.summary();
+        assert!((s.mean - 0.5005).abs() < 1e-9);
+        assert!((s.min - 0.001).abs() < 1e-12);
+        assert!((s.max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::default();
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(1e12);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 4);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn span_records_elapsed_seconds() {
+        let r = Registry::new();
+        {
+            let _guard = r.span("fit");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let fit = r.histogram("fit").summary();
+        assert_eq!(fit.count, 1);
+        assert!(fit.sum >= 0.002, "sum {}", fit.sum);
+
+        let r2 = Registry::new();
+        let secs = r2.span("x").finish();
+        assert!(secs >= 0.0);
+        assert_eq!(r2.histogram("x").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let r = Registry::new();
+        r.counter_add("a", 1);
+        r.gauge_set("g", 2.5);
+        r.observe("h", 0.1);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

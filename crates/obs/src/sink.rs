@@ -1,0 +1,352 @@
+//! Event sinks: where trace events go.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::Event;
+
+/// Receives trace events.
+///
+/// Instrumented code should gate expensive event construction on
+/// [`Observer::enabled`]:
+///
+/// ```no_run
+/// # use obs::{Event, Observer};
+/// # fn emit(obs: &dyn Observer) {
+/// if obs.enabled() {
+///     obs.emit(&Event::Message { text: "expensive to build".into() });
+/// }
+/// # }
+/// ```
+pub trait Observer: Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+
+    /// Whether this observer wants events at all. The [`NullSink`] returns
+    /// `false`, letting hot paths skip event construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Discards everything; `enabled()` is `false`. This is the default
+/// observer, chosen so that un-instrumented runs pay (almost) nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+/// The shared null sink, usable as a `&'static dyn Observer` default.
+pub static NULL_SINK: NullSink = NullSink;
+
+impl Observer for NullSink {
+    fn emit(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// How chatty the [`StderrSink`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// Only run-level events (`RunStart`, `RunEnd`, `Message`).
+    Quiet,
+    /// Plus one line per iteration (`IterationEnd`).
+    #[default]
+    Normal,
+    /// Every event, including per-evaluation and per-fit detail.
+    Verbose,
+}
+
+/// Human-readable progress lines on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink {
+    verbosity: Verbosity,
+}
+
+impl StderrSink {
+    /// A sink printing at the given verbosity.
+    pub fn new(verbosity: Verbosity) -> Self {
+        StderrSink { verbosity }
+    }
+
+    fn render(event: &Event) -> String {
+        match event {
+            Event::RunStart {
+                candidates,
+                objectives,
+                dim,
+                initial_samples,
+                max_iterations,
+                seed,
+            } => format!(
+                "run start: {candidates} candidates, {objectives} objectives, dim {dim}, \
+                 {initial_samples} initial samples, {max_iterations} max iters, seed {seed}"
+            ),
+            Event::GpFit {
+                iteration,
+                objective,
+                refit,
+                lambda,
+                log_marginal,
+                jitter,
+                duration_s,
+                ..
+            } => format!(
+                "iter {iteration:3}: gp[{objective}] {} lambda {lambda:.3} lml {log_marginal:.2} \
+                 jitter {jitter:.1e} ({:.1} ms)",
+                if *refit { "refit" } else { "warm " },
+                duration_s * 1e3
+            ),
+            Event::ToolEval {
+                iteration,
+                candidate,
+                qor,
+                duration_s,
+            } => format!(
+                "iter {iteration:3}: eval #{candidate} -> {qor:.4?} ({:.1} ms)",
+                duration_s * 1e3
+            ),
+            Event::Stage {
+                candidate,
+                stage,
+                duration_s,
+            } => format!("flow #{candidate}: {stage} ({:.1} ms)", duration_s * 1e3),
+            Event::Classify {
+                iteration,
+                pareto,
+                dropped,
+                undecided,
+                delta,
+            } => format!(
+                "iter {iteration:3}: classify pareto {pareto} dropped {dropped} \
+                 undecided {undecided} (delta {delta:.4?})"
+            ),
+            Event::Select {
+                iteration, chosen, ..
+            } => format!("iter {iteration:3}: select {chosen:?}"),
+            Event::IterationEnd {
+                iteration,
+                runs,
+                pareto,
+                dropped,
+                undecided,
+                hypervolume,
+                duration_s,
+                ..
+            } => format!(
+                "iter {iteration:3}: runs {runs:4}  pareto {pareto:3}  dropped {dropped:3}  \
+                 undecided {undecided:3}  hv {hypervolume:.4}  ({duration_s:.3} s)"
+            ),
+            Event::RunEnd {
+                iterations,
+                runs,
+                verification_runs,
+                pareto,
+                duration_s,
+            } => format!(
+                "run end: {iterations} iters, {runs} runs (+{verification_runs} verification), \
+                 {pareto} pareto points in {duration_s:.3} s"
+            ),
+            Event::Message { text } => text.clone(),
+        }
+    }
+}
+
+impl Observer for StderrSink {
+    fn emit(&self, event: &Event) {
+        let wanted = match event {
+            Event::RunStart { .. } | Event::RunEnd { .. } | Event::Message { .. } => {
+                Verbosity::Quiet
+            }
+            Event::IterationEnd { .. } => Verbosity::Normal,
+            _ => Verbosity::Verbose,
+        };
+        if self.verbosity >= wanted {
+            eprintln!("[obs] {}", Self::render(event));
+        }
+    }
+}
+
+/// Machine-readable trace: one externally-tagged JSON event per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Observer for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let line = serde_json::to_string(event).expect("event serialization cannot fail");
+        let mut w = self.writer.lock().expect("trace writer poisoned");
+        // Trace output is best-effort: losing lines on a full disk should
+        // not abort a tuning run.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Captures events in memory; for tests and in-process analysis.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// All events captured so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Number of captured events with the given [`Event::kind`].
+    pub fn count(&self, kind: &str) -> usize {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .count()
+    }
+}
+
+impl Observer for RecordingSink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Fans events out to several sinks (e.g. stderr progress + JSONL trace).
+#[derive(Default)]
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a dyn Observer>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        MultiSink { sinks: Vec::new() }
+    }
+
+    /// Adds a sink; disabled sinks are skipped up front.
+    pub fn push(&mut self, sink: &'a dyn Observer) {
+        if sink.enabled() {
+            self.sinks.push(sink);
+        }
+    }
+}
+
+impl Observer for MultiSink<'_> {
+    fn emit(&self, event: &Event) {
+        for s in &self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        NullSink.emit(&Event::Message { text: "x".into() }); // no-op
+    }
+
+    #[test]
+    fn recording_sink_counts_kinds() {
+        let rec = RecordingSink::new();
+        rec.emit(&Event::Message { text: "a".into() });
+        rec.emit(&Event::Message { text: "b".into() });
+        assert_eq!(rec.count("Message"), 2);
+        assert_eq!(rec.count("GpFit"), 0);
+        assert_eq!(rec.events().len(), 2);
+    }
+
+    #[test]
+    fn multi_sink_skips_disabled_and_fans_out() {
+        let rec = RecordingSink::new();
+        let mut multi = MultiSink::new();
+        assert!(!multi.enabled());
+        multi.push(&NULL_SINK);
+        assert!(!multi.enabled());
+        multi.push(&rec);
+        assert!(multi.enabled());
+        multi.emit(&Event::Message { text: "hi".into() });
+        multi.flush();
+        assert_eq!(rec.count("Message"), 1);
+    }
+
+    #[test]
+    fn stderr_sink_renders_every_variant() {
+        // Rendering must not panic for any variant.
+        let events = [
+            Event::RunStart {
+                candidates: 1,
+                objectives: 2,
+                dim: 3,
+                initial_samples: 4,
+                max_iterations: 5,
+                seed: 6,
+            },
+            Event::GpFit {
+                iteration: 0,
+                objective: 0,
+                refit: true,
+                lengthscales: vec![0.1],
+                signal_var: 1.0,
+                noise_target: 0.01,
+                lambda: 0.5,
+                restarts: 2,
+                evals: 120,
+                log_marginal: -3.4,
+                jitter: 0.0,
+                duration_s: 0.01,
+            },
+            Event::Message { text: "m".into() },
+        ];
+        for e in &events {
+            assert!(!StderrSink::render(e).is_empty());
+        }
+    }
+}

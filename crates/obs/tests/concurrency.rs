@@ -1,0 +1,72 @@
+//! The registry is shared across worker threads in a tuning service, so
+//! counters, gauges, and histograms must stay consistent under contention.
+
+use std::sync::Arc;
+use std::thread;
+
+use obs::Registry;
+
+const THREADS: usize = 8;
+const OPS: usize = 2_000;
+
+#[test]
+fn counters_sum_exactly_across_threads() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let r = Arc::clone(&registry);
+            thread::spawn(move || {
+                for _ in 0..OPS {
+                    r.counter_add("tool.runs", 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    assert_eq!(registry.counter("tool.runs"), (THREADS * OPS) as u64);
+}
+
+#[test]
+fn gauges_keep_a_value_some_thread_wrote() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            thread::spawn(move || {
+                for i in 0..OPS {
+                    r.gauge_set("undecided", (t * OPS + i) as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let v = registry.gauge("undecided");
+    // Last-writer-wins: the surviving value must be one that was written.
+    assert!(v.fract() == 0.0 && (0.0..(THREADS * OPS) as f64).contains(&v));
+}
+
+#[test]
+fn histograms_count_every_concurrent_observation() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            thread::spawn(move || {
+                for i in 1..=OPS {
+                    r.observe("fit.seconds", (t + 1) as f64 * i as f64 * 1e-6);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let s = registry.snapshot().histograms["fit.seconds"].clone();
+    assert_eq!(s.count, (THREADS * OPS) as u64);
+    assert!(s.min >= 1e-6 && s.max <= THREADS as f64 * OPS as f64 * 1e-6);
+    assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+}

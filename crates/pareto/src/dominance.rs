@@ -74,11 +74,12 @@ pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
 /// Panics if the slice lengths differ.
 pub fn delta_dominates(a: &[f64], b: &[f64], delta: &[f64]) -> bool {
     assert_eq!(a.len(), b.len(), "delta_dominates: length mismatch");
-    assert_eq!(a.len(), delta.len(), "delta_dominates: delta length mismatch");
-    a.iter()
-        .zip(b)
-        .zip(delta)
-        .all(|((&x, &y), &d)| x <= y + d)
+    assert_eq!(
+        a.len(),
+        delta.len(),
+        "delta_dominates: delta length mismatch"
+    );
+    a.iter().zip(b).zip(delta).all(|((&x, &y), &d)| x <= y + d)
 }
 
 #[cfg(test)]

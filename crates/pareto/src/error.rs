@@ -43,15 +43,17 @@ impl fmt::Display for ParetoError {
                 write!(f, "point has dimension {got}, expected {expected}")
             }
             ParetoError::EmptySet { what } => write!(f, "{what} must not be empty"),
-            ParetoError::ReferenceNotDominated { index } => write!(
-                f,
-                "point {index} is not dominated by the reference point"
-            ),
+            ParetoError::ReferenceNotDominated { index } => {
+                write!(f, "point {index} is not dominated by the reference point")
+            }
             ParetoError::NanCoordinate { index } => {
                 write!(f, "point {index} has a NaN coordinate")
             }
             ParetoError::ZeroReferenceCoordinate { index } => {
-                write!(f, "golden point {index} has a zero coordinate, adrs undefined")
+                write!(
+                    f,
+                    "golden point {index} has a zero coordinate, adrs undefined"
+                )
             }
         }
     }

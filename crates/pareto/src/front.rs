@@ -95,6 +95,7 @@ pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
     if n <= 2 {
         return vec![f64::INFINITY; n];
     }
+    #[allow(clippy::needless_range_loop)] // `obj` is a column index, not a row.
     for obj in 0..m {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {

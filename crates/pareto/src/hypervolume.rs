@@ -107,7 +107,11 @@ pub fn reference_point(points: &[Vec<f64>], margin: f64) -> Result<Vec<f64>> {
     }
     for rj in &mut r {
         // Scale away from the ideal point; handles negative coordinates too.
-        *rj = if *rj >= 0.0 { *rj * margin } else { *rj / margin };
+        *rj = if *rj >= 0.0 {
+            *rj * margin
+        } else {
+            *rj / margin
+        };
         if *rj == 0.0 {
             *rj = f64::EPSILON;
         }
@@ -206,8 +210,7 @@ mod tests {
     #[test]
     fn dominated_points_add_nothing() {
         let base = hypervolume(&[vec![1.0, 1.0]], &[3.0, 3.0]).unwrap();
-        let with_dominated =
-            hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]).unwrap();
+        let with_dominated = hypervolume(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]).unwrap();
         assert!((base - with_dominated).abs() < 1e-12);
     }
 
@@ -238,10 +241,7 @@ mod tests {
         // a third constant objective.
         let front2 = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![4.0, 1.0]];
         let hv2 = hypervolume(&front2, &[5.0, 5.0]).unwrap();
-        let front3: Vec<Vec<f64>> = front2
-            .iter()
-            .map(|p| vec![p[0], p[1], 0.0])
-            .collect();
+        let front3: Vec<Vec<f64>> = front2.iter().map(|p| vec![p[0], p[1], 0.0]).collect();
         let hv3 = hypervolume(&front3, &[5.0, 5.0, 1.0]).unwrap();
         assert!((hv2 - hv3).abs() < 1e-10, "hv2={hv2} hv3={hv3}");
     }

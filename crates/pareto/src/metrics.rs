@@ -26,7 +26,9 @@ pub fn adrs(golden: &[Vec<f64>], approx: &[Vec<f64>]) -> Result<f64> {
         return Err(ParetoError::EmptySet { what: "golden set" });
     }
     if approx.is_empty() {
-        return Err(ParetoError::EmptySet { what: "approximation set" });
+        return Err(ParetoError::EmptySet {
+            what: "approximation set",
+        });
     }
     let d = golden[0].len();
     for (i, p) in golden.iter().chain(approx.iter()).enumerate() {
@@ -75,7 +77,9 @@ pub fn epsilon_indicator(golden: &[Vec<f64>], approx: &[Vec<f64>]) -> Result<f64
         return Err(ParetoError::EmptySet { what: "golden set" });
     }
     if approx.is_empty() {
-        return Err(ParetoError::EmptySet { what: "approximation set" });
+        return Err(ParetoError::EmptySet {
+            what: "approximation set",
+        });
     }
     let d = golden[0].len();
     for (i, p) in golden.iter().chain(approx.iter()).enumerate() {
@@ -118,7 +122,9 @@ pub fn generational_distance(golden: &[Vec<f64>], approx: &[Vec<f64>]) -> Result
         return Err(ParetoError::EmptySet { what: "golden set" });
     }
     if approx.is_empty() {
-        return Err(ParetoError::EmptySet { what: "approximation set" });
+        return Err(ParetoError::EmptySet {
+            what: "approximation set",
+        });
     }
     let d = golden[0].len();
     for (i, p) in golden.iter().chain(approx.iter()).enumerate() {

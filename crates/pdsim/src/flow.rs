@@ -62,14 +62,43 @@ impl PdFlow {
 
     /// Runs the flow for one parameter configuration and reports QoR.
     pub fn run(&self, params: &ToolParams) -> Qor {
-        let syn = stages::synthesize(&self.design, params);
-        let pl = stages::place(&self.design, params, &syn);
-        let ct = stages::cts(&self.design, params, &pl);
-        let rt = stages::route(&self.design, params, &pl);
+        self.run_timed(params).0
+    }
 
+    /// Runs the flow and additionally stamps per-stage wall-clock timings
+    /// (synthesis, placement, CTS, routing, signoff). The QoR is identical
+    /// to [`PdFlow::run`]; the timings measure this process, so they vary
+    /// run to run.
+    pub fn run_timed(&self, params: &ToolParams) -> (Qor, StageTimings) {
+        let t0 = std::time::Instant::now();
+        let syn = stages::synthesize(&self.design, params);
+        let t_synth = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let pl = stages::place(&self.design, params, &syn);
+        let t_place = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let ct = stages::cts(&self.design, params, &pl);
+        let t_cts = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let rt = stages::route(&self.design, params, &pl);
+        let t_route = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
         let delay_ns = stages::sta(&self.design, params, &syn, &pl, &ct, &rt);
         let power_mw = stages::power(&self.design, params, &syn, &ct, &rt);
         let area_um2 = stages::area(&self.design, params, &syn, &rt);
+        let t_signoff = t0.elapsed().as_secs_f64();
+
+        let timings = StageTimings {
+            synth_s: t_synth,
+            place_s: t_place,
+            cts_s: t_cts,
+            route_s: t_route,
+            signoff_s: t_signoff,
+        };
 
         // Deterministic per-configuration jitter.
         let base = self
@@ -80,11 +109,46 @@ impl PdFlow {
         let j = |salt: u64| {
             1.0 + self.jitter * hash_to_range(splitmix64(base.wrapping_add(salt)), -1.0, 1.0)
         };
-        Qor {
+        let qor = Qor {
             area_um2: area_um2 * j(1),
             power_mw: power_mw * j(2),
             delay_ns: delay_ns * j(3),
-        }
+        };
+        (qor, timings)
+    }
+}
+
+/// Wall-clock seconds each flow stage spent in one [`PdFlow::run_timed`]
+/// call.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Logic synthesis.
+    pub synth_s: f64,
+    /// Placement.
+    pub place_s: f64,
+    /// Clock-tree synthesis.
+    pub cts_s: f64,
+    /// Routing.
+    pub route_s: f64,
+    /// Signoff (STA + power + area extraction).
+    pub signoff_s: f64,
+}
+
+impl StageTimings {
+    /// Total seconds across all stages.
+    pub fn total_s(&self) -> f64 {
+        self.synth_s + self.place_s + self.cts_s + self.route_s + self.signoff_s
+    }
+
+    /// `(name, seconds)` pairs in flow order, for sinks and reports.
+    pub fn stages(&self) -> [(&'static str, f64); 5] {
+        [
+            ("synth", self.synth_s),
+            ("place", self.place_s),
+            ("cts", self.cts_s),
+            ("route", self.route_s),
+            ("signoff", self.signoff_s),
+        ]
     }
 }
 
@@ -108,6 +172,19 @@ mod tests {
     fn qor_is_valid() {
         let q = flow().run(&ToolParams::default());
         assert!(q.is_valid(), "{q}");
+    }
+
+    #[test]
+    fn run_timed_matches_run_and_times_stages() {
+        let f = flow();
+        let p = ToolParams::default();
+        let (q, t) = f.run_timed(&p);
+        assert_eq!(q, f.run(&p));
+        for (name, secs) in t.stages() {
+            assert!(secs >= 0.0, "{name} {secs}");
+        }
+        let total: f64 = t.stages().iter().map(|(_, s)| s).sum();
+        assert!((t.total_s() - total).abs() < 1e-15);
     }
 
     #[test]
@@ -136,8 +213,14 @@ mod tests {
     #[test]
     fn frequency_trades_delay_for_power() {
         let f = flow().with_jitter(0.0);
-        let slow = f.run(&ToolParams { freq_mhz: 950.0, ..Default::default() });
-        let fast = f.run(&ToolParams { freq_mhz: 1300.0, ..Default::default() });
+        let slow = f.run(&ToolParams {
+            freq_mhz: 950.0,
+            ..Default::default()
+        });
+        let fast = f.run(&ToolParams {
+            freq_mhz: 1300.0,
+            ..Default::default()
+        });
         assert!(fast.delay_ns < slow.delay_ns, "fast {fast} vs slow {slow}");
         assert!(fast.power_mw > slow.power_mw);
         assert!(fast.area_um2 > slow.area_um2);
@@ -146,8 +229,14 @@ mod tests {
     #[test]
     fn timing_effort_trades_power_for_delay() {
         let f = flow().with_jitter(0.0);
-        let med = f.run(&ToolParams { timing_effort: TimingEffort::Medium, ..Default::default() });
-        let high = f.run(&ToolParams { timing_effort: TimingEffort::High, ..Default::default() });
+        let med = f.run(&ToolParams {
+            timing_effort: TimingEffort::Medium,
+            ..Default::default()
+        });
+        let high = f.run(&ToolParams {
+            timing_effort: TimingEffort::High,
+            ..Default::default()
+        });
         assert!(high.delay_ns < med.delay_ns);
         assert!(high.power_mw > med.power_mw);
     }
@@ -155,8 +244,14 @@ mod tests {
     #[test]
     fn extreme_effort_improves_qor_broadly() {
         let f = flow().with_jitter(0.0);
-        let std = f.run(&ToolParams { flow_effort: FlowEffort::Standard, ..Default::default() });
-        let ext = f.run(&ToolParams { flow_effort: FlowEffort::Extreme, ..Default::default() });
+        let std = f.run(&ToolParams {
+            flow_effort: FlowEffort::Standard,
+            ..Default::default()
+        });
+        let ext = f.run(&ToolParams {
+            flow_effort: FlowEffort::Extreme,
+            ..Default::default()
+        });
         assert!(ext.delay_ns < std.delay_ns);
         assert!(ext.power_mw < std.power_mw);
         assert!(ext.area_um2 < std.area_um2);
@@ -165,10 +260,19 @@ mod tests {
     #[test]
     fn utilization_trades_area_for_delay() {
         let f = flow().with_jitter(0.0);
-        let loose = f.run(&ToolParams { max_utilization: 0.55, ..Default::default() });
-        let tight = f.run(&ToolParams { max_utilization: 0.95, ..Default::default() });
+        let loose = f.run(&ToolParams {
+            max_utilization: 0.55,
+            ..Default::default()
+        });
+        let tight = f.run(&ToolParams {
+            max_utilization: 0.95,
+            ..Default::default()
+        });
         assert!(tight.area_um2 < loose.area_um2);
-        assert!(tight.delay_ns > loose.delay_ns, "congestion should slow tight floorplans");
+        assert!(
+            tight.delay_ns > loose.delay_ns,
+            "congestion should slow tight floorplans"
+        );
     }
 
     #[test]
@@ -178,7 +282,10 @@ mod tests {
         let small = PdFlow::new(Design::mac_small(1)).with_jitter(0.0);
         let large = PdFlow::new(Design::mac_large(2)).with_jitter(0.0);
         let base = ToolParams::default();
-        let tuned = ToolParams { timing_effort: TimingEffort::High, ..Default::default() };
+        let tuned = ToolParams {
+            timing_effort: TimingEffort::High,
+            ..Default::default()
+        };
         let ds = small.run(&tuned).delay_ns - small.run(&base).delay_ns;
         let dl = large.run(&tuned).delay_ns - large.run(&base).delay_ns;
         assert!(ds < 0.0 && dl < 0.0, "both should speed up: {ds} {dl}");

@@ -51,7 +51,7 @@ pub mod sta;
 pub mod stages;
 
 pub use design::Design;
-pub use flow::PdFlow;
+pub use flow::{PdFlow, StageTimings};
 pub use library::{CellKind, CellLibrary, Drive};
 pub use netlist::{MacConfig, Netlist, NetlistStats};
 pub use params::{CongEffort, FlowEffort, TimingEffort, ToolParams};

@@ -129,17 +129,138 @@ impl CellLibrary {
     pub fn sevennm() -> Self {
         use CellKind::*;
         let specs = vec![
-            (Inv,    CellSpec { area_um2: 0.09, input_cap_ff: 0.7, leakage_nw: 1.0, intrinsic_ps: 4.0,  logical_effort: 1.00, inputs: 1, internal_energy_fj: 0.10 }),
-            (Buf,    CellSpec { area_um2: 0.12, input_cap_ff: 0.8, leakage_nw: 1.3, intrinsic_ps: 7.0,  logical_effort: 1.10, inputs: 1, internal_energy_fj: 0.16 }),
-            (Nand2,  CellSpec { area_um2: 0.12, input_cap_ff: 0.9, leakage_nw: 1.5, intrinsic_ps: 5.0,  logical_effort: 1.33, inputs: 2, internal_energy_fj: 0.14 }),
-            (Nor2,   CellSpec { area_um2: 0.12, input_cap_ff: 0.9, leakage_nw: 1.6, intrinsic_ps: 6.0,  logical_effort: 1.67, inputs: 2, internal_energy_fj: 0.15 }),
-            (And2,   CellSpec { area_um2: 0.14, input_cap_ff: 0.9, leakage_nw: 1.7, intrinsic_ps: 7.0,  logical_effort: 1.50, inputs: 2, internal_energy_fj: 0.17 }),
-            (Xor2,   CellSpec { area_um2: 0.22, input_cap_ff: 1.4, leakage_nw: 2.6, intrinsic_ps: 9.0,  logical_effort: 1.90, inputs: 2, internal_energy_fj: 0.30 }),
-            (Aoi21,  CellSpec { area_um2: 0.16, input_cap_ff: 1.0, leakage_nw: 1.9, intrinsic_ps: 7.0,  logical_effort: 1.70, inputs: 3, internal_energy_fj: 0.20 }),
-            (Maj3,   CellSpec { area_um2: 0.25, input_cap_ff: 1.5, leakage_nw: 2.8, intrinsic_ps: 9.0,  logical_effort: 2.00, inputs: 3, internal_energy_fj: 0.32 }),
-            (Mux2,   CellSpec { area_um2: 0.18, input_cap_ff: 1.1, leakage_nw: 2.0, intrinsic_ps: 8.0,  logical_effort: 1.70, inputs: 3, internal_energy_fj: 0.22 }),
-            (Dff,    CellSpec { area_um2: 0.55, input_cap_ff: 1.1, leakage_nw: 3.5, intrinsic_ps: 35.0, logical_effort: 1.50, inputs: 2, internal_energy_fj: 0.90 }),
-            (ClkBuf, CellSpec { area_um2: 0.14, input_cap_ff: 1.0, leakage_nw: 1.8, intrinsic_ps: 8.0,  logical_effort: 1.10, inputs: 1, internal_energy_fj: 0.20 }),
+            (
+                Inv,
+                CellSpec {
+                    area_um2: 0.09,
+                    input_cap_ff: 0.7,
+                    leakage_nw: 1.0,
+                    intrinsic_ps: 4.0,
+                    logical_effort: 1.00,
+                    inputs: 1,
+                    internal_energy_fj: 0.10,
+                },
+            ),
+            (
+                Buf,
+                CellSpec {
+                    area_um2: 0.12,
+                    input_cap_ff: 0.8,
+                    leakage_nw: 1.3,
+                    intrinsic_ps: 7.0,
+                    logical_effort: 1.10,
+                    inputs: 1,
+                    internal_energy_fj: 0.16,
+                },
+            ),
+            (
+                Nand2,
+                CellSpec {
+                    area_um2: 0.12,
+                    input_cap_ff: 0.9,
+                    leakage_nw: 1.5,
+                    intrinsic_ps: 5.0,
+                    logical_effort: 1.33,
+                    inputs: 2,
+                    internal_energy_fj: 0.14,
+                },
+            ),
+            (
+                Nor2,
+                CellSpec {
+                    area_um2: 0.12,
+                    input_cap_ff: 0.9,
+                    leakage_nw: 1.6,
+                    intrinsic_ps: 6.0,
+                    logical_effort: 1.67,
+                    inputs: 2,
+                    internal_energy_fj: 0.15,
+                },
+            ),
+            (
+                And2,
+                CellSpec {
+                    area_um2: 0.14,
+                    input_cap_ff: 0.9,
+                    leakage_nw: 1.7,
+                    intrinsic_ps: 7.0,
+                    logical_effort: 1.50,
+                    inputs: 2,
+                    internal_energy_fj: 0.17,
+                },
+            ),
+            (
+                Xor2,
+                CellSpec {
+                    area_um2: 0.22,
+                    input_cap_ff: 1.4,
+                    leakage_nw: 2.6,
+                    intrinsic_ps: 9.0,
+                    logical_effort: 1.90,
+                    inputs: 2,
+                    internal_energy_fj: 0.30,
+                },
+            ),
+            (
+                Aoi21,
+                CellSpec {
+                    area_um2: 0.16,
+                    input_cap_ff: 1.0,
+                    leakage_nw: 1.9,
+                    intrinsic_ps: 7.0,
+                    logical_effort: 1.70,
+                    inputs: 3,
+                    internal_energy_fj: 0.20,
+                },
+            ),
+            (
+                Maj3,
+                CellSpec {
+                    area_um2: 0.25,
+                    input_cap_ff: 1.5,
+                    leakage_nw: 2.8,
+                    intrinsic_ps: 9.0,
+                    logical_effort: 2.00,
+                    inputs: 3,
+                    internal_energy_fj: 0.32,
+                },
+            ),
+            (
+                Mux2,
+                CellSpec {
+                    area_um2: 0.18,
+                    input_cap_ff: 1.1,
+                    leakage_nw: 2.0,
+                    intrinsic_ps: 8.0,
+                    logical_effort: 1.70,
+                    inputs: 3,
+                    internal_energy_fj: 0.22,
+                },
+            ),
+            (
+                Dff,
+                CellSpec {
+                    area_um2: 0.55,
+                    input_cap_ff: 1.1,
+                    leakage_nw: 3.5,
+                    intrinsic_ps: 35.0,
+                    logical_effort: 1.50,
+                    inputs: 2,
+                    internal_energy_fj: 0.90,
+                },
+            ),
+            (
+                ClkBuf,
+                CellSpec {
+                    area_um2: 0.14,
+                    input_cap_ff: 1.0,
+                    leakage_nw: 1.8,
+                    intrinsic_ps: 8.0,
+                    logical_effort: 1.10,
+                    inputs: 1,
+                    internal_energy_fj: 0.20,
+                },
+            ),
         ];
         CellLibrary {
             specs,
@@ -228,9 +349,7 @@ mod tests {
         assert!(lib.spec(CellKind::Dff).area_um2 > lib.spec(CellKind::Xor2).area_um2);
         assert!(lib.spec(CellKind::Inv).area_um2 <= lib.spec(CellKind::Nand2).area_um2);
         // XOR is slower (higher effort) than NAND.
-        assert!(
-            lib.spec(CellKind::Xor2).logical_effort > lib.spec(CellKind::Nand2).logical_effort
-        );
+        assert!(lib.spec(CellKind::Xor2).logical_effort > lib.spec(CellKind::Nand2).logical_effort);
     }
 
     #[test]

@@ -592,7 +592,13 @@ mod tests {
     #[test]
     fn stats_are_consistent() {
         let lib = CellLibrary::sevennm();
-        let nl = MacConfig { width: 8, lanes: 2, accum_guard: 4, two_stage_adders: false }.generate();
+        let nl = MacConfig {
+            width: 8,
+            lanes: 2,
+            accum_guard: 4,
+            two_stage_adders: false,
+        }
+        .generate();
         let st = nl.stats(&lib);
         assert_eq!(st.cells, nl.cell_count());
         assert_eq!(st.flops, nl.flop_count());
@@ -608,26 +614,54 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = MacConfig { width: 8, lanes: 3, accum_guard: 4, two_stage_adders: false }.generate();
-        let b = MacConfig { width: 8, lanes: 3, accum_guard: 4, two_stage_adders: false }.generate();
+        let a = MacConfig {
+            width: 8,
+            lanes: 3,
+            accum_guard: 4,
+            two_stage_adders: false,
+        }
+        .generate();
+        let b = MacConfig {
+            width: 8,
+            lanes: 3,
+            accum_guard: 4,
+            two_stage_adders: false,
+        }
+        .generate();
         assert_eq!(a, b);
     }
 
     #[test]
     fn wider_mac_is_deeper() {
-        let shallow = MacConfig { width: 8, lanes: 1, accum_guard: 4, two_stage_adders: false }
-            .generate()
-            .combinational_depth();
-        let deep = MacConfig { width: 32, lanes: 1, accum_guard: 4, two_stage_adders: false }
-            .generate()
-            .combinational_depth();
+        let shallow = MacConfig {
+            width: 8,
+            lanes: 1,
+            accum_guard: 4,
+            two_stage_adders: false,
+        }
+        .generate()
+        .combinational_depth();
+        let deep = MacConfig {
+            width: 32,
+            lanes: 1,
+            accum_guard: 4,
+            two_stage_adders: false,
+        }
+        .generate()
+        .combinational_depth();
         assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
     }
 
     #[test]
     #[should_panic(expected = "at least 4 bits")]
     fn rejects_tiny_width() {
-        MacConfig { width: 2, lanes: 1, accum_guard: 2, two_stage_adders: false }.generate();
+        MacConfig {
+            width: 2,
+            lanes: 1,
+            accum_guard: 2,
+            two_stage_adders: false,
+        }
+        .generate();
     }
 
     #[test]

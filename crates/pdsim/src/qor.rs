@@ -121,7 +121,11 @@ impl Qor {
 
     /// Projects the QoR onto an objective subspace, in tabulation order.
     pub fn project(&self, space: ObjectiveSpace) -> Vec<f64> {
-        space.objectives().iter().map(|&o| self.objective(o)).collect()
+        space
+            .objectives()
+            .iter()
+            .map(|&o| self.objective(o))
+            .collect()
     }
 
     /// Full (area, power, delay) vector.

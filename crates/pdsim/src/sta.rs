@@ -24,12 +24,7 @@ impl TimingReport {
     /// The `n` worst endpoint arrival times, descending (for slack
     /// histograms).
     pub fn worst_endpoints(&self, n: usize) -> Vec<(usize, f64)> {
-        let mut order: Vec<(usize, f64)> = self
-            .arrival_ps
-            .iter()
-            .copied()
-            .enumerate()
-            .collect();
+        let mut order: Vec<(usize, f64)> = self.arrival_ps.iter().copied().enumerate().collect();
         order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         order.truncate(n);
         order
@@ -135,7 +130,11 @@ mod tests {
         assert!(r.critical_path_ps > 0.0);
         // Bounded by depth × slowest conceivable stage.
         let bound = nl.combinational_depth() as f64 * 200.0;
-        assert!(r.critical_path_ps < bound, "{} vs {bound}", r.critical_path_ps);
+        assert!(
+            r.critical_path_ps < bound,
+            "{} vs {bound}",
+            r.critical_path_ps
+        );
         assert!(r.critical_endpoint.is_some());
     }
 

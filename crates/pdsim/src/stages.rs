@@ -74,9 +74,8 @@ pub fn synthesize(design: &Design, p: &ToolParams) -> SynthesisResult {
     let ideal_ns = st.comb_depth as f64 * stage_ps * 1e-3;
 
     // Required period after subtracting margins; max_AllowedDelay relaxes.
-    let t_req = (p.clock_period_ns() - p.place_uncertainty_ps * 1e-3
-        + p.max_allowed_delay_ns)
-        .max(0.1);
+    let t_req =
+        (p.clock_period_ns() - p.place_uncertainty_ps * 1e-3 + p.max_allowed_delay_ns).max(0.1);
     let pressure = ideal_ns / t_req;
 
     let mut sizing = 0.75 + 0.45 * pressure.powf(1.6);
@@ -164,8 +163,7 @@ pub fn cts(design: &Design, p: &ToolParams, pl: &PlacementResult) -> CtsResult {
         skew_ps *= 0.92;
     }
     // Clock toggles every cycle: P = C·V²·f (fF · V² · MHz → nW → mW).
-    let clock_power_mw =
-        clock_cap_ff * lib.vdd * lib.vdd * p.freq_mhz * 1e-6 * ch.clock_scale;
+    let clock_power_mw = clock_cap_ff * lib.vdd * lib.vdd * p.freq_mhz * 1e-6 * ch.clock_scale;
     CtsResult {
         skew_ps,
         clock_power_mw,
@@ -281,19 +279,12 @@ pub fn power(
     let ch = design.character();
 
     let switched_cap_ff = st.input_cap_ff * syn.sizing + rt.wire_cap_ff;
-    let mut dynamic_mw =
-        ch.activity * switched_cap_ff * lib.vdd * lib.vdd * p.freq_mhz * 1e-6;
+    let mut dynamic_mw = ch.activity * switched_cap_ff * lib.vdd * lib.vdd * p.freq_mhz * 1e-6;
     // Internal cell energy.
-    dynamic_mw += ch.activity
-        * st.cells as f64
-        * 0.2
-        * syn.sizing
-        * p.freq_mhz
-        * 1e-6; // fJ·MHz → nW → mW
+    dynamic_mw += ch.activity * st.cells as f64 * 0.2 * syn.sizing * p.freq_mhz * 1e-6; // fJ·MHz → nW → mW
 
     let buf_leak_nw = rt.buffers as f64 * lib.leakage(CellKind::Buf, Drive::X2);
-    let leakage_mw =
-        (st.leakage_nw * syn.sizing.powf(1.6) + buf_leak_nw) * ch.leak_scale * 1e-6;
+    let leakage_mw = (st.leakage_nw * syn.sizing.powf(1.6) + buf_leak_nw) * ch.leak_scale * 1e-6;
 
     let mut total = dynamic_mw + ct.clock_power_mw + leakage_mw;
     if p.flow_effort == FlowEffort::Extreme {
@@ -327,8 +318,20 @@ mod tests {
     #[test]
     fn sizing_grows_with_frequency() {
         let d = design();
-        let slow = synthesize(&d, &ToolParams { freq_mhz: 950.0, ..Default::default() });
-        let fast = synthesize(&d, &ToolParams { freq_mhz: 1300.0, ..Default::default() });
+        let slow = synthesize(
+            &d,
+            &ToolParams {
+                freq_mhz: 950.0,
+                ..Default::default()
+            },
+        );
+        let fast = synthesize(
+            &d,
+            &ToolParams {
+                freq_mhz: 1300.0,
+                ..Default::default()
+            },
+        );
         assert!(fast.sizing > slow.sizing);
         assert!(fast.pressure > slow.pressure);
     }
@@ -336,18 +339,40 @@ mod tests {
     #[test]
     fn allowed_delay_relaxes_sizing() {
         let d = design();
-        let tight = synthesize(&d, &ToolParams { max_allowed_delay_ns: 0.0, ..Default::default() });
-        let relaxed =
-            synthesize(&d, &ToolParams { max_allowed_delay_ns: 0.25, ..Default::default() });
+        let tight = synthesize(
+            &d,
+            &ToolParams {
+                max_allowed_delay_ns: 0.0,
+                ..Default::default()
+            },
+        );
+        let relaxed = synthesize(
+            &d,
+            &ToolParams {
+                max_allowed_delay_ns: 0.25,
+                ..Default::default()
+            },
+        );
         assert!(relaxed.sizing < tight.sizing);
     }
 
     #[test]
     fn rc_pessimism_upsizes() {
         let d = design();
-        let nominal = synthesize(&d, &ToolParams { place_rcfactor: 1.0, ..Default::default() });
-        let pessimistic =
-            synthesize(&d, &ToolParams { place_rcfactor: 1.3, ..Default::default() });
+        let nominal = synthesize(
+            &d,
+            &ToolParams {
+                place_rcfactor: 1.0,
+                ..Default::default()
+            },
+        );
+        let pessimistic = synthesize(
+            &d,
+            &ToolParams {
+                place_rcfactor: 1.3,
+                ..Default::default()
+            },
+        );
         assert!(pessimistic.sizing > nominal.sizing);
     }
 
@@ -355,8 +380,22 @@ mod tests {
     fn utilization_trades_area_for_congestion() {
         let d = design();
         let syn = synthesize(&d, &ToolParams::default());
-        let loose = place(&d, &ToolParams { max_utilization: 0.55, ..Default::default() }, &syn);
-        let tight = place(&d, &ToolParams { max_utilization: 0.95, ..Default::default() }, &syn);
+        let loose = place(
+            &d,
+            &ToolParams {
+                max_utilization: 0.55,
+                ..Default::default()
+            },
+            &syn,
+        );
+        let tight = place(
+            &d,
+            &ToolParams {
+                max_utilization: 0.95,
+                ..Default::default()
+            },
+            &syn,
+        );
         assert!(tight.core_area_um2 < loose.core_area_um2);
         assert!(tight.congestion > loose.congestion);
     }
@@ -366,10 +405,22 @@ mod tests {
         let d = design();
         let syn = synthesize(&d, &ToolParams::default());
         let base = place(&d, &ToolParams::default(), &syn);
-        let uniform =
-            place(&d, &ToolParams { uniform_density: true, ..Default::default() }, &syn);
-        let high_cong =
-            place(&d, &ToolParams { cong_effort: CongEffort::High, ..Default::default() }, &syn);
+        let uniform = place(
+            &d,
+            &ToolParams {
+                uniform_density: true,
+                ..Default::default()
+            },
+            &syn,
+        );
+        let high_cong = place(
+            &d,
+            &ToolParams {
+                cong_effort: CongEffort::High,
+                ..Default::default()
+            },
+            &syn,
+        );
         assert!(uniform.congestion < base.congestion);
         assert!(uniform.avg_net_len_um > base.avg_net_len_um);
         assert!(high_cong.congestion < base.congestion);
@@ -383,7 +434,10 @@ mod tests {
         let base = cts(&d, &ToolParams::default(), &pl);
         let saver = cts(
             &d,
-            &ToolParams { clock_power_driven: true, ..Default::default() },
+            &ToolParams {
+                clock_power_driven: true,
+                ..Default::default()
+            },
             &pl,
         );
         assert!(saver.clock_power_mw < base.clock_power_mw);
@@ -455,7 +509,10 @@ mod tests {
     fn higher_frequency_costs_power() {
         let d = design();
         let run = |freq: f64| {
-            let p = ToolParams { freq_mhz: freq, ..Default::default() };
+            let p = ToolParams {
+                freq_mhz: freq,
+                ..Default::default()
+            };
             let syn = synthesize(&d, &p);
             let pl = place(&d, &p, &syn);
             let ct = cts(&d, &p, &pl);
@@ -474,7 +531,10 @@ mod tests {
         let rt = route(&d, &p, &pl);
         let a = area(&d, &p, &syn, &rt);
         assert!(a > d.stats().area_x1_um2, "area must exceed raw cell area");
-        let p_tight = ToolParams { max_utilization: 0.90, ..Default::default() };
+        let p_tight = ToolParams {
+            max_utilization: 0.90,
+            ..Default::default()
+        };
         let a_tight = area(&d, &p_tight, &syn, &rt);
         assert!(a_tight < a);
     }

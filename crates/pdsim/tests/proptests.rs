@@ -12,10 +12,16 @@ fn arb_params() -> impl Strategy<Value = ToolParams> {
         10.0f64..220.0,
         0.6f64..0.95,
         150.0f64..360.0,
-        (0.45f64..1.0, 0.08f64..0.36, 0.05f64..0.21, 20i64..52, 0.0f64..0.3),
+        (
+            0.45f64..1.0,
+            0.08f64..0.36,
+            0.05f64..0.21,
+            20i64..52,
+            0.0f64..0.3,
+        ),
     )
-        .prop_map(|(freq, rc, unc, dens, len, (util, tran, cap, fan, allowed))| {
-            ToolParams {
+        .prop_map(
+            |(freq, rc, unc, dens, len, (util, tran, cap, fan, allowed))| ToolParams {
                 freq_mhz: freq,
                 place_rcfactor: rc,
                 place_uncertainty_ps: unc,
@@ -27,8 +33,8 @@ fn arb_params() -> impl Strategy<Value = ToolParams> {
                 max_fanout: fan,
                 max_allowed_delay_ns: allowed,
                 ..ToolParams::default()
-            }
-        })
+            },
+        )
 }
 
 proptest! {

@@ -25,10 +25,7 @@ pub struct DecisionOutcome {
 
 /// `true` iff `a ≤ b + delta` componentwise (δ-relaxed weak dominance).
 fn delta_leq(a: &[f64], b: &[f64], delta: &[f64]) -> bool {
-    a.iter()
-        .zip(b)
-        .zip(delta)
-        .all(|((&x, &y), &d)| x <= y + d)
+    a.iter().zip(b).zip(delta).all(|((&x, &y), &d)| x <= y + d)
 }
 
 /// Runs one decision pass over the candidates (Eqs. 11–12), in place.

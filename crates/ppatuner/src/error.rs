@@ -61,9 +61,7 @@ mod tests {
             value: -1.0,
         };
         assert!(e.to_string().contains("tau"));
-        let e = TunerError::from(GpError::InvalidTrainingData {
-            reason: "empty",
-        });
+        let e = TunerError::from(GpError::InvalidTrainingData { reason: "empty" });
         assert!(e.source().is_some());
     }
 }

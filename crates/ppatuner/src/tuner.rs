@@ -1,11 +1,15 @@
 //! The PPATuner loop (Algorithm 1 of the paper).
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use gp::optimize::{fit_transfer_gp, FitBudget};
+use gp::optimize::{fit_transfer_gp_reported, FitBudget};
 use gp::{TaskData, TransferGp, TransferGpConfig};
+use obs::{Event, Observer, NULL_SINK};
+use serde::{Deserialize, Serialize};
 
 use crate::decision::{classify, Status};
 use crate::oracle::QorOracle;
@@ -166,7 +170,7 @@ impl PpaTunerConfig {
 }
 
 /// One row of the tuning trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationRecord {
     /// Iteration index.
     pub iteration: usize,
@@ -178,10 +182,15 @@ pub struct IterationRecord {
     pub dropped: usize,
     /// Tool runs so far.
     pub runs: usize,
+    /// Wall-clock seconds this iteration took (fit + predict + classify +
+    /// select + evaluate).
+    pub duration_s: f64,
+    /// Wall-clock seconds of that spent fitting the GP surrogates.
+    pub gp_fit_s: f64,
 }
 
 /// Outcome of one tuning run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TuneResult {
     /// Candidate indices of the final Pareto set: the union of the
     /// classified set and the measured front, verified on golden values
@@ -204,6 +213,14 @@ pub struct TuneResult {
     pub history: Vec<IterationRecord>,
     /// The absolute per-objective δ the run used.
     pub delta: Vec<f64>,
+}
+
+impl TuneResult {
+    /// Serializes the whole result (including the per-iteration history)
+    /// to a compact JSON string, for result files and downstream analysis.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("TuneResult serialization cannot fail")
+    }
 }
 
 /// The Pareto-driven auto-tuner (Algorithm 1).
@@ -242,6 +259,29 @@ impl PpaTuner {
         candidates: &[Vec<f64>],
         oracle: &mut O,
     ) -> Result<TuneResult> {
+        self.run_observed(source, candidates, oracle, &NULL_SINK)
+    }
+
+    /// Like [`PpaTuner::run`], but streams structured [`Event`]s to
+    /// `observer` as the run progresses: one `GpFit` per surrogate per
+    /// iteration, one `ToolEval` per tool run, plus `Classify`, `Select`,
+    /// `IterationEnd`, and run-level bookends.
+    ///
+    /// Event construction is gated on [`Observer::enabled`], so passing
+    /// [`obs::NULL_SINK`] (what [`PpaTuner::run`] does) costs almost
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PpaTuner::run`].
+    pub fn run_observed<O: QorOracle>(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+        observer: &dyn Observer,
+    ) -> Result<TuneResult> {
+        let run_start = Instant::now();
         self.config.validate()?;
         if candidates.is_empty() {
             return Err(TunerError::InvalidInput {
@@ -285,7 +325,9 @@ impl PpaTuner {
                 let next = (0..n)
                     .filter(|i| !init_idx.contains(i))
                     .max_by(|&a, &b| {
-                        dist[a].partial_cmp(&dist[b]).unwrap_or(std::cmp::Ordering::Equal)
+                        dist[a]
+                            .partial_cmp(&dist[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("candidates remain");
                 init_idx.push(next);
@@ -294,8 +336,11 @@ impl PpaTuner {
 
         let mut evaluated: Vec<(usize, Vec<f64>)> = Vec::new();
         let mut evaluated_flag = vec![false; n];
+        let mut init_durations: Vec<f64> = Vec::with_capacity(init_idx.len());
         for &i in &init_idx {
+            let eval_start = Instant::now();
             let y = oracle.evaluate(i);
+            init_durations.push(eval_start.elapsed().as_secs_f64());
             evaluated_flag[i] = true;
             evaluated.push((i, y));
         }
@@ -313,18 +358,54 @@ impl PpaTuner {
             }
         }
 
-        // Absolute δ from the observed initialization ranges.
-        let delta: Vec<f64> = (0..n_obj)
+        // The run is now fully characterized: announce it, then replay the
+        // initialization evaluations into the trace (iteration 0).
+        if observer.enabled() {
+            observer.emit(&Event::RunStart {
+                candidates: n,
+                objectives: n_obj,
+                dim,
+                initial_samples: init_count,
+                max_iterations: self.config.max_iterations,
+                seed: self.config.seed,
+            });
+            for ((i, y), d) in evaluated.iter().zip(&init_durations) {
+                observer.emit(&Event::ToolEval {
+                    iteration: 0,
+                    candidate: *i,
+                    qor: y.clone(),
+                    duration_s: *d,
+                });
+            }
+        }
+
+        // Per-objective observed ranges of the initialization sample.
+        let init_ranges: Vec<(f64, f64)> = (0..n_obj)
             .map(|k| {
                 let vals: Vec<f64> = evaluated.iter().map(|(_, y)| y[k]).collect();
                 let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
                 let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                (hi - lo).max(f64::MIN_POSITIVE) * self.config.delta_rel
+                (lo, hi)
             })
             .collect();
 
-        let mut regions: Vec<UncertaintyRegion> =
-            (0..n).map(|_| UncertaintyRegion::unbounded(n_obj)).collect();
+        // Absolute δ from the observed initialization ranges.
+        let delta: Vec<f64> = init_ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo).max(f64::MIN_POSITIVE) * self.config.delta_rel)
+            .collect();
+
+        // Fixed hypervolume reference for trace reporting: slightly worse
+        // than the initialization nadir, so incremental hypervolume is
+        // monotone and comparable across iterations of the same run.
+        let hv_reference: Vec<f64> = init_ranges
+            .iter()
+            .map(|&(lo, hi)| hi + 0.1 * (hi - lo).max(f64::MIN_POSITIVE))
+            .collect();
+
+        let mut regions: Vec<UncertaintyRegion> = (0..n)
+            .map(|_| UncertaintyRegion::unbounded(n_obj))
+            .collect();
         for (i, y) in &evaluated {
             regions[*i].collapse_to(y);
         }
@@ -344,12 +425,17 @@ impl PpaTuner {
                 break;
             }
             iterations = t + 1;
+            let iter_start = Instant::now();
+            let mut gp_fit_s = 0.0;
 
             // ---- model calibration (Algorithm 1, lines 4-6)
             let target_tasks: Vec<TaskData> = (0..n_obj)
                 .map(|k| {
                     TaskData::new(
-                        evaluated.iter().map(|(i, _)| candidates[*i].clone()).collect(),
+                        evaluated
+                            .iter()
+                            .map(|(i, _)| candidates[*i].clone())
+                            .collect(),
                         evaluated.iter().map(|(_, y)| y[k]).collect(),
                     )
                 })
@@ -359,8 +445,9 @@ impl PpaTuner {
             for k in 0..n_obj {
                 let needs_refit =
                     cached_configs[k].is_none() || t % self.config.refit_every.max(1) == 0;
-                let model = if needs_refit {
-                    let m = fit_transfer_gp(
+                let fit_start = Instant::now();
+                let (model, report) = if needs_refit {
+                    let (m, report) = fit_transfer_gp_reported(
                         &source_tasks[k],
                         &target_tasks[k],
                         dim,
@@ -368,11 +455,33 @@ impl PpaTuner {
                         &mut rng,
                     )?;
                     cached_configs[k] = Some(m.config().clone());
-                    m
+                    (m, Some(report))
                 } else {
                     let cfg = cached_configs[k].clone().expect("checked above");
-                    TransferGp::fit(source_tasks[k].clone(), target_tasks[k].clone(), cfg)?
+                    (
+                        TransferGp::fit(source_tasks[k].clone(), target_tasks[k].clone(), cfg)?,
+                        None,
+                    )
                 };
+                let fit_duration = fit_start.elapsed().as_secs_f64();
+                gp_fit_s += fit_duration;
+                if observer.enabled() {
+                    let cfg = model.config();
+                    observer.emit(&Event::GpFit {
+                        iteration: t,
+                        objective: k,
+                        refit: report.is_some(),
+                        lengthscales: cfg.lengthscales.clone(),
+                        signal_var: cfg.signal_var,
+                        noise_target: cfg.noise_target,
+                        lambda: model.lambda(),
+                        restarts: report.map_or(0, |r| r.restarts),
+                        evals: report.map_or(0, |r| r.evals),
+                        log_marginal: model.log_marginal_likelihood(),
+                        jitter: model.jitter(),
+                        duration_s: fit_duration,
+                    });
+                }
                 models.push(model);
             }
 
@@ -395,9 +504,32 @@ impl PpaTuner {
 
             // ---- decision-making (lines 7-9)
             classify(&regions, &mut statuses, &delta);
+            if observer.enabled() {
+                let (undecided, pareto, dropped) = status_counts(&statuses);
+                observer.emit(&Event::Classify {
+                    iteration: t,
+                    pareto,
+                    dropped,
+                    undecided,
+                    delta: delta.clone(),
+                });
+            }
 
             if !statuses.contains(&Status::Undecided) {
-                record(&mut history, t, &statuses, oracle.runs());
+                let ctx = IterationOutcome {
+                    iteration: t,
+                    runs: oracle.runs(),
+                    duration_s: iter_start.elapsed().as_secs_f64(),
+                    gp_fit_s,
+                };
+                record(
+                    observer,
+                    &mut history,
+                    &statuses,
+                    &evaluated,
+                    &hv_reference,
+                    ctx,
+                );
                 break;
             }
 
@@ -408,25 +540,67 @@ impl PpaTuner {
                 .map(|i| (i, regions[i].diameter()))
                 .collect();
             selectable.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let batch: Vec<usize> = selectable
+            let batch: Vec<(usize, f64)> = selectable
                 .iter()
                 .take(self.config.batch_size)
                 .filter(|(_, d)| *d > 0.0)
-                .map(|(i, _)| *i)
+                .copied()
                 .collect();
             if batch.is_empty() {
                 // Everything informative has been measured.
-                record(&mut history, t, &statuses, oracle.runs());
+                let ctx = IterationOutcome {
+                    iteration: t,
+                    runs: oracle.runs(),
+                    duration_s: iter_start.elapsed().as_secs_f64(),
+                    gp_fit_s,
+                };
+                record(
+                    observer,
+                    &mut history,
+                    &statuses,
+                    &evaluated,
+                    &hv_reference,
+                    ctx,
+                );
                 break;
             }
-            for i in batch {
+            if observer.enabled() {
+                observer.emit(&Event::Select {
+                    iteration: t,
+                    chosen: batch.iter().map(|&(i, _)| i).collect(),
+                    diameters: batch.iter().map(|&(_, d)| d).collect(),
+                });
+            }
+            for (i, _) in batch {
+                let eval_start = Instant::now();
                 let y = oracle.evaluate(i);
+                if observer.enabled() {
+                    observer.emit(&Event::ToolEval {
+                        iteration: t,
+                        candidate: i,
+                        qor: y.clone(),
+                        duration_s: eval_start.elapsed().as_secs_f64(),
+                    });
+                }
                 regions[i].collapse_to(&y);
                 evaluated_flag[i] = true;
                 evaluated.push((i, y));
             }
 
-            record(&mut history, t, &statuses, oracle.runs());
+            let ctx = IterationOutcome {
+                iteration: t,
+                runs: oracle.runs(),
+                duration_s: iter_start.elapsed().as_secs_f64(),
+                gp_fit_s,
+            };
+            record(
+                observer,
+                &mut history,
+                &statuses,
+                &evaluated,
+                &hv_reference,
+                ctx,
+            );
         }
 
         // Final classification pass so late evaluations settle the sets.
@@ -438,9 +612,8 @@ impl PpaTuner {
         // classified Pareto members plus the measured front; verification
         // evaluates any member not yet measured, and the final answer is
         // the non-dominated subset on golden values.
-        let mut final_candidates: Vec<usize> = (0..n)
-            .filter(|&i| statuses[i] == Status::Pareto)
-            .collect();
+        let mut final_candidates: Vec<usize> =
+            (0..n).filter(|&i| statuses[i] == Status::Pareto).collect();
         // When the loop stopped before full classification, add the
         // surrogate's predicted front over the still-active candidates.
         if self.config.include_predicted_front {
@@ -479,7 +652,19 @@ impl PpaTuner {
         for &i in &final_candidates {
             let y = match evaluated.iter().find(|(j, _)| *j == i) {
                 Some((_, y)) => y.clone(),
-                None => oracle.evaluate(i),
+                None => {
+                    let eval_start = Instant::now();
+                    let y = oracle.evaluate(i);
+                    if observer.enabled() {
+                        observer.emit(&Event::ToolEval {
+                            iteration: iterations,
+                            candidate: i,
+                            qor: y.clone(),
+                            duration_s: eval_start.elapsed().as_secs_f64(),
+                        });
+                    }
+                    y
+                }
             };
             truth.push((i, y));
         }
@@ -489,7 +674,7 @@ impl PpaTuner {
             .map(|j| truth[j].0)
             .collect();
 
-        Ok(TuneResult {
+        let result = TuneResult {
             pareto_indices,
             runs: search_runs,
             verification_runs: oracle.runs() - search_runs,
@@ -497,11 +682,22 @@ impl PpaTuner {
             history,
             delta,
             evaluated,
-        })
+        };
+        if observer.enabled() {
+            observer.emit(&Event::RunEnd {
+                iterations: result.iterations,
+                runs: result.runs,
+                verification_runs: result.verification_runs,
+                pareto: result.pareto_indices.len(),
+                duration_s: run_start.elapsed().as_secs_f64(),
+            });
+        }
+        observer.flush();
+        Ok(result)
     }
 }
 
-fn record(history: &mut Vec<IterationRecord>, t: usize, statuses: &[Status], runs: usize) {
+fn status_counts(statuses: &[Status]) -> (usize, usize, usize) {
     let mut undecided = 0;
     let mut pareto = 0;
     let mut dropped = 0;
@@ -512,13 +708,52 @@ fn record(history: &mut Vec<IterationRecord>, t: usize, statuses: &[Status], run
             Status::Dropped => dropped += 1,
         }
     }
+    (undecided, pareto, dropped)
+}
+
+/// Timing and bookkeeping of one finished iteration, bundled so `record`
+/// stays below the argument-count lint.
+struct IterationOutcome {
+    iteration: usize,
+    runs: usize,
+    duration_s: f64,
+    gp_fit_s: f64,
+}
+
+/// Appends the iteration to the trajectory and emits `IterationEnd` (with
+/// the incremental hypervolume of the evaluated set) to the observer.
+fn record(
+    observer: &dyn Observer,
+    history: &mut Vec<IterationRecord>,
+    statuses: &[Status],
+    evaluated: &[(usize, Vec<f64>)],
+    hv_reference: &[f64],
+    ctx: IterationOutcome,
+) {
+    let (undecided, pareto, dropped) = status_counts(statuses);
     history.push(IterationRecord {
-        iteration: t,
+        iteration: ctx.iteration,
         undecided,
         pareto,
         dropped,
-        runs,
+        runs: ctx.runs,
+        duration_s: ctx.duration_s,
+        gp_fit_s: ctx.gp_fit_s,
     });
+    if observer.enabled() {
+        let pts: Vec<Vec<f64>> = evaluated.iter().map(|(_, y)| y.clone()).collect();
+        let hypervolume = pareto::hypervolume::hypervolume(&pts, hv_reference).unwrap_or(0.0);
+        observer.emit(&Event::IterationEnd {
+            iteration: ctx.iteration,
+            runs: ctx.runs,
+            pareto,
+            dropped,
+            undecided,
+            hypervolume,
+            duration_s: ctx.duration_s,
+            gp_fit_s: ctx.gp_fit_s,
+        });
+    }
 }
 
 /// Predicts `[μ − √τ·σ, μ + √τ·σ]` boxes for the active candidates, in
@@ -549,9 +784,9 @@ fn predict_boxes(
         return active.iter().map(|&i| work(i)).collect();
     }
 
+    type BoxChunk = Result<Vec<(Vec<f64>, Vec<f64>)>>;
     let chunk = active.len().div_ceil(threads);
-    let mut results: Vec<Option<Result<Vec<(Vec<f64>, Vec<f64>)>>>> =
-        (0..threads).map(|_| None).collect();
+    let mut results: Vec<Option<BoxChunk>> = (0..threads).map(|_| None).collect();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (slot, ids) in active.chunks(chunk).enumerate() {
@@ -733,9 +968,7 @@ mod tests {
     fn source_data_validation() {
         assert!(SourceData::new(vec![vec![0.0]], vec![]).is_err());
         assert!(SourceData::new(vec![vec![0.0]], vec![vec![]]).is_err());
-        assert!(
-            SourceData::new(vec![vec![0.0]], vec![vec![1.0, 2.0]]).is_ok()
-        );
+        assert!(SourceData::new(vec![vec![0.0]], vec![vec![1.0, 2.0]]).is_ok());
         let s = SourceData::new(
             vec![vec![0.0], vec![1.0]],
             vec![vec![1.0, 2.0], vec![3.0, 4.0]],
@@ -746,16 +979,81 @@ mod tests {
     }
 
     #[test]
+    fn result_serializes_with_timing_fields() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let mut oracle = VecOracle::new(truth);
+        let result = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
+        for rec in &result.history {
+            assert!(rec.duration_s >= 0.0);
+            assert!(rec.gp_fit_s >= 0.0);
+            assert!(rec.gp_fit_s <= rec.duration_s + 1e-9);
+        }
+        let json = result.to_json();
+        assert!(json.contains("\"pareto_indices\""));
+        assert!(json.contains("\"gp_fit_s\""));
+        let back: TuneResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pareto_indices, result.pareto_indices);
+        assert_eq!(back.history.len(), result.history.len());
+    }
+
+    #[test]
+    fn observed_run_emits_consistent_trace() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let mut oracle = VecOracle::new(truth);
+        let sink = obs::RecordingSink::new();
+        let result = PpaTuner::new(quick_config())
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert_eq!(sink.count("RunStart"), 1);
+        assert_eq!(sink.count("RunEnd"), 1);
+        assert_eq!(sink.count("IterationEnd"), result.history.len());
+        // Every tool run appears in the trace.
+        assert_eq!(
+            sink.count("ToolEval"),
+            result.runs + result.verification_runs
+        );
+        // One GpFit per objective per iteration.
+        assert_eq!(sink.count("GpFit"), 2 * result.iterations);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let mut o1 = VecOracle::new(truth.clone());
+        let plain = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut o1)
+            .unwrap();
+        let mut o2 = VecOracle::new(truth);
+        let sink = obs::RecordingSink::new();
+        let observed = PpaTuner::new(quick_config())
+            .run_observed(&source, &candidates, &mut o2, &sink)
+            .unwrap();
+        assert_eq!(plain.pareto_indices, observed.pareto_indices);
+        assert_eq!(plain.runs, observed.runs);
+    }
+
+    #[test]
     fn batch_mode_evaluates_multiple_per_iteration() {
         let (candidates, truth) = toy(40);
         let source = shifted_source(&candidates, &truth);
+        // Whether any candidates stay undecided after the initial design is
+        // sensitive to the RNG stream; this seed leaves some undecided so the
+        // batch loop actually executes.
         let cfg = PpaTunerConfig {
             batch_size: 4,
             max_iterations: 5,
+            seed: 2,
             ..quick_config()
         };
         let mut oracle = VecOracle::new(truth);
-        let result = PpaTuner::new(cfg).run(&source, &candidates, &mut oracle).unwrap();
+        let result = PpaTuner::new(cfg)
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
         // 8 init + up to 5 iterations × 4 batch.
         assert!(result.runs <= 8 + 20);
         assert!(result.runs > 8);

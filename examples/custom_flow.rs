@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         two_stage_adders: false,
     }
     .generate();
-    let design = Design::from_stats(
-        "my-mac",
-        netlist.stats(&pdsim::CellLibrary::sevennm()),
-        123,
-    );
+    let design = Design::from_stats("my-mac", netlist.stats(&pdsim::CellLibrary::sevennm()), 123);
     println!(
         "custom design `{}`: {} cells, depth {}",
         design.name(),

@@ -3,7 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use std::time::Instant;
+
 use benchgen::Scenario;
+use obs::{Event, Observer, StderrSink, Verbosity};
 use pdsim::ObjectiveSpace;
 use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
 
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         ..Default::default()
     };
-    let result = PpaTuner::new(config).run(&source, &candidates, &mut oracle)?;
+    // A quiet stderr sink: only run-level telemetry, no per-iteration noise.
+    let sink = StderrSink::new(Verbosity::Quiet);
+    let t0 = Instant::now();
+    let result = PpaTuner::new(config).run_observed(&source, &candidates, &mut oracle, &sink)?;
 
     println!(
         "tuned with {} tool runs (+{} verification runs), {} iterations",
@@ -57,5 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hv_err = pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference)?;
     let adrs = pareto::metrics::adrs(&golden, &predicted)?;
     println!("hypervolume error = {hv_err:.4}, ADRS = {adrs:.4}");
+    sink.emit(&Event::Message {
+        text: format!(
+            "quickstart: {:.2} s wall-clock, {} tool runs, hypervolume error {hv_err:.4}",
+            t0.elapsed().as_secs_f64(),
+            result.runs
+        ),
+    });
     Ok(())
 }

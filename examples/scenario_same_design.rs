@@ -20,8 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (sx, sy) = scenario.source_xy(space);
     let with_history = SourceData::new(sx, sy)?;
 
-    println!("Scenario One: tuning {} candidates in {} objectives", candidates.len(), space.dim());
-    for (label, source) in [("with transfer", with_history), ("without transfer", SourceData::empty())] {
+    println!(
+        "Scenario One: tuning {} candidates in {} objectives",
+        candidates.len(),
+        space.dim()
+    );
+    for (label, source) in [
+        ("with transfer", with_history),
+        ("without transfer", SourceData::empty()),
+    ] {
         let config = PpaTunerConfig {
             initial_samples: 25,
             max_iterations: 20,

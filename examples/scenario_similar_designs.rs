@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example scenario_similar_designs`
 
 use baselines::{
-    Aspdac20, Aspdac20Params, Dac19, Dac19Params, Mlcad19, Mlcad19Params, RandomSearch,
-    Tcad19, Tcad19Params,
+    Aspdac20, Aspdac20Params, Dac19, Dac19Params, Mlcad19, Mlcad19Params, RandomSearch, Tcad19,
+    Tcad19Params,
 };
 use benchgen::Scenario;
 use pdsim::ObjectiveSpace;
@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = |label: &str, indices: &[usize], runs: usize| {
         let predicted: Vec<Vec<f64>> = indices.iter().map(|&i| table[i].clone()).collect();
-        let hv =
-            pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference).unwrap();
+        let hv = pareto::hypervolume::hypervolume_error(&golden, &predicted, &reference).unwrap();
         let adrs = pareto::metrics::adrs(&golden, &predicted).unwrap();
         println!("{label:<12} HV={hv:.4} ADRS={adrs:.4} runs={runs}");
     };

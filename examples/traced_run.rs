@@ -1,0 +1,48 @@
+//! A tuning run with full telemetry: human-readable progress on stderr plus
+//! a machine-readable JSONL trace on disk.
+//!
+//! Run with: `cargo run --release --example traced_run`
+//!
+//! Then aggregate the trace into a timing/convergence report:
+//! `cargo run -p bench --release --bin trace_report -- traced_run.jsonl`
+
+use obs::{JsonlSink, MultiSink, Observer, StderrSink, Verbosity};
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = benchgen::Scenario::two_with_counts(42, 300, 250);
+    let space = pdsim::ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let mut oracle = VecOracle::new(scenario.target_table(space));
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy)?;
+
+    // Two sinks fanned out behind one observer: per-iteration progress for
+    // the terminal, and every event — GP hyperparameters, per-evaluation
+    // QoR, classification counts — to traced_run.jsonl for offline digging.
+    let stderr = StderrSink::new(Verbosity::Normal);
+    let jsonl = JsonlSink::create("traced_run.jsonl")?;
+    let mut observer = MultiSink::new();
+    observer.push(&stderr);
+    observer.push(&jsonl);
+
+    let config = PpaTunerConfig {
+        initial_samples: 16,
+        max_iterations: 20,
+        seed: 7,
+        ..Default::default()
+    };
+    let result =
+        PpaTuner::new(config).run_observed(&source, &candidates, &mut oracle, &observer)?;
+    jsonl.flush();
+
+    println!(
+        "done: {} tool runs over {} iterations, {} Pareto-optimal configurations",
+        result.runs,
+        result.iterations,
+        result.pareto_indices.len()
+    );
+    println!("trace written to traced_run.jsonl; summarize it with:");
+    println!("  cargo run -p bench --release --bin trace_report -- traced_run.jsonl");
+    Ok(())
+}

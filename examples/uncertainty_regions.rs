@@ -33,17 +33,26 @@ fn main() {
         );
     }
     let outcome = classify(&regions, &mut statuses, &delta);
-    println!("  dropped: {:?}, promoted: {:?}", outcome.dropped, outcome.promoted);
+    println!(
+        "  dropped: {:?}, promoted: {:?}",
+        outcome.dropped, outcome.promoted
+    );
     println!("  statuses: {statuses:?}");
 
     // The model saw more data: candidate b's region shrinks (Eq. 10 —
     // intersection can only tighten), candidate c is unchanged.
     let mut regions = regions;
     regions[1].intersect(&[1.2, 3.1], &[1.6, 3.6]);
-    println!("\niteration 2: candidate 1 tightened to {:?} .. {:?}",
-        regions[1].optimistic(), regions[1].pessimistic());
+    println!(
+        "\niteration 2: candidate 1 tightened to {:?} .. {:?}",
+        regions[1].optimistic(),
+        regions[1].pessimistic()
+    );
     let outcome = classify(&regions, &mut statuses, &delta);
-    println!("  dropped: {:?}, promoted: {:?}", outcome.dropped, outcome.promoted);
+    println!(
+        "  dropped: {:?}, promoted: {:?}",
+        outcome.dropped, outcome.promoted
+    );
     println!("  statuses: {statuses:?}");
     println!("\nδ-accuracy: every promoted candidate is at most δ = {delta:?} worse\nthan any true Pareto point in each objective (Eq. 12).");
 }

@@ -1,0 +1,65 @@
+//! End-to-end check of the telemetry contract: a real (small) tuning run
+//! observed through the recording sink emits a complete, consistent trace.
+
+use obs::{Event, RecordingSink};
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+
+#[test]
+fn small_run_emits_a_complete_trace() {
+    let scenario = benchgen::Scenario::two_with_counts(11, 160, 120);
+    let space = pdsim::ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("source");
+    let config = PpaTunerConfig {
+        initial_samples: 12,
+        max_iterations: 6,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut oracle = VecOracle::new(scenario.target_table(space));
+
+    let sink = RecordingSink::new();
+    let result = PpaTuner::new(config)
+        .run_observed(&source, &candidates, &mut oracle, &sink)
+        .expect("tuning succeeds");
+    assert!(
+        result.iterations > 0,
+        "run must iterate to exercise the trace"
+    );
+
+    let events = sink.events();
+    assert_eq!(sink.count("RunStart"), 1);
+    assert_eq!(sink.count("RunEnd"), 1);
+
+    // Every iteration of Algorithm 1 contributes at least one GP fit (one
+    // per objective), one tool evaluation, and exactly one IterationEnd.
+    // The final iteration may classify every remaining candidate and stop
+    // without selecting anything, so it alone is exempt from ToolEval.
+    for t in 0..result.iterations {
+        let of = |kind: &str| {
+            events
+                .iter()
+                .filter(|e| e.kind() == kind && e.iteration() == Some(t))
+                .count()
+        };
+        assert!(of("GpFit") >= 1, "iteration {t}: no GpFit event");
+        if t + 1 < result.iterations {
+            assert!(of("ToolEval") >= 1, "iteration {t}: no ToolEval event");
+        }
+        assert_eq!(of("IterationEnd"), 1, "iteration {t}: IterationEnd count");
+    }
+
+    // Trace totals match the result's accounting.
+    assert_eq!(sink.count("IterationEnd"), result.history.len());
+    assert_eq!(
+        sink.count("ToolEval"),
+        result.runs + result.verification_runs
+    );
+
+    // The trace is JSONL-serializable end to end.
+    for e in &events {
+        let line = serde_json::to_string(e).expect("event serializes");
+        assert_eq!(serde_json::from_str::<Event>(&line).expect("parses"), *e);
+    }
+}
