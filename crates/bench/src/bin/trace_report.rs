@@ -139,7 +139,10 @@ fn main() {
                      {pareto} pareto points, {duration_s:.3} s total"
                 ));
             }
-            Event::Classify { .. } | Event::Select { .. } | Event::Message { .. } => {}
+            Event::Classify { .. }
+            | Event::RegionSnapshot { .. }
+            | Event::Select { .. }
+            | Event::Message { .. } => {}
         }
     }
 

@@ -229,6 +229,13 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_value(value: &Value) -> Result<Self, DeError> {
+        // JSON has no non-finite literals, so writers (including the
+        // serde_json shim) emit `null` for NaN/±inf. Reading `null` back
+        // as NaN keeps such streams parseable instead of erroring; the
+        // sign/infinity distinction is lost, as with real serde_json.
+        if matches!(value, Value::Null) {
+            return Ok(f64::NAN);
+        }
         value
             .as_f64()
             .ok_or_else(|| DeError::expected("number", value))
@@ -243,6 +250,9 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn from_value(value: &Value) -> Result<Self, DeError> {
+        if matches!(value, Value::Null) {
+            return Ok(f32::NAN);
+        }
         value
             .as_f64()
             .map(|v| v as f32)
@@ -471,6 +481,26 @@ mod tests {
         assert_eq!(o.to_value(), Value::Null);
         assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
         assert_eq!(Option::<u8>::from_value(&Value::I64(9)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn null_reads_back_as_nan_float() {
+        // Writers emit `null` for non-finite floats; the float impls must
+        // accept it so traces containing NaN/±inf metrics stay parseable.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        assert!(f32::from_value(&Value::Null).unwrap().is_nan());
+        let v: Vec<f64> = Vec::from_value(&Value::Array(vec![
+            Value::F64(1.5),
+            Value::Null,
+            Value::I64(2),
+        ]))
+        .unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], 2.0);
+        // Integers still reject null.
+        assert!(u32::from_value(&Value::Null).is_err());
     }
 
     #[test]

@@ -79,6 +79,23 @@ pub enum Event {
         duration_s: f64,
     },
 
+    /// Per-candidate uncertainty-region state right after a classification
+    /// pass. The payload is O(candidates), so the tuner emits it only
+    /// towards enabled observers; it is what lets offline invariant
+    /// checkers (see `testkit`) verify the region laws of Eqs. 10–13
+    /// (regions never grow, drops never resurrect, selection is
+    /// max-diameter) without re-running the tuner.
+    RegionSnapshot {
+        /// Refinement iteration.
+        iteration: usize,
+        /// One character per candidate: `u` undecided, `p` Pareto,
+        /// `d` dropped.
+        statuses: String,
+        /// Euclidean diameter of every candidate's uncertainty region
+        /// (0 once evaluated, infinite while unbounded).
+        diameters: Vec<f64>,
+    },
+
     /// δ-dominance classification of the candidate set completed.
     Classify {
         /// Refinement iteration.
@@ -154,6 +171,7 @@ impl Event {
             Event::GpFit { .. } => "GpFit",
             Event::ToolEval { .. } => "ToolEval",
             Event::Stage { .. } => "Stage",
+            Event::RegionSnapshot { .. } => "RegionSnapshot",
             Event::Classify { .. } => "Classify",
             Event::Select { .. } => "Select",
             Event::IterationEnd { .. } => "IterationEnd",
@@ -167,6 +185,7 @@ impl Event {
         match self {
             Event::GpFit { iteration, .. }
             | Event::ToolEval { iteration, .. }
+            | Event::RegionSnapshot { iteration, .. }
             | Event::Classify { iteration, .. }
             | Event::Select { iteration, .. }
             | Event::IterationEnd { iteration, .. } => Some(*iteration),

@@ -116,6 +116,15 @@ impl StderrSink {
                 stage,
                 duration_s,
             } => format!("flow #{candidate}: {stage} ({:.1} ms)", duration_s * 1e3),
+            Event::RegionSnapshot {
+                iteration,
+                statuses,
+                diameters,
+            } => format!(
+                "iter {iteration:3}: snapshot {} candidates, max diameter {:.4}",
+                statuses.len(),
+                diameters.iter().copied().fold(0.0f64, f64::max)
+            ),
             Event::Classify {
                 iteration,
                 pareto,

@@ -1,0 +1,103 @@
+//! The JSONL sink must survive non-finite metric values: a NaN or ±inf
+//! QoR must neither panic the writer nor corrupt the lines around it,
+//! and the written trace must parse back line by line.
+//!
+//! JSON has no non-finite literals, so such values are written as `null`
+//! and read back as NaN (the sign/infinity distinction is lost, matching
+//! real serde_json). The surrounding finite values must survive exactly.
+
+use obs::{Event, JsonlSink, Observer};
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("obs-nonfinite-{}-{name}.jsonl", std::process::id()))
+}
+
+fn qor_event(iteration: usize, qor: Vec<f64>) -> Event {
+    Event::ToolEval {
+        iteration,
+        candidate: iteration,
+        qor,
+        duration_s: 0.25,
+    }
+}
+
+#[test]
+fn nonfinite_qor_values_round_trip_through_jsonl() {
+    let path = scratch_path("roundtrip");
+    let written = [
+        qor_event(0, vec![1.5, 2.5]),
+        qor_event(1, vec![f64::NAN, 3.0]),
+        qor_event(2, vec![f64::INFINITY, f64::NEG_INFINITY]),
+        qor_event(3, vec![4.0, 5.0]),
+    ];
+    {
+        let sink = JsonlSink::create(&path).expect("create trace file");
+        for e in &written {
+            sink.emit(e);
+        }
+        sink.flush();
+    }
+
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), written.len(), "one line per event: {text:?}");
+
+    let events: Vec<Event> = lines
+        .iter()
+        .map(|line| serde_json::from_str(line).expect("every line parses as an Event"))
+        .collect();
+
+    // Finite events survive exactly (Event derives PartialEq, and these
+    // contain no NaN).
+    assert_eq!(events[0], written[0]);
+    assert_eq!(
+        events[3], written[3],
+        "line after the non-finite ones is intact"
+    );
+
+    // Non-finite values come back as NaN; their finite neighbors in the
+    // same vector are untouched. NaN != NaN, so compare field by field.
+    match &events[1] {
+        Event::ToolEval { iteration, qor, .. } => {
+            assert_eq!(*iteration, 1);
+            assert!(qor[0].is_nan(), "NaN must read back as NaN: {qor:?}");
+            assert_eq!(qor[1], 3.0);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+    match &events[2] {
+        Event::ToolEval { qor, .. } => {
+            assert!(
+                qor[0].is_nan() && qor[1].is_nan(),
+                "±inf reads back as NaN: {qor:?}"
+            );
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn nonfinite_values_do_not_leak_invalid_json() {
+    // The raw text must stay valid JSON per line — no bare `NaN`/`inf`
+    // tokens, which would poison downstream line-oriented consumers.
+    let path = scratch_path("tokens");
+    {
+        let sink = JsonlSink::create(&path).expect("create trace file");
+        sink.emit(&qor_event(
+            0,
+            vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+        ));
+        sink.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    std::fs::remove_file(&path).ok();
+    for token in ["NaN", "nan", "inf", "Infinity"] {
+        assert!(!text.contains(token), "raw token {token:?} leaked: {text}");
+    }
+    let value: serde_json::Value = serde_json::from_str(text.trim()).expect("line is valid JSON");
+    assert!(
+        format!("{value:?}").contains("Null"),
+        "non-finite encodes as null"
+    );
+}

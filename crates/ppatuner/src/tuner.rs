@@ -513,6 +513,11 @@ impl PpaTuner {
                     undecided,
                     delta: delta.clone(),
                 });
+                observer.emit(&Event::RegionSnapshot {
+                    iteration: t,
+                    statuses: statuses.iter().map(status_char).collect(),
+                    diameters: regions.iter().map(UncertaintyRegion::diameter).collect(),
+                });
             }
 
             if !statuses.contains(&Status::Undecided) {
@@ -694,6 +699,16 @@ impl PpaTuner {
         }
         observer.flush();
         Ok(result)
+    }
+}
+
+/// The single-character trace encoding of a [`Status`] (see
+/// [`Event::RegionSnapshot`]).
+fn status_char(s: &Status) -> char {
+    match s {
+        Status::Undecided => 'u',
+        Status::Pareto => 'p',
+        Status::Dropped => 'd',
     }
 }
 

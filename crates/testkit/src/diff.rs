@@ -1,0 +1,124 @@
+//! Differential-test plumbing: tolerance predicates and mismatch
+//! reporting that keep every fuzzed case reproducible.
+
+use std::fmt::Write as _;
+
+/// `true` when `a` and `b` agree within `tol`, measured relative to
+/// `max(1, |a|, |b|)` — absolute near zero, relative for large values.
+/// Two NaNs count as agreeing (both paths rejected the input the same
+/// way); a single NaN never does.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return a == b;
+    }
+    (a - b).abs() <= tol * 1.0f64.max(a.abs()).max(b.abs())
+}
+
+/// The default differential tolerance: the acceptance bar of the harness
+/// (1e-9 relative on the scale of the larger operand).
+pub const DIFF_TOL: f64 = 1e-9;
+
+/// Asserts [`close`]`(fast, reference, DIFF_TOL)` with a diagnostic that
+/// names the suite, the case index, and a debug dump of the input, so the
+/// failure alone is enough to replay the case through
+/// [`crate::gen::case_rng`].
+///
+/// # Panics
+///
+/// Panics (failing the test) when the values disagree.
+pub fn assert_close<D: std::fmt::Debug>(
+    suite: &str,
+    case: u64,
+    input: &D,
+    fast: f64,
+    reference: f64,
+) {
+    assert_close_tol(suite, case, input, fast, reference, DIFF_TOL);
+}
+
+/// [`assert_close`] with an explicit tolerance, for quantities whose
+/// reference is itself approximate (e.g. quadrature).
+///
+/// # Panics
+///
+/// Panics (failing the test) when the values disagree.
+pub fn assert_close_tol<D: std::fmt::Debug>(
+    suite: &str,
+    case: u64,
+    input: &D,
+    fast: f64,
+    reference: f64,
+    tol: f64,
+) {
+    if close(fast, reference, tol) {
+        return;
+    }
+    let mut msg = String::new();
+    let _ = writeln!(
+        msg,
+        "differential mismatch in `{suite}` case {case}: fast = {fast:.17e}, \
+         reference = {reference:.17e}, |Δ| = {:.3e}, tol = {tol:.1e}",
+        (fast - reference).abs()
+    );
+    let _ = writeln!(
+        msg,
+        "replay: gen::case_rng(testkit::test_seed(), {case}) regenerates this input:"
+    );
+    let _ = writeln!(msg, "{input:#?}");
+    panic!("{msg}");
+}
+
+/// Asserts that two index sets (already sorted ascending) are identical,
+/// with the same reproducibility diagnostics as [`assert_close`].
+///
+/// # Panics
+///
+/// Panics (failing the test) when the sets differ.
+pub fn assert_same_indices<D: std::fmt::Debug>(
+    suite: &str,
+    case: u64,
+    input: &D,
+    fast: &[usize],
+    reference: &[usize],
+) {
+    if fast == reference {
+        return;
+    }
+    panic!(
+        "differential mismatch in `{suite}` case {case}: fast = {fast:?}, \
+         reference = {reference:?}\nreplay: gen::case_rng(testkit::test_seed(), {case})\n\
+         input: {input:#?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_handles_scales_and_nonfinite() {
+        assert!(close(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(close(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(!close(1.0, 1.1, 1e-9));
+        assert!(close(f64::NAN, f64::NAN, 1e-9));
+        assert!(!close(f64::NAN, 0.0, 1e-9));
+        assert!(close(f64::INFINITY, f64::INFINITY, 1e-9));
+        assert!(!close(f64::INFINITY, f64::NEG_INFINITY, 1e-9));
+        assert!(close(0.0, 1e-10, 1e-9)); // absolute regime near zero
+    }
+
+    #[test]
+    #[should_panic(expected = "differential mismatch in `demo` case 7")]
+    fn assert_close_names_suite_and_case() {
+        assert_close("demo", 7, &"input", 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast = [0]")]
+    fn assert_same_indices_reports_both_sets() {
+        assert_same_indices("demo", 0, &(), &[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,475 @@
+//! Cross-crate invariant checks over recorded tuner traces.
+//!
+//! The checker replays an `obs` event stream (in memory, or parsed back
+//! from a JSONL trace) and asserts the algorithmic laws of PPATuner's
+//! Algorithm 1 that must hold on *every* run, independent of seed:
+//!
+//! - **Regions never grow** (Eq. 10): each candidate's uncertainty-region
+//!   diameter is non-increasing across [`obs::Event::RegionSnapshot`]s,
+//!   and collapses to 0 once the candidate is measured.
+//! - **Decisions are monotone**: a candidate classified `Pareto` or
+//!   `Dropped` never changes class again, and a dropped candidate is
+//!   never evaluated afterwards (no resurrection).
+//! - **Selection is greedy by diameter** (Eq. 13): every
+//!   [`obs::Event::Select`] picks eligible (active, unevaluated)
+//!   candidates in descending diameter order, starting at the maximum.
+//! - **Classification is δ-accurate** (Eq. 12): every candidate the loop
+//!   classified Pareto is, in golden QoR, at most δ worse than the true
+//!   front in at least one objective.
+//!
+//! Violations are reported as `Err(String)` naming the event index and
+//! the law broken, so a failing golden trace pinpoints the regression.
+
+use std::collections::BTreeMap;
+
+use obs::Event;
+
+/// Tolerance for comparisons between floats that took different paths to
+/// the trace (diameter recomputed vs. snapshotted).
+const TOL: f64 = 1e-9;
+
+/// Statistics of one checked trace (how much evidence the pass covered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvariantReport {
+    /// `RegionSnapshot` events checked.
+    pub snapshots: usize,
+    /// `Select` events checked.
+    pub selects: usize,
+    /// `ToolEval` events checked.
+    pub tool_evals: usize,
+    /// Pareto-classified candidates δ-accuracy-checked at the end.
+    pub pareto_checked: usize,
+}
+
+struct CheckerState {
+    /// Candidate count, from `RunStart`.
+    n: Option<usize>,
+    /// Latest snapshot: per-candidate status chars and diameters.
+    statuses: Vec<char>,
+    diameters: Vec<f64>,
+    snapshot_iteration: Option<usize>,
+    /// Golden QoR of each evaluated candidate, in evaluation order.
+    measured: BTreeMap<usize, Vec<f64>>,
+    /// δ thresholds from the most recent `Classify`.
+    delta: Vec<f64>,
+    /// Counts from the most recent `Classify`, awaiting its snapshot.
+    pending_classify: Option<(usize, usize, usize, usize)>,
+    report: InvariantReport,
+}
+
+/// Replays `events` and checks every invariant it can observe.
+///
+/// `truth`, when given, is the golden QoR table of *all* candidates
+/// (index-aligned with the tuner's candidate list); the δ-accuracy check
+/// then covers every Pareto-classified candidate, evaluated or not.
+/// Without it the check falls back to the measured subset recorded in
+/// `ToolEval` events.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant, prefixed with
+/// the index of the offending event.
+pub fn check_trace(
+    events: &[Event],
+    truth: Option<&[Vec<f64>]>,
+) -> Result<InvariantReport, String> {
+    let mut st = CheckerState {
+        n: None,
+        statuses: Vec::new(),
+        diameters: Vec::new(),
+        snapshot_iteration: None,
+        measured: BTreeMap::new(),
+        delta: Vec::new(),
+        pending_classify: None,
+        report: InvariantReport::default(),
+    };
+    for (idx, event) in events.iter().enumerate() {
+        let fail = |law: &str| -> String { format!("event {idx} ({}): {law}", event.kind()) };
+        match event {
+            Event::RunStart { .. } if st.n.is_some() => {
+                return Err(fail("trace contains a second RunStart"));
+            }
+            Event::RunStart { candidates, .. } => st.n = Some(*candidates),
+            Event::Classify {
+                iteration,
+                pareto,
+                dropped,
+                undecided,
+                delta,
+            } => {
+                if delta.iter().any(|d| !(d.is_finite() && *d >= 0.0)) {
+                    return Err(fail("δ thresholds must be finite and non-negative"));
+                }
+                st.delta = delta.clone();
+                st.pending_classify = Some((*iteration, *pareto, *dropped, *undecided));
+            }
+            Event::RegionSnapshot {
+                iteration,
+                statuses,
+                diameters,
+            } => {
+                check_snapshot(&mut st, *iteration, statuses, diameters)
+                    .map_err(|law| fail(&law))?;
+            }
+            Event::Select {
+                iteration,
+                chosen,
+                diameters,
+            } => {
+                check_select(&mut st, *iteration, chosen, diameters).map_err(|law| fail(&law))?;
+            }
+            Event::ToolEval { candidate, qor, .. } => {
+                check_tool_eval(&mut st, *candidate, qor).map_err(|law| fail(&law))?;
+            }
+            Event::RunEnd {
+                runs,
+                verification_runs,
+                ..
+            } if st.measured.len() != runs + verification_runs => {
+                return Err(fail(&format!(
+                    "RunEnd accounts for {} evaluations but the trace \
+                     recorded {} distinct candidates",
+                    runs + verification_runs,
+                    st.measured.len()
+                )));
+            }
+            _ => {}
+        }
+    }
+    check_delta_accuracy(&mut st, truth)?;
+    Ok(st.report)
+}
+
+fn check_snapshot(
+    st: &mut CheckerState,
+    iteration: usize,
+    statuses: &str,
+    diameters: &[f64],
+) -> Result<(), String> {
+    let chars: Vec<char> = statuses.chars().collect();
+    if let Some(n) = st.n {
+        if chars.len() != n || diameters.len() != n {
+            return Err(format!(
+                "snapshot sizes ({}, {}) disagree with RunStart candidates ({n})",
+                chars.len(),
+                diameters.len()
+            ));
+        }
+    }
+    if let Some(bad) = chars.iter().find(|c| !matches!(c, 'u' | 'p' | 'd')) {
+        return Err(format!("unknown status character {bad:?}"));
+    }
+    // Counts must agree with the Classify event of the same iteration.
+    if let Some((cl_iter, pareto, dropped, undecided)) = st.pending_classify.take() {
+        if cl_iter == iteration {
+            let count = |c: char| chars.iter().filter(|&&x| x == c).count();
+            if (count('p'), count('d'), count('u')) != (pareto, dropped, undecided) {
+                return Err(format!(
+                    "snapshot counts p/d/u = {}/{}/{} disagree with Classify \
+                     {pareto}/{dropped}/{undecided}",
+                    count('p'),
+                    count('d'),
+                    count('u')
+                ));
+            }
+        }
+    }
+    if !st.statuses.is_empty() {
+        for (i, (&prev, &now)) in st.statuses.iter().zip(&chars).enumerate() {
+            // Decisions are final: only 'u' may transition.
+            if prev != 'u' && now != prev {
+                return Err(format!(
+                    "candidate {i} resurrected: status {prev:?} became {now:?} \
+                     at iteration {iteration}"
+                ));
+            }
+        }
+        for (i, (&prev, &now)) in st.diameters.iter().zip(diameters).enumerate() {
+            // Intersection can only shrink regions (Eq. 10).
+            if now > prev + TOL * prev.abs().max(1.0) {
+                return Err(format!(
+                    "candidate {i}'s region grew: diameter {prev} -> {now} \
+                     at iteration {iteration}"
+                ));
+            }
+        }
+    }
+    for &cand in st.measured.keys() {
+        if cand < diameters.len() && diameters[cand] != 0.0 {
+            return Err(format!(
+                "candidate {cand} was evaluated but its region did not \
+                 collapse (diameter {})",
+                diameters[cand]
+            ));
+        }
+    }
+    st.statuses = chars;
+    st.diameters = diameters.to_vec();
+    st.snapshot_iteration = Some(iteration);
+    st.report.snapshots += 1;
+    Ok(())
+}
+
+fn check_select(
+    st: &mut CheckerState,
+    iteration: usize,
+    chosen: &[usize],
+    diameters: &[f64],
+) -> Result<(), String> {
+    if st.snapshot_iteration != Some(iteration) {
+        return Err(format!(
+            "Select at iteration {iteration} without a same-iteration snapshot"
+        ));
+    }
+    if chosen.is_empty() || chosen.len() != diameters.len() {
+        return Err("Select must name candidates with parallel diameters".into());
+    }
+    for window in diameters.windows(2) {
+        if window[1] > window[0] + TOL {
+            return Err(format!("selection diameters not descending: {diameters:?}"));
+        }
+    }
+    for (&i, &d) in chosen.iter().zip(diameters) {
+        if st.statuses.get(i) == Some(&'d') {
+            return Err(format!("dropped candidate {i} was selected"));
+        }
+        if st.measured.contains_key(&i) {
+            return Err(format!("already-evaluated candidate {i} was selected"));
+        }
+        if d <= 0.0 {
+            return Err(format!("candidate {i} selected with diameter {d}"));
+        }
+        let snap = st.diameters.get(i).copied().unwrap_or(f64::NAN);
+        if (snap - d).abs() > TOL * snap.abs().max(1.0) {
+            return Err(format!(
+                "candidate {i}'s selection diameter {d} disagrees with \
+                 snapshot {snap}"
+            ));
+        }
+    }
+    // Greedy max-diameter rule (Eq. 13): nothing eligible may exceed the
+    // first pick.
+    let best = st
+        .diameters
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| st.statuses[i] != 'd' && !st.measured.contains_key(&i))
+        .map(|(_, &d)| d)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if best > diameters[0] + TOL * best.abs().max(1.0) {
+        return Err(format!(
+            "selection skipped the max-diameter candidate: picked {} while \
+             an eligible candidate has diameter {best}",
+            diameters[0]
+        ));
+    }
+    st.report.selects += 1;
+    Ok(())
+}
+
+fn check_tool_eval(st: &mut CheckerState, candidate: usize, qor: &[f64]) -> Result<(), String> {
+    if st.statuses.get(candidate) == Some(&'d') {
+        return Err(format!(
+            "dropped candidate {candidate} was evaluated afterwards"
+        ));
+    }
+    if st.measured.insert(candidate, qor.to_vec()).is_some() {
+        return Err(format!("candidate {candidate} was evaluated twice"));
+    }
+    st.report.tool_evals += 1;
+    Ok(())
+}
+
+/// Eq. 12 at trace end: every candidate the loop classified Pareto must
+/// not be beaten by the true front by more than δ in **every** objective.
+fn check_delta_accuracy(
+    st: &mut CheckerState,
+    truth: Option<&[Vec<f64>]>,
+) -> Result<InvariantReport, String> {
+    if st.statuses.is_empty() || st.delta.is_empty() {
+        return Ok(st.report);
+    }
+    // Universe for the true front: the full golden table when available,
+    // else everything the tool actually measured.
+    let universe: Vec<Vec<f64>> = match truth {
+        Some(table) => table.to_vec(),
+        None => st.measured.values().cloned().collect(),
+    };
+    let front: Vec<Vec<f64>> = crate::reference::pareto_front(&universe)
+        .into_iter()
+        .map(|i| universe[i].clone())
+        .collect();
+    for (i, &status) in st.statuses.iter().enumerate() {
+        if status != 'p' {
+            continue;
+        }
+        let mine: Option<&Vec<f64>> = match truth {
+            Some(table) => table.get(i),
+            None => st.measured.get(&i),
+        };
+        let Some(mine) = mine else { continue };
+        for f in &front {
+            let beaten_everywhere = f
+                .iter()
+                .zip(mine)
+                .zip(&st.delta)
+                .all(|((&fv, &mv), &d)| fv + d <= mv);
+            if beaten_everywhere {
+                return Err(format!(
+                    "candidate {i} classified Pareto is not δ-accurate: \
+                     front point {f:?} beats {mine:?} by more than δ = {:?}",
+                    st.delta
+                ));
+            }
+        }
+        st.report.pareto_checked += 1;
+    }
+    Ok(st.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(iteration: usize, statuses: &str, diameters: &[f64]) -> Event {
+        Event::RegionSnapshot {
+            iteration,
+            statuses: statuses.into(),
+            diameters: diameters.to_vec(),
+        }
+    }
+
+    #[test]
+    fn clean_synthetic_trace_passes() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 3,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 0,
+                qor: vec![1.0, 1.0],
+                duration_s: 0.0,
+            },
+            snapshot(0, "uuu", &[0.0, 2.0, 1.0]),
+            Event::Select {
+                iteration: 0,
+                chosen: vec![1],
+                diameters: vec![2.0],
+            },
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 1,
+                qor: vec![2.0, 0.5],
+                duration_s: 0.0,
+            },
+            Event::Classify {
+                iteration: 1,
+                pareto: 2,
+                dropped: 1,
+                undecided: 0,
+                delta: vec![0.1, 0.1],
+            },
+            snapshot(1, "ppd", &[0.0, 0.0, 0.5]),
+            Event::RunEnd {
+                iterations: 2,
+                runs: 2,
+                verification_runs: 0,
+                pareto: 2,
+                duration_s: 0.0,
+            },
+        ];
+        let report = check_trace(&events, None).expect("trace is clean");
+        assert_eq!(report.snapshots, 2);
+        assert_eq!(report.selects, 1);
+        assert_eq!(report.tool_evals, 2);
+        assert_eq!(report.pareto_checked, 2);
+    }
+
+    #[test]
+    fn growing_region_is_rejected() {
+        let events = vec![snapshot(0, "u", &[1.0]), snapshot(1, "u", &[1.5])];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("grew"), "{err}");
+    }
+
+    #[test]
+    fn resurrection_is_rejected() {
+        let events = vec![snapshot(0, "d", &[1.0]), snapshot(1, "u", &[1.0])];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("resurrected"), "{err}");
+    }
+
+    #[test]
+    fn evaluating_dropped_candidate_is_rejected() {
+        let events = vec![
+            snapshot(0, "du", &[1.0, 1.0]),
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 0,
+                qor: vec![1.0],
+                duration_s: 0.0,
+            },
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("evaluated afterwards"), "{err}");
+    }
+
+    #[test]
+    fn non_greedy_selection_is_rejected() {
+        let events = vec![
+            snapshot(0, "uu", &[2.0, 1.0]),
+            Event::Select {
+                iteration: 0,
+                chosen: vec![1],
+                diameters: vec![1.0],
+            },
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("max-diameter"), "{err}");
+    }
+
+    #[test]
+    fn delta_inaccurate_pareto_is_rejected() {
+        // Candidate 1 is classified Pareto but the true front point
+        // (0.0, 0.0) beats its truth (1.0, 1.0) by far more than δ.
+        let truth = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let events = vec![
+            Event::Classify {
+                iteration: 0,
+                pareto: 2,
+                dropped: 0,
+                undecided: 0,
+                delta: vec![0.1, 0.1],
+            },
+            snapshot(0, "pp", &[0.0, 0.0]),
+        ];
+        let err = check_trace(&events, Some(&truth)).unwrap_err();
+        assert!(err.contains("not δ-accurate"), "{err}");
+    }
+
+    #[test]
+    fn double_evaluation_is_rejected() {
+        let events = vec![
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 2,
+                qor: vec![1.0],
+                duration_s: 0.0,
+            },
+            Event::ToolEval {
+                iteration: 1,
+                candidate: 2,
+                qor: vec![1.0],
+                duration_s: 0.0,
+            },
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Naive reference implementations of the `pareto` crate's algorithms.
+//!
+//! Everything here is written for obviousness, not speed: quadratic (or
+//! exponential) scans whose correctness can be read off the definition.
+//! The differential suites in `tests/` fuzz the optimized implementations
+//! against these oracles.
+
+/// Reference dominance test: `a` dominates `b` iff `a ≤ b` componentwise
+/// with at least one strict improvement, computed by explicit counting.
+/// Any NaN coordinate makes the pair incomparable (matching the fast
+/// path's convention).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "reference dominates: length mismatch");
+    if a.iter().chain(b).any(|v| v.is_nan()) {
+        return false;
+    }
+    let leq = a.iter().zip(b).filter(|(x, y)| x <= y).count();
+    let strict = a.iter().zip(b).filter(|(x, y)| x < y).count();
+    leq == a.len() && strict >= 1
+}
+
+/// Reference weak dominance: `a ≤ b` componentwise (false on any NaN).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "reference weak dominance: length");
+    if a.iter().chain(b).any(|v| v.is_nan()) {
+        return false;
+    }
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// Reference δ-relaxed weak dominance: `a[i] ≤ b[i] + delta[i]` for all
+/// `i` (Eq. 11's comparison).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn delta_dominates(a: &[f64], b: &[f64], delta: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "reference delta dominance: length");
+    assert_eq!(a.len(), delta.len(), "reference delta dominance: delta");
+    a.iter().zip(b).zip(delta).all(|((&x, &y), &d)| x <= y + d)
+}
+
+/// Reference Pareto front: O(n²) scan marking every point that no other
+/// point dominates, keeping only the first of exactly-equal duplicates
+/// (the fast path's dedup rule). Returns indices in ascending order.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    for i in 0..points.len() {
+        let mut kept = true;
+        for j in 0..points.len() {
+            if i == j {
+                continue;
+            }
+            if dominates(&points[j], &points[i]) {
+                kept = false;
+                break;
+            }
+            if j < i && points[j] == points[i] && !points[i].iter().any(|v| v.is_nan()) {
+                kept = false;
+                break;
+            }
+        }
+        if kept {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+/// Reference non-dominated sort: repeatedly peel the [`pareto_front`] of
+/// the remaining points. Quadratic per layer, cubic overall.
+pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut fronts = Vec::new();
+    while !remaining.is_empty() {
+        // Peeling must not re-apply the duplicate rule the flat front
+        // uses — the fast NSGA-II sort keeps equal points in the same
+        // layer — so membership is "not dominated within the remainder".
+        let front: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| !remaining.iter().any(|&j| dominates(&points[j], &points[i])))
+            .collect();
+        assert!(!front.is_empty(), "non-dominated sort: cycle impossible");
+        remaining.retain(|i| !front.contains(i));
+        fronts.push(front);
+    }
+    fronts
+}
+
+/// Reference hypervolume by inclusion–exclusion over *all* nonempty
+/// subsets of the point set:
+///
+/// `HV = Σ_{∅≠S⊆P} (−1)^{|S|+1} · Π_j max(0, r_j − max_{p∈S} p_j)`.
+///
+/// Valid for any point set (dominated and duplicate points included — the
+/// union measure is insensitive to them), exact in any dimension, and
+/// exponential in `|P|`; keep inputs at ≤ ~16 points.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches, NaN coordinates, or more than 24
+/// points (2²⁴ subsets is the sanity cap).
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let n = points.len();
+    assert!(n <= 24, "reference hypervolume: too many points ({n})");
+    let d = reference.len();
+    for p in points {
+        assert_eq!(p.len(), d, "reference hypervolume: dimension");
+        assert!(!p.iter().any(|v| v.is_nan()), "reference hypervolume: NaN");
+    }
+    let mut total = 0.0;
+    for mask in 1u32..(1u32 << n) {
+        let mut vol = 1.0;
+        for j in 0..d {
+            let mut worst = f64::NEG_INFINITY;
+            for (i, p) in points.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    worst = worst.max(p[j]);
+                }
+            }
+            vol *= (reference[j] - worst).max(0.0);
+        }
+        if mask.count_ones() % 2 == 1 {
+            total += vol;
+        } else {
+            total -= vol;
+        }
+    }
+    total.max(0.0)
+}
+
+/// Reference hypervolume error (Eq. 2): `(H(P) − H(P̂)) / H(P)` with both
+/// sets measured by [`hypervolume`] against the same reference point.
+///
+/// # Panics
+///
+/// Panics when the golden hypervolume is not positive, or on the
+/// conditions of [`hypervolume`].
+pub fn hypervolume_error(golden: &[Vec<f64>], approx: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let h_golden = hypervolume(golden, reference);
+    assert!(h_golden > 0.0, "reference hv error: golden HV must be > 0");
+    (h_golden - hypervolume(approx, reference)) / h_golden
+}
+
+/// Reference ADRS (Eq. 3): materialize the full |golden| × |approx|
+/// deviation matrix `δ(a, p̂) = max_j |a_j − p̂_j| / |a_j|`, then take the
+/// row minima and average them.
+///
+/// # Panics
+///
+/// Panics on empty sets, dimension mismatches, NaN, or a zero golden
+/// coordinate.
+pub fn adrs(golden: &[Vec<f64>], approx: &[Vec<f64>]) -> f64 {
+    assert!(!golden.is_empty() && !approx.is_empty(), "reference adrs");
+    let d = golden[0].len();
+    let mut matrix = vec![vec![0.0f64; approx.len()]; golden.len()];
+    for (gi, a) in golden.iter().enumerate() {
+        assert_eq!(a.len(), d, "reference adrs: golden dimension");
+        assert!(!a.iter().any(|v| v.is_nan() || *v == 0.0), "reference adrs");
+        for (ai, p) in approx.iter().enumerate() {
+            assert_eq!(p.len(), d, "reference adrs: approx dimension");
+            assert!(!p.iter().any(|v| v.is_nan()), "reference adrs: NaN");
+            let mut worst = 0.0f64;
+            for j in 0..d {
+                worst = worst.max(((a[j] - p[j]) / a[j]).abs());
+            }
+            matrix[gi][ai] = worst;
+        }
+    }
+    let total: f64 = matrix
+        .iter()
+        .map(|row| row.iter().copied().fold(f64::INFINITY, f64::min))
+        .sum();
+    total / golden.len() as f64
+}
+
+/// Reference additive ε-indicator:
+/// `max_{a∈A} min_{p̂∈P̂} max_j (p̂_j − a_j)` via three explicit loops.
+///
+/// # Panics
+///
+/// Panics on empty sets or dimension mismatches.
+pub fn epsilon_indicator(golden: &[Vec<f64>], approx: &[Vec<f64>]) -> f64 {
+    assert!(
+        !golden.is_empty() && !approx.is_empty(),
+        "reference epsilon"
+    );
+    let d = golden[0].len();
+    let mut worst = f64::NEG_INFINITY;
+    for a in golden {
+        assert_eq!(a.len(), d, "reference epsilon: dimension");
+        let mut best = f64::INFINITY;
+        for p in approx {
+            assert_eq!(p.len(), d, "reference epsilon: dimension");
+            let mut gap = f64::NEG_INFINITY;
+            for j in 0..d {
+                gap = gap.max(p[j] - a[j]);
+            }
+            best = best.min(gap);
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// The transfer kernel's cross-task correlation factor
+/// `λ = 2(1/(1+a))^b − 1` (Eq. 7), in closed form. The independent
+/// reference for it is [`lambda_by_quadrature`].
+pub fn lambda_closed_form(a: f64, b: f64) -> f64 {
+    2.0 * (1.0 / (1.0 + a)).powf(b) - 1.0
+}
+
+/// The same factor computed from its definition, `λ = 2·E[e^{−φ}] − 1`
+/// with `φ ~ Gamma(shape b, scale a)`, by trapezoidal quadrature of the
+/// ratio `∫ e^{−φ} φ^{b−1} e^{−φ/a} dφ / ∫ φ^{b−1} e^{−φ/a} dφ` (the
+/// normalizing constant cancels, so no Γ function is needed).
+///
+/// Accurate to ~1e-8 for moderate `(a, b)`; used to pin the closed form.
+///
+/// # Panics
+///
+/// Panics when `a ≤ 0` or `b ≤ 0`.
+pub fn lambda_by_quadrature(a: f64, b: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "lambda quadrature: a, b must be > 0");
+    // Integrate over [0, cut] where the Gamma density is negligible
+    // beyond: mean + many standard deviations, floor-bounded for tiny a·b.
+    let cut = (a * b + 12.0 * a * b.sqrt().max(1.0))
+        .max(20.0 * a)
+        .max(1.0);
+    // Substitute φ = u^p with p ≥ 2/b: the transformed weight
+    // p·u^{pb−1}·e^{−u^p/a} vanishes at u = 0, removing the integrable
+    // singularity of φ^{b−1} for b < 1 that the trapezoid rule cannot
+    // handle. The constant p cancels in the ratio.
+    let p = (2.0f64).max(2.0 / b);
+    let u_max = cut.powf(1.0 / p);
+    let steps = 400_000usize;
+    let h = u_max / steps as f64;
+    let mut numer = 0.0;
+    let mut denom = 0.0;
+    for k in 0..=steps {
+        let u = (k as f64) * h;
+        let phi = u.powf(p);
+        // log-space weight avoids overflow for large b.
+        let w = if u == 0.0 {
+            0.0
+        } else {
+            ((p * b - 1.0) * u.ln() - phi / a).exp()
+        };
+        let trapz = if k == 0 || k == steps { 0.5 } else { 1.0 };
+        numer += trapz * w * (-phi).exp();
+        denom += trapz * w;
+    }
+    assert!(denom > 0.0, "lambda quadrature: degenerate density");
+    2.0 * (numer / denom) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_front_matches_hand_example() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0],
+            vec![1.0, 4.0], // duplicate of index 0: dropped by dedup rule
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reference_hypervolume_hand_cases() {
+        assert!((hypervolume(&[vec![1.0, 1.0]], &[3.0, 4.0]) - 6.0).abs() < 1e-12);
+        // Two overlapping boxes: 3 + 3 − 1.
+        let hv = hypervolume(&[vec![1.0, 3.0], vec![3.0, 1.0]], &[4.0, 4.0]);
+        assert!((hv - 5.0).abs() < 1e-12);
+        // Dominated point changes nothing.
+        let hv2 = hypervolume(
+            &[vec![1.0, 3.0], vec![3.0, 1.0], vec![3.5, 3.5]],
+            &[4.0, 4.0],
+        );
+        assert!((hv2 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_adrs_and_epsilon_hand_cases() {
+        let golden = vec![vec![2.0, 2.0]];
+        let approx = vec![vec![2.2, 2.0]];
+        assert!((adrs(&golden, &approx) - 0.1).abs() < 1e-12);
+        assert!((epsilon_indicator(&golden, &approx) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_quadrature_matches_closed_form() {
+        for &(a, b) in &[(1.0, 1.0), (0.5, 2.0), (2.0, 0.5), (0.2, 1.0), (3.0, 3.0)] {
+            let cf = lambda_closed_form(a, b);
+            let qd = lambda_by_quadrature(a, b);
+            assert!(
+                (cf - qd).abs() < 1e-6,
+                "a={a} b={b}: closed {cf} vs quadrature {qd}"
+            );
+        }
+    }
+
+    #[test]
+    fn nds_layers_partition_everything() {
+        let pts: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![(i % 3) as f64, (i / 3) as f64])
+            .collect();
+        let fronts = non_dominated_sort(&pts);
+        let mut all: Vec<usize> = fronts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+    }
+}

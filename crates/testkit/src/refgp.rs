@@ -1,0 +1,289 @@
+//! Dense-inverse reference implementation of the exact (transfer) GP
+//! posterior.
+//!
+//! The `gp` crate predicts through a jittered Cholesky factorization and
+//! triangular solves. This module recomputes the same posterior the slow,
+//! textbook way: assemble the joint kernel matrix, invert it outright with
+//! Gauss–Jordan elimination, and apply the closed-form equations
+//!
+//! `μ(x) = k*ᵀ (K + Λ)⁻¹ z`,  `σ²(x) = k(x,x) − k*ᵀ (K + Λ)⁻¹ k*`,
+//!
+//! with its own naive squared-exponential kernel, cross-task λ factor
+//! (Eq. 7), and per-task output standardization. Nothing numerical is
+//! shared with the fast path except `f64` itself.
+
+use gp::{TaskData, TransferGpConfig};
+
+/// Reference squared-exponential kernel value
+/// `σ² · exp(−½ Σ_j ((a_j − b_j)/ℓ_j)²)`, written out directly.
+pub fn se_kernel(a: &[f64], b: &[f64], signal_var: f64, lengthscales: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for j in 0..lengthscales.len() {
+        let d = (a[j] - b[j]) / lengthscales[j];
+        s += d * d;
+    }
+    signal_var * (-0.5 * s).exp()
+}
+
+/// Inverts a dense `n × n` matrix (row-major) by Gauss–Jordan elimination
+/// with partial pivoting. Deliberately has no fast path and no symmetry
+/// assumption — it is the independent oracle the Cholesky solves are
+/// checked against.
+///
+/// # Panics
+///
+/// Panics when the matrix is not square or is numerically singular
+/// (pivot below `1e-300`).
+pub fn invert_dense(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    for row in a {
+        assert_eq!(row.len(), n, "invert_dense: matrix must be square");
+    }
+    // Augmented [A | I], reduced in place to [I | A⁻¹].
+    let mut aug: Vec<Vec<f64>> = a
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                aug[i][col]
+                    .abs()
+                    .partial_cmp(&aug[j][col].abs())
+                    .expect("invert_dense: NaN pivot")
+            })
+            .expect("invert_dense: empty pivot range");
+        aug.swap(col, pivot_row);
+        let pivot = aug[col][col];
+        assert!(pivot.abs() > 1e-300, "invert_dense: singular matrix");
+        for v in &mut aug[col] {
+            *v /= pivot;
+        }
+        let pivot_vals = aug[col].clone();
+        for (row, values) in aug.iter_mut().enumerate() {
+            if row == col {
+                continue;
+            }
+            let factor = values[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (dst, &src) in values.iter_mut().zip(&pivot_vals) {
+                *dst -= factor * src;
+            }
+        }
+    }
+    aug.into_iter().map(|mut r| r.split_off(n)).collect()
+}
+
+/// `M v` for a dense matrix in row-major nested-vec form.
+fn matvec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    m.iter()
+        .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Naive per-task output standardizer: population mean/variance, scale
+/// forced to 1 for degenerate samples (empty, or variance ≤ 1e-24) —
+/// the exact semantics of the fast path's `Standardizer`.
+#[derive(Debug, Clone, Copy)]
+struct RefStandardizer {
+    mean: f64,
+    scale: f64,
+}
+
+impl RefStandardizer {
+    fn fit(y: &[f64]) -> Self {
+        if y.is_empty() {
+            return RefStandardizer {
+                mean: 0.0,
+                scale: 1.0,
+            };
+        }
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / y.len() as f64;
+        RefStandardizer {
+            mean,
+            scale: if var > 1e-24 { var.sqrt() } else { 1.0 },
+        }
+    }
+}
+
+/// The reference posterior: a fully materialized `(K̃ + Λ + jitter·I)⁻¹`.
+///
+/// `jitter` must be the diagonal jitter the fast path actually used
+/// (`TransferGp::jitter()`, or 0 for a well-conditioned plain GP): the two
+/// implementations only agree when they factor/invert the same matrix.
+#[derive(Debug)]
+pub struct ReferenceTransferGp {
+    config: TransferGpConfig,
+    x_source: Vec<Vec<f64>>,
+    x_target: Vec<Vec<f64>>,
+    k_inv: Vec<Vec<f64>>,
+    z_joint: Vec<f64>,
+    std_target: RefStandardizer,
+}
+
+impl ReferenceTransferGp {
+    /// Assembles and inverts the joint kernel matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty target task or a singular joint matrix; this is
+    /// test tooling, so inputs are expected to be pre-validated by the
+    /// fast path.
+    pub fn fit(
+        source: &TaskData,
+        target: &TaskData,
+        config: &TransferGpConfig,
+        jitter: f64,
+    ) -> Self {
+        assert!(!target.is_empty(), "reference GP: target must be non-empty");
+        let std_source = RefStandardizer::fit(&source.y);
+        let std_target = RefStandardizer::fit(&target.y);
+        let n = source.len();
+        let m = target.len();
+        let mut z_joint = Vec::with_capacity(n + m);
+        z_joint.extend(
+            source
+                .y
+                .iter()
+                .map(|&v| (v - std_source.mean) / std_source.scale),
+        );
+        z_joint.extend(
+            target
+                .y
+                .iter()
+                .map(|&v| (v - std_target.mean) / std_target.scale),
+        );
+
+        let point = |i: usize| -> &[f64] {
+            if i < n {
+                &source.x[i]
+            } else {
+                &target.x[i - n]
+            }
+        };
+        let mut k = vec![vec![0.0; n + m]; n + m];
+        for (i, row) in k.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut v = se_kernel(point(i), point(j), config.signal_var, &config.lengthscales);
+                if (i < n) != (j < n) {
+                    v *= config.lambda;
+                }
+                *cell = v;
+            }
+            row[i] += if i < n {
+                config.noise_source
+            } else {
+                config.noise_target
+            } + jitter;
+        }
+        ReferenceTransferGp {
+            config: config.clone(),
+            x_source: source.x.clone(),
+            x_target: target.x.clone(),
+            k_inv: invert_dense(&k),
+            z_joint,
+            std_target,
+        }
+    }
+
+    fn k_star(&self, x: &[f64]) -> Vec<f64> {
+        let cfg = &self.config;
+        let mut k_star = Vec::with_capacity(self.x_source.len() + self.x_target.len());
+        for xi in &self.x_source {
+            k_star.push(cfg.lambda * se_kernel(xi, x, cfg.signal_var, &cfg.lengthscales));
+        }
+        for xi in &self.x_target {
+            k_star.push(se_kernel(xi, x, cfg.signal_var, &cfg.lengthscales));
+        }
+        k_star
+    }
+
+    /// Mean and latent variance (no observation noise) for a target-task
+    /// query, in natural units — the reference for
+    /// `TransferGp::predict_latent`.
+    pub fn predict_latent(&self, x: &[f64]) -> (f64, f64) {
+        let k_star = self.k_star(x);
+        let kinv_kstar = matvec(&self.k_inv, &k_star);
+        let mean_z = dot(&self.z_joint, &kinv_kstar);
+        let c = se_kernel(x, x, self.config.signal_var, &self.config.lengthscales);
+        let var_z = (c - dot(&k_star, &kinv_kstar)).max(0.0);
+        (
+            mean_z * self.std_target.scale + self.std_target.mean,
+            var_z * self.std_target.scale * self.std_target.scale,
+        )
+    }
+
+    /// Mean and *observation* variance (latent + `β_t⁻¹`) — the reference
+    /// for `TransferGp::predict`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let (mean, var_latent) = self.predict_latent(x);
+        let noise_natural =
+            self.config.noise_target * self.std_target.scale * self.std_target.scale;
+        (mean, var_latent + noise_natural)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss_jordan_inverts_known_matrix() {
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let inv = invert_dense(&a);
+        // A · A⁻¹ = I.
+        for (i, arow) in a.iter().enumerate() {
+            for j in 0..2 {
+                let v: f64 = arow.iter().zip(&inv).map(|(x, irow)| x * irow[j]).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((v - want).abs() < 1e-12, "({i},{j}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_jordan_pivots_through_leading_zero() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let inv = invert_dense(&a);
+        assert!((inv[0][1] - 1.0).abs() < 1e-15);
+        assert!((inv[1][0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn gauss_jordan_rejects_singular() {
+        invert_dense(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+    }
+
+    #[test]
+    fn reference_posterior_interpolates() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).sin()).collect();
+        let target = TaskData::new(x.clone(), y.clone());
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.3],
+            signal_var: 1.0,
+            lambda: 0.5,
+            noise_source: 1e-6,
+            noise_target: 1e-6,
+        };
+        let rgp = ReferenceTransferGp::fit(&TaskData::default(), &target, &cfg, 0.0);
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, v) = rgp.predict_latent(xi);
+            assert!((m - yi).abs() < 1e-3, "{m} vs {yi}");
+            assert!((0.0..1e-2).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Golden-trace replay: run the deterministic reference scenario, record
+//! its `obs` event stream, canonicalize it, and diff it against the
+//! committed snapshot under `tests/golden/`.
+//!
+//! Canonicalization makes the trace byte-stable across machines:
+//! wall-clock fields (`duration_s`, `gp_fit_s`) are zeroed, and every
+//! float is rounded to 12 significant digits so cross-platform `libm`
+//! ulp-level differences cannot flip a digit. Algorithmic drift — a
+//! different candidate chosen, one more iteration, a changed λ — still
+//! changes the canonical text and fails the diff.
+//!
+//! To accept an intentional behavior change, regenerate the snapshots:
+//!
+//! ```text
+//! TESTKIT_BLESS=1 cargo test -p testkit
+//! ```
+//!
+//! and review the resulting `tests/golden/*.jsonl` diff like any other
+//! code change.
+
+use std::path::PathBuf;
+
+use obs::{Event, RecordingSink};
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, TuneResult, VecOracle};
+use serde_json::Value;
+
+/// The environment variable that switches golden-trace tests from
+/// *diff* mode to *regenerate* mode.
+pub const BLESS_ENV: &str = "TESTKIT_BLESS";
+
+/// Absolute path of the workspace-level `tests/golden/` directory where
+/// blessed traces are committed.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Everything a golden run produces: the recorded trace, the tuner's
+/// result, and the scenario's ground truth for invariant checking.
+#[derive(Debug)]
+pub struct GoldenRun {
+    /// The recorded event stream, in emission order.
+    pub events: Vec<Event>,
+    /// The tuner's reported result.
+    pub result: TuneResult,
+    /// Golden QoR vectors of every candidate (the oracle's backing table).
+    pub table: Vec<Vec<f64>>,
+}
+
+/// Runs the reference golden scenario: a reduced Scenario Two tuned with
+/// a fixed configuration, `threads: 1`, and the shared [`crate::test_seed`].
+/// Deterministic — the same binary produces the same event stream on
+/// every run (the workspace's `deterministic_given_seed` test guards the
+/// tuner side of that contract).
+///
+/// # Panics
+///
+/// Panics when scenario construction or the tuning run fails; both are
+/// deterministic, so a panic here is a real regression.
+pub fn run_golden() -> GoldenRun {
+    let scenario = benchgen::Scenario::two_with_counts(9, 120, 100).with_source_budget(60);
+    let space = pdsim::ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("golden scenario source data");
+    let config = PpaTunerConfig {
+        initial_samples: 10,
+        max_iterations: 20,
+        // The default τ = 1.5 (≈1.2σ regions) trades accuracy for speed;
+        // the golden scenario widens the regions so the δ-accuracy law of
+        // Eq. 12 — which assumes the regions cover the truth — holds
+        // deterministically and the invariant checker can assert it. The
+        // matching longer budget lets classification still conclude.
+        tau: 3.0,
+        seed: crate::test_seed(),
+        threads: 1,
+        ..Default::default()
+    };
+    let mut oracle = VecOracle::new(table.clone());
+    let sink = RecordingSink::new();
+    let result = PpaTuner::new(config)
+        .run_observed(&source, &candidates, &mut oracle, &sink)
+        .expect("golden scenario tuning run");
+    GoldenRun {
+        events: sink.events(),
+        result,
+        table,
+    }
+}
+
+/// Renders an event stream as canonical JSONL: one event per line, with
+/// wall-clock fields zeroed and floats rounded to 12 significant digits.
+pub fn canonical_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut value = serde_json::to_value(e);
+        canonicalize(&mut value);
+        out.push_str(&serde_json::to_string(&value).expect("canonical value serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Fields whose values are wall-clock measurements, not behavior.
+const VOLATILE_FIELDS: [&str; 2] = ["duration_s", "gp_fit_s"];
+
+fn canonicalize(v: &mut Value) {
+    match v {
+        Value::F64(x) => *x = round_sig(*x),
+        Value::Array(items) => items.iter_mut().for_each(canonicalize),
+        Value::Object(fields) => {
+            for (key, val) in fields.iter_mut() {
+                if VOLATILE_FIELDS.contains(&key.as_str()) {
+                    *val = Value::F64(0.0);
+                } else {
+                    canonicalize(val);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Rounds to 12 significant digits through the decimal representation
+/// (`{:.11e}`), which is platform-independent. Non-finite values pass
+/// through untouched.
+fn round_sig(x: f64) -> f64 {
+    if !x.is_finite() {
+        return x;
+    }
+    format!("{x:.11e}").parse().expect("rounded float parses")
+}
+
+/// Compares `content` against the committed golden file `name`, or
+/// rewrites the file when [`BLESS_ENV`] is set.
+///
+/// # Panics
+///
+/// Panics (failing the test) when the golden file is missing or differs,
+/// with the first differing line and bless instructions in the message.
+pub fn check_or_bless(name: &str, content: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os(BLESS_ENV).is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, content).expect("write golden file");
+        return;
+    }
+    let golden = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!(
+            "golden file {} unreadable ({e}); generate it with \
+             `{BLESS_ENV}=1 cargo test -p testkit` and commit it",
+            path.display()
+        ),
+    };
+    if golden == content {
+        return;
+    }
+    // Locate the first divergence for an actionable message.
+    let mut lineno = 0usize;
+    let mut detail = String::from("traces have different lengths");
+    for (i, (g, c)) in golden.lines().zip(content.lines()).enumerate() {
+        if g != c {
+            lineno = i + 1;
+            detail = format!("golden: {g}\n   got: {c}");
+            break;
+        }
+    }
+    if lineno == 0 {
+        lineno = golden.lines().count().min(content.lines().count()) + 1;
+    }
+    panic!(
+        "golden trace `{name}` drifted at line {lineno} \
+         ({} golden lines vs {} recorded):\n{detail}\n\
+         If this change is intentional, re-bless with \
+         `{BLESS_ENV}=1 cargo test -p testkit` and commit the diff.",
+        golden.lines().count(),
+        content.lines().count()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_zeroes_wall_clock_and_rounds() {
+        let events = [
+            Event::ToolEval {
+                iteration: 1,
+                candidate: 3,
+                qor: vec![0.1 + 0.2, 1.0],
+                duration_s: 123.456,
+            },
+            Event::Message { text: "hi".into() },
+        ];
+        let text = canonical_jsonl(&events);
+        let mut lines = text.lines();
+        let first = lines.next().unwrap();
+        assert!(
+            first.contains("\"duration_s\":0"),
+            "wall clock must be zeroed: {first}"
+        );
+        // 0.1 + 0.2 = 0.30000000000000004 rounds to exactly 0.3 at 12
+        // significant digits.
+        assert!(first.contains("0.3,"), "rounding failed: {first}");
+        assert_eq!(lines.next().unwrap(), r#"{"Message":{"text":"hi"}}"#);
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn round_sig_is_stable_and_idempotent() {
+        for &x in &[0.1, 1.0 / 3.0, 6.02e23, -2.5e-7, 0.0, f64::INFINITY] {
+            let once = round_sig(x);
+            assert_eq!(round_sig(once), once, "idempotence at {x}");
+        }
+        assert!(round_sig(f64::NAN).is_nan());
+    }
+}

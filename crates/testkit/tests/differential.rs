@@ -1,0 +1,206 @@
+//! Differential fuzzing: the optimized `pareto` and `gp` implementations
+//! against testkit's naive reference oracles, ≥1000 random cases per
+//! suite, agreement within 1e-9 relative tolerance.
+//!
+//! Each case re-seeds its own generator from the shared
+//! [`testkit::test_seed`] and the case index (see [`gen::case_rng`]), so
+//! a failure message alone reproduces the input. The `#[ignore]`d deep
+//! suites re-run the same drivers with 10× the cases and larger inputs;
+//! CI runs them in the nightly-style `--include-ignored` step.
+
+use testkit::diff::{assert_close, assert_same_indices, DIFF_TOL};
+use testkit::gen;
+use testkit::{reference, refgp};
+
+const CASES: u64 = 1200;
+
+fn dominance_driver(cases: u64, max_points: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(2..=3usize);
+        let n = rng.gen_range(2..=max_points);
+        let pts = gen::point_set(&mut rng, n, dim);
+        // Pairwise dominance relations.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    pareto::dominance::dominates(&pts[i], &pts[j]),
+                    reference::dominates(&pts[i], &pts[j]),
+                    "dominates mismatch, case {case}, pair ({i},{j}): {pts:?}"
+                );
+                assert_eq!(
+                    pareto::dominance::weakly_dominates(&pts[i], &pts[j]),
+                    reference::weakly_dominates(&pts[i], &pts[j]),
+                    "weak dominance mismatch, case {case}, pair ({i},{j}): {pts:?}"
+                );
+                let delta: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..0.2)).collect();
+                assert_eq!(
+                    pareto::dominance::delta_dominates(&pts[i], &pts[j], &delta),
+                    reference::delta_dominates(&pts[i], &pts[j], &delta),
+                    "δ-dominance mismatch, case {case}, pair ({i},{j}), δ={delta:?}: {pts:?}"
+                );
+            }
+        }
+        // Front extraction and layered sorting.
+        assert_same_indices(
+            "pareto_front",
+            case,
+            &pts,
+            &pareto::front::pareto_front(&pts),
+            &reference::pareto_front(&pts),
+        );
+        let fast_layers = pareto::front::non_dominated_sort(&pts);
+        let ref_layers = reference::non_dominated_sort(&pts);
+        assert_eq!(
+            fast_layers.len(),
+            ref_layers.len(),
+            "layer count mismatch, case {case}: {pts:?}"
+        );
+        for (k, (f, r)) in fast_layers.iter().zip(&ref_layers).enumerate() {
+            let mut f = f.clone();
+            let mut r = r.clone();
+            f.sort_unstable();
+            r.sort_unstable();
+            assert_same_indices(&format!("nds layer {k}"), case, &pts, &f, &r);
+        }
+    }
+}
+
+fn hypervolume_driver(cases: u64, max_points: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(2..=3usize);
+        let n = rng.gen_range(1..=max_points);
+        let (pts, reference_pt) = gen::point_set_with_reference(&mut rng, n, dim);
+        let fast = pareto::hypervolume::hypervolume(&pts, &reference_pt)
+            .expect("fast hypervolume accepts finite inputs");
+        let slow = reference::hypervolume(&pts, &reference_pt);
+        assert_close("hypervolume", case, &(&pts, &reference_pt), fast, slow);
+    }
+}
+
+fn adrs_driver(cases: u64) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(2..=3usize);
+        let (golden, approx) = gen::front_pair(&mut rng, dim);
+        let fast = pareto::metrics::adrs(&golden, &approx).expect("fast adrs");
+        let slow = reference::adrs(&golden, &approx);
+        assert_close("adrs", case, &(&golden, &approx), fast, slow);
+
+        let fast = pareto::metrics::epsilon_indicator(&golden, &approx).expect("fast epsilon");
+        let slow = reference::epsilon_indicator(&golden, &approx);
+        assert_close("epsilon_indicator", case, &(&golden, &approx), fast, slow);
+    }
+}
+
+fn gp_posterior_driver(cases: u64, queries_per_case: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(1..=3usize);
+        let (source, target, config) = gen::gp_problem(&mut rng, dim);
+        let fast = gp::TransferGp::fit(source.clone(), target.clone(), config.clone())
+            .expect("fast transfer GP fits well-conditioned fuzz input");
+        // The reference must invert the *same* matrix, so it takes the
+        // jitter the fast path's Cholesky actually added (usually 0).
+        let slow = refgp::ReferenceTransferGp::fit(&source, &target, &config, fast.jitter());
+        for (q, x) in gen::gp_queries(&mut rng, &target, dim, queries_per_case)
+            .iter()
+            .enumerate()
+        {
+            let (fm, fv) = fast.predict_latent(x).expect("fast predict_latent");
+            let (rm, rv) = slow.predict_latent(x);
+            let input = (&source, &target, &config, x);
+            assert_close(&format!("gp latent mean q{q}"), case, &input, fm, rm);
+            assert_close(&format!("gp latent var q{q}"), case, &input, fv, rv);
+            let (fm, fv) = fast.predict(x).expect("fast predict");
+            let (rm, rv) = slow.predict(x);
+            assert_close(&format!("gp mean q{q}"), case, &input, fm, rm);
+            assert_close(&format!("gp var q{q}"), case, &input, fv, rv);
+        }
+    }
+}
+
+#[test]
+fn dominance_and_fronts_match_reference() {
+    dominance_driver(CASES, 10);
+}
+
+#[test]
+fn hypervolume_matches_inclusion_exclusion() {
+    hypervolume_driver(CASES, 12);
+}
+
+#[test]
+fn adrs_and_epsilon_match_brute_force() {
+    adrs_driver(CASES);
+}
+
+#[test]
+fn gp_posterior_matches_dense_inverse() {
+    gp_posterior_driver(1000, 3);
+}
+
+#[test]
+fn transfer_lambda_closed_form_matches_quadrature() {
+    // Fuzzed (a, b) over the range the tuner's hyper-prior uses; the
+    // quadrature reference is good to ~1e-8, so the tolerance is looser
+    // than DIFF_TOL.
+    for case in 0..CASES {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let a = rng.gen_range(0.05..5.0);
+        let b = rng.gen_range(0.2..5.0);
+        let fast = gp::kernel::TransferKernel::from_gamma_prior(
+            gp::kernel::SquaredExponential::isotropic(1, 1.0, 1.0).expect("base kernel"),
+            a,
+            b,
+        )
+        .expect("transfer kernel")
+        .lambda();
+        let closed = reference::lambda_closed_form(a, b);
+        assert_close("lambda closed form", case, &(a, b), fast, closed);
+        // The quadrature oracle costs 400k integrand evaluations, so it
+        // spot-checks a deterministic 1-in-50 subsample of the cases.
+        if case % 50 == 0 {
+            let quad = reference::lambda_by_quadrature(a, b);
+            testkit::diff::assert_close_tol("lambda quadrature", case, &(a, b), fast, quad, 1e-6);
+        }
+    }
+    const { assert!(DIFF_TOL <= 1e-9, "acceptance tolerance must stay at 1e-9") };
+}
+
+// --- deep stress variants (nightly-style: `cargo test -- --include-ignored`)
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_dominance_and_fronts() {
+    dominance_driver(6_000, 14);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_hypervolume() {
+    // The 2^n inclusion–exclusion oracle caps how far the point count can
+    // stretch; depth comes from the case count instead.
+    hypervolume_driver(5_000, 14);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_adrs_and_epsilon() {
+    adrs_driver(12_000);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_gp_posterior() {
+    gp_posterior_driver(3_000, 5);
+}

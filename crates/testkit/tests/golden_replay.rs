@@ -1,0 +1,65 @@
+//! Golden-trace replay: the deterministic reference scenario must emit a
+//! byte-identical canonical event stream, and that stream must satisfy
+//! every algorithmic invariant.
+//!
+//! Regenerate the committed snapshot after an intentional behavior change
+//! with `TESTKIT_BLESS=1 cargo test -p testkit` and commit the diff.
+
+use testkit::invariants::check_trace;
+use testkit::trace::{canonical_jsonl, check_or_bless, run_golden};
+
+#[test]
+fn golden_scenario_trace_is_stable() {
+    let run = run_golden();
+    check_or_bless("scenario_two_seeded.jsonl", &canonical_jsonl(&run.events));
+}
+
+#[test]
+fn golden_scenario_trace_satisfies_invariants() {
+    let run = run_golden();
+    let report = check_trace(&run.events, Some(&run.table)).expect("invariants hold");
+    // The run must actually exercise the laws, not vacuously pass.
+    assert!(report.snapshots >= 2, "too few snapshots: {report:?}");
+    assert!(report.selects >= 1, "no selection checked: {report:?}");
+    assert!(report.tool_evals >= 10, "too few evaluations: {report:?}");
+    assert!(
+        report.pareto_checked >= 1,
+        "no Pareto classification checked: {report:?}"
+    );
+    // The trace's final accounting matches the result the caller gets.
+    assert_eq!(
+        report.tool_evals,
+        run.result.runs + run.result.verification_runs
+    );
+}
+
+#[test]
+fn golden_run_is_reproducible_within_process() {
+    // Two runs in the same process must produce identical canonical
+    // traces; this is the precondition for the cross-run golden diff.
+    let a = canonical_jsonl(&run_golden().events);
+    let b = canonical_jsonl(&run_golden().events);
+    assert_eq!(a, b, "golden scenario is not deterministic");
+}
+
+#[test]
+fn committed_golden_trace_parses_and_satisfies_invariants() {
+    // The snapshot on disk — not just the freshly recorded stream — must
+    // parse back into events and pass the checker, so the committed
+    // artifact itself is verified (canonicalization must not break the
+    // trace's semantics).
+    let path = testkit::trace::golden_dir().join("scenario_two_seeded.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); bless with TESTKIT_BLESS=1",
+            path.display()
+        )
+    });
+    let events: Vec<obs::Event> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("golden line parses as Event"))
+        .collect();
+    assert!(!events.is_empty());
+    let report = check_trace(&events, None).expect("committed trace invariants");
+    assert!(report.snapshots >= 2);
+}

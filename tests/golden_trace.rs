@@ -1,0 +1,21 @@
+//! Workspace-level golden-trace gate: replays the reference scenario and
+//! diffs its canonical event stream against the committed snapshot, so a
+//! plain `cargo test` at the workspace root catches behavioral drift even
+//! when `-p testkit` is not run explicitly.
+//!
+//! Re-bless after an intentional change with
+//! `TESTKIT_BLESS=1 cargo test -p testkit` and commit the diff.
+
+use testkit::invariants::check_trace;
+use testkit::trace::{canonical_jsonl, check_or_bless, run_golden};
+
+#[test]
+fn golden_trace_matches_committed_snapshot() {
+    let run = run_golden();
+    let canonical = canonical_jsonl(&run.events);
+    check_or_bless("scenario_two_seeded.jsonl", &canonical);
+    // The same stream must also satisfy every cross-crate invariant
+    // against the scenario's hidden truth table.
+    let report = check_trace(&run.events, Some(&run.table)).expect("invariants hold");
+    assert!(report.pareto_checked >= 1, "vacuous run: {report:?}");
+}

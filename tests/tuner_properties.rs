@@ -11,7 +11,10 @@ fn landscape(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
         .prop_map(|pts| pts.into_iter().map(|(a, b)| vec![a, b]).collect())
 }
 
-fn quick_config(seed: u64) -> PpaTunerConfig {
+/// Derives the tuner seed from the workspace-wide base seed
+/// ([`testkit::test_seed`]) and the case's salt, so every randomized test
+/// reseeds through the same helper instead of ad-hoc constants.
+fn quick_config(salt: u64) -> PpaTunerConfig {
     PpaTunerConfig {
         initial_samples: 6,
         max_iterations: 8,
@@ -21,7 +24,7 @@ fn quick_config(seed: u64) -> PpaTunerConfig {
             evals_per_restart: 40,
         },
         threads: 1,
-        seed,
+        seed: testkit::test_seed() ^ salt,
         ..Default::default()
     }
 }
