@@ -48,9 +48,12 @@ fn main() {
     let mut phases: BTreeMap<String, Phase> = BTreeMap::new();
     let mut iterations: Vec<(usize, usize, usize, usize, usize, f64)> = Vec::new();
     let mut gp_evals = 0usize;
+    let mut gp_cached_evals = 0usize;
+    let mut gp_fresh_evals = 0usize;
     let mut gp_restarts = 0usize;
     let mut gp_refits = 0usize;
     let mut gp_jittered = 0usize;
+    let mut predict_seconds = 0.0f64;
     let mut lambda_by_objective: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
     let mut run_start: Option<String> = None;
     let mut run_end: Option<String> = None;
@@ -76,12 +79,16 @@ fn main() {
                 lambda,
                 restarts,
                 evals,
+                cached_evals,
+                fresh_evals,
                 jitter,
                 duration_s,
                 ..
             } => {
                 phases.entry("gp-fit".into()).or_default().add(*duration_s);
                 gp_evals += evals;
+                gp_cached_evals += cached_evals;
+                gp_fresh_evals += fresh_evals;
                 gp_restarts += restarts;
                 gp_refits += usize::from(*refit);
                 gp_jittered += usize::from(*jitter > 0.0);
@@ -112,12 +119,14 @@ fn main() {
                 undecided,
                 hypervolume,
                 duration_s,
+                predict_s,
                 ..
             } => {
                 phases
                     .entry("iteration".into())
                     .or_default()
                     .add(*duration_s);
+                predict_seconds += predict_s;
                 iterations.push((
                     *iteration,
                     *runs,
@@ -177,6 +186,10 @@ fn main() {
         println!(
             "\ngp fitting: {gp_refits} full refits ({gp_restarts} restarts, {gp_evals} objective \
              evals), {gp_jittered} fits needed Cholesky jitter"
+        );
+        println!(
+            "  objective evals: {gp_cached_evals} distance-cached, {gp_fresh_evals} fresh model \
+             builds; box prediction {predict_seconds:.3} s total"
         );
         for (k, (first, last)) in &lambda_by_objective {
             println!("  objective {k}: lambda {first:.3} -> {last:.3}");

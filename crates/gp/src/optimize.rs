@@ -3,6 +3,7 @@
 
 use rand::Rng;
 
+use crate::cache::FitCache;
 use crate::transfer::{TaskData, TransferGp, TransferGpConfig};
 use crate::Result;
 
@@ -203,15 +204,148 @@ fn decode(theta: &[f64], dim: usize) -> TransferGpConfig {
 pub struct FitReport {
     /// Multi-start restarts executed.
     pub restarts: usize,
-    /// MAP-objective evaluations consumed across all restarts (each is one
-    /// full `TransferGp::fit` + conditional-likelihood computation).
+    /// MAP-objective evaluations consumed across all restarts.
     pub evals: usize,
+    /// Objective evaluations served from the precomputed distance cache
+    /// (no data clone, no raw-point kernel rebuild).
+    pub cached_evals: usize,
+    /// Full `TransferGp::fit` constructions from raw data (the final
+    /// model build after the search picks a winner).
+    pub fresh_evals: usize,
     /// Best (lowest) MAP objective value found.
     pub best_objective: f64,
     /// Log marginal likelihood of the returned model.
     pub log_marginal: f64,
     /// Diagonal jitter the returned model's factorization needed.
     pub jitter: f64,
+}
+
+/// Draws the multi-start initial points for a transfer-GP search:
+/// restart 0 is a deterministic sensible default, later restarts are
+/// randomized from `rng` (same stream as the sequential search always
+/// used). Drawing the starts **up front** is what lets restarts — and
+/// whole per-objective fits in the tuner — run on worker threads while
+/// staying bit-reproducible at any thread count: the RNG is consumed
+/// sequentially here, never inside a thread.
+pub fn restart_starts<R: Rng + ?Sized>(dim: usize, restarts: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..restarts.max(1))
+        .map(|restart| {
+            if restart == 0 {
+                let mut v = vec![(0.4f64).ln(); dim];
+                v.push(0.0); // signal_var = 1
+                v.push(1.0); // λ = tanh(1) ≈ 0.76
+                v.push((1e-3f64).ln());
+                v.push((1e-3f64).ln());
+                v
+            } else {
+                let mut v: Vec<f64> = (0..dim)
+                    .map(|_| rng.gen_range(-2.0..0.5)) // ℓ ∈ [e⁻², e^0.5]
+                    .collect();
+                v.push(rng.gen_range(-1.0..1.0));
+                v.push(rng.gen_range(-1.5..1.5));
+                v.push(rng.gen_range(-9.0..-2.0));
+                v.push(rng.gen_range(-9.0..-2.0));
+                v
+            }
+        })
+        .collect()
+}
+
+/// Runs the multi-start search from pre-drawn initial points (see
+/// [`restart_starts`]), optionally spreading restarts across `threads`
+/// scoped worker threads.
+///
+/// Every objective evaluation goes through a [`FitCache`] built once per
+/// call: candidate kernels are re-weighted from the cached pairwise
+/// squared-difference tensor instead of cloning the data and rebuilding
+/// from raw points. Restarts are independent (each Nelder–Mead run owns
+/// its simplex and eval counter) and the winner is selected in restart
+/// order with a first-wins tie-break, so the result is bit-identical for
+/// any `threads` value.
+///
+/// # Errors
+///
+/// Propagates data-validation errors and fitting errors of the final
+/// model (the search treats failed factorizations as infinitely bad).
+///
+/// # Panics
+///
+/// Panics when `starts` is empty.
+pub fn fit_transfer_gp_from_starts(
+    source: &TaskData,
+    target: &TaskData,
+    dim: usize,
+    budget: FitBudget,
+    starts: &[Vec<f64>],
+    threads: usize,
+) -> Result<(TransferGp, FitReport)> {
+    assert!(!starts.is_empty(), "need at least one restart start");
+    let cache = FitCache::new(source, target, dim)?;
+    let opts = NelderMeadOptions {
+        max_evals: budget.evals_per_restart,
+        ..Default::default()
+    };
+    let run_restart = |x0: &[f64]| -> (Vec<f64>, f64, usize) {
+        let evals = std::cell::Cell::new(0usize);
+        let (theta, value) = nelder_mead(
+            |theta| {
+                evals.set(evals.get() + 1);
+                let cfg = decode(theta, dim);
+                // MAP objective: a log-normal prior on the lengthscales
+                // keeps the few-shot fit from collapsing onto noise.
+                cache.objective(&cfg) + lengthscale_penalty(&cfg.lengthscales)
+            },
+            x0,
+            opts,
+        );
+        (theta, value, evals.get())
+    };
+
+    let workers = threads.max(1).min(starts.len());
+    let results: Vec<(Vec<f64>, f64, usize)> = if workers <= 1 {
+        starts.iter().map(|x0| run_restart(x0)).collect()
+    } else {
+        let mut slots: Vec<Option<(Vec<f64>, f64, usize)>> = vec![None; starts.len()];
+        let chunk = starts.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let run_restart = &run_restart;
+            for (out, xs) in slots.chunks_mut(chunk).zip(starts.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, x0) in out.iter_mut().zip(xs) {
+                        *slot = Some(run_restart(x0));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every restart slot is filled"))
+            .collect()
+    };
+
+    // Best-of selection in restart order (ties keep the earlier restart),
+    // exactly as the sequential loop always resolved them.
+    let mut best_theta: Option<(Vec<f64>, f64)> = None;
+    let mut total_evals = 0usize;
+    for (theta, value, evals) in results {
+        total_evals += evals;
+        match &best_theta {
+            Some((_, bv)) if *bv <= value => {}
+            _ => best_theta = Some((theta, value)),
+        }
+    }
+    let (theta, best_objective) = best_theta.expect("at least one restart ran");
+    let model = TransferGp::fit(source.clone(), target.clone(), decode(&theta, dim))?;
+    let report = FitReport {
+        restarts: starts.len(),
+        evals: total_evals,
+        cached_evals: total_evals,
+        fresh_evals: 1,
+        best_objective,
+        log_marginal: model.log_marginal_likelihood(),
+        jitter: model.jitter(),
+    };
+    Ok((model, report))
 }
 
 /// Trains a [`TransferGp`] by maximizing the log marginal likelihood of
@@ -250,64 +384,8 @@ pub fn fit_transfer_gp_reported<R: Rng + ?Sized>(
     budget: FitBudget,
     rng: &mut R,
 ) -> Result<(TransferGp, FitReport)> {
-    let evals = std::cell::Cell::new(0usize);
-    let nll = |theta: &[f64]| -> f64 {
-        evals.set(evals.get() + 1);
-        let cfg = decode(theta, dim);
-        let ls_prior = lengthscale_penalty(&cfg.lengthscales);
-        match TransferGp::fit(source.clone(), target.clone(), cfg) {
-            // MAP objective: a log-normal prior on the lengthscales keeps
-            // the few-shot fit from collapsing onto noise.
-            Ok(model) => -model.log_conditional_likelihood() + ls_prior,
-            Err(_) => f64::INFINITY,
-        }
-    };
-
-    let restarts = budget.restarts.max(1);
-    let mut best_theta: Option<(Vec<f64>, f64)> = None;
-    for restart in 0..restarts {
-        // First start: sensible defaults; later starts: randomized.
-        let x0: Vec<f64> = if restart == 0 {
-            let mut v = vec![(0.4f64).ln(); dim];
-            v.push(0.0); // signal_var = 1
-            v.push(1.0); // λ = tanh(1) ≈ 0.76
-            v.push((1e-3f64).ln());
-            v.push((1e-3f64).ln());
-            v
-        } else {
-            let mut v: Vec<f64> = (0..dim)
-                .map(|_| rng.gen_range(-2.0..0.5)) // ℓ ∈ [e⁻², e^0.5]
-                .collect();
-            v.push(rng.gen_range(-1.0..1.0));
-            v.push(rng.gen_range(-1.5..1.5));
-            v.push(rng.gen_range(-9.0..-2.0));
-            v.push(rng.gen_range(-9.0..-2.0));
-            v
-        };
-        let (theta, value) = nelder_mead(
-            nll,
-            &x0,
-            NelderMeadOptions {
-                max_evals: budget.evals_per_restart,
-                ..Default::default()
-            },
-        );
-        match &best_theta {
-            Some((_, bv)) if *bv <= value => {}
-            _ => best_theta = Some((theta, value)),
-        }
-    }
-
-    let (theta, best_objective) = best_theta.expect("at least one restart ran");
-    let model = TransferGp::fit(source.clone(), target.clone(), decode(&theta, dim))?;
-    let report = FitReport {
-        restarts,
-        evals: evals.get(),
-        best_objective,
-        log_marginal: model.log_marginal_likelihood(),
-        jitter: model.jitter(),
-    };
-    Ok((model, report))
+    let starts = restart_starts(dim, budget.restarts, rng);
+    fit_transfer_gp_from_starts(source, target, dim, budget, &starts, 1)
 }
 
 #[cfg(test)]
@@ -451,6 +529,72 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(1);
         let plain = fit_transfer_gp(&source, &target, 1, budget, &mut rng2).unwrap();
         assert_eq!(plain.config(), model.config());
+    }
+
+    #[test]
+    fn search_is_thread_count_invariant() {
+        let f = |x: f64| (4.0 * x).sin();
+        let source = TaskData::new(
+            (0..20).map(|i| vec![i as f64 / 19.0]).collect(),
+            (0..20).map(|i| f(i as f64 / 19.0)).collect(),
+        );
+        let target = TaskData::new(
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+            vec![f(0.1), f(0.5), f(0.9)],
+        );
+        let budget = FitBudget {
+            restarts: 5,
+            evals_per_restart: 60,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let starts = restart_starts(1, budget.restarts, &mut rng);
+
+        let (m1, r1) =
+            fit_transfer_gp_from_starts(&source, &target, 1, budget, &starts, 1).unwrap();
+        for threads in [2, 4, 16] {
+            let (mt, rt) =
+                fit_transfer_gp_from_starts(&source, &target, 1, budget, &starts, threads).unwrap();
+            assert_eq!(m1.config(), mt.config(), "threads={threads}");
+            assert_eq!(r1, rt, "threads={threads}");
+        }
+
+        // And the RNG-drawing entry point matches the pre-drawn path.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let (m2, r2) = fit_transfer_gp_reported(&source, &target, 1, budget, &mut rng2).unwrap();
+        assert_eq!(m1.config(), m2.config());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn report_counts_cached_and_fresh_evals() {
+        let f = |x: f64| x * x;
+        let source = TaskData::new(
+            (0..10).map(|i| vec![i as f64 / 9.0]).collect(),
+            (0..10).map(|i| f(i as f64 / 9.0)).collect(),
+        );
+        let target = TaskData::new(vec![vec![0.2], vec![0.8]], vec![f(0.2), f(0.8)]);
+        let budget = FitBudget {
+            restarts: 2,
+            evals_per_restart: 30,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, report) = fit_transfer_gp_reported(&source, &target, 1, budget, &mut rng).unwrap();
+        // The search itself never constructs a model from raw data: every
+        // objective evaluation runs off the distance cache, and only the
+        // winning θ is fit for real.
+        assert_eq!(report.cached_evals, report.evals);
+        assert_eq!(report.fresh_evals, 1);
+        assert!(report.evals > 0);
+    }
+
+    #[test]
+    fn restart_starts_first_is_deterministic_default() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let starts = restart_starts(2, 0, &mut rng);
+        assert_eq!(starts.len(), 1, "restarts are clamped to at least one");
+        let ln04 = (0.4f64).ln();
+        let ln1e3 = (1e-3f64).ln();
+        assert_eq!(starts[0], vec![ln04, ln04, 0.0, 1.0, ln1e3, ln1e3]);
     }
 
     #[test]

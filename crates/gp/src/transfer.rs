@@ -1,15 +1,30 @@
+use std::sync::Arc;
+
 use linalg::{Cholesky, Matrix};
 
 use crate::kernel::{Kernel, SquaredExponential, Task, TransferKernel};
 use crate::standardize::Standardizer;
 use crate::{GpError, Result};
 
+/// Maximum number of query columns handled per multi-RHS triangular
+/// solve in [`TransferGp::predict_latent_batch`]. At 256 columns the
+/// `K*` and `L⁻¹K*` panels for a table-2-sized factor fit in L2 cache;
+/// larger panels thrash and erase the multi-RHS win. Per-query results
+/// are independent of the block size.
+const PREDICT_BLOCK: usize = 256;
+
 /// Training data of one task: inputs (unit-cube encoded parameter
 /// configurations) and observed outputs (one QoR metric).
+///
+/// Inputs are held behind an [`Arc`] so the per-objective views of one
+/// design table (same configurations, different QoR column) share a
+/// single encoded copy: cloning a `TaskData` — which the tuner and the
+/// hyper-parameter search do per objective and per refit — bumps a
+/// reference count instead of deep-copying the whole input set.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TaskData {
-    /// Input points.
-    pub x: Vec<Vec<f64>>,
+    /// Input points (shared; see the type-level docs).
+    pub x: Arc<Vec<Vec<f64>>>,
     /// Observed outputs, parallel to `x`.
     pub y: Vec<f64>,
 }
@@ -17,6 +32,12 @@ pub struct TaskData {
 impl TaskData {
     /// Creates task data from parallel input/output lists.
     pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        TaskData { x: Arc::new(x), y }
+    }
+
+    /// Creates task data that shares an already-encoded input set —
+    /// the zero-copy constructor for per-objective views.
+    pub fn from_shared(x: Arc<Vec<Vec<f64>>>, y: Vec<f64>) -> Self {
         TaskData { x, y }
     }
 
@@ -97,10 +118,16 @@ impl TransferGpConfig {
 /// # Ok(())
 /// # }
 /// ```
+#[derive(Clone)]
 pub struct TransferGp {
     kernel: TransferKernel<SquaredExponential>,
-    x_source: Vec<Vec<f64>>,
-    x_target: Vec<Vec<f64>>,
+    x_source: Arc<Vec<Vec<f64>>>,
+    x_target: Arc<Vec<Vec<f64>>>,
+    /// Raw (unstandardized) outputs, kept so the model can re-fit itself
+    /// from scratch when an incremental [`TransferGp::condition_on`]
+    /// extension is numerically rejected.
+    y_source: Vec<f64>,
+    y_target: Vec<f64>,
     alpha: Vec<f64>,
     chol: Cholesky,
     std_target: Standardizer,
@@ -149,7 +176,7 @@ impl TransferGp {
         }
         let base = SquaredExponential::new(config.signal_var, config.lengthscales.clone())?;
         let dim = base.dim();
-        for row in source.x.iter().chain(&target.x) {
+        for row in source.x.iter().chain(target.x.iter()) {
             if row.len() != dim {
                 return Err(GpError::DimensionMismatch {
                     expected: dim,
@@ -222,6 +249,8 @@ impl TransferGp {
             kernel,
             x_source: source.x,
             x_target: target.x,
+            y_source: source.y,
+            y_target: target.y,
             alpha,
             chol,
             std_target,
@@ -231,6 +260,106 @@ impl TransferGp {
             jitter,
             config,
         })
+    }
+
+    /// Conditions the fitted model on `k` additional target observations
+    /// without re-optimizing hyper-parameters and without refactoring the
+    /// joint kernel from scratch: the existing Cholesky factor is extended
+    /// by the new rows (see [`Cholesky::extend`]), which costs
+    /// O((N+M)²·k) instead of the O((N+M+k)³) full refit.
+    ///
+    /// The target standardizer is re-fitted over the full (extended)
+    /// output set and the weight vector recomputed, so the result is the
+    /// model [`TransferGp::fit`] would produce on the extended data, up
+    /// to floating-point round-off in the factor (see
+    /// [`Cholesky::extend`]). When the incremental extension is rejected
+    /// (the extended matrix is not numerically positive definite at the
+    /// stored jitter), the model transparently falls back to a full refit
+    /// with jitter escalation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransferGp::fit`] on the new observations
+    /// (dimension mismatches, non-finite values); `self` is unchanged on
+    /// error.
+    pub fn condition_on(&mut self, new_x: &[Vec<f64>], new_y: &[f64]) -> Result<()> {
+        if new_x.len() != new_y.len() {
+            return Err(GpError::InvalidTrainingData {
+                reason: "x and y lengths differ",
+            });
+        }
+        if new_x.is_empty() {
+            return Ok(());
+        }
+        let dim = self.kernel.base().dim();
+        for row in new_x {
+            if row.len() != dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::InvalidTrainingData {
+                    reason: "training inputs must be finite",
+                });
+            }
+        }
+        if new_y.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::InvalidTrainingData {
+                reason: "training outputs must be finite",
+            });
+        }
+        let n = self.x_source.len();
+        let m = self.x_target.len();
+        let k = new_x.len();
+
+        // Covariance of every existing joint point with each new
+        // (target-task) point, and of the new points among themselves
+        // with the target noise — and the stored jitter, matching the
+        // diagonal the existing factor was computed with.
+        let cross = Matrix::from_fn(n + m, k, |i, j| {
+            let (xi, ti) = if i < n {
+                (&self.x_source[i], Task::Source)
+            } else {
+                (&self.x_target[i - n], Task::Target)
+            };
+            self.kernel.eval_task(xi, ti, &new_x[j], Task::Target)
+        });
+        let mut corner = Matrix::from_fn(k, k, |i, j| {
+            self.kernel
+                .eval_task(&new_x[i], Task::Target, &new_x[j], Task::Target)
+        });
+        for i in 0..k {
+            corner[(i, i)] += self.config.noise_target + self.jitter;
+        }
+
+        let mut chol = self.chol.clone();
+        if chol.extend(&cross, &corner).is_err() {
+            // Numerically rejected: fall back to a full refit, which can
+            // escalate jitter. Rebuild owned task data from stored state.
+            let source = TaskData::from_shared(Arc::clone(&self.x_source), self.y_source.clone());
+            let mut xt: Vec<Vec<f64>> = (*self.x_target).clone();
+            xt.extend(new_x.iter().cloned());
+            let mut yt = self.y_target.clone();
+            yt.extend_from_slice(new_y);
+            *self = TransferGp::fit(source, TaskData::new(xt, yt), self.config.clone())?;
+            return Ok(());
+        }
+
+        Arc::make_mut(&mut self.x_target).extend(new_x.iter().cloned());
+        self.y_target.extend_from_slice(new_y);
+        // Per-task standardization is over the *current* target sample, so
+        // the whole target block of z is recomputed (the source block and
+        // its marginal likelihood are untouched).
+        self.std_target = Standardizer::fit(&self.y_target);
+        self.z_joint.truncate(n);
+        let std_target = self.std_target;
+        self.z_joint
+            .extend(self.y_target.iter().map(|&v| std_target.transform(v)));
+        self.alpha = chol.solve_vec(&self.z_joint)?;
+        self.chol = chol;
+        Ok(())
     }
 
     /// Number of source observations.
@@ -294,10 +423,10 @@ impl TransferGp {
             });
         }
         let mut k_star = Vec::with_capacity(self.x_source.len() + self.x_target.len());
-        for xi in &self.x_source {
+        for xi in self.x_source.iter() {
             k_star.push(self.kernel.eval_task(xi, Task::Source, x, Task::Target));
         }
-        for xi in &self.x_target {
+        for xi in self.x_target.iter() {
             k_star.push(self.kernel.eval_task(xi, Task::Target, x, Task::Target));
         }
         let mean_z = linalg::vecops::dot(&k_star, &self.alpha);
@@ -310,13 +439,92 @@ impl TransferGp {
         ))
     }
 
-    /// Batch prediction for target-task queries.
+    /// Batch prediction for target-task queries, via the multi-RHS path
+    /// of [`TransferGp::predict_latent_batch`] plus the observation-noise
+    /// floor of [`TransferGp::predict`].
     ///
     /// # Errors
     ///
-    /// Fails on the first dimension mismatch.
+    /// Fails on any dimension mismatch.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<(f64, f64)>> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let noise = self.std_target.inverse_var(self.noise_target);
+        Ok(self
+            .predict_latent_batch(xs)?
+            .into_iter()
+            .map(|(mean, var)| (mean, var + noise))
+            .collect())
+    }
+
+    /// Batch form of [`TransferGp::predict_latent`]: assembles the
+    /// cross-covariance matrix `K*` for a block of queries at a time and
+    /// runs one multi-RHS triangular solve per block instead of one
+    /// forward substitution per query, so a candidate sweep walks the
+    /// Cholesky factor once per block instead of once per point. Blocks
+    /// are capped at [`PREDICT_BLOCK`] columns so `K*` and `L⁻¹K*` stay
+    /// resident in cache even for very large sweeps.
+    ///
+    /// Per query the arithmetic (accumulation order of the mean dot
+    /// product and of `‖L⁻¹k*‖²`) is exactly that of the scalar path, so
+    /// results are bit-identical to calling [`TransferGp::predict_latent`]
+    /// in a loop — and independent of how callers chunk `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] for queries of the wrong
+    /// dimension.
+    pub fn predict_latent_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<(f64, f64)>> {
+        let dim = self.kernel.base().dim();
+        for x in xs {
+            if x.len() != dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: dim,
+                    got: x.len(),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(xs.len());
+        for block in xs.chunks(PREDICT_BLOCK) {
+            self.predict_latent_block(block, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// One block of [`TransferGp::predict_latent_batch`]: assemble `K*`,
+    /// solve `L V = K*` for all columns at once, then reduce each column
+    /// with the exact scalar-path accumulation order.
+    fn predict_latent_block(&self, xs: &[Vec<f64>], out: &mut Vec<(f64, f64)>) -> Result<()> {
+        if xs.is_empty() {
+            return Ok(());
+        }
+        let n = self.x_source.len();
+        let p = n + self.x_target.len();
+        let k_star = Matrix::from_fn(p, xs.len(), |i, q| {
+            let (xi, ti) = if i < n {
+                (&self.x_source[i], Task::Source)
+            } else {
+                (&self.x_target[i - n], Task::Target)
+            };
+            self.kernel.eval_task(xi, ti, &xs[q], Task::Target)
+        });
+        let v = self.chol.solve_lower_only_multi(&k_star)?;
+        for (q, x) in xs.iter().enumerate() {
+            let mut mean_z = 0.0;
+            for (i, &a) in self.alpha.iter().enumerate() {
+                mean_z += k_star[(i, q)] * a;
+            }
+            let mut vv = 0.0;
+            for i in 0..p {
+                let vi = v[(i, q)];
+                vv += vi * vi;
+            }
+            let c = self.kernel.eval_task(x, Task::Target, x, Task::Target);
+            let var_z = (c - vv).max(0.0);
+            out.push((
+                self.std_target.inverse(mean_z),
+                self.std_target.inverse_var(var_z),
+            ));
+        }
+        Ok(())
     }
 
     /// Log marginal likelihood of the joint (standardized) data.
@@ -476,6 +684,106 @@ mod tests {
         let high = TransferGp::fit(source_dense(), target_sparse(0.0), mk(0.95)).unwrap();
         let low = TransferGp::fit(source_dense(), target_sparse(0.0), mk(1e-6)).unwrap();
         assert!(high.log_marginal_likelihood() > low.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn condition_on_matches_full_refit() {
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.2],
+            signal_var: 1.0,
+            lambda: 0.9,
+            noise_source: 1e-3,
+            noise_target: 1e-3,
+        };
+        // Fit on a prefix, condition on the rest, compare against a
+        // from-scratch fit of everything.
+        let full_target = target_sparse(0.1);
+        let prefix = TaskData::new(full_target.x[..2].to_vec(), full_target.y[..2].to_vec());
+        let mut incremental = TransferGp::fit(source_dense(), prefix, cfg.clone()).unwrap();
+        incremental
+            .condition_on(&full_target.x[2..], &full_target.y[2..])
+            .unwrap();
+        let fresh = TransferGp::fit(source_dense(), full_target, cfg).unwrap();
+        assert_eq!(incremental.target_len(), fresh.target_len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-10 * b.abs().max(1.0);
+        for q in [[0.0], [0.22], [0.5], [0.77], [1.0]] {
+            let (mi, vi) = incremental.predict_latent(&q).unwrap();
+            let (mf, vf) = fresh.predict_latent(&q).unwrap();
+            assert!(close(mi, mf), "mean at {q:?}: {mi} vs full refit {mf}");
+            assert!(close(vi, vf), "variance at {q:?}: {vi} vs full refit {vf}");
+        }
+        assert!(close(
+            incremental.log_marginal_likelihood(),
+            fresh.log_marginal_likelihood()
+        ));
+        assert!(close(
+            incremental.log_conditional_likelihood(),
+            fresh.log_conditional_likelihood()
+        ));
+    }
+
+    #[test]
+    fn condition_on_validates_and_handles_empty_batches() {
+        let cfg = TransferGpConfig::default_for_dim(1);
+        let mut model = TransferGp::fit(source_dense(), target_sparse(0.0), cfg).unwrap();
+        let before_len = model.target_len();
+        // Empty batch: no-op.
+        model.condition_on(&[], &[]).unwrap();
+        assert_eq!(model.target_len(), before_len);
+        // Mismatched lengths / dimensions / non-finite values are
+        // rejected without touching the model.
+        assert!(model.condition_on(&[vec![0.5]], &[]).is_err());
+        assert!(model.condition_on(&[vec![0.5, 0.5]], &[1.0]).is_err());
+        assert!(model.condition_on(&[vec![f64::NAN]], &[1.0]).is_err());
+        assert!(model.condition_on(&[vec![0.5]], &[f64::INFINITY]).is_err());
+        assert_eq!(model.target_len(), before_len);
+    }
+
+    #[test]
+    fn condition_on_works_without_source() {
+        let cfg = TransferGpConfig::default_for_dim(1);
+        let mut model =
+            TransferGp::fit(TaskData::default(), target_sparse(0.0), cfg.clone()).unwrap();
+        model.condition_on(&[vec![0.5]], &[f(0.5)]).unwrap();
+        let full = TaskData::new(
+            vec![vec![0.05], vec![0.35], vec![0.65], vec![0.95], vec![0.5]],
+            vec![f(0.05), f(0.35), f(0.65), f(0.95), f(0.5)],
+        );
+        let fresh = TransferGp::fit(TaskData::default(), full, cfg).unwrap();
+        let (mi, vi) = model.predict(&[0.3]).unwrap();
+        let (mf, vf) = fresh.predict(&[0.3]).unwrap();
+        assert!((mi - mf).abs() <= 1e-10 * mf.abs().max(1.0));
+        assert!((vi - vf).abs() <= 1e-10 * vf.abs().max(1.0));
+    }
+
+    #[test]
+    fn batch_prediction_is_bitwise_identical_to_scalar() {
+        let tgp = TransferGp::fit(
+            source_dense(),
+            target_sparse(0.1),
+            TransferGpConfig::default_for_dim(1),
+        )
+        .unwrap();
+        let queries: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64 / 22.0]).collect();
+        let latent = tgp.predict_latent_batch(&queries).unwrap();
+        let noisy = tgp.predict_batch(&queries).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            let (ms, vs) = tgp.predict_latent(query).unwrap();
+            assert_eq!(latent[q].0, ms, "latent mean #{q}");
+            assert_eq!(latent[q].1, vs, "latent variance #{q}");
+            let (mn, vn) = tgp.predict(query).unwrap();
+            assert_eq!(noisy[q].0, mn, "noisy mean #{q}");
+            assert_eq!(noisy[q].1, vn, "noisy variance #{q}");
+        }
+        // Chunking cannot change results.
+        let halves: Vec<(f64, f64)> = queries
+            .chunks(5)
+            .flat_map(|c| tgp.predict_latent_batch(c).unwrap())
+            .collect();
+        assert_eq!(halves, latent);
+        // Empty and invalid input handling.
+        assert!(tgp.predict_latent_batch(&[]).unwrap().is_empty());
+        assert!(tgp.predict_latent_batch(&[vec![0.1, 0.2]]).is_err());
     }
 
     #[test]

@@ -84,6 +84,58 @@ pub fn solve_lower_transposed(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     Ok(x)
 }
 
+/// Solves `L X = B` for all columns of `B` at once by forward
+/// substitution, reading only the lower triangle of `l`.
+///
+/// The per-column arithmetic (order of subtractions and the final
+/// division) is exactly that of [`solve_lower`], and columns never mix,
+/// so `solve_lower_multi(l, B)` reproduces `solve_lower(l, B[:, c])`
+/// bit-for-bit in every column — batching (and any chunking of the
+/// columns across threads) cannot change results. The row-major sweep
+/// touches each `L` row once per right-hand side block instead of once
+/// per right-hand side, which is what makes batched GP prediction fast.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] if `l` is not square.
+/// - [`LinalgError::ShapeMismatch`] if `b.rows() != l.rows()`.
+/// - [`LinalgError::Singular`] if a diagonal entry vanishes.
+pub fn solve_lower_multi(l: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if !l.is_square() {
+        return Err(LinalgError::NotSquare { shape: l.shape() });
+    }
+    if b.rows() != l.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower_multi",
+            lhs: l.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = l.rows();
+    let k = b.cols();
+    let mut x = b.clone();
+    let data = x.as_mut_slice();
+    for i in 0..n {
+        let row = l.row(i);
+        let (solved, rest) = data.split_at_mut(i * k);
+        let xi = &mut rest[..k];
+        for (j, xj) in solved.chunks_exact(k).enumerate() {
+            let lij = row[j];
+            for (out, &v) in xi.iter_mut().zip(xj) {
+                *out -= lij * v;
+            }
+        }
+        let d = row[i];
+        if d.abs() < f64::MIN_POSITIVE {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        for out in xi.iter_mut() {
+            *out /= d;
+        }
+    }
+    Ok(x)
+}
+
 fn check_triangular_args(m: &Matrix, b: &[f64], op: &'static str) -> Result<()> {
     if !m.is_square() {
         return Err(LinalgError::NotSquare { shape: m.shape() });
@@ -151,6 +203,39 @@ mod tests {
         assert!(matches!(
             solve_upper(&sq, &[1.0]).unwrap_err(),
             LinalgError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_rhs_matches_per_vector_solve_bitwise() {
+        let l =
+            Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.3, 3.0, 0.0], &[0.5, -1.1, 4.0]]).unwrap();
+        let b =
+            Matrix::from_rows(&[&[1.0, -2.0, 0.25], &[4.0, 0.5, -1.0], &[-3.0, 2.5, 8.0]]).unwrap();
+        let x = solve_lower_multi(&l, &b).unwrap();
+        for c in 0..3 {
+            let xc = solve_lower(&l, &b.col(c)).unwrap();
+            for i in 0..3 {
+                assert_eq!(x[(i, c)], xc[i], "column {c} row {i} must match bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_rejects_bad_shapes_and_singular() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        assert!(matches!(
+            solve_lower_multi(&Matrix::zeros(2, 3), &Matrix::zeros(2, 1)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        assert!(matches!(
+            solve_lower_multi(&l, &Matrix::zeros(3, 1)).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        let sing = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            solve_lower_multi(&sing, &Matrix::zeros(2, 2)).unwrap_err(),
+            LinalgError::Singular { pivot: 0 }
         ));
     }
 

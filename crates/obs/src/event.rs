@@ -47,6 +47,14 @@ pub enum Event {
         restarts: usize,
         /// Objective evaluations consumed across all restarts.
         evals: usize,
+        /// Objective evaluations served from the precomputed distance
+        /// cache (no data clone, no raw-point kernel rebuild).
+        #[serde(default)]
+        cached_evals: usize,
+        /// Full model constructions from raw data (the final build after
+        /// the search, or 0 for warm incremental refreshes).
+        #[serde(default)]
+        fresh_evals: usize,
         /// Final log marginal likelihood of the fitted model.
         log_marginal: f64,
         /// Jitter added to the kernel diagonal before Cholesky succeeded
@@ -140,6 +148,9 @@ pub enum Event {
         duration_s: f64,
         /// Wall-clock seconds of that spent fitting GPs.
         gp_fit_s: f64,
+        /// Wall-clock seconds of that spent predicting uncertainty boxes.
+        #[serde(default)]
+        predict_s: f64,
     },
 
     /// The tuning run finished (after the verification pass).

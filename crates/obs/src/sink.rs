@@ -348,6 +348,8 @@ mod tests {
                 lambda: 0.5,
                 restarts: 2,
                 evals: 120,
+                cached_evals: 120,
+                fresh_evals: 1,
                 log_marginal: -3.4,
                 jitter: 0.0,
                 duration_s: 0.01,

@@ -23,6 +23,8 @@ fn one_of_each() -> Vec<Event> {
             lambda: 0.83,
             restarts: 3,
             evals: 412,
+            cached_evals: 412,
+            fresh_evals: 1,
             log_marginal: -58.31,
             jitter: 1e-8,
             duration_s: 0.072,
@@ -59,6 +61,7 @@ fn one_of_each() -> Vec<Event> {
             hypervolume: 1.8116,
             duration_s: 0.151,
             gp_fit_s: 0.144,
+            predict_s: 0.004,
         },
         Event::RunEnd {
             iterations: 19,

@@ -1,13 +1,14 @@
 //! The PPATuner loop (Algorithm 1 of the paper).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use gp::optimize::{fit_transfer_gp_reported, FitBudget};
-use gp::{TaskData, TransferGp, TransferGpConfig};
+use gp::optimize::{fit_transfer_gp_from_starts, restart_starts, FitBudget};
+use gp::{TaskData, TransferGp};
 use obs::{Event, Observer, NULL_SINK};
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +21,10 @@ use crate::{Result, TunerError};
 /// their QoR vectors.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SourceData {
-    x: Vec<Vec<f64>>,
+    /// Shared behind an [`Arc`] so the per-objective [`TaskData`] views
+    /// reference one encoded copy instead of cloning all configurations
+    /// per objective per refit.
+    x: Arc<Vec<Vec<f64>>>,
     y: Vec<Vec<f64>>,
 }
 
@@ -45,7 +49,7 @@ impl SourceData {
                 });
             }
         }
-        Ok(SourceData { x, y })
+        Ok(SourceData { x: Arc::new(x), y })
     }
 
     /// An empty source (no-transfer operation).
@@ -80,9 +84,11 @@ impl SourceData {
         &self.y
     }
 
-    /// The single-objective view of objective `k` as GP task data.
+    /// The single-objective view of objective `k` as GP task data. The
+    /// inputs are shared (reference-counted), only the one QoR column is
+    /// materialized.
     fn task_data(&self, k: usize) -> TaskData {
-        TaskData::new(self.x.clone(), self.y.iter().map(|v| v[k]).collect())
+        TaskData::from_shared(Arc::clone(&self.x), self.y.iter().map(|v| v[k]).collect())
     }
 }
 
@@ -187,6 +193,9 @@ pub struct IterationRecord {
     pub duration_s: f64,
     /// Wall-clock seconds of that spent fitting the GP surrogates.
     pub gp_fit_s: f64,
+    /// Wall-clock seconds of that spent predicting uncertainty boxes.
+    #[serde(default)]
+    pub predict_s: f64,
 }
 
 /// Outcome of one tuning run.
@@ -412,11 +421,15 @@ impl PpaTuner {
         let mut statuses = vec![Status::Undecided; n];
 
         let source_tasks: Vec<TaskData> = (0..n_obj).map(|k| source.task_data(k)).collect();
-        let mut cached_configs: Vec<Option<TransferGpConfig>> = vec![None; n_obj];
 
         let mut history = Vec::new();
         let mut iterations = 0;
-        let mut last_models: Option<Vec<TransferGp>> = None;
+        // Per-objective surrogates, persistent across iterations: full
+        // hyper-parameter refits replace them, warm iterations extend them
+        // in place (`condition_on`) with the observations made since.
+        let mut models_opt: Option<Vec<TransferGp>> = None;
+        // How many entries of `evaluated` the persistent models have seen.
+        let mut conditioned_upto = 0usize;
 
         // ------------------------------------------------------- the loop
         for t in 0..self.config.max_iterations {
@@ -426,71 +439,139 @@ impl PpaTuner {
             }
             iterations = t + 1;
             let iter_start = Instant::now();
-            let mut gp_fit_s = 0.0;
 
             // ---- model calibration (Algorithm 1, lines 4-6)
-            let target_tasks: Vec<TaskData> = (0..n_obj)
-                .map(|k| {
-                    TaskData::new(
-                        evaluated
-                            .iter()
-                            .map(|(i, _)| candidates[*i].clone())
-                            .collect(),
-                        evaluated.iter().map(|(_, y)| y[k]).collect(),
-                    )
-                })
-                .collect();
-
-            let mut models: Vec<TransferGp> = Vec::with_capacity(n_obj);
-            for k in 0..n_obj {
-                let needs_refit =
-                    cached_configs[k].is_none() || t % self.config.refit_every.max(1) == 0;
-                let fit_start = Instant::now();
-                let (model, report) = if needs_refit {
-                    let (m, report) = fit_transfer_gp_reported(
+            let fit_phase = Instant::now();
+            let needs_refit = models_opt.is_none() || t % self.config.refit_every.max(1) == 0;
+            if needs_refit {
+                // One shared encoded copy of the evaluated configurations;
+                // each objective's task view only materializes its own
+                // QoR column.
+                let target_x: Arc<Vec<Vec<f64>>> = Arc::new(
+                    evaluated
+                        .iter()
+                        .map(|(i, _)| candidates[*i].clone())
+                        .collect(),
+                );
+                let target_tasks: Vec<TaskData> = (0..n_obj)
+                    .map(|k| {
+                        TaskData::from_shared(
+                            Arc::clone(&target_x),
+                            evaluated.iter().map(|(_, y)| y[k]).collect(),
+                        )
+                    })
+                    .collect();
+                // Pre-draw every objective's restart starts sequentially
+                // (objective order), then fan the independent searches out
+                // across threads: the RNG stream — and therefore the result
+                // — is identical at any thread count.
+                let starts: Vec<Vec<Vec<f64>>> = (0..n_obj)
+                    .map(|_| restart_starts(dim, self.config.fit_budget.restarts, &mut rng))
+                    .collect();
+                let budget = self.config.fit_budget;
+                let fit_threads = self.config.threads.max(1);
+                let restart_threads = (fit_threads / n_obj).max(1);
+                type FitOut = gp::Result<(TransferGp, gp::optimize::FitReport, f64)>;
+                let fit_one = |k: usize| -> FitOut {
+                    let fit_start = Instant::now();
+                    let (m, report) = fit_transfer_gp_from_starts(
                         &source_tasks[k],
                         &target_tasks[k],
                         dim,
-                        self.config.fit_budget,
-                        &mut rng,
+                        budget,
+                        &starts[k],
+                        restart_threads,
                     )?;
-                    cached_configs[k] = Some(m.config().clone());
-                    (m, Some(report))
-                } else {
-                    let cfg = cached_configs[k].clone().expect("checked above");
-                    (
-                        TransferGp::fit(source_tasks[k].clone(), target_tasks[k].clone(), cfg)?,
-                        None,
-                    )
+                    Ok((m, report, fit_start.elapsed().as_secs_f64()))
                 };
-                let fit_duration = fit_start.elapsed().as_secs_f64();
-                gp_fit_s += fit_duration;
-                if observer.enabled() {
-                    let cfg = model.config();
-                    observer.emit(&Event::GpFit {
-                        iteration: t,
-                        objective: k,
-                        refit: report.is_some(),
-                        lengthscales: cfg.lengthscales.clone(),
-                        signal_var: cfg.signal_var,
-                        noise_target: cfg.noise_target,
-                        lambda: model.lambda(),
-                        restarts: report.map_or(0, |r| r.restarts),
-                        evals: report.map_or(0, |r| r.evals),
-                        log_marginal: model.log_marginal_likelihood(),
-                        jitter: model.jitter(),
-                        duration_s: fit_duration,
+                let outs: Vec<FitOut> = if fit_threads == 1 || n_obj == 1 {
+                    (0..n_obj).map(fit_one).collect()
+                } else {
+                    let mut slots: Vec<Option<FitOut>> = (0..n_obj).map(|_| None).collect();
+                    std::thread::scope(|s| {
+                        let fit_one = &fit_one;
+                        for (k, slot) in slots.iter_mut().enumerate() {
+                            s.spawn(move || *slot = Some(fit_one(k)));
+                        }
                     });
+                    slots
+                        .into_iter()
+                        .map(|o| o.expect("every fit slot is filled"))
+                        .collect()
+                };
+                let mut models: Vec<TransferGp> = Vec::with_capacity(n_obj);
+                for (k, out) in outs.into_iter().enumerate() {
+                    let (model, report, fit_duration) = out?;
+                    if observer.enabled() {
+                        let cfg = model.config();
+                        observer.emit(&Event::GpFit {
+                            iteration: t,
+                            objective: k,
+                            refit: true,
+                            lengthscales: cfg.lengthscales.clone(),
+                            signal_var: cfg.signal_var,
+                            noise_target: cfg.noise_target,
+                            lambda: model.lambda(),
+                            restarts: report.restarts,
+                            evals: report.evals,
+                            cached_evals: report.cached_evals,
+                            fresh_evals: report.fresh_evals,
+                            log_marginal: model.log_marginal_likelihood(),
+                            jitter: model.jitter(),
+                            duration_s: fit_duration,
+                        });
+                    }
+                    models.push(model);
                 }
-                models.push(model);
+                models_opt = Some(models);
+            } else {
+                // Warm iteration: extend each persistent surrogate with the
+                // observations made since its factorization — a rank-k
+                // Cholesky append instead of a from-scratch refit.
+                let models = models_opt.as_mut().expect("warm path follows a refit");
+                let new_x: Vec<Vec<f64>> = evaluated[conditioned_upto..]
+                    .iter()
+                    .map(|(i, _)| candidates[*i].clone())
+                    .collect();
+                for (k, model) in models.iter_mut().enumerate() {
+                    let fit_start = Instant::now();
+                    let new_y: Vec<f64> = evaluated[conditioned_upto..]
+                        .iter()
+                        .map(|(_, y)| y[k])
+                        .collect();
+                    model.condition_on(&new_x, &new_y)?;
+                    if observer.enabled() {
+                        let cfg = model.config();
+                        observer.emit(&Event::GpFit {
+                            iteration: t,
+                            objective: k,
+                            refit: false,
+                            lengthscales: cfg.lengthscales.clone(),
+                            signal_var: cfg.signal_var,
+                            noise_target: cfg.noise_target,
+                            lambda: model.lambda(),
+                            restarts: 0,
+                            evals: 0,
+                            cached_evals: 0,
+                            fresh_evals: 0,
+                            log_marginal: model.log_marginal_likelihood(),
+                            jitter: model.jitter(),
+                            duration_s: fit_start.elapsed().as_secs_f64(),
+                        });
+                    }
+                }
             }
+            conditioned_upto = evaluated.len();
+            let gp_fit_s = fit_phase.elapsed().as_secs_f64();
+            let models = models_opt.as_ref().expect("models exist past fitting");
 
             // Predict boxes for active, un-evaluated candidates.
+            let predict_phase = Instant::now();
             let active: Vec<usize> = (0..n)
                 .filter(|&i| statuses[i] != Status::Dropped && !evaluated_flag[i])
                 .collect();
             let boxes = predict_boxes(
-                &models,
+                models,
                 candidates,
                 &active,
                 self.config.tau,
@@ -500,7 +581,7 @@ impl PpaTuner {
                 let (lo, hi) = &boxes[pos];
                 regions[i].intersect(lo, hi);
             }
-            last_models = Some(models);
+            let predict_s = predict_phase.elapsed().as_secs_f64();
 
             // ---- decision-making (lines 7-9)
             classify(&regions, &mut statuses, &delta);
@@ -526,6 +607,7 @@ impl PpaTuner {
                     runs: oracle.runs(),
                     duration_s: iter_start.elapsed().as_secs_f64(),
                     gp_fit_s,
+                    predict_s,
                 };
                 record(
                     observer,
@@ -558,6 +640,7 @@ impl PpaTuner {
                     runs: oracle.runs(),
                     duration_s: iter_start.elapsed().as_secs_f64(),
                     gp_fit_s,
+                    predict_s,
                 };
                 record(
                     observer,
@@ -597,6 +680,7 @@ impl PpaTuner {
                 runs: oracle.runs(),
                 duration_s: iter_start.elapsed().as_secs_f64(),
                 gp_fit_s,
+                predict_s,
             };
             record(
                 observer,
@@ -622,18 +706,22 @@ impl PpaTuner {
         // When the loop stopped before full classification, add the
         // surrogate's predicted front over the still-active candidates.
         if self.config.include_predicted_front {
-            if let Some(models) = &last_models {
+            if let Some(models) = &models_opt {
                 let undecided: Vec<usize> = (0..n)
                     .filter(|&i| statuses[i] == Status::Undecided && !evaluated_flag[i])
                     .collect();
                 if !undecided.is_empty() {
-                    let mut mus: Vec<Vec<f64>> = Vec::with_capacity(undecided.len());
-                    for &i in &undecided {
-                        let mut mu = Vec::with_capacity(n_obj);
-                        for model in models {
-                            mu.push(model.predict_latent(&candidates[i])?.0);
+                    let queries: Vec<Vec<f64>> =
+                        undecided.iter().map(|&i| candidates[i].clone()).collect();
+                    let mut mus: Vec<Vec<f64>> = vec![Vec::with_capacity(n_obj); undecided.len()];
+                    for model in models {
+                        for (q, (mu, _)) in model
+                            .predict_latent_batch(&queries)?
+                            .into_iter()
+                            .enumerate()
+                        {
+                            mus[q].push(mu);
                         }
-                        mus.push(mu);
                     }
                     for j in pareto::front::pareto_front(&mus) {
                         let idx = undecided[j];
@@ -733,6 +821,7 @@ struct IterationOutcome {
     runs: usize,
     duration_s: f64,
     gp_fit_s: f64,
+    predict_s: f64,
 }
 
 /// Appends the iteration to the trajectory and emits `IterationEnd` (with
@@ -754,6 +843,7 @@ fn record(
         runs: ctx.runs,
         duration_s: ctx.duration_s,
         gp_fit_s: ctx.gp_fit_s,
+        predict_s: ctx.predict_s,
     });
     if observer.enabled() {
         let pts: Vec<Vec<f64>> = evaluated.iter().map(|(_, y)| y.clone()).collect();
@@ -767,12 +857,18 @@ fn record(
             hypervolume,
             duration_s: ctx.duration_s,
             gp_fit_s: ctx.gp_fit_s,
+            predict_s: ctx.predict_s,
         });
     }
 }
 
-/// Predicts `[μ − √τ·σ, μ + √τ·σ]` boxes for the active candidates, in
-/// parallel chunks across `threads` scoped threads.
+/// Predicts `[μ − √τ·σ, μ + √τ·σ]` boxes for the active candidates via
+/// the multi-RHS batch path of [`TransferGp::predict_latent_batch`],
+/// chunking the query set across `threads` scoped threads.
+///
+/// Batch prediction is bit-identical however the queries are chunked, so
+/// the boxes — and everything downstream of them — do not depend on the
+/// thread count.
 fn predict_boxes(
     models: &[TransferGp],
     candidates: &[Vec<f64>],
@@ -782,41 +878,47 @@ fn predict_boxes(
 ) -> Result<Vec<(Vec<f64>, Vec<f64>)>> {
     let n_obj = models.len();
     let scale = tau.sqrt();
-    let work = |i: usize| -> Result<(Vec<f64>, Vec<f64>)> {
+    let queries: Vec<Vec<f64>> = active.iter().map(|&i| candidates[i].clone()).collect();
+    // One prediction list per objective, each parallel to `queries`.
+    type ModelPreds = gp::Result<Vec<Vec<(f64, f64)>>>;
+    let predict_chunk = |qs: &[Vec<f64>]| -> ModelPreds {
+        models.iter().map(|m| m.predict_latent_batch(qs)).collect()
+    };
+
+    let threads = threads.max(1).min(queries.len().max(1));
+    let preds: Vec<Vec<(f64, f64)>> = if threads == 1 || queries.len() < 64 {
+        predict_chunk(&queries)?
+    } else {
+        let chunk = queries.len().div_ceil(threads);
+        let chunks: Vec<&[Vec<f64>]> = queries.chunks(chunk).collect();
+        let mut results: Vec<Option<ModelPreds>> = (0..chunks.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let predict_chunk = &predict_chunk;
+            for (slot, qs) in results.iter_mut().zip(&chunks) {
+                s.spawn(move || *slot = Some(predict_chunk(qs)));
+            }
+        });
+        let mut preds: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(queries.len()); n_obj];
+        for r in results {
+            let per_model = r.expect("every prediction slot is filled")?;
+            for (k, chunk_preds) in per_model.into_iter().enumerate() {
+                preds[k].extend(chunk_preds);
+            }
+        }
+        preds
+    };
+
+    let mut out = Vec::with_capacity(queries.len());
+    for q in 0..queries.len() {
         let mut lo = Vec::with_capacity(n_obj);
         let mut hi = Vec::with_capacity(n_obj);
-        for model in models {
-            let (mu, var) = model.predict_latent(&candidates[i])?;
+        for preds_k in &preds {
+            let (mu, var) = preds_k[q];
             let sd = var.max(0.0).sqrt();
             lo.push(mu - scale * sd);
             hi.push(mu + scale * sd);
         }
-        Ok((lo, hi))
-    };
-
-    let threads = threads.max(1).min(active.len().max(1));
-    if threads == 1 || active.len() < 64 {
-        return active.iter().map(|&i| work(i)).collect();
-    }
-
-    type BoxChunk = Result<Vec<(Vec<f64>, Vec<f64>)>>;
-    let chunk = active.len().div_ceil(threads);
-    let mut results: Vec<Option<BoxChunk>> = (0..threads).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (slot, ids) in active.chunks(chunk).enumerate() {
-            handles.push((
-                slot,
-                s.spawn(move || ids.iter().map(|&i| work(i)).collect::<Result<Vec<_>>>()),
-            ));
-        }
-        for (slot, h) in handles {
-            results[slot] = Some(h.join().expect("prediction worker panicked"));
-        }
-    });
-    let mut out = Vec::with_capacity(active.len());
-    for r in results.into_iter().flatten() {
-        out.extend(r?);
+        out.push((lo, hi));
     }
     Ok(out)
 }
@@ -937,6 +1039,37 @@ mod tests {
         let b = run();
         assert_eq!(a.pareto_indices, b.pareto_indices);
         assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (candidates, truth) = toy(80);
+        let source = shifted_source(&candidates, &truth);
+        let run = |threads: usize| {
+            let mut oracle = VecOracle::new(truth.clone());
+            let cfg = PpaTunerConfig {
+                threads,
+                fit_budget: FitBudget {
+                    restarts: 3,
+                    evals_per_restart: 40,
+                },
+                ..quick_config()
+            };
+            PpaTuner::new(cfg)
+                .run(&source, &candidates, &mut oracle)
+                .unwrap()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let other = run(threads);
+            assert_eq!(
+                base.pareto_indices, other.pareto_indices,
+                "threads={threads}"
+            );
+            assert_eq!(base.runs, other.runs, "threads={threads}");
+            assert_eq!(base.iterations, other.iterations, "threads={threads}");
+            assert_eq!(base.evaluated, other.evaluated, "threads={threads}");
+        }
     }
 
     #[test]

@@ -190,8 +190,8 @@ impl ReferenceTransferGp {
         }
         ReferenceTransferGp {
             config: config.clone(),
-            x_source: source.x.clone(),
-            x_target: target.x.clone(),
+            x_source: source.x.to_vec(),
+            x_target: target.x.to_vec(),
             k_inv: invert_dense(&k),
             z_joint,
             std_target,

@@ -57,6 +57,18 @@ pub struct GoldenRun {
 /// Panics when scenario construction or the tuning run fails; both are
 /// deterministic, so a panic here is a real regression.
 pub fn run_golden() -> GoldenRun {
+    run_golden_with_threads(1)
+}
+
+/// [`run_golden`] with an explicit thread count. The trace is required to
+/// be identical for every value — restart starts are pre-drawn from the
+/// sequential RNG stream and batch prediction is chunk-invariant — so the
+/// golden snapshot doubles as a thread-determinism regression gate.
+///
+/// # Panics
+///
+/// Same conditions as [`run_golden`].
+pub fn run_golden_with_threads(threads: usize) -> GoldenRun {
     let scenario = benchgen::Scenario::two_with_counts(9, 120, 100).with_source_budget(60);
     let space = pdsim::ObjectiveSpace::PowerDelay;
     let candidates = scenario.target_candidates();
@@ -73,7 +85,7 @@ pub fn run_golden() -> GoldenRun {
         // matching longer budget lets classification still conclude.
         tau: 3.0,
         seed: crate::test_seed(),
-        threads: 1,
+        threads,
         ..Default::default()
     };
     let mut oracle = VecOracle::new(table.clone());
@@ -102,7 +114,7 @@ pub fn canonical_jsonl(events: &[Event]) -> String {
 }
 
 /// Fields whose values are wall-clock measurements, not behavior.
-const VOLATILE_FIELDS: [&str; 2] = ["duration_s", "gp_fit_s"];
+const VOLATILE_FIELDS: [&str; 3] = ["duration_s", "gp_fit_s", "predict_s"];
 
 fn canonicalize(v: &mut Value) {
     match v {

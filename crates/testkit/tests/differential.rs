@@ -128,6 +128,151 @@ fn gp_posterior_driver(cases: u64, queries_per_case: usize) {
     }
 }
 
+/// A random symmetric positive-definite matrix `GᵀG + cI`, with the
+/// diagonal boost keeping every leading principal submatrix comfortably
+/// factorable (any principal submatrix of an SPD matrix is SPD).
+fn random_spd(rng: &mut rand::rngs::StdRng, p: usize) -> linalg::Matrix {
+    use rand::Rng;
+    let g = linalg::Matrix::from_fn(p, p, |_, _| rng.gen_range(-1.0..1.0));
+    let mut s = g.transpose().matmul(&g).expect("square matmul");
+    s.add_diag(0.1 + rng.gen_range(0.0..1.0));
+    s
+}
+
+fn cached_kernel_driver(cases: u64) {
+    use gp::kernel::{SquaredExponential, Task, TransferKernel};
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(1..=3usize);
+        let (source, target, config) = gen::gp_problem(&mut rng, dim);
+        let cache = gp::cache::FitCache::new(&source, &target, dim)
+            .expect("fuzz gp problem passes fit validation");
+        let k = cache
+            .joint_kernel(&config)
+            .expect("fuzz config is in range");
+        let base = SquaredExponential::new(config.signal_var, config.lengthscales.clone())
+            .expect("fuzz lengthscales are positive");
+        let kernel = TransferKernel::with_lambda(base, config.lambda).expect("fuzz lambda");
+        let n = source.len();
+        let point = |i: usize| -> (&[f64], Task) {
+            if i < n {
+                (&source.x[i], Task::Source)
+            } else {
+                (&target.x[i - n], Task::Target)
+            }
+        };
+        for i in 0..n + target.len() {
+            for j in 0..n + target.len() {
+                let (a, ta) = point(i);
+                let (b, tb) = point(j);
+                let direct = kernel.eval_task(a, ta, b, tb);
+                let input = (&source, &target, &config, i, j);
+                assert_close(
+                    &format!("cached kernel entry ({i},{j})"),
+                    case,
+                    &input,
+                    k[(i, j)],
+                    direct,
+                );
+            }
+        }
+        // The search objective built on the cache must agree with the old
+        // clone-per-eval path (a fresh model per candidate θ).
+        let model = gp::TransferGp::fit(source.clone(), target.clone(), config.clone())
+            .expect("fuzz gp problem fits");
+        assert_close(
+            "cached objective",
+            case,
+            &(&source, &target, &config),
+            cache.objective(&config),
+            -model.log_conditional_likelihood(),
+        );
+    }
+}
+
+fn cholesky_extend_driver(cases: u64, max_n: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let p = rng.gen_range(2..=max_n);
+        let n = rng.gen_range(1..p);
+        let s = random_spd(&mut rng, p);
+        let full = linalg::Cholesky::new(&s).expect("SPD full factorization");
+        let mut extended =
+            linalg::Cholesky::new(&s.submatrix(0, n, 0, n)).expect("SPD prefix factorization");
+        extended
+            .extend(&s.submatrix(0, n, n, p), &s.submatrix(n, p, n, p))
+            .expect("rank-k append of an SPD extension");
+        assert_eq!(extended.dim(), p, "extend case {case}: wrong dimension");
+        for i in 0..p {
+            for j in 0..=i {
+                assert_close(
+                    &format!("extended cholesky factor ({i},{j})"),
+                    case,
+                    &(&s, n),
+                    extended.factor()[(i, j)],
+                    full.factor()[(i, j)],
+                );
+            }
+        }
+        assert_close(
+            "extended cholesky log_det",
+            case,
+            &(&s, n),
+            extended.log_det(),
+            full.log_det(),
+        );
+    }
+}
+
+fn multi_rhs_driver(cases: u64, max_n: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let n = rng.gen_range(1..=max_n);
+        let m = rng.gen_range(1..=6usize);
+        let s = random_spd(&mut rng, n);
+        let chol = linalg::Cholesky::new(&s).expect("SPD factorization");
+        let b = linalg::Matrix::from_fn(n, m, |_, _| rng.gen_range(-2.0..2.0));
+        let multi = chol
+            .solve_lower_only_multi(&b)
+            .expect("multi-RHS lower solve");
+        // The batched path promises *bitwise* per-column equivalence (the
+        // thread-determinism guarantee of batched prediction rests on it),
+        // so the comparison here is exact, not DIFF_TOL.
+        for j in 0..m {
+            let col = chol
+                .solve_lower_only(&b.col(j))
+                .expect("per-vector lower solve");
+            for i in 0..n {
+                assert!(
+                    multi[(i, j)].to_bits() == col[i].to_bits(),
+                    "multi-RHS solve case {case}, entry ({i},{j}): \
+                     batched {} vs per-vector {}",
+                    multi[(i, j)],
+                    col[i]
+                );
+            }
+        }
+        // Same contract for the free-function triangular solve.
+        let l = chol.factor();
+        let free_multi = linalg::solve::solve_lower_multi(l, &b).expect("free multi solve");
+        for j in 0..m {
+            let col = linalg::solve::solve_lower(l, &b.col(j)).expect("free per-vector solve");
+            for i in 0..n {
+                assert!(
+                    free_multi[(i, j)].to_bits() == col[i].to_bits(),
+                    "solve_lower_multi case {case}, entry ({i},{j}): \
+                     batched {} vs per-vector {}",
+                    free_multi[(i, j)],
+                    col[i]
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn dominance_and_fronts_match_reference() {
     dominance_driver(CASES, 10);
@@ -146,6 +291,21 @@ fn adrs_and_epsilon_match_brute_force() {
 #[test]
 fn gp_posterior_matches_dense_inverse() {
     gp_posterior_driver(1000, 3);
+}
+
+#[test]
+fn cached_kernel_assembly_matches_direct_evaluation() {
+    cached_kernel_driver(1000);
+}
+
+#[test]
+fn cholesky_extend_matches_full_refactorization() {
+    cholesky_extend_driver(CASES, 10);
+}
+
+#[test]
+fn multi_rhs_solve_matches_per_vector_solve() {
+    multi_rhs_driver(CASES, 12);
 }
 
 #[test]
@@ -203,4 +363,22 @@ fn deep_adrs_and_epsilon() {
 #[ignore = "10x-depth stress suite, run via --include-ignored"]
 fn deep_gp_posterior() {
     gp_posterior_driver(3_000, 5);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_cached_kernel_assembly() {
+    cached_kernel_driver(5_000);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_cholesky_extend() {
+    cholesky_extend_driver(6_000, 16);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_multi_rhs_solve() {
+    multi_rhs_driver(8_000, 20);
 }

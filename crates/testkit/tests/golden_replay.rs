@@ -6,7 +6,7 @@
 //! with `TESTKIT_BLESS=1 cargo test -p testkit` and commit the diff.
 
 use testkit::invariants::check_trace;
-use testkit::trace::{canonical_jsonl, check_or_bless, run_golden};
+use testkit::trace::{canonical_jsonl, check_or_bless, run_golden, run_golden_with_threads};
 
 #[test]
 fn golden_scenario_trace_is_stable() {
@@ -40,6 +40,19 @@ fn golden_run_is_reproducible_within_process() {
     let a = canonical_jsonl(&run_golden().events);
     let b = canonical_jsonl(&run_golden().events);
     assert_eq!(a, b, "golden scenario is not deterministic");
+}
+
+#[test]
+fn golden_trace_is_thread_count_invariant() {
+    // Restart starts are pre-drawn from the sequential RNG stream and
+    // batched prediction is chunk-invariant, so the parallel fitting and
+    // prediction paths must replay the golden scenario event-for-event.
+    let single = canonical_jsonl(&run_golden_with_threads(1).events);
+    let multi = canonical_jsonl(&run_golden_with_threads(4).events);
+    assert_eq!(
+        single, multi,
+        "thread count changed the golden scenario's trace"
+    );
 }
 
 #[test]
