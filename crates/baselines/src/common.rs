@@ -102,7 +102,10 @@ pub(crate) fn distinct_indices<R: Rng + ?Sized>(n: usize, total: usize, rng: &mu
     idx
 }
 
-/// Evaluates `indices`, appending to the log and flag set.
+/// Evaluates `indices`, appending to the log and flag set. Baselines have
+/// no retry/quarantine machinery: a failed evaluation is simply skipped
+/// (the run burned a tool license and learned nothing — the honest cost
+/// model for a naive tuner facing a flaky tool).
 pub(crate) fn evaluate_all<O: QorOracle>(
     indices: &[usize],
     oracle: &mut O,
@@ -113,9 +116,10 @@ pub(crate) fn evaluate_all<O: QorOracle>(
         if flag[i] {
             continue;
         }
-        let y = oracle.evaluate(i);
         flag[i] = true;
-        evaluated.push((i, y));
+        if let Ok(y) = oracle.evaluate(i) {
+            evaluated.push((i, y));
+        }
     }
 }
 

@@ -57,6 +57,11 @@ fn main() {
     let mut lambda_by_objective: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
     let mut run_start: Option<String> = None;
     let mut run_end: Option<String> = None;
+    let mut failures_by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut retries = 0usize;
+    let mut quarantined: Vec<usize> = Vec::new();
+    let mut checkpoints = 0usize;
+    let mut last_checkpoint: Option<(usize, usize)> = None;
 
     for e in &events {
         match e {
@@ -148,6 +153,17 @@ fn main() {
                      {pareto} pareto points, {duration_s:.3} s total"
                 ));
             }
+            Event::EvalFailed { kind, .. } => {
+                *failures_by_kind.entry(kind.clone()).or_default() += 1;
+            }
+            Event::EvalRetry { .. } => retries += 1,
+            Event::CandidateQuarantined { candidate, .. } => quarantined.push(*candidate),
+            Event::Checkpoint {
+                iteration, runs, ..
+            } => {
+                checkpoints += 1;
+                last_checkpoint = Some((*iteration, *runs));
+            }
             Event::Classify { .. }
             | Event::RegionSnapshot { .. }
             | Event::Select { .. }
@@ -212,5 +228,27 @@ fn main() {
             "  undecided {} -> {}, hypervolume {:.4} -> {:.4}",
             first.4, last.4, first.5, last.5
         );
+    }
+
+    let total_failures: usize = failures_by_kind.values().sum();
+    if total_failures > 0 || !quarantined.is_empty() {
+        println!("\nevaluation failures:");
+        for (kind, count) in &failures_by_kind {
+            println!("  {kind:<12} {count:>5}");
+        }
+        println!("  {retries} retries issued");
+        if quarantined.is_empty() {
+            println!("  no candidates quarantined (every failure recovered on retry)");
+        } else {
+            println!(
+                "  {} candidates quarantined: {:?}",
+                quarantined.len(),
+                quarantined
+            );
+        }
+    }
+    if checkpoints > 0 {
+        let (it, runs) = last_checkpoint.expect("count implies a checkpoint was seen");
+        println!("\ncheckpoints: {checkpoints} written, last at iteration {it} ({runs} runs)");
     }
 }

@@ -189,6 +189,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for checkpointing. Deviation from
+        /// upstream `rand` (which hides generator state): the workspace's
+        /// checkpoint/resume support serializes the RNG position so a
+        /// resumed tuning run can verify it rejoined the original stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]. The restored generator continues the exact
+        /// sample sequence of the captured one.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -319,6 +336,19 @@ mod tests {
         assert!(empty.choose(&mut rng).is_none());
         let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
         assert!((350..650).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let snapshot = a.state();
+        let mut b = StdRng::from_state(snapshot);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! multi-start marginal-likelihood training for the transfer GP.
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::cache::FitCache;
 use crate::transfer::{TaskData, TransferGp, TransferGpConfig};
@@ -153,7 +154,7 @@ pub fn nelder_mead(
 }
 
 /// Budget of the transfer-GP hyper-parameter search.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FitBudget {
     /// Random multi-start restarts.
     pub restarts: usize,

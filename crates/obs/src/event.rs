@@ -129,6 +129,58 @@ pub enum Event {
         diameters: Vec<f64>,
     },
 
+    /// One tool evaluation attempt failed (crash, timeout, or rejected
+    /// QoR). The attempt still counts as a tool run; `ToolEval` is
+    /// reserved for accepted observations, so in a trace every oracle
+    /// call appears as exactly one `ToolEval` or one `EvalFailed`.
+    EvalFailed {
+        /// Refinement iteration (0 covers the initial design).
+        iteration: usize,
+        /// Candidate index whose evaluation failed.
+        candidate: usize,
+        /// Attempt number for this candidate, 1-based.
+        attempt: usize,
+        /// Failure class (`"crash"`, `"timeout"`, `"invalid_qor"`,
+        /// `"out_of_range"`).
+        kind: String,
+        /// Human-readable failure detail.
+        detail: String,
+    },
+
+    /// A failed evaluation is being retried after a deterministic backoff.
+    EvalRetry {
+        /// Refinement iteration.
+        iteration: usize,
+        /// Candidate index being retried.
+        candidate: usize,
+        /// The upcoming attempt number, 1-based.
+        attempt: usize,
+        /// Scheduled backoff before this attempt, in seconds (capped
+        /// exponential; advisory — table-backed oracles do not sleep).
+        backoff_s: f64,
+    },
+
+    /// A candidate exhausted its evaluation failure budget and was
+    /// removed from further selection (terminal).
+    CandidateQuarantined {
+        /// Refinement iteration.
+        iteration: usize,
+        /// The quarantined candidate.
+        candidate: usize,
+        /// Total attempts spent before giving up.
+        attempts: usize,
+    },
+
+    /// The tuner persisted a resumable checkpoint of the full loop state.
+    Checkpoint {
+        /// Iteration the checkpoint covers (resume continues after it).
+        iteration: usize,
+        /// Tool runs recorded in the checkpoint's evaluation log.
+        runs: usize,
+        /// Evaluation-outcome records (successes and failures) logged.
+        evals_logged: usize,
+    },
+
     /// One refinement iteration finished.
     IterationEnd {
         /// Refinement iteration.
@@ -185,6 +237,10 @@ impl Event {
             Event::RegionSnapshot { .. } => "RegionSnapshot",
             Event::Classify { .. } => "Classify",
             Event::Select { .. } => "Select",
+            Event::EvalFailed { .. } => "EvalFailed",
+            Event::EvalRetry { .. } => "EvalRetry",
+            Event::CandidateQuarantined { .. } => "CandidateQuarantined",
+            Event::Checkpoint { .. } => "Checkpoint",
             Event::IterationEnd { .. } => "IterationEnd",
             Event::RunEnd { .. } => "RunEnd",
             Event::Message { .. } => "Message",
@@ -199,6 +255,10 @@ impl Event {
             | Event::RegionSnapshot { iteration, .. }
             | Event::Classify { iteration, .. }
             | Event::Select { iteration, .. }
+            | Event::EvalFailed { iteration, .. }
+            | Event::EvalRetry { iteration, .. }
+            | Event::CandidateQuarantined { iteration, .. }
+            | Event::Checkpoint { iteration, .. }
             | Event::IterationEnd { iteration, .. } => Some(*iteration),
             _ => None,
         }
@@ -222,6 +282,42 @@ mod tests {
         assert!(json.starts_with("{\"Classify\":"), "{json}");
         assert_eq!(e.kind(), "Classify");
         assert_eq!(e.iteration(), Some(3));
+    }
+
+    #[test]
+    fn failure_events_round_trip_and_carry_iterations() {
+        let events = [
+            Event::EvalFailed {
+                iteration: 2,
+                candidate: 7,
+                attempt: 1,
+                kind: "crash".into(),
+                detail: "injected".into(),
+            },
+            Event::EvalRetry {
+                iteration: 2,
+                candidate: 7,
+                attempt: 2,
+                backoff_s: 2.0,
+            },
+            Event::CandidateQuarantined {
+                iteration: 2,
+                candidate: 7,
+                attempts: 3,
+            },
+            Event::Checkpoint {
+                iteration: 2,
+                runs: 14,
+                evals_logged: 14,
+            },
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            assert!(json.starts_with(&format!("{{\"{}\":", e.kind())), "{json}");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e);
+            assert_eq!(e.iteration(), Some(2));
+        }
     }
 
     #[test]

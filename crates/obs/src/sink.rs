@@ -138,6 +138,38 @@ impl StderrSink {
             Event::Select {
                 iteration, chosen, ..
             } => format!("iter {iteration:3}: select {chosen:?}"),
+            Event::EvalFailed {
+                iteration,
+                candidate,
+                attempt,
+                kind,
+                detail,
+            } => format!(
+                "iter {iteration:3}: eval #{candidate} attempt {attempt} FAILED ({kind}): {detail}"
+            ),
+            Event::EvalRetry {
+                iteration,
+                candidate,
+                attempt,
+                backoff_s,
+            } => format!(
+                "iter {iteration:3}: eval #{candidate} retry (attempt {attempt}, \
+                 backoff {backoff_s:.1} s)"
+            ),
+            Event::CandidateQuarantined {
+                iteration,
+                candidate,
+                attempts,
+            } => format!(
+                "iter {iteration:3}: QUARANTINED #{candidate} after {attempts} failed attempts"
+            ),
+            Event::Checkpoint {
+                iteration,
+                runs,
+                evals_logged,
+            } => format!(
+                "iter {iteration:3}: checkpoint saved (runs {runs}, {evals_logged} attempts logged)"
+            ),
             Event::IterationEnd {
                 iteration,
                 runs,

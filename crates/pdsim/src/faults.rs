@@ -1,0 +1,448 @@
+//! Deterministic fault injection for the simulated PD flow.
+//!
+//! Real tool farms fail in mundane ways: license servers drop
+//! connections, routers hit wall-clock limits on congested floorplans,
+//! and report parsers occasionally emit garbage (unit mix-ups, truncated
+//! tables). A robust tuner has to survive all of it, so this module
+//! models the failure channel the same way the rest of the crate models
+//! QoR — as a *deterministic* function of hashes, never of wall-clock or
+//! ambient randomness. The same [`FaultPlan`] replayed against the same
+//! `(candidate, attempt)` sequence injects byte-identical faults, which
+//! is what makes chaos tests reproducible and failure traces replayable.
+//!
+//! Injected failures come in two flavours:
+//!
+//! - **Flow faults** ([`FlowFault`]): the run produces no QoR at all — a
+//!   crash or a stage timeout. [`FaultyFlow::run_timed`] returns these as
+//!   `Err`.
+//! - **Corruptions**: the run "succeeds" but the reported QoR is garbage
+//!   (NaN from a truncated report, a gross outlier from a unit mix-up).
+//!   These are returned as `Ok` — detecting them is the *consumer's* job,
+//!   exactly as with a real tool.
+//!
+//! # Example
+//!
+//! ```
+//! use pdsim::{Design, FaultPlan, FaultyFlow, PdFlow, ToolParams};
+//!
+//! let plan = FaultPlan { crash_prob: 0.5, ..FaultPlan::default() };
+//! let flow = FaultyFlow::new(PdFlow::new(Design::mac_small(7)), plan);
+//! let p = ToolParams::default();
+//! // Deterministic: the same (candidate, attempt) always fails — or
+//! // succeeds — the same way.
+//! assert_eq!(
+//!     flow.run_timed(0, 1, &p).is_err(),
+//!     flow.run_timed(0, 1, &p).is_err()
+//! );
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::design::{hash_to_range, splitmix64};
+use crate::flow::{PdFlow, StageTimings};
+use crate::params::ToolParams;
+use crate::qor::Qor;
+
+/// A failure that prevented the flow from producing any QoR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowFault {
+    /// The tool process died (license drop, segfault, OOM kill).
+    Crash {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The flow exceeded its wall-clock limit inside one stage.
+    Timeout {
+        /// The stage that was running when the limit hit.
+        stage: String,
+        /// Seconds burned before the kill.
+        elapsed_s: f64,
+    },
+}
+
+impl fmt::Display for FlowFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowFault::Crash { detail } => write!(f, "flow crashed: {detail}"),
+            FlowFault::Timeout { stage, elapsed_s } => {
+                write!(f, "flow timed out in {stage} after {elapsed_s:.1} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowFault {}
+
+/// What the plan injects into one `(candidate, attempt)` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The run proceeds normally.
+    None,
+    /// The run crashes before producing QoR.
+    Crash,
+    /// The run times out in the stage with this index (flow order:
+    /// synth, place, cts, route, signoff).
+    Timeout(usize),
+    /// The run succeeds but reports NaN QoR (truncated report).
+    CorruptNan,
+    /// The run succeeds but reports QoR scaled by
+    /// [`FaultPlan::outlier_factor`] (unit mix-up).
+    CorruptOutlier,
+}
+
+/// A serializable, seeded recipe of which runs fail and how.
+///
+/// Probabilities are evaluated in order — crash, timeout, NaN, outlier —
+/// on a single uniform draw, so their sum must stay ≤ 1. The draw is a
+/// pure hash of `(seed, candidate, attempt)`: replaying the plan injects
+/// the same faults, and a retry (next attempt) gets an independent draw,
+/// which is how flaky-then-succeed behaviour arises naturally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the flow's QoR jitter).
+    pub seed: u64,
+    /// Probability a run crashes outright.
+    pub crash_prob: f64,
+    /// Probability a run times out mid-stage.
+    pub timeout_prob: f64,
+    /// Probability the reported QoR is NaN.
+    pub nan_prob: f64,
+    /// Probability the reported QoR is a gross outlier.
+    pub outlier_prob: f64,
+    /// Multiplier applied to every objective of an outlier run.
+    pub outlier_factor: f64,
+    /// Upper bound on consecutive injected failures per candidate: from
+    /// attempt `flaky_max_failures + 1` on, probabilistic faults are
+    /// suppressed and the run succeeds cleanly. `0` disables the bound
+    /// (faults can repeat forever). Candidates in
+    /// [`FaultPlan::always_fail`] ignore this.
+    pub flaky_max_failures: usize,
+    /// Candidates that crash on every attempt, no matter what — the
+    /// "this configuration hard-hangs the router" case that forces
+    /// quarantine.
+    pub always_fail: Vec<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            crash_prob: 0.0,
+            timeout_prob: 0.0,
+            nan_prob: 0.0,
+            outlier_prob: 0.0,
+            outlier_factor: 1e3,
+            flaky_max_failures: 0,
+            always_fail: Vec::new(),
+        }
+    }
+}
+
+/// Names of the flow stages a timeout can land in, in flow order.
+pub const STAGE_NAMES: [&str; 5] = ["synth", "place", "cts", "route", "signoff"];
+
+impl FaultPlan {
+    /// Validates the plan: probabilities in `[0, 1]` summing to at most
+    /// 1, and a finite positive outlier factor.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("crash_prob", self.crash_prob),
+            ("timeout_prob", self.timeout_prob),
+            ("nan_prob", self.nan_prob),
+            ("outlier_prob", self.outlier_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        let total: f64 = probs.iter().map(|(_, p)| p).sum();
+        if total > 1.0 {
+            return Err(format!("fault probabilities sum to {total} > 1"));
+        }
+        if !self.outlier_factor.is_finite() || self.outlier_factor <= 0.0 {
+            return Err(format!(
+                "outlier_factor must be finite and positive, got {}",
+                self.outlier_factor
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total probability that an attempt fails or corrupts its QoR.
+    pub fn failure_rate(&self) -> f64 {
+        self.crash_prob + self.timeout_prob + self.nan_prob + self.outlier_prob
+    }
+
+    /// What happens to attempt number `attempt` (1-based) on `candidate`.
+    /// Pure: no state, no RNG — the same arguments always return the same
+    /// decision.
+    pub fn decide(&self, candidate: usize, attempt: usize) -> FaultDecision {
+        if self.always_fail.contains(&candidate) {
+            return FaultDecision::Crash;
+        }
+        if self.flaky_max_failures > 0 && attempt > self.flaky_max_failures {
+            return FaultDecision::None;
+        }
+        let h = splitmix64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((candidate as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .wrapping_add(attempt as u64),
+        );
+        let u = hash_to_range(h, 0.0, 1.0);
+        let mut edge = self.crash_prob;
+        if u < edge {
+            return FaultDecision::Crash;
+        }
+        edge += self.timeout_prob;
+        if u < edge {
+            // Independent sub-draw for the stage the timeout lands in.
+            let stage = (splitmix64(h) % STAGE_NAMES.len() as u64) as usize;
+            return FaultDecision::Timeout(stage);
+        }
+        edge += self.nan_prob;
+        if u < edge {
+            return FaultDecision::CorruptNan;
+        }
+        edge += self.outlier_prob;
+        if u < edge {
+            return FaultDecision::CorruptOutlier;
+        }
+        FaultDecision::None
+    }
+}
+
+/// A [`PdFlow`] wrapped with a [`FaultPlan`]: the fallible tool a robust
+/// tuner actually faces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyFlow {
+    flow: PdFlow,
+    plan: FaultPlan,
+}
+
+impl FaultyFlow {
+    /// Binds a plan to a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan fails [`FaultPlan::validate`] — a malformed
+    /// plan would silently skew injection rates.
+    pub fn new(flow: PdFlow, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        FaultyFlow { flow, plan }
+    }
+
+    /// The wrapped fault-free flow.
+    pub fn flow(&self) -> &PdFlow {
+        &self.flow
+    }
+
+    /// The injection recipe.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Runs attempt `attempt` (1-based) of `candidate`, injecting
+    /// whatever the plan decides. Corrupted QoR comes back as `Ok` — the
+    /// caller's sanitization is part of what is under test.
+    pub fn run_timed(
+        &self,
+        candidate: usize,
+        attempt: usize,
+        params: &ToolParams,
+    ) -> Result<(Qor, StageTimings), FlowFault> {
+        match self.plan.decide(candidate, attempt) {
+            FaultDecision::Crash => Err(FlowFault::Crash {
+                detail: format!("injected crash (candidate {candidate}, attempt {attempt})"),
+            }),
+            FaultDecision::Timeout(stage) => {
+                // The flow ran the completed stages for real before dying.
+                let (_, timings) = self.flow.run_timed(params);
+                let elapsed_s: f64 = timings
+                    .stages()
+                    .iter()
+                    .take(stage + 1)
+                    .map(|(_, s)| s)
+                    .sum();
+                Err(FlowFault::Timeout {
+                    stage: STAGE_NAMES[stage].to_string(),
+                    elapsed_s,
+                })
+            }
+            FaultDecision::CorruptNan => {
+                let (_, timings) = self.flow.run_timed(params);
+                Ok((Qor::new(f64::NAN, f64::NAN, f64::NAN), timings))
+            }
+            FaultDecision::CorruptOutlier => {
+                let (q, timings) = self.flow.run_timed(params);
+                let f = self.plan.outlier_factor;
+                Ok((
+                    Qor::new(q.area_um2 * f, q.power_mw * f, q.delay_ns * f),
+                    timings,
+                ))
+            }
+            FaultDecision::None => Ok(self.flow.run_timed(params)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+
+    fn chaos_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            crash_prob: 0.15,
+            timeout_prob: 0.1,
+            nan_prob: 0.05,
+            outlier_prob: 0.05,
+            flaky_max_failures: 2,
+            always_fail: vec![3],
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = chaos_plan();
+        for c in 0..50 {
+            for a in 1..5 {
+                assert_eq!(plan.decide(c, a), plan.decide(c, a));
+            }
+        }
+    }
+
+    #[test]
+    fn always_fail_overrides_everything() {
+        let plan = chaos_plan();
+        for a in 1..20 {
+            assert_eq!(plan.decide(3, a), FaultDecision::Crash);
+        }
+    }
+
+    #[test]
+    fn flaky_bound_guarantees_eventual_success() {
+        let plan = chaos_plan();
+        for c in 0..100 {
+            if c == 3 {
+                continue;
+            }
+            assert_eq!(plan.decide(c, 3), FaultDecision::None, "candidate {c}");
+        }
+    }
+
+    #[test]
+    fn injection_rate_tracks_probabilities() {
+        let plan = FaultPlan {
+            seed: 5,
+            crash_prob: 0.2,
+            timeout_prob: 0.1,
+            ..FaultPlan::default()
+        };
+        let n = 2000;
+        let failed = (0..n)
+            .filter(|&c| plan.decide(c, 1) != FaultDecision::None)
+            .count();
+        let rate = failed as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed rate {rate}");
+    }
+
+    #[test]
+    fn faulty_flow_injects_and_recovers() {
+        let plan = FaultPlan {
+            seed: 2,
+            crash_prob: 0.5,
+            timeout_prob: 0.3,
+            flaky_max_failures: 1,
+            ..FaultPlan::default()
+        };
+        let flow = FaultyFlow::new(PdFlow::new(Design::mac_small(7)), plan);
+        let p = ToolParams::default();
+        let clean = flow.flow().run(&p);
+        let mut saw_fault = false;
+        for c in 0..20 {
+            match flow.run_timed(c, 1, &p) {
+                Ok((q, _)) => assert!(q.is_valid()),
+                Err(e) => {
+                    saw_fault = true;
+                    assert!(!e.to_string().is_empty());
+                }
+            }
+            // Attempt 2 is past the flaky bound: always the clean QoR.
+            let (q, _) = flow.run_timed(c, 2, &p).expect("bounded flakiness");
+            assert_eq!(q, clean);
+        }
+        assert!(saw_fault, "a 0.8 failure rate must trip within 20 runs");
+    }
+
+    #[test]
+    fn corruptions_come_back_as_ok() {
+        let nan_only = FaultPlan {
+            nan_prob: 1.0,
+            ..FaultPlan::default()
+        };
+        let flow = FaultyFlow::new(PdFlow::new(Design::mac_small(7)), nan_only);
+        let (q, _) = flow.run_timed(0, 1, &ToolParams::default()).unwrap();
+        assert!(q.area_um2.is_nan());
+
+        let outlier_only = FaultPlan {
+            outlier_prob: 1.0,
+            outlier_factor: 1e3,
+            ..FaultPlan::default()
+        };
+        let flow = FaultyFlow::new(PdFlow::new(Design::mac_small(7)), outlier_only);
+        let clean = flow.flow().run(&ToolParams::default());
+        let (q, _) = flow.run_timed(0, 1, &ToolParams::default()).unwrap();
+        assert!((q.delay_ns / clean.delay_ns - 1e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = chaos_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        assert!(FaultPlan {
+            crash_prob: 1.5,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            crash_prob: 0.6,
+            timeout_prob: 0.6,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan {
+            outlier_factor: 0.0,
+            ..FaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(chaos_plan().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn faulty_flow_rejects_invalid_plans() {
+        let _ = FaultyFlow::new(
+            PdFlow::new(Design::mac_small(1)),
+            FaultPlan {
+                crash_prob: 2.0,
+                ..FaultPlan::default()
+            },
+        );
+    }
+}

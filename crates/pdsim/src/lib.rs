@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod design;
+pub mod faults;
 pub mod flow;
 pub mod library;
 pub mod netlist;
@@ -51,6 +52,7 @@ pub mod sta;
 pub mod stages;
 
 pub use design::Design;
+pub use faults::{FaultDecision, FaultPlan, FaultyFlow, FlowFault};
 pub use flow::{PdFlow, StageTimings};
 pub use library::{CellKind, CellLibrary, Drive};
 pub use netlist::{MacConfig, Netlist, NetlistStats};

@@ -1,0 +1,426 @@
+//! Versioned checkpoint/resume support for interrupted tuning runs.
+//!
+//! A real tuning campaign runs for days on a shared license pool; the
+//! driver process dies, the cluster preempts, someone trips over a power
+//! cord. The tuner therefore persists a [`Checkpoint`] at the end of
+//! every iteration, and [`PpaTuner::resume`](crate::PpaTuner::resume)
+//! continues an interrupted run to a [`TuneResult`](crate::TuneResult)
+//! *identical* to the uninterrupted one.
+//!
+//! # How resume reproduces a run exactly
+//!
+//! The checkpoint's load-bearing content is the **evaluation-outcome
+//! log**: one [`EvalRecord`] per oracle attempt, successes and failures
+//! alike, in order. Resume re-executes Algorithm 1 from the beginning
+//! with the same seed, but serves oracle calls from the log instead of
+//! the live tool; because every other source of randomness (the
+//! initialization shuffle, the hyper-parameter restart draws) is the
+//! tuner's own seeded RNG replayed over the same data, the loop
+//! deterministically re-reaches the checkpointed state — regions,
+//! statuses, models, and RNG position included — and then switches to
+//! live evaluation. Failed attempts are replayed too: they drive retry
+//! and quarantine control flow, so eliding them would desynchronize the
+//! resumed run.
+//!
+//! The [`StateSnapshot`] carried alongside the log serves two purposes:
+//! cheap *verification* that replay really did land in the recorded state
+//! (statuses, run counts, and the RNG position are compared before going
+//! live; any mismatch aborts with
+//! [`TunerError::Checkpoint`](crate::TunerError::Checkpoint)), and
+//! offline *inspection* of an interrupted run without re-executing it.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::EvalError;
+use crate::region::UncertaintyRegion;
+use crate::tuner::{IterationRecord, PpaTunerConfig, SourceData};
+
+/// Current checkpoint format version. Bumped on any incompatible change;
+/// resume refuses other versions rather than misinterpreting them.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The result of one oracle attempt, after sanitization.
+///
+/// `Accepted` means the QoR vector passed validation and entered the
+/// model; `Failed` covers crashes, timeouts, and rejected QoR. The
+/// distinction is exactly what the resilient executor branches on, which
+/// is why replaying these records reproduces its control flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvalOutcome {
+    /// The attempt produced a usable QoR vector.
+    Accepted {
+        /// The accepted (finite, validated) QoR values.
+        qor: Vec<f64>,
+    },
+    /// The attempt produced no usable QoR.
+    Failed {
+        /// Why the attempt failed.
+        error: EvalError,
+    },
+}
+
+/// One oracle attempt in the evaluation log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Candidate index the attempt targeted.
+    pub candidate: usize,
+    /// What came back.
+    pub outcome: EvalOutcome,
+}
+
+/// Inspection/verification snapshot of the loop state at checkpoint time.
+///
+/// Everything here is *derived* — resume rebuilds it by replaying the
+/// evaluation log — but it lets tooling inspect an interrupted run and
+/// lets resume verify the replay landed where the original run stood.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSnapshot {
+    /// One character per candidate: `u` undecided, `p` Pareto,
+    /// `d` dropped, `q` quarantined.
+    pub statuses: String,
+    /// Number of accepted observations so far.
+    pub evaluated: usize,
+    /// Oracle runs so far (failed attempts included).
+    pub runs: usize,
+    /// The tuner RNG's internal state words at checkpoint time; compared
+    /// verbatim after replay, so any drift in RNG consumption is caught
+    /// before live evaluation resumes.
+    pub rng_state: Vec<u64>,
+    /// Absolute per-objective δ the run locked in after initialization.
+    pub delta: Vec<f64>,
+    /// Per-candidate uncertainty regions (inspection only: still-unbounded
+    /// coordinates do not survive the JSON round trip, see
+    /// [`UncertaintyRegion`]).
+    pub regions: Vec<UncertaintyRegion>,
+    /// Per-iteration trajectory so far.
+    pub history: Vec<IterationRecord>,
+}
+
+/// A complete, resumable checkpoint of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The iteration resume will execute next (the checkpoint was written
+    /// at the end of iteration `next_iteration − 1`).
+    pub next_iteration: usize,
+    /// The configuration the run used. Resume requires an identical
+    /// configuration: a different τ, seed, or budget would silently
+    /// diverge from the log.
+    pub config: PpaTunerConfig,
+    /// Digest of the candidate matrix the run was started with.
+    pub candidates_digest: u64,
+    /// Digest of the source-task data the run was started with.
+    pub source_digest: u64,
+    /// Every oracle attempt so far, in order (the replay script).
+    pub eval_log: Vec<EvalRecord>,
+    /// Derived loop state for verification and inspection.
+    pub snapshot: StateSnapshot,
+}
+
+impl Checkpoint {
+    /// Validates that this checkpoint belongs to the run being resumed:
+    /// same format version, identical configuration, and the same
+    /// candidate/source data (by digest).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    pub fn validate(
+        &self,
+        config: &PpaTunerConfig,
+        candidates: &[Vec<f64>],
+        source: &SourceData,
+    ) -> Result<(), String> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        if &self.config != config {
+            return Err("checkpoint configuration differs from the tuner's".into());
+        }
+        let cd = digest_matrix(candidates);
+        if self.candidates_digest != cd {
+            return Err(format!(
+                "candidate set changed since checkpoint (digest {:#x} != {:#x})",
+                cd, self.candidates_digest
+            ));
+        }
+        let sd = source_digest(source);
+        if self.source_digest != sd {
+            return Err(format!(
+                "source data changed since checkpoint (digest {:#x} != {:#x})",
+                sd, self.source_digest
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes to the JSON checkpoint format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Parses a checkpoint from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// A description of the parse failure.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("malformed checkpoint: {e}"))
+    }
+}
+
+/// FNV-1a over the bit patterns of an `f64` matrix (rows delimited), used
+/// to pin a checkpoint to the exact data it was created from.
+pub fn digest_matrix(rows: &[Vec<f64>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(rows.len() as u64);
+    for row in rows {
+        mix(row.len() as u64);
+        for &v in row {
+            mix(v.to_bits());
+        }
+    }
+    h
+}
+
+/// Digest of a full [`SourceData`] (inputs and outputs).
+pub fn source_digest(source: &SourceData) -> u64 {
+    digest_matrix(source.inputs()) ^ digest_matrix(source.outputs()).rotate_left(1)
+}
+
+/// Where checkpoints are persisted and recovered from.
+///
+/// `&self` receivers keep the store usable through the tuner's shared
+/// borrows; implementations use interior mutability where needed.
+pub trait CheckpointStore {
+    /// Persists a checkpoint, replacing any previous one atomically (a
+    /// torn write must never shadow a complete older checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// A description of the persistence failure.
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), String>;
+
+    /// Recovers the most recent checkpoint, or `None` when the store is
+    /// empty (resume then starts a fresh run).
+    ///
+    /// # Errors
+    ///
+    /// A description of the recovery failure (distinct from "empty").
+    fn load(&self) -> Result<Option<Checkpoint>, String>;
+}
+
+/// In-memory store, for tests and same-process recovery drills.
+#[derive(Debug, Default)]
+pub struct MemoryCheckpointStore {
+    slot: RefCell<Option<Checkpoint>>,
+}
+
+impl MemoryCheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently held checkpoint, if any.
+    pub fn latest(&self) -> Option<Checkpoint> {
+        self.slot.borrow().clone()
+    }
+
+    /// Seeds the store with a checkpoint (e.g. one carried over from
+    /// another process).
+    pub fn put(&self, checkpoint: Checkpoint) {
+        *self.slot.borrow_mut() = Some(checkpoint);
+    }
+}
+
+impl CheckpointStore for MemoryCheckpointStore {
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), String> {
+        *self.slot.borrow_mut() = Some(checkpoint.clone());
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<Checkpoint>, String> {
+        Ok(self.slot.borrow().clone())
+    }
+}
+
+/// File-backed store: one JSON checkpoint file, replaced atomically via a
+/// sibling temp file and rename.
+#[derive(Debug, Clone)]
+pub struct FileCheckpointStore {
+    path: PathBuf,
+}
+
+impl FileCheckpointStore {
+    /// A store writing to (and reading from) `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileCheckpointStore { path: path.into() }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl CheckpointStore for FileCheckpointStore {
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), String> {
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, checkpoint.to_json())
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| format!("renaming into {}: {e}", self.path.display()))
+    }
+
+    fn load(&self) -> Result<Option<Checkpoint>, String> {
+        match std::fs::read_to_string(&self.path) {
+            Ok(s) => Checkpoint::from_json(&s).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("reading {}: {e}", self.path.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            next_iteration: 3,
+            config: PpaTunerConfig::default(),
+            candidates_digest: digest_matrix(&[vec![0.5], vec![1.0]]),
+            source_digest: source_digest(&SourceData::empty()),
+            eval_log: vec![
+                EvalRecord {
+                    candidate: 1,
+                    outcome: EvalOutcome::Accepted {
+                        qor: vec![1.0, 2.0],
+                    },
+                },
+                EvalRecord {
+                    candidate: 0,
+                    outcome: EvalOutcome::Failed {
+                        error: EvalError::Crash {
+                            detail: "injected".into(),
+                        },
+                    },
+                },
+            ],
+            snapshot: StateSnapshot {
+                statuses: "up".into(),
+                evaluated: 1,
+                runs: 2,
+                rng_state: vec![1, 2, 3, 4],
+                delta: vec![0.1, 0.1],
+                regions: vec![
+                    UncertaintyRegion::point(&[1.0, 2.0]),
+                    UncertaintyRegion::point(&[3.0, 4.0]),
+                ],
+                history: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ckpt = sample_checkpoint();
+        let back = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn validate_rejects_version_config_and_data_drift() {
+        let ckpt = sample_checkpoint();
+        let candidates = vec![vec![0.5], vec![1.0]];
+        let source = SourceData::empty();
+        assert!(ckpt
+            .validate(&PpaTunerConfig::default(), &candidates, &source)
+            .is_ok());
+
+        let mut wrong_version = ckpt.clone();
+        wrong_version.version = 99;
+        let e = wrong_version
+            .validate(&PpaTunerConfig::default(), &candidates, &source)
+            .unwrap_err();
+        assert!(e.contains("version"), "{e}");
+
+        let other_config = PpaTunerConfig {
+            seed: 1234,
+            ..PpaTunerConfig::default()
+        };
+        assert!(ckpt.validate(&other_config, &candidates, &source).is_err());
+
+        let other_candidates = vec![vec![0.5], vec![0.9]];
+        assert!(ckpt
+            .validate(&PpaTunerConfig::default(), &other_candidates, &source)
+            .is_err());
+
+        let other_source = SourceData::new(vec![vec![0.0]], vec![vec![1.0, 2.0]]).unwrap();
+        assert!(ckpt
+            .validate(&PpaTunerConfig::default(), &candidates, &other_source)
+            .is_err());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_values_and_shape() {
+        let base = digest_matrix(&[vec![1.0, 2.0], vec![3.0]]);
+        assert_ne!(base, digest_matrix(&[vec![1.0, 2.0], vec![3.5]]));
+        assert_ne!(base, digest_matrix(&[vec![1.0, 2.0, 3.0]]));
+        assert_ne!(base, digest_matrix(&[vec![1.0], vec![2.0, 3.0]]));
+        assert_eq!(base, digest_matrix(&[vec![1.0, 2.0], vec![3.0]]));
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let store = MemoryCheckpointStore::new();
+        assert!(store.load().unwrap().is_none());
+        let ckpt = sample_checkpoint();
+        store.save(&ckpt).unwrap();
+        assert_eq!(store.load().unwrap().unwrap(), ckpt);
+        assert_eq!(store.latest().unwrap(), ckpt);
+    }
+
+    #[test]
+    fn file_store_round_trips_and_overwrites() {
+        let dir = std::env::temp_dir().join(format!("ppat-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = FileCheckpointStore::new(dir.join("run.ckpt.json"));
+        assert!(store.load().unwrap().is_none());
+        let mut ckpt = sample_checkpoint();
+        store.save(&ckpt).unwrap();
+        ckpt.next_iteration = 9;
+        store.save(&ckpt).unwrap();
+        let back = store.load().unwrap().unwrap();
+        assert_eq!(back.next_iteration, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_checkpoint_file_is_an_error_not_none() {
+        let dir = std::env::temp_dir().join(format!("ppat-ckpt-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ckpt.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let store = FileCheckpointStore::new(&path);
+        assert!(store.load().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

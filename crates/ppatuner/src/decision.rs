@@ -12,6 +12,21 @@ pub enum Status {
     Pareto,
     /// δ-dominated by another candidate; out of the race.
     Dropped,
+    /// The candidate exhausted its evaluation failure budget (every tool
+    /// attempt crashed, timed out, or produced unusable QoR). Terminal:
+    /// never selected or evaluated again, and — like `Dropped` — it no
+    /// longer influences classification, because its region is stale
+    /// model speculation that can never be confirmed and would otherwise
+    /// stall promotion of healthy candidates forever.
+    Quarantined,
+}
+
+impl Status {
+    /// `true` while the candidate still competes for the front
+    /// (`Undecided` or `Pareto`).
+    pub fn is_active(self) -> bool {
+        matches!(self, Status::Undecided | Status::Pareto)
+    }
 }
 
 /// Outcome of one decision pass.
@@ -40,9 +55,9 @@ fn delta_leq(a: &[f64], b: &[f64], delta: &[f64]) -> bool {
 ///   beat `x`'s worst case by more than δ, so `x` is at most δ-worse than
 ///   any true Pareto point.
 ///
-/// "Active" means `Undecided` or `Pareto` (dropped candidates no longer
-/// influence decisions). Promotion is checked after dropping, as in
-/// Algorithm 1 (lines 8–9).
+/// "Active" means `Undecided` or `Pareto` (dropped and quarantined
+/// candidates no longer influence decisions). Promotion is checked after
+/// dropping, as in Algorithm 1 (lines 8–9).
 ///
 /// # Panics
 ///
@@ -83,7 +98,7 @@ pub fn classify(
         let opt_i = regions[i].optimistic();
         let dominated = (0..n).any(|j| {
             j != i
-                && before[j] != Status::Dropped
+                && before[j].is_active()
                 && delta_leq(regions[j].pessimistic(), opt_i, delta)
                 && !(delta_leq(regions[i].pessimistic(), regions[j].optimistic(), delta)
                     && prefer(i, j))
@@ -102,7 +117,7 @@ pub fn classify(
         }
         let pess_i = regions[i].pessimistic();
         let might_be_beaten = (0..n).any(|j| {
-            j != i && after_drop[j] != Status::Dropped && {
+            j != i && after_drop[j].is_active() && {
                 // x' might δ-dominate x: opt(x') + δ ≤ pess(x).
                 regions[j]
                     .optimistic()
@@ -217,6 +232,21 @@ mod tests {
     fn empty_input_is_noop() {
         let out = classify(&[], &mut [], &[0.0]);
         assert!(out.dropped.is_empty() && out.promoted.is_empty());
+    }
+
+    #[test]
+    fn quarantined_candidates_neither_influence_nor_change() {
+        // The quarantined candidate's stale region would dominate
+        // everything if it still counted as a rival; it must not.
+        let regions = vec![pt(&[1.0, 1.0]), pt(&[2.0, 2.0]), pt(&[2.5, 2.5])];
+        let mut statuses = vec![Status::Quarantined, Status::Undecided, Status::Undecided];
+        let out = classify(&regions, &mut statuses, &[0.0, 0.0]);
+        // Candidate 1 dominates candidate 2 but not vice versa.
+        assert_eq!(statuses[0], Status::Quarantined, "quarantine is terminal");
+        assert_eq!(statuses[1], Status::Pareto);
+        assert_eq!(statuses[2], Status::Dropped);
+        assert!(!out.promoted.contains(&0));
+        assert!(!out.dropped.contains(&0));
     }
 
     #[test]

@@ -3,6 +3,8 @@ use std::fmt;
 
 use gp::GpError;
 
+use crate::oracle::EvalError;
+
 /// Errors produced by the tuner.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -21,6 +23,18 @@ pub enum TunerError {
     },
     /// The surrogate model failed to fit or predict.
     Surrogate(GpError),
+    /// A tool evaluation failed in a non-recoverable way (an
+    /// out-of-range index, or every candidate's failure budget
+    /// exhausted). Transient failures are retried and quarantined inside
+    /// the loop and never surface here.
+    Evaluation(EvalError),
+    /// A checkpoint could not be written, read, or replayed against the
+    /// current run (version/config mismatch, divergent evaluation log,
+    /// I/O failure).
+    Checkpoint {
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TunerError {
@@ -31,6 +45,8 @@ impl fmt::Display for TunerError {
                 write!(f, "invalid tuner configuration: {name} = {value}")
             }
             TunerError::Surrogate(e) => write!(f, "surrogate model failure: {e}"),
+            TunerError::Evaluation(e) => write!(f, "tool evaluation failure: {e}"),
+            TunerError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
         }
     }
 }
@@ -39,6 +55,7 @@ impl Error for TunerError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TunerError::Surrogate(e) => Some(e),
+            TunerError::Evaluation(e) => Some(e),
             _ => None,
         }
     }
@@ -47,6 +64,12 @@ impl Error for TunerError {
 impl From<GpError> for TunerError {
     fn from(e: GpError) -> Self {
         TunerError::Surrogate(e)
+    }
+}
+
+impl From<EvalError> for TunerError {
+    fn from(e: EvalError) -> Self {
+        TunerError::Evaluation(e)
     }
 }
 
@@ -63,5 +86,23 @@ mod tests {
         assert!(e.to_string().contains("tau"));
         let e = TunerError::from(GpError::InvalidTrainingData { reason: "empty" });
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn evaluation_variant_wraps_eval_error_with_source() {
+        let inner = EvalError::OutOfRange { index: 4, len: 2 };
+        let e = TunerError::from(inner.clone());
+        assert!(e.to_string().contains("out of range"), "{e}");
+        let src = e.source().expect("Evaluation carries a source");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn checkpoint_variant_displays_reason() {
+        let e = TunerError::Checkpoint {
+            reason: "version 7 unsupported".into(),
+        };
+        assert!(e.to_string().contains("version 7"), "{e}");
+        assert!(e.source().is_none());
     }
 }

@@ -47,17 +47,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod decision;
 mod error;
 mod oracle;
 pub mod region;
 mod tuner;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointStore, EvalOutcome, EvalRecord, FileCheckpointStore,
+    MemoryCheckpointStore, StateSnapshot, CHECKPOINT_VERSION,
+};
 pub use decision::{classify, DecisionOutcome, Status};
 pub use error::TunerError;
-pub use oracle::{CountingOracle, QorOracle, VecOracle};
+pub use oracle::{CountingOracle, EvalError, FallibleOracle, QorOracle, VecOracle};
 pub use region::UncertaintyRegion;
-pub use tuner::{PpaTuner, PpaTunerConfig, SourceData, TuneResult};
+pub use tuner::{IterationRecord, PpaTuner, PpaTunerConfig, SourceData, TuneResult};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T, E = TunerError> = std::result::Result<T, E>;

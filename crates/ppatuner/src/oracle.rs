@@ -1,26 +1,110 @@
 //! The expensive-evaluation interface: what stands in for the PD tool.
+//!
+//! Real tool invocations crash, hang, and emit garbage QoR, so the
+//! contract is fallible: [`QorOracle::evaluate`] returns
+//! `Result<Vec<f64>, EvalError>` and the tuner's resilient executor
+//! decides whether a failure is retried, quarantined, or fatal.
+
+use serde::{Deserialize, Serialize};
+
+/// Why one tool evaluation produced no usable QoR vector.
+///
+/// Every variant except [`EvalError::OutOfRange`] is *transient*: the
+/// tuner retries it up to its failure budget (real flows are flaky —
+/// license hiccups, placement-seed crashes, interrupted runs). An
+/// out-of-range index is a caller bug and aborts the run immediately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The tool process died before producing QoR.
+    Crash {
+        /// Tool-reported detail (exit status, log tail, ...).
+        detail: String,
+    },
+    /// The tool exceeded its wall-clock budget.
+    Timeout {
+        /// The flow stage that was running when the budget expired.
+        stage: String,
+        /// Seconds elapsed when the run was killed.
+        elapsed_s: f64,
+    },
+    /// The tool finished but its QoR is unusable (unparseable report,
+    /// wrong dimension, non-finite or grossly outlying values).
+    InvalidQor {
+        /// What was wrong with the reported QoR.
+        detail: String,
+    },
+    /// The requested candidate index does not exist (caller bug; never
+    /// retried).
+    OutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of candidates the oracle knows.
+        len: usize,
+    },
+}
+
+impl EvalError {
+    /// `true` when retrying the same evaluation can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, EvalError::OutOfRange { .. })
+    }
+
+    /// Short failure class for traces and reports (`"crash"`,
+    /// `"timeout"`, `"invalid_qor"`, `"out_of_range"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalError::Crash { .. } => "crash",
+            EvalError::Timeout { .. } => "timeout",
+            EvalError::InvalidQor { .. } => "invalid_qor",
+            EvalError::OutOfRange { .. } => "out_of_range",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Crash { detail } => write!(f, "tool crashed: {detail}"),
+            EvalError::Timeout { stage, elapsed_s } => {
+                write!(f, "tool timed out in stage {stage} after {elapsed_s:.1} s")
+            }
+            EvalError::InvalidQor { detail } => write!(f, "invalid QoR: {detail}"),
+            EvalError::OutOfRange { index, len } => {
+                write!(f, "candidate index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// The PD tool as the tuner sees it: a function from candidate index to a
 /// golden QoR vector (minimization), with a run counter.
 ///
 /// Implementations wrap whatever actually produces QoR values — the
 /// `pdsim` flow, a precomputed benchmark table, or a mock. Each
-/// [`evaluate`](QorOracle::evaluate) call is one tool run; the paper
-/// counts these as the runtime cost (source-task history is free).
+/// [`evaluate`](QorOracle::evaluate) call is one tool run (successful or
+/// not — a crashed Innovus invocation still burned a license slot), so
+/// `runs` must count failures too; the paper counts these runs as the
+/// runtime cost (source-task history is free).
 pub trait QorOracle {
-    /// Runs the tool for candidate `index` and returns its QoR vector.
+    /// Runs the tool for candidate `index` and returns its QoR vector,
+    /// or an [`EvalError`] describing why no usable QoR was produced.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations may panic when `index` is out of range.
-    fn evaluate(&mut self, index: usize) -> Vec<f64>;
+    /// [`EvalError::OutOfRange`] for an unknown index; other variants at
+    /// the implementation's discretion (fault injection, live tools).
+    fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError>;
 
-    /// Number of tool runs so far.
+    /// Number of tool runs so far, including failed attempts.
     fn runs(&self) -> usize;
 }
 
 /// An oracle backed by a precomputed QoR table — the offline-benchmark
-/// setting of the paper's evaluation (§4.1).
+/// setting of the paper's evaluation (§4.1). Infallible except for
+/// out-of-range indices.
 ///
 /// # Example
 ///
@@ -28,8 +112,9 @@ pub trait QorOracle {
 /// use ppatuner::{QorOracle, VecOracle};
 ///
 /// let mut o = VecOracle::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
-/// assert_eq!(o.evaluate(1), vec![3.0, 4.0]);
+/// assert_eq!(o.evaluate(1).unwrap(), vec![3.0, 4.0]);
 /// assert_eq!(o.runs(), 1);
+/// assert!(o.evaluate(7).is_err()); // out of range, not a panic
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct VecOracle {
@@ -61,9 +146,15 @@ impl VecOracle {
 }
 
 impl QorOracle for VecOracle {
-    fn evaluate(&mut self, index: usize) -> Vec<f64> {
+    fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError> {
         self.runs += 1;
-        self.table[index].clone()
+        match self.table.get(index) {
+            Some(y) => Ok(y.clone()),
+            None => Err(EvalError::OutOfRange {
+                index,
+                len: self.table.len(),
+            }),
+        }
     }
 
     fn runs(&self) -> usize {
@@ -71,8 +162,9 @@ impl QorOracle for VecOracle {
     }
 }
 
-/// Decorator that adds run counting to a closure-based oracle — useful
-/// when the evaluation is a live `pdsim` flow rather than a table.
+/// Decorator that adds run counting to an infallible closure-based oracle
+/// — useful when the evaluation is a live `pdsim` flow rather than a
+/// table. For closures that can themselves fail, use [`FallibleOracle`].
 pub struct CountingOracle<F> {
     f: F,
     runs: usize,
@@ -86,9 +178,9 @@ impl<F: FnMut(usize) -> Vec<f64>> CountingOracle<F> {
 }
 
 impl<F: FnMut(usize) -> Vec<f64>> QorOracle for CountingOracle<F> {
-    fn evaluate(&mut self, index: usize) -> Vec<f64> {
+    fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError> {
         self.runs += 1;
-        (self.f)(index)
+        Ok((self.f)(index))
     }
 
     fn runs(&self) -> usize {
@@ -104,6 +196,40 @@ impl<F> std::fmt::Debug for CountingOracle<F> {
     }
 }
 
+/// Decorator that adds run counting to a *fallible* closure-based oracle
+/// — the bridge for live flows that can crash or time out (for example
+/// `pdsim::faults::FaultyFlow`).
+pub struct FallibleOracle<F> {
+    f: F,
+    runs: usize,
+}
+
+impl<F: FnMut(usize) -> Result<Vec<f64>, EvalError>> FallibleOracle<F> {
+    /// Wraps a fallible evaluation closure.
+    pub fn new(f: F) -> Self {
+        FallibleOracle { f, runs: 0 }
+    }
+}
+
+impl<F: FnMut(usize) -> Result<Vec<f64>, EvalError>> QorOracle for FallibleOracle<F> {
+    fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.runs += 1;
+        (self.f)(index)
+    }
+
+    fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+impl<F> std::fmt::Debug for FallibleOracle<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FallibleOracle")
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,9 +240,9 @@ mod tests {
         assert_eq!(o.len(), 2);
         assert!(!o.is_empty());
         assert_eq!(o.runs(), 0);
-        o.evaluate(0);
-        o.evaluate(1);
-        o.evaluate(0);
+        o.evaluate(0).unwrap();
+        o.evaluate(1).unwrap();
+        o.evaluate(0).unwrap();
         assert_eq!(o.runs(), 3);
         assert_eq!(o.table().len(), 2);
     }
@@ -124,15 +250,85 @@ mod tests {
     #[test]
     fn counting_oracle_wraps_closures() {
         let mut o = CountingOracle::new(|i| vec![i as f64 * 2.0]);
-        assert_eq!(o.evaluate(3), vec![6.0]);
+        assert_eq!(o.evaluate(3).unwrap(), vec![6.0]);
         assert_eq!(o.runs(), 1);
         assert!(format!("{o:?}").contains("runs"));
     }
 
     #[test]
-    #[should_panic]
-    fn vec_oracle_panics_out_of_range() {
+    fn fallible_oracle_passes_errors_through_and_counts() {
+        let mut o = FallibleOracle::new(|i| {
+            if i == 0 {
+                Ok(vec![1.0])
+            } else {
+                Err(EvalError::Crash {
+                    detail: "boom".into(),
+                })
+            }
+        });
+        assert_eq!(o.evaluate(0).unwrap(), vec![1.0]);
+        assert!(o.evaluate(1).is_err());
+        // Failed attempts still count as tool runs.
+        assert_eq!(o.runs(), 2);
+        assert!(format!("{o:?}").contains("runs"));
+    }
+
+    #[test]
+    fn vec_oracle_reports_out_of_range() {
         let mut o = VecOracle::new(vec![vec![1.0]]);
-        o.evaluate(5);
+        let err = o.evaluate(5).unwrap_err();
+        assert_eq!(err, EvalError::OutOfRange { index: 5, len: 1 }, "got {err}");
+        assert!(!err.is_transient());
+        // The failed call still counted as a run.
+        assert_eq!(o.runs(), 1);
+    }
+
+    #[test]
+    fn eval_error_display_kind_and_transience() {
+        let cases: Vec<(EvalError, &str, bool)> = vec![
+            (
+                EvalError::Crash {
+                    detail: "sig 9".into(),
+                },
+                "crash",
+                true,
+            ),
+            (
+                EvalError::Timeout {
+                    stage: "route".into(),
+                    elapsed_s: 12.5,
+                },
+                "timeout",
+                true,
+            ),
+            (
+                EvalError::InvalidQor {
+                    detail: "NaN power".into(),
+                },
+                "invalid_qor",
+                true,
+            ),
+            (
+                EvalError::OutOfRange { index: 9, len: 3 },
+                "out_of_range",
+                false,
+            ),
+        ];
+        for (e, kind, transient) in cases {
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.is_transient(), transient);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn eval_error_round_trips_through_json() {
+        let e = EvalError::Timeout {
+            stage: "cts".into(),
+            elapsed_s: 3.5,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: EvalError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 }

@@ -1,5 +1,6 @@
 //! The PPATuner loop (Algorithm 1 of the paper).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,8 +13,12 @@ use gp::{TaskData, TransferGp};
 use obs::{Event, Observer, NULL_SINK};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{
+    digest_matrix, source_digest, Checkpoint, CheckpointStore, EvalOutcome, EvalRecord,
+    StateSnapshot, CHECKPOINT_VERSION,
+};
 use crate::decision::{classify, Status};
-use crate::oracle::QorOracle;
+use crate::oracle::{EvalError, QorOracle};
 use crate::region::UncertaintyRegion;
 use crate::{Result, TunerError};
 
@@ -33,8 +38,10 @@ impl SourceData {
     ///
     /// # Errors
     ///
-    /// Returns [`TunerError::InvalidInput`] when lengths disagree or the
-    /// QoR vectors have inconsistent dimensions.
+    /// Returns [`TunerError::InvalidInput`] when lengths disagree, the
+    /// QoR vectors have inconsistent dimensions, or any value is
+    /// non-finite (NaN/±inf would silently poison every GP fit that
+    /// transfers from this history).
     pub fn new(x: Vec<Vec<f64>>, y: Vec<Vec<f64>>) -> Result<Self> {
         if x.len() != y.len() {
             return Err(TunerError::InvalidInput {
@@ -48,6 +55,16 @@ impl SourceData {
                     reason: "source QoR vectors must share a non-zero dimension",
                 });
             }
+        }
+        if x.iter().any(|r| r.iter().any(|v| !v.is_finite())) {
+            return Err(TunerError::InvalidInput {
+                reason: "source configurations must be finite (no NaN/inf)",
+            });
+        }
+        if y.iter().any(|r| r.iter().any(|v| !v.is_finite())) {
+            return Err(TunerError::InvalidInput {
+                reason: "source QoR values must be finite (no NaN/inf)",
+            });
         }
         Ok(SourceData { x: Arc::new(x), y })
     }
@@ -93,7 +110,10 @@ impl SourceData {
 }
 
 /// Configuration of the tuner.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so checkpoints can pin the exact configuration a run was
+/// started with (resume refuses a different one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PpaTunerConfig {
     /// Region-scale coefficient τ of Eq. (9): the box is `μ ± √τ·σ`.
     pub tau: f64,
@@ -126,6 +146,21 @@ pub struct PpaTunerConfig {
     /// parameter combinations". Disable for the strict
     /// classified-set-only ablation.
     pub include_predicted_front: bool,
+    /// Maximum oracle attempts per candidate per selection before the
+    /// candidate is quarantined (1 = no retries).
+    pub max_eval_attempts: usize,
+    /// First-retry backoff in seconds; doubles per further retry. Purely
+    /// advisory for table-backed oracles (recorded in `EvalRetry` events,
+    /// never slept on by the tuner itself).
+    pub backoff_base_s: f64,
+    /// Upper bound on the advisory backoff.
+    pub backoff_cap_s: f64,
+    /// QoR sanitization gate: an observation is rejected as a gross
+    /// outlier when it falls outside the candidate's current uncertainty
+    /// region widened per objective by `gate × max(region width, observed
+    /// span)`. Large by default so only tool garbage (unit mix-ups,
+    /// truncated reports) trips it, never a merely surprising true value.
+    pub outlier_gate: f64,
 }
 
 impl Default for PpaTunerConfig {
@@ -141,6 +176,10 @@ impl Default for PpaTunerConfig {
             seed: 0,
             threads: 8,
             include_predicted_front: true,
+            max_eval_attempts: 3,
+            backoff_base_s: 1.0,
+            backoff_cap_s: 60.0,
+            outlier_gate: 8.0,
         }
     }
 }
@@ -171,7 +210,38 @@ impl PpaTunerConfig {
                 value: 0.0,
             });
         }
+        if self.max_eval_attempts == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "max_eval_attempts",
+                value: 0.0,
+            });
+        }
+        if !(self.backoff_base_s.is_finite() && self.backoff_base_s >= 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "backoff_base_s",
+                value: self.backoff_base_s,
+            });
+        }
+        if !(self.backoff_cap_s.is_finite() && self.backoff_cap_s >= 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "backoff_cap_s",
+                value: self.backoff_cap_s,
+            });
+        }
+        if !(self.outlier_gate.is_finite() && self.outlier_gate > 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "outlier_gate",
+                value: self.outlier_gate,
+            });
+        }
         Ok(())
+    }
+
+    /// Advisory backoff before 1-based `attempt` (≥ 2): capped
+    /// exponential on `backoff_base_s`.
+    fn retry_backoff_s(&self, attempt: usize) -> f64 {
+        let doublings = attempt.saturating_sub(2).min(63) as i32;
+        (self.backoff_base_s * 2f64.powi(doublings)).min(self.backoff_cap_s)
     }
 }
 
@@ -186,6 +256,9 @@ pub struct IterationRecord {
     pub pareto: usize,
     /// Candidates dropped so far.
     pub dropped: usize,
+    /// Candidates quarantined so far (evaluation failure budget
+    /// exhausted).
+    pub quarantined: usize,
     /// Tool runs so far.
     pub runs: usize,
     /// Wall-clock seconds this iteration took (fit + predict + classify +
@@ -222,6 +295,15 @@ pub struct TuneResult {
     pub history: Vec<IterationRecord>,
     /// The absolute per-objective δ the run used.
     pub delta: Vec<f64>,
+    /// Candidates quarantined during the run (every evaluation attempt
+    /// failed), in quarantine order. Never members of
+    /// [`pareto_indices`](TuneResult::pareto_indices).
+    pub quarantined: Vec<usize>,
+    /// Oracle attempts that failed (crash, timeout, rejected QoR). Failed
+    /// attempts count towards [`runs`](TuneResult::runs).
+    pub eval_failures: usize,
+    /// Retry attempts issued after failures (successful or not).
+    pub eval_retries: usize,
 }
 
 impl TuneResult {
@@ -290,6 +372,77 @@ impl PpaTuner {
         oracle: &mut O,
         observer: &dyn Observer,
     ) -> Result<TuneResult> {
+        self.run_core(source, candidates, oracle, observer, None, None)
+    }
+
+    /// Like [`PpaTuner::run_observed`], but persists a [`Checkpoint`] to
+    /// `store` at the end of every iteration, so an interrupted run can
+    /// be continued with [`PpaTuner::resume`]. Any previous checkpoint in
+    /// the store is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PpaTuner::run`], plus [`TunerError::Checkpoint`] when
+    /// the store rejects a save.
+    pub fn run_checkpointed<O: QorOracle>(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+        observer: &dyn Observer,
+        store: &dyn CheckpointStore,
+    ) -> Result<TuneResult> {
+        self.run_core(source, candidates, oracle, observer, Some(store), None)
+    }
+
+    /// Continues an interrupted [`PpaTuner::run_checkpointed`] run from
+    /// the checkpoint in `store` (an empty store starts a fresh run), and
+    /// keeps checkpointing as it goes.
+    ///
+    /// Resume works by deterministic replay: the loop re-executes from
+    /// the start with the same seed, serving oracle calls from the
+    /// checkpoint's evaluation log (failures included) instead of the
+    /// live tool, which reproduces the checkpointed state exactly —
+    /// verified against the checkpoint's snapshot before live evaluation
+    /// takes over. Trace events are only emitted for the live portion, so
+    /// concatenating the interrupted run's trace with the resumed one
+    /// yields one seamless run. Given the same `config`, `source`,
+    /// `candidates`, and a fresh oracle over the same ground truth, the
+    /// final [`TuneResult`] is identical to the uninterrupted run's
+    /// (modulo wall-clock timing fields).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PpaTuner::run_checkpointed`], plus
+    /// [`TunerError::Checkpoint`] when the stored checkpoint has a
+    /// different version/configuration/data, or its log diverges from
+    /// what the deterministic replay re-derives.
+    pub fn resume<O: QorOracle>(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &mut O,
+        observer: &dyn Observer,
+        store: &dyn CheckpointStore,
+    ) -> Result<TuneResult> {
+        let ckpt = store
+            .load()
+            .map_err(|reason| TunerError::Checkpoint { reason })?;
+        self.run_core(source, candidates, oracle, observer, Some(store), ckpt)
+    }
+
+    /// The actual loop. `store` enables per-iteration checkpointing;
+    /// `resume_from` replays a previous run's evaluation log before going
+    /// live.
+    fn run_core(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &mut dyn QorOracle,
+        observer: &dyn Observer,
+        store: Option<&dyn CheckpointStore>,
+        resume_from: Option<Checkpoint>,
+    ) -> Result<TuneResult> {
         let run_start = Instant::now();
         self.config.validate()?;
         if candidates.is_empty() {
@@ -308,6 +461,36 @@ impl PpaTuner {
                 reason: "source and candidate dimensions differ",
             });
         }
+        if candidates.iter().any(|c| c.iter().any(|v| !v.is_finite())) {
+            return Err(TunerError::InvalidInput {
+                reason: "candidates must be finite (no NaN/inf)",
+            });
+        }
+
+        // Checkpoint plumbing. `driver` serves oracle attempts — from the
+        // resume log while it lasts, live afterwards — and records every
+        // outcome so later checkpoints carry the complete history. `live`
+        // gates run-structure events (and checkpoint writes) off while
+        // replay reproduces already-traced iterations.
+        let digests = store.map(|_| (digest_matrix(candidates), source_digest(source)));
+        if let Some(ckpt) = &resume_from {
+            ckpt.validate(&self.config, candidates, source)
+                .map_err(|reason| TunerError::Checkpoint { reason })?;
+        }
+        let resume_state = resume_from.map(|c| (c.next_iteration, c.snapshot, c.eval_log));
+        let mut driver = EvalDriver {
+            oracle,
+            replay: resume_state
+                .as_ref()
+                .map(|(_, _, log)| log.iter().cloned().collect())
+                .unwrap_or_default(),
+            replayed_runs: 0,
+            log: Vec::new(),
+        };
+        let mut live = !driver.replaying();
+        let mut eval_failures = 0usize;
+        let mut eval_retries = 0usize;
+        let mut quarantined_order: Vec<usize> = Vec::new();
 
         let n = candidates.len();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -345,20 +528,52 @@ impl PpaTuner {
 
         let mut evaluated: Vec<(usize, Vec<f64>)> = Vec::new();
         let mut evaluated_flag = vec![false; n];
-        let mut init_durations: Vec<f64> = Vec::with_capacity(init_idx.len());
+        // Attempt-level events are buffered until RunStart can be emitted
+        // (the run isn't fully characterized until the first QoR arrives).
+        let mut init_events: Vec<Event> = Vec::new();
+        let mut init_quarantined: Vec<(usize, usize)> = Vec::new();
+        let mut n_obj_opt: Option<usize> = None;
         for &i in &init_idx {
-            let eval_start = Instant::now();
-            let y = oracle.evaluate(i);
-            init_durations.push(eval_start.elapsed().as_secs_f64());
-            evaluated_flag[i] = true;
-            evaluated.push((i, y));
+            let sanitize = |y: &[f64]| sanitize_qor(y, n_obj_opt, None);
+            let out = evaluate_with_retry(
+                &mut driver,
+                i,
+                0,
+                &self.config,
+                &sanitize,
+                live && observer.enabled(),
+                &mut |e| init_events.push(e),
+            )?;
+            eval_retries += out.attempts.saturating_sub(1);
+            eval_failures += out.failures;
+            match out.qor {
+                Some(y) => {
+                    n_obj_opt.get_or_insert(y.len());
+                    evaluated_flag[i] = true;
+                    evaluated.push((i, y));
+                }
+                None => {
+                    if live && observer.enabled() {
+                        init_events.push(Event::CandidateQuarantined {
+                            iteration: 0,
+                            candidate: i,
+                            attempts: out.attempts,
+                        });
+                    }
+                    init_quarantined.push((i, out.attempts));
+                }
+            }
         }
-        let n_obj = evaluated[0].1.len();
-        if n_obj == 0 || evaluated.iter().any(|(_, y)| y.len() != n_obj) {
-            return Err(TunerError::InvalidInput {
-                reason: "oracle QoR vectors must share a non-zero dimension",
-            });
-        }
+        // Two successes are the floor for observed ranges (δ, the
+        // hypervolume reference) and a fittable target task.
+        let n_obj = match n_obj_opt {
+            Some(m) if evaluated.len() >= 2 => m,
+            _ => {
+                return Err(TunerError::InvalidInput {
+                    reason: "fewer than two initialization evaluations succeeded",
+                })
+            }
+        };
         if let Some(m) = source.objectives() {
             if m != n_obj {
                 return Err(TunerError::InvalidInput {
@@ -367,9 +582,9 @@ impl PpaTuner {
             }
         }
 
-        // The run is now fully characterized: announce it, then replay the
-        // initialization evaluations into the trace (iteration 0).
-        if observer.enabled() {
+        // The run is now fully characterized: announce it, then flush the
+        // buffered initialization attempts into the trace (iteration 0).
+        if live && observer.enabled() {
             observer.emit(&Event::RunStart {
                 candidates: n,
                 objectives: n_obj,
@@ -378,15 +593,11 @@ impl PpaTuner {
                 max_iterations: self.config.max_iterations,
                 seed: self.config.seed,
             });
-            for ((i, y), d) in evaluated.iter().zip(&init_durations) {
-                observer.emit(&Event::ToolEval {
-                    iteration: 0,
-                    candidate: *i,
-                    qor: y.clone(),
-                    duration_s: *d,
-                });
+            for e in &init_events {
+                observer.emit(e);
             }
         }
+        drop(init_events);
 
         // Per-objective observed ranges of the initialization sample.
         let init_ranges: Vec<(f64, f64)> = (0..n_obj)
@@ -419,6 +630,19 @@ impl PpaTuner {
             regions[*i].collapse_to(y);
         }
         let mut statuses = vec![Status::Undecided; n];
+        for &(i, _) in &init_quarantined {
+            statuses[i] = Status::Quarantined;
+            quarantined_order.push(i);
+        }
+
+        // Running per-objective span of accepted observations: the floor
+        // of the outlier gate's allowance, so a tight (or collapsed)
+        // region can never reject values of the magnitude the tool
+        // actually produces.
+        let mut obs_span = ObservedSpan::new(n_obj);
+        for (_, y) in &evaluated {
+            obs_span.absorb(y);
+        }
 
         let source_tasks: Vec<TaskData> = (0..n_obj).map(|k| source.task_data(k)).collect();
 
@@ -433,12 +657,33 @@ impl PpaTuner {
 
         // ------------------------------------------------------- the loop
         for t in 0..self.config.max_iterations {
+            // Replay drains exactly at the checkpoint's iteration
+            // boundary; verify the re-derived state against the snapshot
+            // before switching to live evaluation and event emission.
+            if !live && !driver.replaying() {
+                if let Some((next_iteration, snapshot, _)) = &resume_state {
+                    verify_resumed_state(
+                        t,
+                        *next_iteration,
+                        snapshot,
+                        &statuses,
+                        evaluated.len(),
+                        driver.runs(),
+                        &rng,
+                        &delta,
+                    )?;
+                }
+                live = true;
+            }
             let undecided_exists = statuses.contains(&Status::Undecided);
             if !undecided_exists {
                 break;
             }
             iterations = t + 1;
             let iter_start = Instant::now();
+            // Attempts logged before this iteration: used to decide
+            // whether this iteration is a valid checkpoint boundary.
+            let log_mark = driver.log.len();
 
             // ---- model calibration (Algorithm 1, lines 4-6)
             let fit_phase = Instant::now();
@@ -502,7 +747,7 @@ impl PpaTuner {
                 let mut models: Vec<TransferGp> = Vec::with_capacity(n_obj);
                 for (k, out) in outs.into_iter().enumerate() {
                     let (model, report, fit_duration) = out?;
-                    if observer.enabled() {
+                    if live && observer.enabled() {
                         let cfg = model.config();
                         observer.emit(&Event::GpFit {
                             iteration: t,
@@ -540,7 +785,7 @@ impl PpaTuner {
                         .map(|(_, y)| y[k])
                         .collect();
                     model.condition_on(&new_x, &new_y)?;
-                    if observer.enabled() {
+                    if live && observer.enabled() {
                         let cfg = model.config();
                         observer.emit(&Event::GpFit {
                             iteration: t,
@@ -568,7 +813,7 @@ impl PpaTuner {
             // Predict boxes for active, un-evaluated candidates.
             let predict_phase = Instant::now();
             let active: Vec<usize> = (0..n)
-                .filter(|&i| statuses[i] != Status::Dropped && !evaluated_flag[i])
+                .filter(|&i| statuses[i].is_active() && !evaluated_flag[i])
                 .collect();
             let boxes = predict_boxes(
                 models,
@@ -585,8 +830,8 @@ impl PpaTuner {
 
             // ---- decision-making (lines 7-9)
             classify(&regions, &mut statuses, &delta);
-            if observer.enabled() {
-                let (undecided, pareto, dropped) = status_counts(&statuses);
+            if live && observer.enabled() {
+                let (undecided, pareto, dropped, _) = status_counts(&statuses);
                 observer.emit(&Event::Classify {
                     iteration: t,
                     pareto,
@@ -601,100 +846,160 @@ impl PpaTuner {
                 });
             }
 
-            if !statuses.contains(&Status::Undecided) {
-                let ctx = IterationOutcome {
-                    iteration: t,
-                    runs: oracle.runs(),
-                    duration_s: iter_start.elapsed().as_secs_f64(),
-                    gp_fit_s,
-                    predict_s,
-                };
-                record(
-                    observer,
-                    &mut history,
-                    &statuses,
-                    &evaluated,
-                    &hv_reference,
-                    ctx,
-                );
-                break;
-            }
+            // When classification just settled the last undecided
+            // candidate (or selection below finds nothing informative to
+            // measure), the iteration is still recorded and checkpointed
+            // like any other before the loop stops, so a resumed run can
+            // skip straight past it.
+            let mut stop = !statuses.contains(&Status::Undecided);
 
             // ---- selection (lines 10-11): longest-diameter active
-            // candidates, batched.
-            let mut selectable: Vec<(usize, f64)> = (0..n)
-                .filter(|&i| statuses[i] != Status::Dropped && !evaluated_flag[i])
-                .map(|i| (i, regions[i].diameter()))
-                .collect();
-            selectable.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            let batch: Vec<(usize, f64)> = selectable
-                .iter()
-                .take(self.config.batch_size)
-                .filter(|(_, d)| *d > 0.0)
-                .copied()
-                .collect();
-            if batch.is_empty() {
-                // Everything informative has been measured.
-                let ctx = IterationOutcome {
-                    iteration: t,
-                    runs: oracle.runs(),
-                    duration_s: iter_start.elapsed().as_secs_f64(),
-                    gp_fit_s,
-                    predict_s,
-                };
-                record(
-                    observer,
-                    &mut history,
-                    &statuses,
-                    &evaluated,
-                    &hv_reference,
-                    ctx,
-                );
-                break;
-            }
-            if observer.enabled() {
-                observer.emit(&Event::Select {
-                    iteration: t,
-                    chosen: batch.iter().map(|&(i, _)| i).collect(),
-                    diameters: batch.iter().map(|&(_, d)| d).collect(),
-                });
-            }
-            for (i, _) in batch {
-                let eval_start = Instant::now();
-                let y = oracle.evaluate(i);
-                if observer.enabled() {
-                    observer.emit(&Event::ToolEval {
+            // candidates, batched. When a selected candidate exhausts its
+            // failure budget it is quarantined, and the batch falls back
+            // to the next-longest-diameter eligible candidate within the
+            // same iteration (each fallback wave gets its own `Select`
+            // event), so injected faults cost retries, not iterations.
+            let mut want = self.config.batch_size;
+            let mut selected_any = false;
+            while !stop && want > 0 {
+                let mut selectable: Vec<(usize, f64)> = (0..n)
+                    .filter(|&i| statuses[i].is_active() && !evaluated_flag[i])
+                    .map(|i| (i, regions[i].diameter()))
+                    .collect();
+                selectable
+                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                let batch: Vec<(usize, f64)> = selectable
+                    .iter()
+                    .take(want)
+                    .filter(|(_, d)| *d > 0.0)
+                    .copied()
+                    .collect();
+                if batch.is_empty() {
+                    break;
+                }
+                selected_any = true;
+                if live && observer.enabled() {
+                    observer.emit(&Event::Select {
                         iteration: t,
-                        candidate: i,
-                        qor: y.clone(),
-                        duration_s: eval_start.elapsed().as_secs_f64(),
+                        chosen: batch.iter().map(|&(i, _)| i).collect(),
+                        diameters: batch.iter().map(|&(_, d)| d).collect(),
                     });
                 }
-                regions[i].collapse_to(&y);
-                evaluated_flag[i] = true;
-                evaluated.push((i, y));
+                for (i, _) in batch {
+                    let sanitize = |y: &[f64]| {
+                        sanitize_qor(
+                            y,
+                            Some(n_obj),
+                            Some((&regions[i], &obs_span, self.config.outlier_gate)),
+                        )
+                    };
+                    let out = evaluate_with_retry(
+                        &mut driver,
+                        i,
+                        t,
+                        &self.config,
+                        &sanitize,
+                        observer.enabled(),
+                        &mut |e| observer.emit(&e),
+                    )?;
+                    eval_retries += out.attempts.saturating_sub(1);
+                    eval_failures += out.failures;
+                    match out.qor {
+                        Some(y) => {
+                            regions[i].collapse_to(&y);
+                            evaluated_flag[i] = true;
+                            obs_span.absorb(&y);
+                            evaluated.push((i, y));
+                            want -= 1;
+                        }
+                        None => {
+                            statuses[i] = Status::Quarantined;
+                            quarantined_order.push(i);
+                            if !out.replayed && observer.enabled() {
+                                observer.emit(&Event::CandidateQuarantined {
+                                    iteration: t,
+                                    candidate: i,
+                                    attempts: out.attempts,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if !stop && !selected_any {
+                // Everything informative has been measured.
+                stop = true;
             }
 
             let ctx = IterationOutcome {
                 iteration: t,
-                runs: oracle.runs(),
+                runs: driver.runs(),
                 duration_s: iter_start.elapsed().as_secs_f64(),
                 gp_fit_s,
                 predict_s,
             };
             record(
                 observer,
+                live,
                 &mut history,
                 &statuses,
                 &evaluated,
                 &hv_reference,
                 ctx,
             );
+
+            // Persist the full resumable state at the iteration boundary.
+            // Live iterations only (replayed ones would rewrite what the
+            // checkpoint already holds), and only iterations that logged
+            // at least one attempt: resume replays the eval log, so the
+            // log must drain exactly at the checkpointed boundary — an
+            // eval-less iteration would drain one iteration early and
+            // fail state verification.
+            if let (Some(store), Some((candidates_digest, src_digest)), true) =
+                (store, digests, live && driver.log.len() > log_mark)
+            {
+                let checkpoint = Checkpoint {
+                    version: CHECKPOINT_VERSION,
+                    next_iteration: t + 1,
+                    config: self.config.clone(),
+                    candidates_digest,
+                    source_digest: src_digest,
+                    eval_log: driver.log.clone(),
+                    snapshot: StateSnapshot {
+                        statuses: statuses.iter().map(status_char).collect(),
+                        evaluated: evaluated.len(),
+                        runs: driver.runs(),
+                        rng_state: rng.state().to_vec(),
+                        delta: delta.clone(),
+                        regions: regions.clone(),
+                        history: history.clone(),
+                    },
+                };
+                store
+                    .save(&checkpoint)
+                    .map_err(|reason| TunerError::Checkpoint { reason })?;
+                if observer.enabled() {
+                    observer.emit(&Event::Checkpoint {
+                        iteration: t,
+                        runs: driver.runs(),
+                        evals_logged: driver.log.len(),
+                    });
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+
+        // A run that completed before being checkpointed again replays
+        // its whole loop; whatever follows (verification) is live work.
+        if !live && !driver.replaying() {
+            live = true;
         }
 
         // Final classification pass so late evaluations settle the sets.
         classify(&regions, &mut statuses, &delta);
-        let search_runs = oracle.runs();
+        let search_runs = driver.runs();
 
         // Closing step of the paper's flow: the predicted Pareto set is
         // fed through the PD tool for verification. Candidate set = the
@@ -743,23 +1048,46 @@ impl PpaTuner {
         }
         let mut truth: Vec<(usize, Vec<f64>)> = Vec::with_capacity(final_candidates.len());
         for &i in &final_candidates {
-            let y = match evaluated.iter().find(|(j, _)| *j == i) {
-                Some((_, y)) => y.clone(),
+            match evaluated.iter().find(|(j, _)| *j == i) {
+                Some((_, y)) => truth.push((i, y.clone())),
                 None => {
-                    let eval_start = Instant::now();
-                    let y = oracle.evaluate(i);
-                    if observer.enabled() {
-                        observer.emit(&Event::ToolEval {
-                            iteration: iterations,
-                            candidate: i,
-                            qor: y.clone(),
-                            duration_s: eval_start.elapsed().as_secs_f64(),
-                        });
+                    let sanitize = |y: &[f64]| {
+                        sanitize_qor(
+                            y,
+                            Some(n_obj),
+                            Some((&regions[i], &obs_span, self.config.outlier_gate)),
+                        )
+                    };
+                    let out = evaluate_with_retry(
+                        &mut driver,
+                        i,
+                        iterations,
+                        &self.config,
+                        &sanitize,
+                        observer.enabled(),
+                        &mut |e| observer.emit(&e),
+                    )?;
+                    eval_retries += out.attempts.saturating_sub(1);
+                    eval_failures += out.failures;
+                    match out.qor {
+                        Some(y) => truth.push((i, y)),
+                        None => {
+                            // A predicted-front member we could not verify:
+                            // exclude it from the reported set rather than
+                            // vouching for an unmeasured point.
+                            statuses[i] = Status::Quarantined;
+                            quarantined_order.push(i);
+                            if !out.replayed && observer.enabled() {
+                                observer.emit(&Event::CandidateQuarantined {
+                                    iteration: iterations,
+                                    candidate: i,
+                                    attempts: out.attempts,
+                                });
+                            }
+                        }
                     }
-                    y
                 }
-            };
-            truth.push((i, y));
+            }
         }
         let pts: Vec<Vec<f64>> = truth.iter().map(|(_, y)| y.clone()).collect();
         let pareto_indices: Vec<usize> = pareto::front::pareto_front(&pts)
@@ -770,13 +1098,16 @@ impl PpaTuner {
         let result = TuneResult {
             pareto_indices,
             runs: search_runs,
-            verification_runs: oracle.runs() - search_runs,
+            verification_runs: driver.runs() - search_runs,
             iterations,
             history,
             delta,
             evaluated,
+            quarantined: quarantined_order,
+            eval_failures,
+            eval_retries,
         };
-        if observer.enabled() {
+        if live && observer.enabled() {
             observer.emit(&Event::RunEnd {
                 iterations: result.iterations,
                 runs: result.runs,
@@ -797,21 +1128,315 @@ fn status_char(s: &Status) -> char {
         Status::Undecided => 'u',
         Status::Pareto => 'p',
         Status::Dropped => 'd',
+        Status::Quarantined => 'q',
     }
 }
 
-fn status_counts(statuses: &[Status]) -> (usize, usize, usize) {
+fn status_counts(statuses: &[Status]) -> (usize, usize, usize, usize) {
     let mut undecided = 0;
     let mut pareto = 0;
     let mut dropped = 0;
+    let mut quarantined = 0;
     for s in statuses {
         match s {
             Status::Undecided => undecided += 1,
             Status::Pareto => pareto += 1,
             Status::Dropped => dropped += 1,
+            Status::Quarantined => quarantined += 1,
         }
     }
-    (undecided, pareto, dropped)
+    (undecided, pareto, dropped, quarantined)
+}
+
+/// Serves oracle attempts — replaying a checkpoint's evaluation log while
+/// it lasts, live afterwards — and records every outcome (the log IS the
+/// resume script, so failures are recorded too).
+struct EvalDriver<'a> {
+    oracle: &'a mut dyn QorOracle,
+    replay: VecDeque<EvalRecord>,
+    replayed_runs: usize,
+    log: Vec<EvalRecord>,
+}
+
+impl EvalDriver<'_> {
+    fn replaying(&self) -> bool {
+        !self.replay.is_empty()
+    }
+
+    /// Total tool runs: replayed attempts plus the live oracle's counter.
+    /// Matches the original run's `oracle.runs()` when resume was handed
+    /// a fresh oracle.
+    fn runs(&self) -> usize {
+        self.replayed_runs + self.oracle.runs()
+    }
+
+    /// One attempt for `candidate`. Returns the (sanitized) outcome and
+    /// whether it came from the replay log. Non-transient errors
+    /// (out-of-range index) abort the run instead of being logged.
+    fn attempt(
+        &mut self,
+        candidate: usize,
+        sanitize: &dyn Fn(&[f64]) -> std::result::Result<(), String>,
+    ) -> Result<(std::result::Result<Vec<f64>, EvalError>, bool)> {
+        let (outcome, replayed) = if let Some(rec) = self.replay.pop_front() {
+            if rec.candidate != candidate {
+                return Err(TunerError::Checkpoint {
+                    reason: format!(
+                        "replay divergence: log holds candidate {}, the run requested {}",
+                        rec.candidate, candidate
+                    ),
+                });
+            }
+            self.replayed_runs += 1;
+            let outcome = match rec.outcome {
+                EvalOutcome::Accepted { qor } => Ok(qor),
+                EvalOutcome::Failed { error } => Err(error),
+            };
+            (outcome, true)
+        } else {
+            let outcome = match self.oracle.evaluate(candidate) {
+                Ok(y) => match sanitize(&y) {
+                    Ok(()) => Ok(y),
+                    Err(detail) => Err(EvalError::InvalidQor { detail }),
+                },
+                Err(e) => {
+                    if !e.is_transient() {
+                        return Err(TunerError::Evaluation(e));
+                    }
+                    Err(e)
+                }
+            };
+            (outcome, false)
+        };
+        self.log.push(EvalRecord {
+            candidate,
+            outcome: match &outcome {
+                Ok(qor) => EvalOutcome::Accepted { qor: qor.clone() },
+                Err(error) => EvalOutcome::Failed {
+                    error: error.clone(),
+                },
+            },
+        });
+        Ok((outcome, replayed))
+    }
+}
+
+/// What `evaluate_with_retry` concluded for one candidate.
+struct RetryOutcome {
+    /// The accepted QoR, or `None` when the failure budget ran out.
+    qor: Option<Vec<f64>>,
+    /// Attempts consumed (≥ 1).
+    attempts: usize,
+    /// How many of those attempts failed.
+    failures: usize,
+    /// Whether the final attempt was served from the replay log (the
+    /// budget aligns with checkpoint boundaries, so a retry sequence is
+    /// replayed in full or not at all).
+    replayed: bool,
+}
+
+/// Runs one candidate's evaluation with up to `max_eval_attempts`
+/// attempts, sanitizing each result and emitting `EvalRetry`,
+/// `EvalFailed`, and `ToolEval` events for live attempts (replayed
+/// attempts were already traced by the original run).
+fn evaluate_with_retry(
+    driver: &mut EvalDriver<'_>,
+    candidate: usize,
+    iteration: usize,
+    config: &PpaTunerConfig,
+    sanitize: &dyn Fn(&[f64]) -> std::result::Result<(), String>,
+    enabled: bool,
+    emit: &mut dyn FnMut(Event),
+) -> Result<RetryOutcome> {
+    let mut failures = 0;
+    let mut replayed = false;
+    for attempt in 1..=config.max_eval_attempts {
+        if attempt > 1 && enabled && !driver.replaying() {
+            emit(Event::EvalRetry {
+                iteration,
+                candidate,
+                attempt,
+                backoff_s: config.retry_backoff_s(attempt),
+            });
+        }
+        let start = Instant::now();
+        let (outcome, from_replay) = driver.attempt(candidate, sanitize)?;
+        replayed = from_replay;
+        match outcome {
+            Ok(qor) => {
+                if enabled && !from_replay {
+                    emit(Event::ToolEval {
+                        iteration,
+                        candidate,
+                        qor: qor.clone(),
+                        duration_s: start.elapsed().as_secs_f64(),
+                    });
+                }
+                return Ok(RetryOutcome {
+                    qor: Some(qor),
+                    attempts: attempt,
+                    failures,
+                    replayed,
+                });
+            }
+            Err(e) => {
+                failures += 1;
+                if enabled && !from_replay {
+                    emit(Event::EvalFailed {
+                        iteration,
+                        candidate,
+                        attempt,
+                        kind: e.kind().to_string(),
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(RetryOutcome {
+        qor: None,
+        attempts: config.max_eval_attempts,
+        failures,
+        replayed,
+    })
+}
+
+/// Running per-objective `[min, max]` of accepted observations, the span
+/// floor of the outlier gate.
+struct ObservedSpan {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl ObservedSpan {
+    fn new(n_obj: usize) -> Self {
+        ObservedSpan {
+            lo: vec![f64::INFINITY; n_obj],
+            hi: vec![f64::NEG_INFINITY; n_obj],
+        }
+    }
+
+    fn absorb(&mut self, y: &[f64]) {
+        for (k, &v) in y.iter().enumerate() {
+            self.lo[k] = self.lo[k].min(v);
+            self.hi[k] = self.hi[k].max(v);
+        }
+    }
+
+    /// The observed span of objective `k` (0 until two distinct values).
+    fn span(&self, k: usize) -> f64 {
+        let s = self.hi[k] - self.lo[k];
+        if s.is_finite() {
+            s.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// An absolute floor so a zero-width gate can never form: tied to the
+    /// magnitude of observed values.
+    fn magnitude(&self, k: usize) -> f64 {
+        if self.hi[k].is_finite() {
+            self.hi[k].abs().max(self.lo[k].abs()).max(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Validates a QoR vector before it enters the model: dimension,
+/// finiteness, and (when a region is supplied) the gross-outlier gate.
+///
+/// The gate widens the candidate's current uncertainty interval per
+/// objective by `gate × max(region width, observed span, tiny·magnitude)`
+/// — generous enough that genuine observations never trip it (the span of
+/// everything seen so far dwarfs any honest prediction error), while
+/// unit-mixed-up or corrupted values land orders of magnitude outside.
+fn sanitize_qor(
+    y: &[f64],
+    n_obj: Option<usize>,
+    gate: Option<(&UncertaintyRegion, &ObservedSpan, f64)>,
+) -> std::result::Result<(), String> {
+    match n_obj {
+        Some(m) => {
+            if y.len() != m {
+                return Err(format!("QoR dimension {} != expected {m}", y.len()));
+            }
+        }
+        None => {
+            if y.is_empty() {
+                return Err("empty QoR vector".into());
+            }
+        }
+    }
+    if let Some(k) = y.iter().position(|v| !v.is_finite()) {
+        return Err(format!("non-finite value {} at objective {k}", y[k]));
+    }
+    if let Some((region, span, factor)) = gate {
+        let lo = region.optimistic();
+        let hi = region.pessimistic();
+        for (k, &v) in y.iter().enumerate() {
+            if !(lo[k].is_finite() && hi[k].is_finite()) {
+                continue; // still unbounded: no basis for an outlier call
+            }
+            let scale = (hi[k] - lo[k])
+                .max(span.span(k))
+                .max(1e-9 * span.magnitude(k));
+            let allow = factor * scale;
+            if v < lo[k] - allow || v > hi[k] + allow {
+                return Err(format!(
+                    "objective {k} value {v} is a gross outlier vs region [{}, {}]",
+                    lo[k], hi[k]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compares the state replay re-derived against the checkpoint's
+/// snapshot; any divergence means the checkpoint does not belong to this
+/// run (or determinism broke) and live evaluation must not proceed.
+#[allow(clippy::too_many_arguments)]
+fn verify_resumed_state(
+    t: usize,
+    next_iteration: usize,
+    snapshot: &StateSnapshot,
+    statuses: &[Status],
+    evaluated: usize,
+    runs: usize,
+    rng: &StdRng,
+    delta: &[f64],
+) -> Result<()> {
+    let status_string: String = statuses.iter().map(status_char).collect();
+    let mismatch = if t != next_iteration {
+        Some(format!(
+            "replay drained at iteration {t}, checkpoint expected {next_iteration}"
+        ))
+    } else if status_string != snapshot.statuses {
+        Some("candidate statuses diverged from the checkpoint snapshot".into())
+    } else if evaluated != snapshot.evaluated {
+        Some(format!(
+            "replay produced {evaluated} observations, checkpoint recorded {}",
+            snapshot.evaluated
+        ))
+    } else if runs != snapshot.runs {
+        Some(format!(
+            "replay produced {runs} tool runs, checkpoint recorded {} \
+             (was the oracle fresh?)",
+            snapshot.runs
+        ))
+    } else if rng.state().to_vec() != snapshot.rng_state {
+        Some("RNG state diverged from the checkpoint snapshot".into())
+    } else if delta != snapshot.delta {
+        Some("δ thresholds diverged from the checkpoint snapshot".into())
+    } else {
+        None
+    };
+    match mismatch {
+        Some(reason) => Err(TunerError::Checkpoint { reason }),
+        None => Ok(()),
+    }
 }
 
 /// Timing and bookkeeping of one finished iteration, bundled so `record`
@@ -826,26 +1451,30 @@ struct IterationOutcome {
 
 /// Appends the iteration to the trajectory and emits `IterationEnd` (with
 /// the incremental hypervolume of the evaluated set) to the observer.
+/// `live` is false while a resumed run is replaying already-traced
+/// iterations: history is still rebuilt, events are not re-emitted.
 fn record(
     observer: &dyn Observer,
+    live: bool,
     history: &mut Vec<IterationRecord>,
     statuses: &[Status],
     evaluated: &[(usize, Vec<f64>)],
     hv_reference: &[f64],
     ctx: IterationOutcome,
 ) {
-    let (undecided, pareto, dropped) = status_counts(statuses);
+    let (undecided, pareto, dropped, quarantined) = status_counts(statuses);
     history.push(IterationRecord {
         iteration: ctx.iteration,
         undecided,
         pareto,
         dropped,
+        quarantined,
         runs: ctx.runs,
         duration_s: ctx.duration_s,
         gp_fit_s: ctx.gp_fit_s,
         predict_s: ctx.predict_s,
     });
-    if observer.enabled() {
+    if live && observer.enabled() {
         let pts: Vec<Vec<f64>> = evaluated.iter().map(|(_, y)| y.clone()).collect();
         let hypervolume = pareto::hypervolume::hypervolume(&pts, hv_reference).unwrap_or(0.0);
         observer.emit(&Event::IterationEnd {
@@ -957,6 +1586,18 @@ mod tests {
                 .collect(),
         )
         .unwrap()
+    }
+
+    /// A configuration that keeps candidates undecided for several
+    /// iterations (small initial design, tight delta), so checkpoint and
+    /// resume tests have real iteration boundaries to cut at.
+    fn slow_config() -> PpaTunerConfig {
+        PpaTunerConfig {
+            initial_samples: 5,
+            delta_rel: 0.01,
+            seed: 2,
+            ..quick_config()
+        }
     }
 
     fn quick_config() -> PpaTunerConfig {
@@ -1183,6 +1824,387 @@ mod tests {
             .unwrap();
         assert_eq!(plain.pareto_indices, observed.pareto_indices);
         assert_eq!(plain.runs, observed.runs);
+    }
+
+    // ---------------------------------------------- fault tolerance
+
+    use crate::checkpoint::MemoryCheckpointStore;
+    use crate::oracle::{CountingOracle, FallibleOracle};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    /// Store that also keeps every checkpoint ever saved, so tests can
+    /// resume from an arbitrary earlier iteration (simulating a crash at
+    /// that point).
+    #[derive(Default)]
+    struct CaptureStore {
+        inner: MemoryCheckpointStore,
+        all: RefCell<Vec<Checkpoint>>,
+    }
+
+    impl CheckpointStore for CaptureStore {
+        fn save(&self, c: &Checkpoint) -> std::result::Result<(), String> {
+            self.all.borrow_mut().push(c.clone());
+            self.inner.save(c)
+        }
+
+        fn load(&self) -> std::result::Result<Option<Checkpoint>, String> {
+            self.inner.load()
+        }
+    }
+
+    /// Semantic equality of two results: everything except wall-clock
+    /// timing fields.
+    fn assert_same_outcome(a: &TuneResult, b: &TuneResult) {
+        assert_eq!(a.pareto_indices, b.pareto_indices);
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.verification_runs, b.verification_runs);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.delta, b.delta);
+        assert_eq!(a.quarantined, b.quarantined);
+        assert_eq!(a.eval_failures, b.eval_failures);
+        assert_eq!(a.eval_retries, b.eval_retries);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(
+                (
+                    x.iteration,
+                    x.undecided,
+                    x.pareto,
+                    x.dropped,
+                    x.quarantined,
+                    x.runs
+                ),
+                (
+                    y.iteration,
+                    y.undecided,
+                    y.pareto,
+                    y.dropped,
+                    y.quarantined,
+                    y.runs
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn flaky_evaluations_are_retried_transparently() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let mut clean_oracle = VecOracle::new(truth.clone());
+        let clean = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut clean_oracle)
+            .unwrap();
+
+        // Every candidate's first attempt crashes; retries succeed.
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        let flaky_truth = truth.clone();
+        let mut oracle = FallibleOracle::new(move |i: usize| {
+            let attempts = seen.entry(i).or_insert(0);
+            *attempts += 1;
+            if *attempts == 1 {
+                Err(EvalError::Crash {
+                    detail: "flaky license".into(),
+                })
+            } else {
+                Ok(flaky_truth[i].clone())
+            }
+        });
+        let result = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
+
+        // Same search, same answer — failures cost retries, nothing else.
+        assert_eq!(result.pareto_indices, clean.pareto_indices);
+        assert_eq!(result.evaluated, clean.evaluated);
+        assert_eq!(result.iterations, clean.iterations);
+        assert!(result.quarantined.is_empty());
+        assert!(result.eval_failures > 0);
+        assert_eq!(result.eval_failures, result.eval_retries);
+        // Every attempt (failed or not) is a tool run.
+        assert_eq!(
+            result.runs + result.verification_runs,
+            clean.runs + clean.verification_runs + result.eval_failures
+        );
+    }
+
+    #[test]
+    fn always_failing_candidates_are_quarantined_not_fatal() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let broken_truth = truth.clone();
+        let mut oracle = FallibleOracle::new(move |i: usize| {
+            if i % 2 == 1 {
+                Err(EvalError::Timeout {
+                    stage: "route".into(),
+                    elapsed_s: 9.9,
+                })
+            } else {
+                Ok(broken_truth[i].clone())
+            }
+        });
+        let sink = obs::RecordingSink::new();
+        let result = PpaTuner::new(quick_config())
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+
+        assert!(!result.quarantined.is_empty(), "odd candidates must trip");
+        assert!(result.quarantined.iter().all(|i| i % 2 == 1));
+        assert!(result.evaluated.iter().all(|(i, _)| i % 2 == 0));
+        assert!(result.pareto_indices.iter().all(|i| i % 2 == 0));
+        assert!(!result.pareto_indices.is_empty());
+        // Budget: every quarantine burned the full attempt budget.
+        let budget = quick_config().max_eval_attempts;
+        assert!(result.eval_failures >= budget * result.quarantined.len());
+        // Trace accounting: every attempt is exactly one ToolEval or one
+        // EvalFailed.
+        assert_eq!(
+            sink.count("ToolEval") + sink.count("EvalFailed"),
+            result.runs + result.verification_runs
+        );
+        assert_eq!(sink.count("CandidateQuarantined"), result.quarantined.len());
+        assert_eq!(sink.count("EvalFailed"), result.eval_failures);
+    }
+
+    #[test]
+    fn non_finite_qor_is_rejected_before_entering_the_model() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let bad_truth = truth.clone();
+        let mut oracle = CountingOracle::new(move |i: usize| {
+            if i % 2 == 1 {
+                vec![f64::NAN, f64::INFINITY]
+            } else {
+                bad_truth[i].clone()
+            }
+        });
+        let result = PpaTuner::new(quick_config())
+            .run(&source, &candidates, &mut oracle)
+            .unwrap();
+        assert!(result
+            .evaluated
+            .iter()
+            .all(|(_, y)| y.iter().all(|v| v.is_finite())));
+        assert!(!result.quarantined.is_empty());
+        assert!(result.quarantined.iter().all(|i| i % 2 == 1));
+        assert!(result.pareto_indices.iter().all(|i| i % 2 == 0));
+    }
+
+    #[test]
+    fn out_of_range_index_aborts_instead_of_retrying() {
+        let (candidates, _) = toy(20);
+        // Table shorter than the candidate set: indexing past it is a
+        // caller bug, not a transient tool failure.
+        let mut oracle = VecOracle::new(vec![vec![1.0, 2.0]; 5]);
+        let err = PpaTuner::new(quick_config())
+            .run(&SourceData::empty(), &candidates, &mut oracle)
+            .unwrap_err();
+        match err {
+            TunerError::Evaluation(EvalError::OutOfRange { len: 5, .. }) => {}
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let mut o1 = VecOracle::new(truth.clone());
+        let plain = PpaTuner::new(slow_config())
+            .run(&source, &candidates, &mut o1)
+            .unwrap();
+        let store = CaptureStore::default();
+        let mut o2 = VecOracle::new(truth);
+        let checkpointed = PpaTuner::new(slow_config())
+            .run_checkpointed(&source, &candidates, &mut o2, &NULL_SINK, &store)
+            .unwrap();
+        assert_same_outcome(&plain, &checkpointed);
+        // One checkpoint per iteration that evaluated something (the
+        // final, fully-decided iteration evaluates nothing and is not a
+        // valid replay boundary).
+        let all = store.all.borrow();
+        assert!(
+            all.len() >= 2,
+            "want several checkpoints, got {}",
+            all.len()
+        );
+        assert!(all.len() <= checkpointed.iterations);
+        assert!(all
+            .windows(2)
+            .all(|w| w[0].next_iteration < w[1].next_iteration));
+        assert!(all.iter().all(|c| c.version == CHECKPOINT_VERSION));
+    }
+
+    #[test]
+    fn resume_from_any_iteration_reproduces_the_full_run() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let store = CaptureStore::default();
+        let mut oracle = VecOracle::new(truth.clone());
+        let full = PpaTuner::new(slow_config())
+            .run_checkpointed(&source, &candidates, &mut oracle, &NULL_SINK, &store)
+            .unwrap();
+        let all = store.all.borrow();
+        assert!(all.len() >= 2, "need at least two checkpoints to sample");
+        // Resume from the first, a middle, and the last checkpoint — as
+        // if the process had died right after each was written.
+        for k in [0, all.len() / 2, all.len() - 1] {
+            let crash_point = MemoryCheckpointStore::new();
+            crash_point.put(all[k].clone());
+            let mut fresh = VecOracle::new(truth.clone());
+            let resumed = PpaTuner::new(slow_config())
+                .resume(&source, &candidates, &mut fresh, &NULL_SINK, &crash_point)
+                .unwrap();
+            assert_same_outcome(&full, &resumed);
+            // Resume kept checkpointing past the crash point, ending on
+            // the same final boundary as the uninterrupted run.
+            let latest = crash_point.latest().unwrap();
+            assert_eq!(latest.next_iteration, all.last().unwrap().next_iteration);
+        }
+    }
+
+    #[test]
+    fn resume_with_empty_store_is_a_fresh_run() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let mut o1 = VecOracle::new(truth.clone());
+        let plain = PpaTuner::new(slow_config())
+            .run(&source, &candidates, &mut o1)
+            .unwrap();
+        let store = MemoryCheckpointStore::new();
+        let mut o2 = VecOracle::new(truth);
+        let resumed = PpaTuner::new(slow_config())
+            .resume(&source, &candidates, &mut o2, &NULL_SINK, &store)
+            .unwrap();
+        assert_same_outcome(&plain, &resumed);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_checkpoints() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let store = CaptureStore::default();
+        let mut oracle = VecOracle::new(truth.clone());
+        PpaTuner::new(slow_config())
+            .run_checkpointed(&source, &candidates, &mut oracle, &NULL_SINK, &store)
+            .unwrap();
+        let ckpt = store.all.borrow()[0].clone();
+        let foreign = MemoryCheckpointStore::new();
+        foreign.put(ckpt);
+        // Different seed => different run: must refuse, not diverge.
+        let other_config = PpaTunerConfig {
+            seed: 8,
+            ..slow_config()
+        };
+        let mut fresh = VecOracle::new(truth);
+        let err = PpaTuner::new(other_config)
+            .resume(&source, &candidates, &mut fresh, &NULL_SINK, &foreign)
+            .unwrap_err();
+        assert!(matches!(err, TunerError::Checkpoint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn resumed_trace_continues_without_duplicating_the_prefix() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let store = CaptureStore::default();
+        let mut oracle = VecOracle::new(truth.clone());
+        let prefix_sink = obs::RecordingSink::new();
+        let full = PpaTuner::new(slow_config())
+            .run_checkpointed(&source, &candidates, &mut oracle, &prefix_sink, &store)
+            .unwrap();
+        let mid = store.all.borrow()[store.all.borrow().len() / 2].clone();
+        let crash_point = MemoryCheckpointStore::new();
+        let mid_iteration = mid.next_iteration;
+        crash_point.put(mid);
+        let sink = obs::RecordingSink::new();
+        let mut fresh = VecOracle::new(truth);
+        let resumed = PpaTuner::new(slow_config())
+            .resume(&source, &candidates, &mut fresh, &sink, &crash_point)
+            .unwrap();
+        assert_same_outcome(&full, &resumed);
+        // No second RunStart, and the replayed iterations stay silent.
+        assert_eq!(sink.count("RunStart"), 0);
+        assert_eq!(sink.count("RunEnd"), 1);
+        assert_eq!(
+            sink.count("IterationEnd"),
+            full.history.len() - mid_iteration
+        );
+    }
+
+    #[test]
+    fn source_data_rejects_non_finite_values() {
+        assert!(SourceData::new(vec![vec![f64::NAN]], vec![vec![1.0]]).is_err());
+        assert!(SourceData::new(vec![vec![0.0]], vec![vec![f64::INFINITY]]).is_err());
+        assert!(SourceData::new(vec![vec![0.0]], vec![vec![f64::NEG_INFINITY]]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_candidates() {
+        let mut oracle = VecOracle::new(vec![vec![1.0, 2.0]; 4]);
+        let err = PpaTuner::new(slow_config())
+            .run(
+                &SourceData::empty(),
+                &[vec![0.0], vec![f64::NAN], vec![0.5], vec![1.0]],
+                &mut oracle,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TunerError::InvalidInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn resilience_config_is_validated() {
+        let bad = |cfg: PpaTunerConfig| {
+            let mut oracle = VecOracle::new(vec![vec![1.0, 2.0]; 4]);
+            PpaTuner::new(cfg)
+                .run(&SourceData::empty(), &[vec![0.0]], &mut oracle)
+                .unwrap_err()
+        };
+        assert!(matches!(
+            bad(PpaTunerConfig {
+                max_eval_attempts: 0,
+                ..slow_config()
+            }),
+            TunerError::InvalidConfig {
+                name: "max_eval_attempts",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(PpaTunerConfig {
+                backoff_base_s: f64::NAN,
+                ..slow_config()
+            }),
+            TunerError::InvalidConfig {
+                name: "backoff_base_s",
+                ..
+            }
+        ));
+        assert!(matches!(
+            bad(PpaTunerConfig {
+                outlier_gate: 0.0,
+                ..quick_config()
+            }),
+            TunerError::InvalidConfig {
+                name: "outlier_gate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        let cfg = PpaTunerConfig {
+            backoff_base_s: 2.0,
+            backoff_cap_s: 10.0,
+            ..PpaTunerConfig::default()
+        };
+        assert_eq!(cfg.retry_backoff_s(2), 2.0);
+        assert_eq!(cfg.retry_backoff_s(3), 4.0);
+        assert_eq!(cfg.retry_backoff_s(4), 8.0);
+        assert_eq!(cfg.retry_backoff_s(5), 10.0);
+        assert_eq!(cfg.retry_backoff_s(50), 10.0);
     }
 
     #[test]

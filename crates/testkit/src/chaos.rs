@@ -1,0 +1,179 @@
+//! Chaos harness: a table-backed oracle with deterministic fault
+//! injection, for exercising the tuner's retry / quarantine / sanitize
+//! machinery end to end.
+//!
+//! [`FaultyVecOracle`] is to [`ppatuner::VecOracle`] what
+//! [`pdsim::FaultyFlow`] is to [`pdsim::PdFlow`]: the same golden QoR
+//! table, wrapped in a [`pdsim::FaultPlan`] that decides — purely from
+//! `(candidate, attempt)` hashes — which attempts crash, time out, or
+//! come back corrupted. Because both halves are deterministic, a chaos
+//! run is exactly as reproducible as a clean one, and the *same plan* can
+//! be replayed in a proptest, in CI, and at a debugger prompt.
+
+use std::collections::HashMap;
+
+use pdsim::{FaultDecision, FaultPlan};
+use ppatuner::{EvalError, QorOracle};
+
+/// Wall-clock budget reported by injected timeouts (arbitrary but stable,
+/// so traces and goldens do not wobble).
+const INJECTED_TIMEOUT_S: f64 = 3600.0;
+
+/// A golden-table oracle that fails according to a [`FaultPlan`].
+///
+/// Attempt numbers are tracked per candidate across the whole run (the
+/// plan's flaky bound is about consecutive failures of one candidate),
+/// and every call — failed or not — counts as a tool run, mirroring how
+/// a license is burned on a crashed job.
+///
+/// # Example
+///
+/// ```
+/// use pdsim::FaultPlan;
+/// use ppatuner::QorOracle;
+/// use testkit::chaos::FaultyVecOracle;
+///
+/// let plan = FaultPlan { crash_prob: 1.0, flaky_max_failures: 1, ..FaultPlan::default() };
+/// let mut oracle = FaultyVecOracle::new(vec![vec![1.0, 2.0]], plan);
+/// assert!(oracle.evaluate(0).is_err()); // attempt 1 crashes
+/// assert!(oracle.evaluate(0).is_ok()); // attempt 2 clears the flaky bound
+/// assert_eq!(oracle.runs(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyVecOracle {
+    table: Vec<Vec<f64>>,
+    plan: FaultPlan,
+    attempts: HashMap<usize, usize>,
+    runs: usize,
+}
+
+impl FaultyVecOracle {
+    /// Wraps a golden QoR table in a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan fails [`FaultPlan::validate`].
+    pub fn new(table: Vec<Vec<f64>>, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        FaultyVecOracle {
+            table,
+            plan,
+            attempts: HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// The injection recipe.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The fault-free QoR of candidate `index`, for assertions.
+    pub fn truth(&self, index: usize) -> Option<&Vec<f64>> {
+        self.table.get(index)
+    }
+}
+
+impl QorOracle for FaultyVecOracle {
+    fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.runs += 1;
+        let Some(y) = self.table.get(index) else {
+            return Err(EvalError::OutOfRange {
+                index,
+                len: self.table.len(),
+            });
+        };
+        let attempt = self.attempts.entry(index).or_insert(0);
+        *attempt += 1;
+        match self.plan.decide(index, *attempt) {
+            FaultDecision::None => Ok(y.clone()),
+            FaultDecision::Crash => Err(EvalError::Crash {
+                detail: format!("injected crash (candidate {index}, attempt {attempt})"),
+            }),
+            FaultDecision::Timeout(stage) => Err(EvalError::Timeout {
+                stage: pdsim::faults::STAGE_NAMES[stage].to_string(),
+                elapsed_s: INJECTED_TIMEOUT_S,
+            }),
+            FaultDecision::CorruptNan => Ok(vec![f64::NAN; y.len()]),
+            FaultDecision::CorruptOutlier => {
+                Ok(y.iter().map(|v| v * self.plan.outlier_factor).collect())
+            }
+        }
+    }
+
+    fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<Vec<f64>> {
+        (0..10).map(|i| vec![i as f64, 10.0 - i as f64]).collect()
+    }
+
+    #[test]
+    fn clean_plan_is_a_vec_oracle() {
+        let mut oracle = FaultyVecOracle::new(table(), FaultPlan::default());
+        for i in 0..10 {
+            assert_eq!(oracle.evaluate(i).unwrap(), table()[i]);
+        }
+        assert_eq!(oracle.runs(), 10);
+    }
+
+    #[test]
+    fn always_fail_candidates_never_succeed() {
+        let plan = FaultPlan {
+            always_fail: vec![4],
+            ..FaultPlan::default()
+        };
+        let mut oracle = FaultyVecOracle::new(table(), plan);
+        for _ in 0..5 {
+            assert!(matches!(oracle.evaluate(4), Err(EvalError::Crash { .. })));
+        }
+        assert_eq!(oracle.runs(), 5);
+    }
+
+    #[test]
+    fn injection_is_reproducible_across_oracles() {
+        let plan = FaultPlan {
+            seed: 9,
+            crash_prob: 0.3,
+            timeout_prob: 0.2,
+            nan_prob: 0.1,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultyVecOracle::new(table(), plan.clone());
+        let mut b = FaultyVecOracle::new(table(), plan);
+        for i in 0..10 {
+            for _ in 0..3 {
+                assert_eq!(a.evaluate(i).is_ok(), b.evaluate(i).is_ok(), "{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut oracle = FaultyVecOracle::new(table(), FaultPlan::default());
+        assert!(matches!(
+            oracle.evaluate(99),
+            Err(EvalError::OutOfRange { index: 99, len: 10 })
+        ));
+    }
+
+    #[test]
+    fn corruptions_surface_in_the_qor() {
+        let plan = FaultPlan {
+            nan_prob: 1.0,
+            flaky_max_failures: 0,
+            ..FaultPlan::default()
+        };
+        let mut oracle = FaultyVecOracle::new(table(), plan);
+        let y = oracle.evaluate(0).unwrap();
+        assert!(y.iter().all(|v| v.is_nan()));
+    }
+}

@@ -16,11 +16,18 @@
 //! - **Classification is δ-accurate** (Eq. 12): every candidate the loop
 //!   classified Pareto is, in golden QoR, at most δ worse than the true
 //!   front in at least one objective.
+//! - **Quarantine is terminal**: a candidate announced in
+//!   [`obs::Event::CandidateQuarantined`] shows status `'q'` in every
+//!   later snapshot, is never selected and never evaluated again.
+//! - **Attempts are conserved**: every oracle attempt appears in the
+//!   trace as exactly one [`obs::Event::ToolEval`] (accepted) or
+//!   [`obs::Event::EvalFailed`] (failed), so their counts sum to the
+//!   `runs + verification_runs` reported by [`obs::Event::RunEnd`].
 //!
 //! Violations are reported as `Err(String)` naming the event index and
 //! the law broken, so a failing golden trace pinpoints the regression.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use obs::Event;
 
@@ -37,6 +44,10 @@ pub struct InvariantReport {
     pub selects: usize,
     /// `ToolEval` events checked.
     pub tool_evals: usize,
+    /// `EvalFailed` events counted toward the attempt-conservation law.
+    pub eval_failures: usize,
+    /// `CandidateQuarantined` events checked.
+    pub quarantines: usize,
     /// Pareto-classified candidates δ-accuracy-checked at the end.
     pub pareto_checked: usize,
 }
@@ -50,6 +61,8 @@ struct CheckerState {
     snapshot_iteration: Option<usize>,
     /// Golden QoR of each evaluated candidate, in evaluation order.
     measured: BTreeMap<usize, Vec<f64>>,
+    /// Candidates announced quarantined (terminal, never re-selected).
+    quarantined: BTreeSet<usize>,
     /// δ thresholds from the most recent `Classify`.
     delta: Vec<f64>,
     /// Counts from the most recent `Classify`, awaiting its snapshot.
@@ -79,6 +92,7 @@ pub fn check_trace(
         diameters: Vec::new(),
         snapshot_iteration: None,
         measured: BTreeMap::new(),
+        quarantined: BTreeSet::new(),
         delta: Vec::new(),
         pending_classify: None,
         report: InvariantReport::default(),
@@ -121,16 +135,37 @@ pub fn check_trace(
             Event::ToolEval { candidate, qor, .. } => {
                 check_tool_eval(&mut st, *candidate, qor).map_err(|law| fail(&law))?;
             }
+            Event::EvalFailed { candidate, .. } => {
+                if st.quarantined.contains(candidate) {
+                    return Err(fail(&format!(
+                        "quarantined candidate {candidate} was attempted again"
+                    )));
+                }
+                st.report.eval_failures += 1;
+            }
+            Event::CandidateQuarantined { candidate, .. } => {
+                if st.measured.contains_key(candidate) {
+                    return Err(fail(&format!(
+                        "candidate {candidate} quarantined after a successful \
+                         evaluation"
+                    )));
+                }
+                if !st.quarantined.insert(*candidate) {
+                    return Err(fail(&format!("candidate {candidate} quarantined twice")));
+                }
+                st.report.quarantines += 1;
+            }
             Event::RunEnd {
                 runs,
                 verification_runs,
                 ..
-            } if st.measured.len() != runs + verification_runs => {
+            } if st.measured.len() + st.report.eval_failures != runs + verification_runs => {
                 return Err(fail(&format!(
-                    "RunEnd accounts for {} evaluations but the trace \
-                     recorded {} distinct candidates",
+                    "RunEnd accounts for {} attempts but the trace recorded \
+                     {} accepted + {} failed",
                     runs + verification_runs,
-                    st.measured.len()
+                    st.measured.len(),
+                    st.report.eval_failures
                 )));
             }
             _ => {}
@@ -156,8 +191,18 @@ fn check_snapshot(
             ));
         }
     }
-    if let Some(bad) = chars.iter().find(|c| !matches!(c, 'u' | 'p' | 'd')) {
+    if let Some(bad) = chars.iter().find(|c| !matches!(c, 'u' | 'p' | 'd' | 'q')) {
         return Err(format!("unknown status character {bad:?}"));
+    }
+    // Every announced quarantine must be visible in the snapshot.
+    for &cand in &st.quarantined {
+        if cand < chars.len() && chars[cand] != 'q' {
+            return Err(format!(
+                "candidate {cand} was quarantined but the snapshot shows \
+                 {:?}",
+                chars[cand]
+            ));
+        }
     }
     // Counts must agree with the Classify event of the same iteration.
     if let Some((cl_iter, pareto, dropped, undecided)) = st.pending_classify.take() {
@@ -176,8 +221,11 @@ fn check_snapshot(
     }
     if !st.statuses.is_empty() {
         for (i, (&prev, &now)) in st.statuses.iter().zip(&chars).enumerate() {
-            // Decisions are final: only 'u' may transition.
-            if prev != 'u' && now != prev {
+            // Decisions are final: 'u' may transition anywhere, and a
+            // still-active 'p' may be quarantined by a failing
+            // evaluation; everything else is a resurrection.
+            let allowed = now == prev || prev == 'u' || (prev == 'p' && now == 'q');
+            if !allowed {
                 return Err(format!(
                     "candidate {i} resurrected: status {prev:?} became {now:?} \
                      at iteration {iteration}"
@@ -233,6 +281,9 @@ fn check_select(
         if st.statuses.get(i) == Some(&'d') {
             return Err(format!("dropped candidate {i} was selected"));
         }
+        if st.statuses.get(i) == Some(&'q') || st.quarantined.contains(&i) {
+            return Err(format!("quarantined candidate {i} was selected"));
+        }
         if st.measured.contains_key(&i) {
             return Err(format!("already-evaluated candidate {i} was selected"));
         }
@@ -253,7 +304,11 @@ fn check_select(
         .diameters
         .iter()
         .enumerate()
-        .filter(|&(i, _)| st.statuses[i] != 'd' && !st.measured.contains_key(&i))
+        .filter(|&(i, _)| {
+            !matches!(st.statuses[i], 'd' | 'q')
+                && !st.quarantined.contains(&i)
+                && !st.measured.contains_key(&i)
+        })
         .map(|(_, &d)| d)
         .fold(f64::NEG_INFINITY, f64::max);
     if best > diameters[0] + TOL * best.abs().max(1.0) {
@@ -271,6 +326,17 @@ fn check_tool_eval(st: &mut CheckerState, candidate: usize, qor: &[f64]) -> Resu
     if st.statuses.get(candidate) == Some(&'d') {
         return Err(format!(
             "dropped candidate {candidate} was evaluated afterwards"
+        ));
+    }
+    if st.quarantined.contains(&candidate) {
+        return Err(format!(
+            "quarantined candidate {candidate} was evaluated afterwards"
+        ));
+    }
+    if qor.iter().any(|v| !v.is_finite()) {
+        return Err(format!(
+            "accepted evaluation of candidate {candidate} carries non-finite \
+             QoR {qor:?}"
         ));
     }
     if st.measured.insert(candidate, qor.to_vec()).is_some() {
@@ -451,6 +517,199 @@ mod tests {
         ];
         let err = check_trace(&events, Some(&truth)).unwrap_err();
         assert!(err.contains("not δ-accurate"), "{err}");
+    }
+
+    #[test]
+    fn faulty_trace_with_recovery_and_quarantine_passes() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 3,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            // Candidate 0: fails once, recovers on retry.
+            Event::EvalFailed {
+                iteration: 0,
+                candidate: 0,
+                attempt: 1,
+                kind: "crash".into(),
+                detail: "license drop".into(),
+            },
+            Event::EvalRetry {
+                iteration: 0,
+                candidate: 0,
+                attempt: 2,
+                backoff_s: 1.0,
+            },
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 0,
+                qor: vec![1.0, 1.0],
+                duration_s: 0.0,
+            },
+            snapshot(0, "uuu", &[0.0, 2.0, 1.0]),
+            Event::Select {
+                iteration: 0,
+                chosen: vec![1],
+                diameters: vec![2.0],
+            },
+            // Candidate 1: exhausts its budget and is quarantined.
+            Event::EvalFailed {
+                iteration: 0,
+                candidate: 1,
+                attempt: 1,
+                kind: "timeout".into(),
+                detail: "route".into(),
+            },
+            Event::EvalFailed {
+                iteration: 0,
+                candidate: 1,
+                attempt: 2,
+                kind: "timeout".into(),
+                detail: "route".into(),
+            },
+            Event::CandidateQuarantined {
+                iteration: 0,
+                candidate: 1,
+                attempts: 2,
+            },
+            // Fallback wave selects the next-longest diameter.
+            Event::Select {
+                iteration: 0,
+                chosen: vec![2],
+                diameters: vec![1.0],
+            },
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 2,
+                qor: vec![2.0, 0.5],
+                duration_s: 0.0,
+            },
+            Event::Classify {
+                iteration: 1,
+                pareto: 2,
+                dropped: 0,
+                undecided: 0,
+                delta: vec![0.1, 0.1],
+            },
+            snapshot(1, "pqp", &[0.0, 1.0, 0.0]),
+            Event::RunEnd {
+                iterations: 2,
+                runs: 5,
+                verification_runs: 0,
+                pareto: 2,
+                duration_s: 0.0,
+            },
+        ];
+        let report = check_trace(&events, None).expect("faulty trace is lawful");
+        assert_eq!(report.eval_failures, 3);
+        assert_eq!(report.quarantines, 1);
+        assert_eq!(report.tool_evals, 2);
+    }
+
+    #[test]
+    fn quarantine_resurrection_is_rejected() {
+        let events = vec![snapshot(0, "q", &[1.0]), snapshot(1, "u", &[1.0])];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("resurrected"), "{err}");
+    }
+
+    #[test]
+    fn selecting_quarantined_candidate_is_rejected() {
+        let events = vec![
+            Event::CandidateQuarantined {
+                iteration: 0,
+                candidate: 0,
+                attempts: 3,
+            },
+            snapshot(0, "qu", &[2.0, 1.0]),
+            Event::Select {
+                iteration: 0,
+                chosen: vec![0],
+                diameters: vec![2.0],
+            },
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(
+            err.contains("quarantined candidate 0 was selected"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn evaluating_quarantined_candidate_is_rejected() {
+        let events = vec![
+            Event::CandidateQuarantined {
+                iteration: 0,
+                candidate: 1,
+                attempts: 3,
+            },
+            Event::ToolEval {
+                iteration: 1,
+                candidate: 1,
+                qor: vec![1.0],
+                duration_s: 0.0,
+            },
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("evaluated afterwards"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_must_show_announced_quarantines() {
+        let events = vec![
+            Event::CandidateQuarantined {
+                iteration: 0,
+                candidate: 0,
+                attempts: 3,
+            },
+            snapshot(0, "uu", &[1.0, 1.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("was quarantined but"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_accepted_qor_is_rejected() {
+        let events = vec![Event::ToolEval {
+            iteration: 0,
+            candidate: 0,
+            qor: vec![f64::NAN],
+            duration_s: 0.0,
+        }];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn run_end_attempt_conservation_is_enforced() {
+        let events = vec![
+            Event::ToolEval {
+                iteration: 0,
+                candidate: 0,
+                qor: vec![1.0],
+                duration_s: 0.0,
+            },
+            Event::EvalFailed {
+                iteration: 0,
+                candidate: 1,
+                attempt: 1,
+                kind: "crash".into(),
+                detail: "x".into(),
+            },
+            Event::RunEnd {
+                iterations: 1,
+                runs: 3, // trace only accounts for 2 attempts
+                verification_runs: 0,
+                pareto: 1,
+                duration_s: 0.0,
+            },
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("accounts for 3 attempts"), "{err}");
     }
 
     #[test]

@@ -184,7 +184,7 @@ fn live_flow_oracle_counts_runs() {
         let params = ToolParams::from_config(&space, &configs[i]).expect("valid");
         flow.run(&params).project(ObjectiveSpace::AreaPowerDelay)
     });
-    let y = oracle.evaluate(0);
+    let y = oracle.evaluate(0).expect("closure oracles are infallible");
     assert_eq!(y.len(), 3);
     assert_eq!(oracle.runs(), 1);
 }

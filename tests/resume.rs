@@ -1,0 +1,231 @@
+//! Workspace integration tests for checkpoint/resume: a run interrupted at
+//! an arbitrary checkpoint and resumed from disk must finish with exactly
+//! the same `TuneResult` as the uninterrupted run — fault-free or under
+//! deterministic fault injection with a fresh oracle process.
+
+use std::cell::RefCell;
+
+use benchgen::Scenario;
+use pdsim::{FaultPlan, ObjectiveSpace};
+use ppatuner::{
+    Checkpoint, CheckpointStore, FileCheckpointStore, PpaTuner, PpaTunerConfig, SourceData,
+    TuneResult, VecOracle,
+};
+use testkit::chaos::FaultyVecOracle;
+
+/// Records every checkpoint the tuner writes so tests can simulate a crash
+/// at any boundary, not just the last one.
+#[derive(Default)]
+struct CaptureStore {
+    all: RefCell<Vec<Checkpoint>>,
+}
+
+impl CheckpointStore for CaptureStore {
+    fn save(&self, c: &Checkpoint) -> Result<(), String> {
+        self.all.borrow_mut().push(c.clone());
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<Checkpoint>, String> {
+        Ok(self.all.borrow().last().cloned())
+    }
+}
+
+struct Setup {
+    candidates: Vec<Vec<f64>>,
+    truth: Vec<Vec<f64>>,
+    source: SourceData,
+    config: PpaTunerConfig,
+}
+
+fn setup() -> Setup {
+    let scenario = Scenario::two_with_counts(9, 120, 100).with_source_budget(60);
+    let space = ObjectiveSpace::PowerDelay;
+    let (sx, sy) = scenario.source_xy(space);
+    Setup {
+        candidates: scenario.target_candidates(),
+        truth: scenario.target_table(space),
+        source: SourceData::new(sx, sy).expect("scenario source data"),
+        config: PpaTunerConfig {
+            initial_samples: 10,
+            max_iterations: 15,
+            seed: testkit::test_seed(),
+            threads: 1,
+            ..Default::default()
+        },
+    }
+}
+
+fn assert_identical(full: &TuneResult, resumed: &TuneResult, label: &str) {
+    assert_eq!(
+        resumed.pareto_indices, full.pareto_indices,
+        "{label}: front"
+    );
+    assert_eq!(resumed.evaluated, full.evaluated, "{label}: evaluated set");
+    assert_eq!(resumed.runs, full.runs, "{label}: runs");
+    assert_eq!(
+        resumed.verification_runs, full.verification_runs,
+        "{label}: verification runs"
+    );
+    assert_eq!(resumed.iterations, full.iterations, "{label}: iterations");
+    assert_eq!(resumed.delta, full.delta, "{label}: final delta");
+    assert_eq!(resumed.quarantined, full.quarantined, "{label}: quarantine");
+    assert_eq!(
+        (resumed.eval_failures, resumed.eval_retries),
+        (full.eval_failures, full.eval_retries),
+        "{label}: failure counters"
+    );
+    // History rows carry wall-clock timings; compare the structural part.
+    let shape = |r: &TuneResult| -> Vec<(usize, usize, usize, usize, usize, usize)> {
+        r.history
+            .iter()
+            .map(|h| {
+                (
+                    h.iteration,
+                    h.undecided,
+                    h.pareto,
+                    h.dropped,
+                    h.quarantined,
+                    h.runs,
+                )
+            })
+            .collect()
+    };
+    assert_eq!(shape(resumed), shape(full), "{label}: iteration history");
+}
+
+/// Every checkpoint of a fault-free run is a valid crash point: resuming
+/// from each — through an on-disk store, like a real restart would — lands
+/// on the identical final result.
+#[test]
+fn resume_from_every_checkpoint_matches_the_uninterrupted_run() {
+    let s = setup();
+    let store = CaptureStore::default();
+    let mut oracle = VecOracle::new(s.truth.clone());
+    let full = PpaTuner::new(s.config.clone())
+        .run_checkpointed(
+            &s.source,
+            &s.candidates,
+            &mut oracle,
+            &obs::NULL_SINK,
+            &store,
+        )
+        .expect("uninterrupted run succeeds");
+
+    let checkpoints = store.all.borrow();
+    assert!(
+        checkpoints.len() >= 2,
+        "run too short to exercise resume ({} checkpoints)",
+        checkpoints.len()
+    );
+    let dir = std::env::temp_dir().join(format!("ppatuner_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (k, ckpt) in checkpoints.iter().enumerate() {
+        let file = FileCheckpointStore::new(dir.join(format!("crash_at_{k}.json")));
+        file.save(ckpt).expect("checkpoint persists");
+        let mut oracle = VecOracle::new(s.truth.clone());
+        let resumed = PpaTuner::new(s.config.clone())
+            .resume(
+                &s.source,
+                &s.candidates,
+                &mut oracle,
+                &obs::NULL_SINK,
+                &file,
+            )
+            .unwrap_or_else(|e| panic!("resume from checkpoint {k} failed: {e}"));
+        assert_identical(&full, &resumed, &format!("checkpoint {k}"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resume also replays through injected failures: a fresh faulty oracle
+/// (attempt counters reset, as after a real process crash) regenerates the
+/// same fault stream, and the resumed run matches the original exactly —
+/// retries, quarantines, and all.
+#[test]
+fn resume_replays_faithfully_under_fault_injection() {
+    let s = setup();
+    let plan = FaultPlan {
+        seed: 1009,
+        crash_prob: 0.12,
+        timeout_prob: 0.06,
+        nan_prob: 0.04,
+        outlier_prob: 0.03,
+        flaky_max_failures: 2,
+        always_fail: vec![27, 56],
+        ..FaultPlan::default()
+    };
+    let config = PpaTunerConfig {
+        max_eval_attempts: plan.flaky_max_failures + 2,
+        ..s.config.clone()
+    };
+
+    let store = CaptureStore::default();
+    let mut oracle = FaultyVecOracle::new(s.truth.clone(), plan.clone());
+    let full = PpaTuner::new(config.clone())
+        .run_checkpointed(
+            &s.source,
+            &s.candidates,
+            &mut oracle,
+            &obs::NULL_SINK,
+            &store,
+        )
+        .expect("chaotic run completes");
+    assert!(full.eval_failures > 0, "the plan should have injected");
+
+    let checkpoints = store.all.borrow();
+    assert!(checkpoints.len() >= 2);
+    for k in [0, checkpoints.len() / 2, checkpoints.len() - 1] {
+        let crash_point = CaptureStore::default();
+        crash_point.save(&checkpoints[k]).unwrap();
+        let mut fresh = FaultyVecOracle::new(s.truth.clone(), plan.clone());
+        let resumed = PpaTuner::new(config.clone())
+            .resume(
+                &s.source,
+                &s.candidates,
+                &mut fresh,
+                &obs::NULL_SINK,
+                &crash_point,
+            )
+            .unwrap_or_else(|e| panic!("faulty resume from checkpoint {k} failed: {e}"));
+        assert_identical(&full, &resumed, &format!("faulty checkpoint {k}"));
+    }
+}
+
+/// A checkpoint from a different configuration (different seed, so a
+/// different config digest) is refused instead of silently producing a
+/// diverged run.
+#[test]
+fn resume_refuses_a_checkpoint_from_another_run() {
+    let s = setup();
+    let store = CaptureStore::default();
+    let mut oracle = VecOracle::new(s.truth.clone());
+    PpaTuner::new(s.config.clone())
+        .run_checkpointed(
+            &s.source,
+            &s.candidates,
+            &mut oracle,
+            &obs::NULL_SINK,
+            &store,
+        )
+        .expect("run succeeds");
+
+    let other = PpaTunerConfig {
+        seed: s.config.seed + 1,
+        ..s.config.clone()
+    };
+    let mut oracle = VecOracle::new(s.truth.clone());
+    let err = PpaTuner::new(other)
+        .resume(
+            &s.source,
+            &s.candidates,
+            &mut oracle,
+            &obs::NULL_SINK,
+            &store,
+        )
+        .expect_err("foreign checkpoint must be rejected");
+    assert!(
+        matches!(err, ppatuner::TunerError::Checkpoint { .. }),
+        "unexpected error: {err}"
+    );
+}
