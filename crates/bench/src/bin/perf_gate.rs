@@ -1,0 +1,114 @@
+//! `perf_gate` — CI perf-regression gate over `BENCH_gp.json`.
+//!
+//! Runs a fresh `perf` measurement (smoke sizes by default — the CI
+//! configuration; `--full` for the paper-scale sizes) and compares its
+//! machine-independent speedup ratios and deterministic tool-run counts
+//! against the mode-matched entries of the file's `history` array (see
+//! [`bench::gate`] for the comparison rules). On a pass the fresh entry
+//! is appended to the history and the file rewritten; on a regression
+//! the process exits nonzero listing every violated comparison and
+//! leaves the file untouched. With no mode-matched history the gate
+//! bootstraps: it passes and records the first reference entry.
+//!
+//! Usage: `perf_gate [seed] [--full] [--bench <path>] [--min-ratio <r>]`
+
+use bench::gate::{self, GateConfig, GateEntry, GateOutcome};
+use bench::{perfrun, BinArgs};
+use serde_json::Value;
+
+fn main() {
+    let args = BinArgs::parse(7);
+    let mut smoke = true;
+    let mut bench_path = String::from("BENCH_gp.json");
+    let mut config = GateConfig::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--full" => smoke = false,
+            "--smoke" => smoke = true,
+            "--bench" => {
+                if let Some(p) = argv.next() {
+                    bench_path = p;
+                }
+            }
+            "--min-ratio" => {
+                if let Some(r) = argv.next().and_then(|s| s.parse().ok()) {
+                    config.min_speedup_ratio = r;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+
+    // Load the committed benchmark file first: a missing or unreadable
+    // file should fail before minutes of measurement.
+    let text = std::fs::read_to_string(&bench_path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {bench_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut file: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: {bench_path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let mut history: Vec<GateEntry> = file
+        .get("history")
+        .and_then(|h| h.as_array())
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|v| serde_json::from_value(v).ok())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    eprintln!("perf_gate: measuring ({mode} mode, seed {})", args.seed);
+    let results = perfrun::run_sizes(smoke, args.seed);
+    let fresh = GateEntry::from_results(mode, args.seed, &results);
+    for s in &fresh.sizes {
+        eprintln!(
+            "perf_gate: {}: search {:.2}x, condition {:.2}x, batch {:.2}x, \
+             tuner {:.3}s / {} tool runs",
+            s.name,
+            s.search_speedup,
+            s.condition_speedup,
+            s.batch_speedup,
+            s.tuner_total_s,
+            s.tool_runs
+        );
+    }
+
+    match gate::evaluate(&fresh, &history, &config) {
+        Ok(outcome) => {
+            match outcome {
+                GateOutcome::Bootstrap => eprintln!(
+                    "perf_gate: PASS (bootstrap — no {mode} history yet, recording reference)"
+                ),
+                GateOutcome::Pass { checks } => {
+                    eprintln!("perf_gate: PASS ({checks} comparisons held)");
+                }
+            }
+            gate::append_history(&mut history, fresh);
+            if let Value::Object(fields) = &mut file {
+                let new_history = serde_json::to_value(&history);
+                match fields.iter_mut().find(|(k, _)| k.as_str() == "history") {
+                    Some((_, slot)) => *slot = new_history,
+                    None => fields.push(("history".into(), new_history)),
+                }
+            }
+            let out = serde_json::to_string_pretty(&file).expect("file serializes");
+            std::fs::write(&bench_path, out).unwrap_or_else(|e| {
+                eprintln!("perf_gate: cannot write {bench_path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("perf_gate: appended history entry to {bench_path}");
+        }
+        Err(violations) => {
+            eprintln!("perf_gate: FAIL — {} regression(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

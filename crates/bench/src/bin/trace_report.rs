@@ -1,13 +1,82 @@
 //! Aggregates a JSONL event trace (written via `--trace <path>` by the
 //! experiment bins, or by any [`obs::JsonlSink`]) into a timing and
-//! convergence summary: where the wall-clock went per phase, how the
-//! δ-dominance classification progressed, and how the GP fits behaved.
+//! convergence summary: where the wall-clock went per phase and causal
+//! span, how the δ-dominance classification progressed, how the GP fits
+//! behaved, and what resources the hot paths consumed.
 //!
-//! Usage: `cargo run -p bench --bin trace_report -- <trace.jsonl>`
+//! Usage:
+//!
+//! ```text
+//! trace_report <trace.jsonl> [--lenient]
+//! trace_report --fleet <dir> [--lenient]
+//! ```
+//!
+//! Malformed lines abort with a nonzero exit and a line number;
+//! `--lenient` skips and counts them instead. `--fleet <dir>` ingests
+//! every `*.jsonl` in the directory and prints cross-run aggregates
+//! (hv-convergence quantiles, failure/retry/quarantine rates, per-phase
+//! time, slowest spans).
 
 use std::collections::BTreeMap;
 
+use bench::fleet::{self, FleetReport};
 use obs::Event;
+
+/// Slowest-span entries shown by the fleet view.
+const FLEET_TOP_K: usize = 10;
+
+fn parse_file(path: &str, lenient: bool) -> Vec<Event> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read trace {path}: {e}");
+        std::process::exit(1);
+    });
+    match fleet::parse_jsonl(&text, lenient) {
+        Ok(parsed) => {
+            if parsed.skipped > 0 {
+                eprintln!(
+                    "warning: {path}: skipped {} malformed line(s)",
+                    parsed.skipped
+                );
+            }
+            parsed.events
+        }
+        Err(e) => {
+            eprintln!(
+                "error: {path}:{}: {} (rerun with --lenient to skip)",
+                e.line, e.message
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fleet_main(dir: &str, lenient: bool) {
+    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read fleet directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("error: fleet directory {dir} contains no *.jsonl traces");
+        std::process::exit(1);
+    }
+    let mut report = FleetReport::default();
+    for path in &files {
+        let events = parse_file(&path.to_string_lossy(), lenient);
+        let name = path.file_stem().map_or_else(
+            || path.to_string_lossy().into_owned(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        report.runs.push(fleet::summarize_run(&name, &events));
+    }
+    print!("{}", report.render(FLEET_TOP_K));
+}
 
 #[derive(Default)]
 struct Phase {
@@ -23,23 +92,30 @@ impl Phase {
 }
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: trace_report <trace.jsonl>");
-        std::process::exit(2);
-    });
-    let text =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
-
-    let mut events: Vec<Event> = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<Event>(line) {
-            Ok(e) => events.push(e),
-            Err(e) => eprintln!("warning: line {}: unparseable event: {e}", lineno + 1),
+    let mut lenient = false;
+    let mut fleet_dir: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--lenient" => lenient = true,
+            "--fleet" => fleet_dir = args.next(),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                std::process::exit(2);
+            }
         }
     }
+    if let Some(dir) = fleet_dir {
+        fleet_main(&dir, lenient);
+        return;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_report <trace.jsonl> [--lenient] | --fleet <dir> [--lenient]");
+        std::process::exit(2);
+    };
+    let events = parse_file(&path, lenient);
     if events.is_empty() {
         eprintln!("trace {path} contains no events");
         std::process::exit(1);
@@ -62,6 +138,9 @@ fn main() {
     let mut quarantined: Vec<usize> = Vec::new();
     let mut checkpoints = 0usize;
     let mut last_checkpoint: Option<(usize, usize)> = None;
+    let mut spans: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    let mut slowest: Vec<(f64, u64, String)> = Vec::new();
+    let mut resources = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
 
     for e in &events {
         match e {
@@ -164,9 +243,36 @@ fn main() {
                 checkpoints += 1;
                 last_checkpoint = Some((*iteration, *runs));
             }
+            Event::SpanEnd {
+                id,
+                name,
+                duration_s,
+            } => {
+                let entry = spans.entry(name.clone()).or_default();
+                entry.0 += 1;
+                entry.1 += duration_s;
+                slowest.push((*duration_s, *id, name.clone()));
+            }
+            Event::ResourceSample {
+                chol_flops,
+                chol_panels,
+                tri_solve_rhs,
+                fitcache_hits,
+                fitcache_misses,
+                kernel_assemblies,
+                ..
+            } => {
+                resources.0 += chol_flops;
+                resources.1 += chol_panels;
+                resources.2 += tri_solve_rhs;
+                resources.3 += fitcache_hits;
+                resources.4 += fitcache_misses;
+                resources.5 += kernel_assemblies;
+            }
             Event::Classify { .. }
             | Event::RegionSnapshot { .. }
             | Event::Select { .. }
+            | Event::SpanStart { .. }
             | Event::Message { .. } => {}
         }
     }
@@ -250,5 +356,35 @@ fn main() {
     if checkpoints > 0 {
         let (it, runs) = last_checkpoint.expect("count implies a checkpoint was seen");
         println!("\ncheckpoints: {checkpoints} written, last at iteration {it} ({runs} runs)");
+    }
+
+    if !spans.is_empty() {
+        println!("\ncausal spans:");
+        println!(
+            "{:<14} {:>8} {:>12} {:>12}",
+            "span", "count", "total s", "mean ms"
+        );
+        for (name, (count, secs)) in &spans {
+            println!(
+                "{:<14} {:>8} {:>12.3} {:>12.2}",
+                name,
+                count,
+                secs,
+                secs / (*count).max(1) as f64 * 1e3
+            );
+        }
+        slowest.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        println!("  slowest:");
+        for (secs, id, name) in slowest.iter().take(5) {
+            println!("  {:>10.1} ms  {name:<12} #{id}", secs * 1e3);
+        }
+    }
+
+    let (flops, panels, rhs, hits, misses, kernels) = resources;
+    if flops + panels + rhs + hits + misses + kernels > 0 {
+        println!(
+            "\nresources: {flops} Cholesky flops in {panels} panels, {rhs} triangular-solve \
+             rhs, fitcache {hits} hits / {misses} misses, {kernels} kernel assemblies"
+        );
     }
 }

@@ -1,0 +1,307 @@
+//! Noise-aware perf-regression gate over `BENCH_gp.json` history.
+//!
+//! The `perf` benchmark measures machine-dependent wall clocks, so raw
+//! times cannot be compared across CI hosts. What *is* comparable is the
+//! **speedup ratio** of each optimized hot path against its frozen
+//! pre-overhaul baseline, measured back-to-back on the same machine: a
+//! real regression in the optimized path drags its ratio toward 1.0
+//! wherever it runs. The gate therefore compares fresh ratios against
+//! the median of mode-matched history entries with a generous tolerance
+//! ([`GateConfig::min_speedup_ratio`], default 0.5 — smoke sizes are
+//! tiny and noisy), and separately pins the tuner scenario's `tool_runs`
+//! exactly: that count is deterministic per mode, so any change is
+//! behavioral drift, not noise.
+//!
+//! With no mode-matched history the gate **bootstraps**: it passes and
+//! records the fresh entry as the first reference point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::perfrun::SizeResult;
+
+/// One size's gate-relevant numbers, as stored in the history array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateSize {
+    /// Size label (`smoke`, `small`, ...).
+    pub name: String,
+    /// Hyper-parameter search speedup vs the frozen baseline.
+    pub search_speedup: f64,
+    /// Incremental-conditioning speedup vs a full refit.
+    pub condition_speedup: f64,
+    /// Batch-prediction speedup vs the scalar loop.
+    pub batch_speedup: f64,
+    /// Tuner scenario wall clock (recorded, not gated — machine-bound).
+    pub tuner_total_s: f64,
+    /// Tuner scenario tool runs (gated exactly — deterministic).
+    pub tool_runs: usize,
+}
+
+/// One history entry: the gate numbers of one `perf` execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateEntry {
+    /// `smoke` or `full` — entries only compare within a mode.
+    pub mode: String,
+    /// The benchmark seed.
+    pub seed: u64,
+    /// Per-size numbers.
+    pub sizes: Vec<GateSize>,
+}
+
+impl GateEntry {
+    /// Builds an entry from a fresh measurement.
+    pub fn from_results(mode: &str, seed: u64, results: &[SizeResult]) -> Self {
+        GateEntry {
+            mode: mode.to_string(),
+            seed,
+            sizes: results
+                .iter()
+                .map(|r| GateSize {
+                    name: r.name.clone(),
+                    search_speedup: r.search_speedup,
+                    condition_speedup: r.condition_speedup,
+                    batch_speedup: r.batch_speedup,
+                    tuner_total_s: r.tuner_total_s,
+                    tool_runs: r.tool_runs,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// A fresh speedup must reach at least this fraction of the
+    /// mode-matched history median. 0.5 tolerates scheduler noise on
+    /// tiny smoke sizes while still catching a hot path that lost its
+    /// advantage (ratios collapse toward 1.0 from several ×).
+    pub min_speedup_ratio: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            min_speedup_ratio: 0.5,
+        }
+    }
+}
+
+/// How the gate concluded (when it passed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// No mode-matched history: the fresh entry becomes the reference.
+    Bootstrap,
+    /// Compared against history; `checks` individual comparisons held.
+    Pass {
+        /// Metric comparisons performed.
+        checks: usize,
+    },
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs[xs.len() / 2]
+}
+
+/// Compares a fresh entry against mode-matched history.
+///
+/// # Errors
+///
+/// Returns every violated comparison, formatted for the CI log.
+pub fn evaluate(
+    fresh: &GateEntry,
+    history: &[GateEntry],
+    config: &GateConfig,
+) -> Result<GateOutcome, Vec<String>> {
+    let matched: Vec<&GateEntry> = history.iter().filter(|e| e.mode == fresh.mode).collect();
+    if matched.is_empty() {
+        return Ok(GateOutcome::Bootstrap);
+    }
+    let mut violations = Vec::new();
+    let mut checks = 0usize;
+    for size in &fresh.sizes {
+        let past: Vec<&GateSize> = matched
+            .iter()
+            .flat_map(|e| e.sizes.iter())
+            .filter(|s| s.name == size.name)
+            .collect();
+        if past.is_empty() {
+            continue;
+        }
+        type MetricReader = fn(&GateSize) -> f64;
+        let metrics: [(&str, f64, MetricReader); 3] = [
+            ("search", size.search_speedup, |s| s.search_speedup),
+            ("condition", size.condition_speedup, |s| s.condition_speedup),
+            ("batch_predict", size.batch_speedup, |s| s.batch_speedup),
+        ];
+        for (label, fresh_value, read) in metrics {
+            let mut values: Vec<f64> = past.iter().map(|s| read(s)).collect();
+            let med = median(&mut values);
+            let floor = config.min_speedup_ratio * med;
+            checks += 1;
+            if !(fresh_value.is_finite() && fresh_value >= floor) {
+                violations.push(format!(
+                    "{}/{label}: speedup {fresh_value:.2}x fell below {floor:.2}x \
+                     ({}% of the history median {med:.2}x over {} entries)",
+                    size.name,
+                    (config.min_speedup_ratio * 100.0).round(),
+                    past.len(),
+                ));
+            }
+        }
+        // Behavioral drift: the scenario's tool-run count is seeded and
+        // deterministic, so it must match the most recent reference.
+        let reference = past.last().expect("non-empty past");
+        checks += 1;
+        if size.tool_runs != reference.tool_runs {
+            violations.push(format!(
+                "{}/tuner_scenario: tool_runs {} != recorded {} — the tuner's \
+                 behavior changed, re-bless the benchmark history if intended",
+                size.name, size.tool_runs, reference.tool_runs,
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(GateOutcome::Pass { checks })
+    } else {
+        Err(violations)
+    }
+}
+
+/// How many history entries to keep per mode; older ones age out so one
+/// noisy outlier cannot pin the median forever.
+pub const HISTORY_CAP_PER_MODE: usize = 20;
+
+/// Appends `fresh` to `history`, dropping the oldest same-mode entries
+/// beyond [`HISTORY_CAP_PER_MODE`].
+pub fn append_history(history: &mut Vec<GateEntry>, fresh: GateEntry) {
+    history.push(fresh);
+    let mode = history.last().expect("just pushed").mode.clone();
+    let same_mode = history.iter().filter(|e| e.mode == mode).count();
+    if same_mode > HISTORY_CAP_PER_MODE {
+        let mut to_drop = same_mode - HISTORY_CAP_PER_MODE;
+        history.retain(|e| {
+            if to_drop > 0 && e.mode == mode {
+                to_drop -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size(name: &str, speedup: f64, tool_runs: usize) -> GateSize {
+        GateSize {
+            name: name.into(),
+            search_speedup: speedup,
+            condition_speedup: speedup + 1.0,
+            batch_speedup: speedup + 0.5,
+            tuner_total_s: 0.1,
+            tool_runs,
+        }
+    }
+
+    fn entry(mode: &str, speedup: f64, tool_runs: usize) -> GateEntry {
+        GateEntry {
+            mode: mode.into(),
+            seed: 7,
+            sizes: vec![size("smoke", speedup, tool_runs)],
+        }
+    }
+
+    #[test]
+    fn bootstraps_without_matching_history() {
+        let fresh = entry("smoke", 2.0, 18);
+        assert_eq!(
+            evaluate(&fresh, &[], &GateConfig::default()),
+            Ok(GateOutcome::Bootstrap)
+        );
+        let other_mode = [entry("full", 2.0, 18)];
+        assert_eq!(
+            evaluate(&fresh, &other_mode, &GateConfig::default()),
+            Ok(GateOutcome::Bootstrap)
+        );
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        let history = [entry("smoke", 2.0, 18), entry("smoke", 2.4, 18)];
+        // Half the median is tolerated; 1.3 is comfortably above 1.2.
+        let fresh = entry("smoke", 1.3, 18);
+        let outcome = evaluate(&fresh, &history, &GateConfig::default()).expect("passes");
+        assert_eq!(outcome, GateOutcome::Pass { checks: 4 });
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        let history = [
+            entry("smoke", 2.2, 18),
+            entry("smoke", 2.4, 18),
+            entry("smoke", 2.6, 18),
+        ];
+        // A hot path that lost its edge: ratios collapse to ~1.0x while
+        // history's median is 2.4x — below the 50% floor.
+        let fresh = entry("smoke", 1.0, 18);
+        let violations = evaluate(&fresh, &history, &GateConfig::default()).unwrap_err();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("smoke/search"), "{violations:?}");
+        assert!(violations[0].contains("median 2.40x"), "{violations:?}");
+    }
+
+    #[test]
+    fn tool_run_drift_fails_the_gate() {
+        let history = [entry("smoke", 2.0, 18)];
+        let fresh = entry("smoke", 2.0, 21);
+        let violations = evaluate(&fresh, &history, &GateConfig::default()).unwrap_err();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("tool_runs 21"), "{violations:?}");
+    }
+
+    #[test]
+    fn non_finite_fresh_speedup_fails() {
+        let history = [entry("smoke", 2.0, 18)];
+        let fresh = entry("smoke", f64::NAN, 18);
+        assert!(evaluate(&fresh, &history, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unknown_size_names_are_skipped_not_failed() {
+        let history = [entry("smoke", 2.0, 18)];
+        let mut fresh = entry("smoke", 2.0, 18);
+        fresh.sizes[0].name = "brand-new".into();
+        let outcome = evaluate(&fresh, &history, &GateConfig::default()).expect("passes");
+        assert_eq!(outcome, GateOutcome::Pass { checks: 0 });
+    }
+
+    #[test]
+    fn history_caps_per_mode() {
+        let mut history = Vec::new();
+        for i in 0..(HISTORY_CAP_PER_MODE + 5) {
+            append_history(&mut history, entry("smoke", 2.0 + i as f64 * 0.01, 18));
+        }
+        append_history(&mut history, entry("full", 3.0, 40));
+        assert_eq!(
+            history.iter().filter(|e| e.mode == "smoke").count(),
+            HISTORY_CAP_PER_MODE
+        );
+        assert_eq!(history.iter().filter(|e| e.mode == "full").count(), 1);
+        // The oldest smoke entries aged out; the newest survive.
+        assert!(history
+            .iter()
+            .filter(|e| e.mode == "smoke")
+            .all(|e| e.sizes[0].search_speedup >= 2.05));
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let e = entry("smoke", 2.37, 18);
+        let value = serde_json::to_value(&e);
+        let back: GateEntry = serde_json::from_value(&value).expect("round trip");
+        assert_eq!(back, e);
+    }
+}

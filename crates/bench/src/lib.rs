@@ -10,6 +10,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fleet;
+pub mod gate;
+pub mod perfrun;
 
 use benchgen::Scenario;
 use gp::optimize::FitBudget;

@@ -1,0 +1,533 @@
+//! The GP hot-path benchmark core shared by the `perf` and `perf_gate`
+//! bins: problem sizes, the measurement of each size (optimized paths vs
+//! the frozen pre-overhaul implementations), and the frozen baselines
+//! themselves.
+//!
+//! `perf` renders the results into `BENCH_gp.json`; `perf_gate` compares
+//! them against that file's recorded history (see [`crate::gate`]).
+
+use std::time::Instant;
+
+use gp::kernel::{SquaredExponential, Task, TransferKernel};
+use gp::optimize::{
+    fit_transfer_gp_from_starts, nelder_mead, restart_starts, FitBudget, NelderMeadOptions,
+};
+use gp::{TaskData, TransferGp, TransferGpConfig};
+use linalg::Matrix;
+use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, VecOracle};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::json;
+
+/// One benchmark problem size.
+pub struct SizeSpec {
+    /// Size label (`smoke`, `small`, ...), the key history is matched on.
+    pub name: &'static str,
+    /// Source-task observations.
+    pub n_source: usize,
+    /// Target-task observations.
+    pub m_target: usize,
+    /// Parameter-space dimensionality.
+    pub dim: usize,
+    /// Prediction queries.
+    pub queries: usize,
+    /// Hyper-parameter search restarts.
+    pub restarts: usize,
+    /// Nelder–Mead evaluations per restart.
+    pub evals_per_restart: usize,
+    /// Points appended by the conditioning benchmark (one refit period).
+    pub cond_k: usize,
+    /// Target-candidate count of the end-to-end tuner scenario.
+    pub tuner_points: usize,
+}
+
+/// The default (paper-scale) sizes.
+pub const FULL_SIZES: [SizeSpec; 3] = [
+    SizeSpec {
+        name: "small",
+        n_source: 80,
+        m_target: 100,
+        dim: 5,
+        queries: 1500,
+        restarts: 2,
+        evals_per_restart: 40,
+        cond_k: 10,
+        tuner_points: 120,
+    },
+    SizeSpec {
+        name: "medium",
+        n_source: 140,
+        m_target: 180,
+        dim: 7,
+        queries: 2500,
+        restarts: 2,
+        evals_per_restart: 60,
+        cond_k: 15,
+        tuner_points: 160,
+    },
+    // Scenario One scale: the tuner's GP after its 200 initialization
+    // samples plus most of its 60 iterations, sweeping a 5000-candidate
+    // table (Table 2's configuration).
+    SizeSpec {
+        name: "table2",
+        n_source: 200,
+        m_target: 260,
+        dim: 9,
+        queries: 5000,
+        restarts: 2,
+        evals_per_restart: 80,
+        cond_k: 25,
+        tuner_points: 200,
+    },
+];
+
+/// The tiny CI configuration (`--smoke`).
+pub const SMOKE_SIZES: [SizeSpec; 1] = [SizeSpec {
+    name: "smoke",
+    n_source: 24,
+    m_target: 30,
+    dim: 3,
+    queries: 200,
+    restarts: 1,
+    evals_per_restart: 8,
+    cond_k: 4,
+    tuner_points: 60,
+}];
+
+/// One size's measurements: the headline ratios plus the full JSON
+/// rendering written to `BENCH_gp.json`.
+#[derive(Debug, Clone)]
+pub struct SizeResult {
+    /// The size label.
+    pub name: String,
+    /// Hyper-parameter search speedup (frozen baseline / optimized).
+    pub search_speedup: f64,
+    /// Incremental-conditioning speedup (full refit / rank-k extend).
+    pub condition_speedup: f64,
+    /// Batch-prediction speedup (scalar loop / multi-RHS batch).
+    pub batch_speedup: f64,
+    /// End-to-end tuner scenario wall clock, seconds.
+    pub tuner_total_s: f64,
+    /// Tool runs the tuner scenario consumed (deterministic per mode —
+    /// any change is behavioral drift, not noise).
+    pub tool_runs: usize,
+    /// The complete per-size report object.
+    pub json: serde_json::Value,
+}
+
+/// Benchmarks every size of a mode. `smoke` selects [`SMOKE_SIZES`] and
+/// shrinks repeat counts.
+pub fn run_sizes(smoke: bool, seed: u64) -> Vec<SizeResult> {
+    let sizes: &[SizeSpec] = if smoke { &SMOKE_SIZES } else { &FULL_SIZES };
+    sizes
+        .iter()
+        .map(|spec| {
+            eprintln!(
+                "perf: size {} (n={} m={} dim={} q={})",
+                spec.name, spec.n_source, spec.m_target, spec.dim, spec.queries
+            );
+            bench_size(spec, seed, smoke)
+        })
+        .collect()
+}
+
+/// Measures one problem size.
+///
+/// # Panics
+///
+/// Panics when a fit or tuner run errors — inputs are synthetic and
+/// seeded, so an error is a bug worth crashing on.
+pub fn bench_size(spec: &SizeSpec, seed: u64, smoke: bool) -> SizeResult {
+    let (sx, sy) = synth_task(spec.n_source, spec.dim, seed, 0.0);
+    let (tx, ty) = synth_task(spec.m_target, spec.dim, seed ^ 0x9e37, 0.3);
+    let source = TaskData::new(sx.clone(), sy.clone());
+    let target = TaskData::new(tx.clone(), ty.clone());
+
+    // --- Hyper-parameter search: identical restart starts for both paths.
+    let budget = FitBudget {
+        restarts: spec.restarts,
+        evals_per_restart: spec.evals_per_restart,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let starts = restart_starts(spec.dim, budget.restarts, &mut rng);
+
+    let t = Instant::now();
+    let (model, report) =
+        fit_transfer_gp_from_starts(&source, &target, spec.dim, budget, &starts, 1)
+            .expect("optimized fit");
+    let search_opt = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let baseline_obj = old_search(&sx, &sy, &tx, &ty, spec.dim, budget, &starts);
+    let search_base = t.elapsed().as_secs_f64();
+
+    // --- Incremental conditioning vs full refit over one refit period.
+    let cfg = model.config().clone();
+    let (ax, ay) = synth_task(spec.cond_k, spec.dim, seed ^ 0x517c, 0.55);
+    let cond_reps = if smoke { 2 } else { 5 };
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..cond_reps {
+        let mut inc = model.clone();
+        inc.condition_on(&ax, &ay).expect("condition_on");
+        acc += inc.log_marginal_likelihood();
+    }
+    let cond_inc = t.elapsed().as_secs_f64() / cond_reps as f64;
+    let mut gx = tx.clone();
+    gx.extend(ax.iter().cloned());
+    let mut gy = ty.clone();
+    gy.extend_from_slice(&ay);
+    let t = Instant::now();
+    for _ in 0..cond_reps {
+        let refit = TransferGp::fit(
+            TaskData::new(sx.clone(), sy.clone()),
+            TaskData::new(gx.clone(), gy.clone()),
+            cfg.clone(),
+        )
+        .expect("full refit");
+        acc += refit.log_marginal_likelihood();
+    }
+    let cond_full = t.elapsed().as_secs_f64() / cond_reps as f64;
+
+    // --- Batch prediction vs the scalar predict loop.
+    let queries: Vec<Vec<f64>> = (0..spec.queries)
+        .map(|i| {
+            (0..spec.dim)
+                .map(|d| ((i * 13 + d * 29 + 3 + seed as usize % 97) % 997) as f64 / 997.0)
+                .collect()
+        })
+        .collect();
+    let t = Instant::now();
+    for x in &queries {
+        let (mu, var) = model.predict(x).expect("scalar predict");
+        acc += mu + var;
+    }
+    let predict_scalar = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let batch = model.predict_batch(&queries).expect("batch predict");
+    let predict_batch = t.elapsed().as_secs_f64();
+    acc += batch[0].0;
+
+    // --- End-to-end tuner scenario (absolute time; no frozen baseline).
+    let t = Instant::now();
+    let result = run_tuner_scenario(spec, seed, smoke, &obs::NULL_SINK);
+    let tuner_s = t.elapsed().as_secs_f64();
+
+    // `acc` and the objectives keep the optimizer honest; reporting them
+    // also documents that both search paths landed in the same basin.
+    let search = json!({
+        "restarts": spec.restarts,
+        "evals_per_restart": spec.evals_per_restart,
+        "baseline_s": search_base,
+        "optimized_s": search_opt,
+        "speedup": search_base / search_opt,
+        "baseline_best_objective": baseline_obj,
+        "optimized_best_objective": report.best_objective,
+    });
+    let condition = json!({
+        "appended": spec.cond_k,
+        "full_refit_s": cond_full,
+        "incremental_s": cond_inc,
+        "speedup": cond_full / cond_inc,
+    });
+    let batch_predict = json!({
+        "scalar_s": predict_scalar,
+        "batch_s": predict_batch,
+        "speedup": predict_scalar / predict_batch,
+    });
+    let tool_runs = result.runs + result.verification_runs;
+    let tuner_scenario = json!({
+        "candidates": spec.tuner_points,
+        "total_s": tuner_s,
+        "tool_runs": tool_runs,
+        "checksum": acc,
+    });
+    SizeResult {
+        name: spec.name.to_string(),
+        search_speedup: search_base / search_opt,
+        condition_speedup: cond_full / cond_inc,
+        batch_speedup: predict_scalar / predict_batch,
+        tuner_total_s: tuner_s,
+        tool_runs,
+        json: json!({
+            "name": spec.name,
+            "n_source": spec.n_source,
+            "m_target": spec.m_target,
+            "dim": spec.dim,
+            "queries": spec.queries,
+            "search": search,
+            "condition": condition,
+            "batch_predict": batch_predict,
+            "tuner_scenario": tuner_scenario,
+        }),
+    }
+}
+
+/// Runs the end-to-end tuner scenario of one size through `observer` and
+/// returns the tuner's result. Shared with `obs_overhead`, which times
+/// the same scenario under different observers.
+///
+/// # Panics
+///
+/// Panics when the tuning run errors.
+pub fn run_tuner_scenario(
+    spec: &SizeSpec,
+    seed: u64,
+    smoke: bool,
+    observer: &dyn obs::Observer,
+) -> ppatuner::TuneResult {
+    let scenario =
+        benchgen::Scenario::two_with_counts(seed, spec.n_source.max(40), spec.tuner_points)
+            .with_source_budget(spec.n_source.min(60));
+    let space = pdsim::ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let (ssx, ssy) = scenario.source_xy(space);
+    let tuner_source = SourceData::new(ssx, ssy).expect("scenario source");
+    let mut oracle = VecOracle::new(scenario.target_table(space));
+    let config = PpaTunerConfig {
+        initial_samples: if smoke { 8 } else { 24 },
+        max_iterations: if smoke { 4 } else { 12 },
+        refit_every: if smoke { 4 } else { 8 },
+        seed,
+        threads: 1,
+        ..Default::default()
+    };
+    PpaTuner::new(config)
+        .run_observed(&tuner_source, &candidates, &mut oracle, observer)
+        .expect("tuner scenario")
+}
+
+/// Deterministic synthetic task data (a seeded quasi-random design over
+/// a sum-of-sines surface), shared by both benchmark arms.
+pub fn synth_task(count: usize, dim: usize, seed: u64, phase: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let s = (seed % 911) as usize;
+    let x: Vec<Vec<f64>> = (0..count)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * 37 + d * 11 + 7 + s) % 1000) as f64 / 1000.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|p| {
+            p.iter()
+                .enumerate()
+                .map(|(j, &v)| ((2.0 + j as f64) * v).sin())
+                .sum::<f64>()
+                + phase
+        })
+        .collect();
+    (x, y)
+}
+
+// ---------------------------------------------------------------------
+// Frozen pre-overhaul reference path. This reproduces, inside the bench
+// crate, the hyper-parameter search as it ran before the hot-path
+// overhaul: every objective evaluation deep-cloned the task data,
+// re-assembled the joint kernel entry-by-entry through the kernel
+// object, and factored it with the original serial single-accumulator
+// Cholesky. Kept verbatim (modulo being a free function) so the speedup
+// in BENCH_gp.json is measured against the real former implementation,
+// not a strawman.
+// ---------------------------------------------------------------------
+
+/// The original serial Cholesky: scalar triple loop over matrix
+/// indexing, one accumulation chain.
+fn old_cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if !(s.is_finite() && s > 0.0) {
+                    return None;
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+fn old_cholesky_with_jitter(a: &Matrix, jitter0: f64, max_tries: usize) -> Option<Matrix> {
+    if let Some(l) = old_cholesky(a) {
+        return Some(l);
+    }
+    let mut jitter = jitter0;
+    for _ in 0..max_tries {
+        let mut aj = a.clone();
+        aj.add_diag(jitter);
+        if let Some(l) = old_cholesky(&aj) {
+            return Some(l);
+        }
+        jitter *= 10.0;
+    }
+    None
+}
+
+fn old_log_det(l: &Matrix) -> f64 {
+    (0..l.rows()).map(|i| l[(i, i)].ln()).sum::<f64>() * 2.0
+}
+
+fn old_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let z = linalg::solve::solve_lower(l, b).expect("forward solve");
+    linalg::solve::solve_lower_transposed(l, &z).expect("back solve")
+}
+
+/// The pre-overhaul MAP objective: clone the data, rebuild the kernel
+/// point-by-point, factor with the serial Cholesky, and return the
+/// negative log conditional likelihood (`+∞` on failure).
+fn old_objective(
+    sx: &[Vec<f64>],
+    sy: &[f64],
+    tx: &[Vec<f64>],
+    ty: &[f64],
+    cfg: &TransferGpConfig,
+) -> f64 {
+    // Clone-per-eval churn, exactly as the old search did.
+    let sx: Vec<Vec<f64>> = sx.to_vec();
+    let sy: Vec<f64> = sy.to_vec();
+    let tx: Vec<Vec<f64>> = tx.to_vec();
+    let ty: Vec<f64> = ty.to_vec();
+
+    let base = match SquaredExponential::new(cfg.signal_var, cfg.lengthscales.clone()) {
+        Ok(b) => b,
+        Err(_) => return f64::INFINITY,
+    };
+    let kernel = match TransferKernel::with_lambda(base, cfg.lambda) {
+        Ok(k) => k,
+        Err(_) => return f64::INFINITY,
+    };
+    if !(cfg.noise_source.is_finite()
+        && cfg.noise_source >= 0.0
+        && cfg.noise_target.is_finite()
+        && cfg.noise_target >= 0.0)
+    {
+        return f64::INFINITY;
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let std_of = |v: &[f64], mu: f64| {
+        let var = v.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / v.len().max(1) as f64;
+        var.sqrt().max(1e-12)
+    };
+    let (mu_s, mu_t) = (mean(&sy), mean(&ty));
+    let (sd_s, sd_t) = (std_of(&sy, mu_s), std_of(&ty, mu_t));
+    let n = sx.len();
+    let p = n + tx.len();
+    let mut z = Vec::with_capacity(p);
+    z.extend(sy.iter().map(|&v| (v - mu_s) / sd_s));
+    z.extend(ty.iter().map(|&v| (v - mu_t) / sd_t));
+
+    let task_of = |i: usize| if i < n { Task::Source } else { Task::Target };
+    let point_of = |i: usize| -> &[f64] {
+        if i < n {
+            &sx[i]
+        } else {
+            &tx[i - n]
+        }
+    };
+    let mut k = Matrix::from_fn(p, p, |i, j| {
+        kernel.eval_task(point_of(i), task_of(i), point_of(j), task_of(j))
+    });
+    for i in 0..p {
+        k[(i, i)] += if i < n {
+            cfg.noise_source
+        } else {
+            cfg.noise_target
+        };
+    }
+    let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+    let Some(l) = old_cholesky_with_jitter(&k, 1e-10, 12) else {
+        return f64::INFINITY;
+    };
+    let alpha = old_solve(&l, &z);
+    let lml =
+        -0.5 * linalg::vecops::dot(&z, &alpha) - 0.5 * old_log_det(&l) - 0.5 * p as f64 * ln_2pi;
+    let source_lml = if n == 0 {
+        0.0
+    } else {
+        let k_ss = k.submatrix(0, n, 0, n);
+        let Some(l_s) = old_cholesky_with_jitter(&k_ss, 1e-10, 12) else {
+            return f64::INFINITY;
+        };
+        let alpha_s = old_solve(&l_s, &z[..n]);
+        -0.5 * linalg::vecops::dot(&z[..n], &alpha_s)
+            - 0.5 * old_log_det(&l_s)
+            - 0.5 * n as f64 * ln_2pi
+    };
+    -(lml - source_lml)
+}
+
+/// Copy of the (private) search decode: unconstrained θ → kernel config.
+fn old_decode(theta: &[f64], dim: usize) -> TransferGpConfig {
+    let ls: Vec<f64> = theta[..dim]
+        .iter()
+        .map(|&t| t.exp().clamp(1e-3, 1e3))
+        .collect();
+    TransferGpConfig {
+        lengthscales: ls,
+        signal_var: theta[dim].exp().clamp(1e-6, 1e4),
+        lambda: theta[dim + 1].tanh().clamp(-0.999, 0.999),
+        noise_source: theta[dim + 2].exp().clamp(1e-8, 1.0),
+        noise_target: theta[dim + 3].exp().clamp(1e-8, 1.0),
+    }
+}
+
+/// Copy of the (private) log-normal length-scale prior penalty.
+fn old_penalty(lengthscales: &[f64]) -> f64 {
+    let mu = 0.5f64.ln();
+    let sigma = 0.75;
+    lengthscales
+        .iter()
+        .map(|&l| {
+            let d = l.ln() - mu;
+            d * d / (2.0 * sigma * sigma)
+        })
+        .sum()
+}
+
+/// The pre-overhaul multi-start search loop, run to the same budget from
+/// the same starts as the optimized path. Returns the best MAP objective
+/// (the timing is what matters; the value documents basin agreement).
+fn old_search(
+    sx: &[Vec<f64>],
+    sy: &[f64],
+    tx: &[Vec<f64>],
+    ty: &[f64],
+    dim: usize,
+    budget: FitBudget,
+    starts: &[Vec<f64>],
+) -> f64 {
+    let opts = NelderMeadOptions {
+        max_evals: budget.evals_per_restart,
+        ..Default::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut best_theta: Option<Vec<f64>> = None;
+    for x0 in starts {
+        let (theta, value) = nelder_mead(
+            |t| {
+                let cfg = old_decode(t, dim);
+                old_objective(sx, sy, tx, ty, &cfg) + old_penalty(&cfg.lengthscales)
+            },
+            x0,
+            opts,
+        );
+        if best_theta.is_none() || value < best {
+            best = value;
+            best_theta = Some(theta);
+        }
+    }
+    // Final model build from the winning θ, as the old path did.
+    let theta = best_theta.expect("at least one restart");
+    let cfg = old_decode(&theta, dim);
+    let _ = old_objective(sx, sy, tx, ty, &cfg);
+    best
+}

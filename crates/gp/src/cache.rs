@@ -176,6 +176,7 @@ impl<'a> FitCache<'a> {
                 value: config.lambda,
             });
         }
+        crate::counters::add_kernel_assemblies(1);
         let inv_l2: Vec<f64> = config.lengthscales.iter().map(|&l| 1.0 / (l * l)).collect();
         let (n, p, dim) = (self.n, self.p, self.dim);
         let mut k = Matrix::zeros(p, p);
@@ -208,6 +209,7 @@ impl<'a> FitCache<'a> {
     /// even with jitter escalation — exactly how the clone-per-eval path
     /// treated infeasible candidates.
     pub fn objective(&self, config: &TransferGpConfig) -> f64 {
+        crate::counters::add_fitcache_hits(1);
         match self.neg_log_conditional(config) {
             Ok(v) if !v.is_nan() => v,
             _ => f64::INFINITY,

@@ -1,0 +1,102 @@
+//! Process-global resource counters for the GP fitting hot paths.
+//!
+//! Same design as [`linalg::counters`]: one relaxed atomic add per call
+//! at call-granularity aggregation points, snapshotted and differenced by
+//! consumers (see `obs::Event::ResourceSample`). Deltas are exact for a
+//! single-run process and approximate when several runs share it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use linalg::LinalgCounters;
+
+/// Hyperparameter-search objective evaluations served from a
+/// [`crate::cache::FitCache`]'s precomputed distance tensor (no data
+/// clone, no raw-point kernel rebuild).
+pub static FITCACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Full transfer-GP model constructions from raw data — the path a cache
+/// hit avoids (the final build after a search, warm refits, and any
+/// legacy clone-per-eval evaluation).
+pub static FITCACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Dense joint-kernel matrix assemblies (cache-based or from raw points).
+pub static KERNEL_ASSEMBLIES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn add_fitcache_hits(n: u64) {
+    FITCACHE_HITS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn add_fitcache_misses(n: u64) {
+    FITCACHE_MISSES.fetch_add(n, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn add_kernel_assemblies(n: u64) {
+    KERNEL_ASSEMBLIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the GP **and** linalg counters, so one
+/// snapshot captures the whole surrogate-fitting resource picture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GpCounters {
+    /// FitCache-served objective evaluations.
+    pub fitcache_hits: u64,
+    /// Fresh model constructions from raw data.
+    pub fitcache_misses: u64,
+    /// Dense joint-kernel assemblies.
+    pub kernel_assemblies: u64,
+    /// The underlying linear-algebra counters.
+    pub linalg: LinalgCounters,
+}
+
+impl GpCounters {
+    /// Reads the current counter values.
+    pub fn snapshot() -> Self {
+        GpCounters {
+            fitcache_hits: FITCACHE_HITS.load(Ordering::Relaxed),
+            fitcache_misses: FITCACHE_MISSES.load(Ordering::Relaxed),
+            kernel_assemblies: KERNEL_ASSEMBLIES.load(Ordering::Relaxed),
+            linalg: LinalgCounters::snapshot(),
+        }
+    }
+
+    /// Counter increments since `earlier` (saturating).
+    pub fn since(&self, earlier: &GpCounters) -> GpCounters {
+        GpCounters {
+            fitcache_hits: self.fitcache_hits.saturating_sub(earlier.fitcache_hits),
+            fitcache_misses: self.fitcache_misses.saturating_sub(earlier.fitcache_misses),
+            kernel_assemblies: self
+                .kernel_assemblies
+                .saturating_sub(earlier.kernel_assemblies),
+            linalg: self.linalg.since(&earlier.linalg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TaskData, TransferGp, TransferGpConfig};
+
+    #[test]
+    fn fit_and_cache_paths_advance_counters() {
+        let tx: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let ty: Vec<f64> = tx.iter().map(|p| (3.0 * p[0]).sin()).collect();
+        let target = TaskData::new(tx, ty);
+        let source = TaskData::default();
+        let cfg = TransferGpConfig::default_for_dim(1);
+
+        let before = GpCounters::snapshot();
+        let _model = TransferGp::fit(source.clone(), target.clone(), cfg.clone()).unwrap();
+        let cache = crate::cache::FitCache::new(&source, &target, 1).unwrap();
+        assert!(cache.objective(&cfg).is_finite());
+        let delta = GpCounters::snapshot().since(&before);
+        // Lower bounds only: other tests in this binary share the globals.
+        assert!(delta.fitcache_misses >= 1, "{delta:?}");
+        assert!(delta.fitcache_hits >= 1, "{delta:?}");
+        assert!(delta.kernel_assemblies >= 2, "{delta:?}");
+        assert!(delta.linalg.chol_flops >= 1, "{delta:?}");
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod counters;
 mod error;
 mod gp;
 pub mod kernel;
@@ -44,6 +45,7 @@ pub mod optimize;
 pub mod standardize;
 mod transfer;
 
+pub use counters::GpCounters;
 pub use error::GpError;
 pub use gp::GpRegressor;
 pub use transfer::{TaskData, TransferGp, TransferGpConfig};

@@ -218,6 +218,8 @@ impl TransferGp {
                 &target.x[i - n]
             }
         };
+        crate::counters::add_fitcache_misses(1);
+        crate::counters::add_kernel_assemblies(1);
         let mut k = Matrix::from_fn(n + m, n + m, |i, j| {
             kernel.eval_task(point_of(i), task_of(i), point_of(j), task_of(j))
         });

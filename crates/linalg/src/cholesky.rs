@@ -1,3 +1,4 @@
+use crate::counters;
 use crate::solve::{solve_lower, solve_lower_multi, solve_lower_transposed};
 use crate::{LinalgError, Matrix, Result};
 
@@ -113,6 +114,10 @@ impl Cholesky {
                 what: "cholesky of an empty matrix",
             });
         }
+        // One aggregate counter update per factorization attempt (jitter
+        // retries redo the work, so each attempt counts).
+        counters::add_chol_flops((n as u64).pow(3) / 3);
+        counters::add_chol_panels(n.div_ceil(CHOL_BLOCK) as u64);
         // Right-looking blocked factorization. `l` starts as the lower
         // triangle of `a` and is factored panel by panel: factor the
         // diagonal block, forward-solve the panel below it, then subtract
@@ -330,6 +335,10 @@ impl Cholesky {
         if k == 0 {
             return Ok(());
         }
+        // The extension's own O(n²k + nk² + k³/3) work; the inner
+        // `solve_lower_multi` and `Cholesky::new(schur)` count their
+        // shares through their own instrumentation.
+        counters::add_chol_flops((n as u64).pow(2) * k as u64 + n as u64 * (k as u64).pow(2));
         // L₂₁ᵀ: one multi-RHS forward solve. Column r of the solution is
         // row r of L₂₁.
         let l21t = solve_lower_multi(&self.l, cross)?;

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod cholesky;
+pub mod counters;
 mod error;
 mod lu;
 mod matrix;
@@ -43,6 +44,7 @@ pub mod solve;
 pub mod vecops;
 
 pub use cholesky::Cholesky;
+pub use counters::LinalgCounters;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

@@ -4,6 +4,7 @@
 //! relevant triangle, which is how the Cholesky and LU factors store their
 //! results.
 
+use crate::counters;
 use crate::{LinalgError, Matrix, Result};
 
 /// Solves `L x = b` by forward substitution, reading only the lower
@@ -16,6 +17,7 @@ use crate::{LinalgError, Matrix, Result};
 /// - [`LinalgError::Singular`] if a diagonal entry vanishes.
 pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     check_triangular_args(l, b, "solve_lower")?;
+    counters::add_tri_solve_rhs(1);
     let n = l.rows();
     let mut x = vec![0.0; n];
     for i in 0..n {
@@ -41,6 +43,7 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 /// Same conditions as [`solve_lower`].
 pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     check_triangular_args(u, b, "solve_upper")?;
+    counters::add_tri_solve_rhs(1);
     let n = u.rows();
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
@@ -67,6 +70,7 @@ pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 /// Same conditions as [`solve_lower`].
 pub fn solve_lower_transposed(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     check_triangular_args(l, b, "solve_lower_transposed")?;
+    counters::add_tri_solve_rhs(1);
     let n = l.rows();
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
@@ -113,6 +117,7 @@ pub fn solve_lower_multi(l: &Matrix, b: &Matrix) -> Result<Matrix> {
     }
     let n = l.rows();
     let k = b.cols();
+    counters::add_tri_solve_rhs(k as u64);
     let mut x = b.clone();
     let data = x.as_mut_slice();
     for i in 0..n {

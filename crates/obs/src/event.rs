@@ -219,6 +219,55 @@ pub enum Event {
         duration_s: f64,
     },
 
+    /// A causal span opened. Spans form a tree (`run` → `iteration` →
+    /// `gp_fit` / `classify` / `select` / `eval_attempt` / `checkpoint`)
+    /// whose IDs are sequential per run, so a trace's span structure is
+    /// deterministic even though durations are wall-clock.
+    SpanStart {
+        /// Span ID, unique and strictly increasing within a run (1-based;
+        /// the run span is always ID 1).
+        id: u64,
+        /// Parent span ID; `None` only for the root `run` span.
+        parent: Option<u64>,
+        /// Span name (`"run"`, `"iteration"`, `"gp_fit"`, `"classify"`,
+        /// `"select"`, `"eval_attempt"`, `"checkpoint"`).
+        name: String,
+    },
+
+    /// A causal span closed. Carries the name again so slow-span reports
+    /// need no join against the matching [`Event::SpanStart`].
+    SpanEnd {
+        /// Span ID matching the earlier `SpanStart`.
+        id: u64,
+        /// Span name, identical to the `SpanStart` name.
+        name: String,
+        /// Wall-clock seconds between start and end (volatile; zeroed in
+        /// golden traces).
+        duration_s: f64,
+    },
+
+    /// Per-iteration deltas of the hot-path resource counters maintained
+    /// by `linalg` and `gp`. Counters are process-global, so the deltas
+    /// are exact for a single-run process and approximate when several
+    /// runs share the process (volatile in golden traces).
+    ResourceSample {
+        /// Refinement iteration the deltas cover.
+        iteration: usize,
+        /// Cholesky floating-point operations (≈ n³/3 per factorization).
+        chol_flops: u64,
+        /// Blocked-Cholesky panel factorizations.
+        chol_panels: u64,
+        /// Right-hand sides pushed through triangular solves.
+        tri_solve_rhs: u64,
+        /// Hyperparameter-search objective evaluations served from the
+        /// FitCache's precomputed distance cache.
+        fitcache_hits: u64,
+        /// Full model constructions from raw data (cache misses).
+        fitcache_misses: u64,
+        /// Dense joint-kernel matrix assemblies.
+        kernel_assemblies: u64,
+    },
+
     /// A free-form diagnostic message.
     Message {
         /// Human-readable text.
@@ -243,6 +292,9 @@ impl Event {
             Event::Checkpoint { .. } => "Checkpoint",
             Event::IterationEnd { .. } => "IterationEnd",
             Event::RunEnd { .. } => "RunEnd",
+            Event::SpanStart { .. } => "SpanStart",
+            Event::SpanEnd { .. } => "SpanEnd",
+            Event::ResourceSample { .. } => "ResourceSample",
             Event::Message { .. } => "Message",
         }
     }
@@ -259,7 +311,8 @@ impl Event {
             | Event::EvalRetry { iteration, .. }
             | Event::CandidateQuarantined { iteration, .. }
             | Event::Checkpoint { iteration, .. }
-            | Event::IterationEnd { iteration, .. } => Some(*iteration),
+            | Event::IterationEnd { iteration, .. }
+            | Event::ResourceSample { iteration, .. } => Some(*iteration),
             _ => None,
         }
     }
@@ -318,6 +371,47 @@ mod tests {
             assert_eq!(&back, e);
             assert_eq!(e.iteration(), Some(2));
         }
+    }
+
+    #[test]
+    fn span_and_resource_events_round_trip() {
+        let events = [
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "run".into(),
+            },
+            Event::SpanStart {
+                id: 2,
+                parent: Some(1),
+                name: "iteration".into(),
+            },
+            Event::SpanEnd {
+                id: 2,
+                name: "iteration".into(),
+                duration_s: 0.125,
+            },
+            Event::ResourceSample {
+                iteration: 4,
+                chol_flops: 1_000,
+                chol_panels: 3,
+                tri_solve_rhs: 17,
+                fitcache_hits: 120,
+                fitcache_misses: 2,
+                kernel_assemblies: 5,
+            },
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            assert!(json.starts_with(&format!("{{\"{}\":", e.kind())), "{json}");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e);
+        }
+        assert_eq!(events[0].iteration(), None);
+        assert_eq!(events[3].iteration(), Some(4));
+        // The root span's `parent: null` must survive the round trip.
+        let root = serde_json::to_string(&events[0]).unwrap();
+        assert!(root.contains("\"parent\":null"), "{root}");
     }
 
     #[test]

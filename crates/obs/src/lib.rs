@@ -17,6 +17,10 @@
 //!    levels, an in-memory recording sink for tests, and a null sink whose
 //!    `enabled() == false` lets instrumented code skip event construction
 //!    entirely (zero overhead by default).
+//! 4. **Causal spans** ([`Tracer`], [`OpenSpan`], [`Clock`]): sequential
+//!    span IDs forming a run → iteration → phase tree, emitted as
+//!    [`Event::SpanStart`] / [`Event::SpanEnd`] pairs with a monotonic
+//!    clock abstraction so golden traces stay deterministic.
 //!
 //! ```no_run
 //! use obs::{Event, JsonlSink, Observer};
@@ -33,9 +37,11 @@
 mod event;
 mod metrics;
 mod sink;
+mod tracer;
 
 pub use event::Event;
 pub use metrics::{Histogram, HistogramSummary, Registry, RegistrySnapshot, Span};
 pub use sink::{
     JsonlSink, MultiSink, NullSink, Observer, RecordingSink, StderrSink, Verbosity, NULL_SINK,
 };
+pub use tracer::{Clock, OpenSpan, TickClock, Tracer, WallClock};

@@ -103,21 +103,48 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the lower edge of
-    /// the bucket containing it. Returns `None` when empty.
+    /// Smallest finite observation, or 0 when none was recorded.
+    fn finite_min(&self) -> f64 {
+        let m = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest finite observation, or 0 when none was recorded.
+    fn finite_max(&self) -> f64 {
+        let m = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) as the lower
+    /// edge of the bucket containing it. Returns `None` when the histogram
+    /// is empty or `q` is NaN. The extremes are exact: `q = 0` returns the
+    /// recorded minimum, `q = 1` the recorded maximum, and a single-sample
+    /// histogram returns that sample for every `q`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let total = self.count();
-        if total == 0 {
+        if total == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 || total == 1 {
+            return Some(self.finite_min());
+        }
+        if q >= 1.0 {
+            return Some(self.finite_max());
+        }
         // Rank of the target observation, 1-based.
         let rank = ((q * total as f64).ceil() as u64).max(1);
         let mut seen = self.underflow.load(Ordering::Relaxed);
         if seen >= rank {
-            return Some(
-                f64::from_bits(self.min_bits.load(Ordering::Relaxed)).min(bucket_lower(0)),
-            );
+            return Some(self.finite_min().min(bucket_lower(0)));
         }
         for (i, c) in self.counts.iter().enumerate() {
             seen += c.load(Ordering::Relaxed);
@@ -125,7 +152,7 @@ impl Histogram {
                 return Some(bucket_lower(i));
             }
         }
-        Some(f64::from_bits(self.max_bits.load(Ordering::Relaxed)))
+        Some(self.finite_max())
     }
 
     /// A point-in-time summary of this histogram.
@@ -250,6 +277,52 @@ impl Registry {
         }
     }
 
+    /// Renders every metric in the Prometheus text exposition format, for
+    /// scraping by a future tuning service (or `curl`-level debugging).
+    ///
+    /// Counters and gauges become single samples; histograms become
+    /// summaries (`{quantile="..."}` samples plus `_sum` / `_count`).
+    /// Metric names are sanitized to `[a-zA-Z0-9_:]` and emitted in sorted
+    /// order, so the output is deterministic for a given metric state.
+    pub fn expose_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut s: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if s.starts_with(|c: char| c.is_ascii_digit()) {
+                s.insert(0, '_');
+            }
+            s
+        }
+        use std::fmt::Write as _;
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &snap.histograms {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
     /// A serializable snapshot of every metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let counters = self
@@ -364,6 +437,81 @@ mod tests {
         h.record(f64::NAN);
         assert_eq!(h.count(), 4);
         assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert!(h.quantile(q).is_none(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact_for_every_q() {
+        let h = Histogram::default();
+        h.record(0.037);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.037), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact() {
+        let h = Histogram::default();
+        for v in [0.002, 0.5, 31.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.002));
+        assert_eq!(h.quantile(1.0), Some(31.0));
+        // Out-of-range q clamps to the exact extremes.
+        assert_eq!(h.quantile(-3.0), Some(0.002));
+        assert_eq!(h.quantile(2.0), Some(31.0));
+    }
+
+    #[test]
+    fn quantile_nan_q_is_rejected() {
+        let h = Histogram::default();
+        h.record(1.0);
+        h.record(2.0);
+        // Before the guard, a NaN q silently behaved like q≈0.
+        assert!(h.quantile(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn quantile_all_nonfinite_observations_degrade_to_zero() {
+        let h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(f64::NAN);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(0.0));
+        // A finite negative observation is a real (if odd) minimum.
+        h.record(-2.0);
+        assert_eq!(h.quantile(0.0), Some(-2.0));
+    }
+
+    #[test]
+    fn expose_text_is_stable_and_complete() {
+        let r = Registry::new();
+        r.counter_add("tool evals", 42);
+        r.gauge_set("hv", 0.75);
+        r.observe("gp_fit_s", 0.125);
+        let text = r.expose_text();
+        assert_eq!(
+            text,
+            "# TYPE tool_evals counter\n\
+             tool_evals 42\n\
+             # TYPE hv gauge\n\
+             hv 0.75\n\
+             # TYPE gp_fit_s summary\n\
+             gp_fit_s{quantile=\"0.5\"} 0.125\n\
+             gp_fit_s{quantile=\"0.9\"} 0.125\n\
+             gp_fit_s{quantile=\"0.99\"} 0.125\n\
+             gp_fit_s_sum 0.125\n\
+             gp_fit_s_count 1\n"
+        );
+        // Idempotent: rendering twice without metric changes is identical.
+        assert_eq!(r.expose_text(), text);
     }
 
     #[test]

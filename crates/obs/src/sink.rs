@@ -193,6 +193,28 @@ impl StderrSink {
                 "run end: {iterations} iters, {runs} runs (+{verification_runs} verification), \
                  {pareto} pareto points in {duration_s:.3} s"
             ),
+            Event::SpanStart { id, parent, name } => match parent {
+                Some(p) => format!("span {id} ({name}) start, parent {p}"),
+                None => format!("span {id} ({name}) start"),
+            },
+            Event::SpanEnd {
+                id,
+                name,
+                duration_s,
+            } => format!("span {id} ({name}) end ({:.1} ms)", duration_s * 1e3),
+            Event::ResourceSample {
+                iteration,
+                chol_flops,
+                chol_panels,
+                tri_solve_rhs,
+                fitcache_hits,
+                fitcache_misses,
+                kernel_assemblies,
+            } => format!(
+                "iter {iteration:3}: resources chol {chol_flops} flops / {chol_panels} panels, \
+                 trisolve {tri_solve_rhs} rhs, fitcache {fitcache_hits}h/{fitcache_misses}m, \
+                 {kernel_assemblies} kernels"
+            ),
             Event::Message { text } => text.clone(),
         }
     }
@@ -214,9 +236,16 @@ impl Observer for StderrSink {
 }
 
 /// Machine-readable trace: one externally-tagged JSON event per line.
+///
+/// Lines are buffered through a [`BufWriter`] and flushed on drop. I/O
+/// errors never abort the tuning run, but they are not silently dropped
+/// either: the first error is retained and surfaced by [`JsonlSink::try_flush`]
+/// (and printed to stderr by the trait-level [`Observer::flush`] / `Drop`).
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    /// First I/O error seen by any `emit` or flush, until claimed.
+    error: Mutex<Option<io::Error>>,
 }
 
 impl JsonlSink {
@@ -225,7 +254,28 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
+            error: Mutex::new(None),
         })
+    }
+
+    fn record_error(&self, e: io::Error) {
+        let mut slot = self.error.lock().expect("trace error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Flushes buffered lines to disk and reports the first I/O error seen
+    /// by any earlier [`Observer::emit`] or by this flush. The stored error
+    /// is cleared once returned, so callers see each failure exactly once.
+    pub fn try_flush(&self) -> io::Result<()> {
+        if let Err(e) = self.writer.lock().expect("trace writer poisoned").flush() {
+            self.record_error(e);
+        }
+        match self.error.lock().expect("trace error slot poisoned").take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -233,19 +283,24 @@ impl Observer for JsonlSink {
     fn emit(&self, event: &Event) {
         let line = serde_json::to_string(event).expect("event serialization cannot fail");
         let mut w = self.writer.lock().expect("trace writer poisoned");
-        // Trace output is best-effort: losing lines on a full disk should
-        // not abort a tuning run.
-        let _ = writeln!(w, "{line}");
+        // Trace output must not abort a tuning run, so failures are
+        // recorded and surfaced at the next flush instead of panicking.
+        if let Err(e) = writeln!(w, "{line}") {
+            drop(w);
+            self.record_error(e);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("trace writer poisoned").flush();
+        if let Err(e) = self.try_flush() {
+            eprintln!("[obs] trace write failed: {e}");
+        }
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        self.flush();
+        Observer::flush(self);
     }
 }
 
@@ -359,6 +414,42 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_sink_writes_buffered_lines_and_flushes() {
+        let path = std::env::temp_dir().join(format!("obs_jsonl_ok_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&Event::Message { text: "one".into() });
+        sink.emit(&Event::Message { text: "two".into() });
+        sink.try_flush().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.lines().all(|l| l.starts_with("{\"Message\":")));
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_create_fails_on_bad_path() {
+        assert!(JsonlSink::create("/nonexistent-dir-for-obs-test/x.jsonl").is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        // /dev/full accepts opens but fails every write with ENOSPC,
+        // which is exactly the "disk filled up mid-run" failure mode.
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let sink = JsonlSink::create("/dev/full").unwrap();
+        sink.emit(&Event::Message {
+            text: "lost".into(),
+        });
+        let err = sink.try_flush().expect_err("write to /dev/full must fail");
+        // ENOSPC; the exact ErrorKind name differs across std versions.
+        assert!(err.to_string().to_lowercase().contains("no space"), "{err}");
+    }
+
+    #[test]
     fn stderr_sink_renders_every_variant() {
         // Rendering must not panic for any variant.
         let events = [
@@ -385,6 +476,25 @@ mod tests {
                 log_marginal: -3.4,
                 jitter: 0.0,
                 duration_s: 0.01,
+            },
+            Event::SpanStart {
+                id: 2,
+                parent: Some(1),
+                name: "iteration".into(),
+            },
+            Event::SpanEnd {
+                id: 2,
+                name: "iteration".into(),
+                duration_s: 0.5,
+            },
+            Event::ResourceSample {
+                iteration: 0,
+                chol_flops: 1,
+                chol_panels: 1,
+                tri_solve_rhs: 1,
+                fitcache_hits: 1,
+                fitcache_misses: 1,
+                kernel_assemblies: 1,
             },
             Event::Message { text: "m".into() },
         ];

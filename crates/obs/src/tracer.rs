@@ -1,0 +1,224 @@
+//! Causal span tracing: sequential span IDs, a monotonic clock
+//! abstraction, and helpers that build [`Event::SpanStart`] /
+//! [`Event::SpanEnd`] pairs.
+//!
+//! The tracer deliberately separates *ID allocation* from *event
+//! emission*: IDs are allocated unconditionally along the run structure
+//! (a relaxed atomic increment, cheap enough for disabled observers),
+//! while events are only constructed when an observer wants them. That
+//! split is what keeps checkpoint/resume traces seamless — a resumed run
+//! re-allocates the same IDs while replaying its log silently, so the
+//! live portion's span IDs continue exactly where the interrupted trace
+//! stopped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::Event;
+
+/// A monotonic time source for span durations.
+///
+/// Golden traces stay deterministic because span *structure* (IDs,
+/// parents, names, ordering) never depends on the clock — only the
+/// volatile `duration_s` payload does, and trace canonicalization zeroes
+/// it. Tests that want reproducible durations too can inject a
+/// [`TickClock`].
+pub trait Clock: Send + Sync {
+    /// Monotonic seconds since an arbitrary fixed origin.
+    fn now_s(&self) -> f64;
+}
+
+/// The real monotonic clock ([`Instant`]-based).
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_s(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// A deterministic clock that advances by a fixed step on every reading.
+/// Useful in tests that assert on span durations.
+#[derive(Debug)]
+pub struct TickClock {
+    step_s: f64,
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A clock advancing `step_s` seconds per [`Clock::now_s`] call.
+    pub fn new(step_s: f64) -> Self {
+        TickClock {
+            step_s,
+            ticks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clock for TickClock {
+    fn now_s(&self) -> f64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) as f64 * self.step_s
+    }
+}
+
+/// An allocated, not-yet-closed span.
+#[derive(Debug, Clone)]
+pub struct OpenSpan {
+    /// Unique sequential ID within the owning [`Tracer`] (1-based).
+    pub id: u64,
+    /// Parent span ID, `None` for the root.
+    pub parent: Option<u64>,
+    /// Span name as it appears in both events.
+    pub name: &'static str,
+    start_s: f64,
+}
+
+impl OpenSpan {
+    /// The [`Event::SpanStart`] announcing this span.
+    pub fn start_event(&self) -> Event {
+        Event::SpanStart {
+            id: self.id,
+            parent: self.parent,
+            name: self.name.to_owned(),
+        }
+    }
+}
+
+/// Allocates span IDs and timestamps span lifetimes.
+///
+/// IDs start at 1 and increase by exactly 1 per [`Tracer::open`] call, so
+/// a deterministic run produces a deterministic span tree.
+pub struct Tracer {
+    next: AtomicU64,
+    clock: Box<dyn Clock>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer on the real monotonic clock.
+    pub fn new() -> Self {
+        Tracer::with_clock(Box::new(WallClock::default()))
+    }
+
+    /// A tracer on an injected clock (e.g. [`TickClock`] in tests).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Tracer {
+            next: AtomicU64::new(1),
+            clock,
+        }
+    }
+
+    /// Allocates the next span under `parent` and stamps its start time.
+    /// Allocation alone emits nothing — pair with
+    /// [`OpenSpan::start_event`] / [`Tracer::end_event`] when an observer
+    /// is enabled.
+    pub fn open(&self, name: &'static str, parent: Option<&OpenSpan>) -> OpenSpan {
+        OpenSpan {
+            id: self.next.fetch_add(1, Ordering::Relaxed),
+            parent: parent.map(|p| p.id),
+            name,
+            start_s: self.clock.now_s(),
+        }
+    }
+
+    /// The [`Event::SpanEnd`] closing `span`, with its measured duration.
+    pub fn end_event(&self, span: &OpenSpan) -> Event {
+        Event::SpanEnd {
+            id: span.id,
+            name: span.name.to_owned(),
+            duration_s: (self.clock.now_s() - span.start_s).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_from_one() {
+        let t = Tracer::new();
+        let run = t.open("run", None);
+        let iter = t.open("iteration", Some(&run));
+        let fit = t.open("gp_fit", Some(&iter));
+        assert_eq!((run.id, iter.id, fit.id), (1, 2, 3));
+        assert_eq!(run.parent, None);
+        assert_eq!(iter.parent, Some(1));
+        assert_eq!(fit.parent, Some(2));
+    }
+
+    #[test]
+    fn events_carry_matching_ids_and_names() {
+        let t = Tracer::new();
+        let run = t.open("run", None);
+        assert_eq!(
+            run.start_event(),
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "run".into()
+            }
+        );
+        match t.end_event(&run) {
+            Event::SpanEnd {
+                id,
+                name,
+                duration_s,
+            } => {
+                assert_eq!(id, 1);
+                assert_eq!(name, "run");
+                assert!(duration_s >= 0.0);
+            }
+            other => panic!("expected SpanEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_clock_makes_durations_deterministic() {
+        let t = Tracer::with_clock(Box::new(TickClock::new(0.5)));
+        let a = t.open("run", None); // reads tick 0 -> 0.0
+        let b = t.open("iteration", Some(&a)); // reads tick 1 -> 0.5
+        match t.end_event(&b) {
+            // End reads tick 2 -> 1.0; duration = 1.0 - 0.5.
+            Event::SpanEnd { duration_s, .. } => assert!((duration_s - 0.5).abs() < 1e-12),
+            other => panic!("expected SpanEnd, got {other:?}"),
+        }
+        match t.end_event(&a) {
+            // End reads tick 3 -> 1.5; duration = 1.5 - 0.0.
+            Event::SpanEnd { duration_s, .. } => assert!((duration_s - 1.5).abs() < 1e-12),
+            other => panic!("expected SpanEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::default();
+        let a = c.now_s();
+        let b = c.now_s();
+        assert!(b >= a);
+    }
+}

@@ -9,8 +9,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use gp::optimize::{fit_transfer_gp_from_starts, restart_starts, FitBudget};
-use gp::{TaskData, TransferGp};
-use obs::{Event, Observer, NULL_SINK};
+use gp::{GpCounters, TaskData, TransferGp};
+use obs::{Event, Observer, OpenSpan, Tracer, NULL_SINK};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{
@@ -488,6 +488,14 @@ impl PpaTuner {
             log: Vec::new(),
         };
         let mut live = !driver.replaying();
+        // Causal spans. IDs are allocated unconditionally along the run
+        // structure (a relaxed atomic add — negligible for NULL_SINK runs)
+        // but emitted only for live, enabled observers. A resumed run
+        // therefore re-allocates the replayed portion's IDs silently, and
+        // its live span IDs continue exactly where the interrupted trace
+        // stopped — concatenated traces stay one seamless span tree.
+        let tracer = Tracer::new();
+        let run_span = tracer.open("run", None);
         let mut eval_failures = 0usize;
         let mut eval_retries = 0usize;
         let mut quarantined_order: Vec<usize> = Vec::new();
@@ -543,6 +551,8 @@ impl PpaTuner {
                 &sanitize,
                 live && observer.enabled(),
                 &mut |e| init_events.push(e),
+                &tracer,
+                &run_span,
             )?;
             eval_retries += out.attempts.saturating_sub(1);
             eval_failures += out.failures;
@@ -593,6 +603,9 @@ impl PpaTuner {
                 max_iterations: self.config.max_iterations,
                 seed: self.config.seed,
             });
+            // The run span opens right after RunStart, before the buffered
+            // initialization attempts that are its children.
+            observer.emit(&run_span.start_event());
             for e in &init_events {
                 observer.emit(e);
             }
@@ -681,12 +694,21 @@ impl PpaTuner {
             }
             iterations = t + 1;
             let iter_start = Instant::now();
+            let iter_span = tracer.open("iteration", Some(&run_span));
+            let iter_resources = GpCounters::snapshot();
+            if live && observer.enabled() {
+                observer.emit(&iter_span.start_event());
+            }
             // Attempts logged before this iteration: used to decide
             // whether this iteration is a valid checkpoint boundary.
             let log_mark = driver.log.len();
 
             // ---- model calibration (Algorithm 1, lines 4-6)
             let fit_phase = Instant::now();
+            let fit_span = tracer.open("gp_fit", Some(&iter_span));
+            if live && observer.enabled() {
+                observer.emit(&fit_span.start_event());
+            }
             let needs_refit = models_opt.is_none() || t % self.config.refit_every.max(1) == 0;
             if needs_refit {
                 // One shared encoded copy of the evaluated configurations;
@@ -808,6 +830,9 @@ impl PpaTuner {
             }
             conditioned_upto = evaluated.len();
             let gp_fit_s = fit_phase.elapsed().as_secs_f64();
+            if live && observer.enabled() {
+                observer.emit(&tracer.end_event(&fit_span));
+            }
             let models = models_opt.as_ref().expect("models exist past fitting");
 
             // Predict boxes for active, un-evaluated candidates.
@@ -829,8 +854,10 @@ impl PpaTuner {
             let predict_s = predict_phase.elapsed().as_secs_f64();
 
             // ---- decision-making (lines 7-9)
+            let classify_span = tracer.open("classify", Some(&iter_span));
             classify(&regions, &mut statuses, &delta);
             if live && observer.enabled() {
+                observer.emit(&classify_span.start_event());
                 let (undecided, pareto, dropped, _) = status_counts(&statuses);
                 observer.emit(&Event::Classify {
                     iteration: t,
@@ -844,6 +871,7 @@ impl PpaTuner {
                     statuses: statuses.iter().map(status_char).collect(),
                     diameters: regions.iter().map(UncertaintyRegion::diameter).collect(),
                 });
+                observer.emit(&tracer.end_event(&classify_span));
             }
 
             // When classification just settled the last undecided
@@ -862,6 +890,10 @@ impl PpaTuner {
             let mut want = self.config.batch_size;
             let mut selected_any = false;
             while !stop && want > 0 {
+                // Allocated before the emptiness check so replayed and
+                // live executions of the same wave agree on span IDs; an
+                // empty wave's span is simply never emitted.
+                let select_span = tracer.open("select", Some(&iter_span));
                 let mut selectable: Vec<(usize, f64)> = (0..n)
                     .filter(|&i| statuses[i].is_active() && !evaluated_flag[i])
                     .map(|i| (i, regions[i].diameter()))
@@ -879,11 +911,13 @@ impl PpaTuner {
                 }
                 selected_any = true;
                 if live && observer.enabled() {
+                    observer.emit(&select_span.start_event());
                     observer.emit(&Event::Select {
                         iteration: t,
                         chosen: batch.iter().map(|&(i, _)| i).collect(),
                         diameters: batch.iter().map(|&(_, d)| d).collect(),
                     });
+                    observer.emit(&tracer.end_event(&select_span));
                 }
                 for (i, _) in batch {
                     let sanitize = |y: &[f64]| {
@@ -901,6 +935,8 @@ impl PpaTuner {
                         &sanitize,
                         observer.enabled(),
                         &mut |e| observer.emit(&e),
+                        &tracer,
+                        &iter_span,
                     )?;
                     eval_retries += out.attempts.saturating_sub(1);
                     eval_failures += out.failures;
@@ -931,6 +967,19 @@ impl PpaTuner {
                 stop = true;
             }
 
+            if live && observer.enabled() {
+                let d = GpCounters::snapshot().since(&iter_resources);
+                observer.emit(&Event::ResourceSample {
+                    iteration: t,
+                    chol_flops: d.linalg.chol_flops,
+                    chol_panels: d.linalg.chol_panels,
+                    tri_solve_rhs: d.linalg.tri_solve_rhs,
+                    fitcache_hits: d.fitcache_hits,
+                    fitcache_misses: d.fitcache_misses,
+                    kernel_assemblies: d.kernel_assemblies,
+                });
+            }
+
             let ctx = IterationOutcome {
                 iteration: t,
                 runs: driver.runs(),
@@ -955,6 +1004,14 @@ impl PpaTuner {
             // log must drain exactly at the checkpointed boundary — an
             // eval-less iteration would drain one iteration early and
             // fail state verification.
+            // The span is allocated whenever this iteration *would*
+            // checkpoint — `driver.log.len() > log_mark` holds equally
+            // during replay, so resumed runs re-derive the same IDs.
+            let ckpt_span = if store.is_some() && driver.log.len() > log_mark {
+                Some(tracer.open("checkpoint", Some(&iter_span)))
+            } else {
+                None
+            };
             if let (Some(store), Some((candidates_digest, src_digest)), true) =
                 (store, digests, live && driver.log.len() > log_mark)
             {
@@ -979,12 +1036,21 @@ impl PpaTuner {
                     .save(&checkpoint)
                     .map_err(|reason| TunerError::Checkpoint { reason })?;
                 if observer.enabled() {
+                    if let Some(span) = &ckpt_span {
+                        observer.emit(&span.start_event());
+                    }
                     observer.emit(&Event::Checkpoint {
                         iteration: t,
                         runs: driver.runs(),
                         evals_logged: driver.log.len(),
                     });
+                    if let Some(span) = &ckpt_span {
+                        observer.emit(&tracer.end_event(span));
+                    }
                 }
+            }
+            if live && observer.enabled() {
+                observer.emit(&tracer.end_event(&iter_span));
             }
             if stop {
                 break;
@@ -1066,6 +1132,8 @@ impl PpaTuner {
                         &sanitize,
                         observer.enabled(),
                         &mut |e| observer.emit(&e),
+                        &tracer,
+                        &run_span,
                     )?;
                     eval_retries += out.attempts.saturating_sub(1);
                     eval_failures += out.failures;
@@ -1115,6 +1183,7 @@ impl PpaTuner {
                 pareto: result.pareto_indices.len(),
                 duration_s: run_start.elapsed().as_secs_f64(),
             });
+            observer.emit(&tracer.end_event(&run_span));
         }
         observer.flush();
         Ok(result)
@@ -1237,8 +1306,11 @@ struct RetryOutcome {
 
 /// Runs one candidate's evaluation with up to `max_eval_attempts`
 /// attempts, sanitizing each result and emitting `EvalRetry`,
-/// `EvalFailed`, and `ToolEval` events for live attempts (replayed
-/// attempts were already traced by the original run).
+/// `EvalFailed`, `ToolEval`, and per-attempt `eval_attempt` span events
+/// for live attempts (replayed attempts were already traced by the
+/// original run, but their span IDs are still allocated so a resumed
+/// run's IDs line up with the interrupted trace).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_with_retry(
     driver: &mut EvalDriver<'_>,
     candidate: usize,
@@ -1247,17 +1319,27 @@ fn evaluate_with_retry(
     sanitize: &dyn Fn(&[f64]) -> std::result::Result<(), String>,
     enabled: bool,
     emit: &mut dyn FnMut(Event),
+    tracer: &Tracer,
+    parent: &OpenSpan,
 ) -> Result<RetryOutcome> {
     let mut failures = 0;
     let mut replayed = false;
     for attempt in 1..=config.max_eval_attempts {
-        if attempt > 1 && enabled && !driver.replaying() {
+        // Whether this attempt comes from the replay log is known before
+        // `driver.attempt` runs: a replaying driver replays, a drained
+        // one evaluates live.
+        let live_attempt = enabled && !driver.replaying();
+        if attempt > 1 && live_attempt {
             emit(Event::EvalRetry {
                 iteration,
                 candidate,
                 attempt,
                 backoff_s: config.retry_backoff_s(attempt),
             });
+        }
+        let span = tracer.open("eval_attempt", Some(parent));
+        if live_attempt {
+            emit(span.start_event());
         }
         let start = Instant::now();
         let (outcome, from_replay) = driver.attempt(candidate, sanitize)?;
@@ -1271,6 +1353,7 @@ fn evaluate_with_retry(
                         qor: qor.clone(),
                         duration_s: start.elapsed().as_secs_f64(),
                     });
+                    emit(tracer.end_event(&span));
                 }
                 return Ok(RetryOutcome {
                     qor: Some(qor),
@@ -1289,6 +1372,7 @@ fn evaluate_with_retry(
                         kind: e.kind().to_string(),
                         detail: e.to_string(),
                     });
+                    emit(tracer.end_event(&span));
                 }
             }
         }

@@ -23,6 +23,11 @@
 //!   trace as exactly one [`obs::Event::ToolEval`] (accepted) or
 //!   [`obs::Event::EvalFailed`] (failed), so their counts sum to the
 //!   `runs + verification_runs` reported by [`obs::Event::RunEnd`].
+//! - **Spans form a tree**: every [`obs::Event::SpanEnd`] closes a span
+//!   that a [`obs::Event::SpanStart`] opened under the same name, span
+//!   IDs are never reused, a child span only starts while its parent is
+//!   open, no span closes with children still open, and a trace that
+//!   contains spans at all closes every one of them by its end.
 //!
 //! Violations are reported as `Err(String)` naming the event index and
 //! the law broken, so a failing golden trace pinpoints the regression.
@@ -50,6 +55,15 @@ pub struct InvariantReport {
     pub quarantines: usize,
     /// Pareto-classified candidates δ-accuracy-checked at the end.
     pub pareto_checked: usize,
+    /// Spans opened and cleanly closed (`SpanStart`/`SpanEnd` pairs).
+    pub spans: usize,
+}
+
+/// Bookkeeping for one span that has started but not yet ended.
+struct OpenSpanInfo {
+    name: String,
+    parent: Option<u64>,
+    open_children: usize,
 }
 
 struct CheckerState {
@@ -67,6 +81,10 @@ struct CheckerState {
     delta: Vec<f64>,
     /// Counts from the most recent `Classify`, awaiting its snapshot.
     pending_classify: Option<(usize, usize, usize, usize)>,
+    /// Currently open spans, keyed by id.
+    open_spans: BTreeMap<u64, OpenSpanInfo>,
+    /// Every span id ever started (IDs are never reused).
+    span_ids: BTreeSet<u64>,
     report: InvariantReport,
 }
 
@@ -95,6 +113,8 @@ pub fn check_trace(
         quarantined: BTreeSet::new(),
         delta: Vec::new(),
         pending_classify: None,
+        open_spans: BTreeMap::new(),
+        span_ids: BTreeSet::new(),
         report: InvariantReport::default(),
     };
     for (idx, event) in events.iter().enumerate() {
@@ -168,11 +188,86 @@ pub fn check_trace(
                     st.report.eval_failures
                 )));
             }
+            Event::SpanStart { id, parent, name } => {
+                check_span_start(&mut st, *id, *parent, name).map_err(|law| fail(&law))?;
+            }
+            Event::SpanEnd { id, name, .. } => {
+                check_span_end(&mut st, *id, name).map_err(|law| fail(&law))?;
+            }
             _ => {}
         }
     }
+    if !st.open_spans.is_empty() {
+        let open: Vec<String> = st
+            .open_spans
+            .iter()
+            .map(|(id, info)| format!("{id} ({})", info.name))
+            .collect();
+        return Err(format!(
+            "trace ended with {} unclosed span(s): {}",
+            open.len(),
+            open.join(", ")
+        ));
+    }
     check_delta_accuracy(&mut st, truth)?;
     Ok(st.report)
+}
+
+fn check_span_start(
+    st: &mut CheckerState,
+    id: u64,
+    parent: Option<u64>,
+    name: &str,
+) -> Result<(), String> {
+    if !st.span_ids.insert(id) {
+        return Err(format!("span id {id} ({name}) was started twice"));
+    }
+    if let Some(p) = parent {
+        match st.open_spans.get_mut(&p) {
+            Some(info) => info.open_children += 1,
+            None => {
+                return Err(format!(
+                    "span {id} ({name}) starts under parent {p}, which is not open"
+                ));
+            }
+        }
+    }
+    st.open_spans.insert(
+        id,
+        OpenSpanInfo {
+            name: name.to_string(),
+            parent,
+            open_children: 0,
+        },
+    );
+    Ok(())
+}
+
+fn check_span_end(st: &mut CheckerState, id: u64, name: &str) -> Result<(), String> {
+    let Some(info) = st.open_spans.get(&id) else {
+        return Err(format!("span {id} ({name}) ended without a matching start"));
+    };
+    if info.name != name {
+        return Err(format!(
+            "span {id} started as {:?} but ended as {name:?}",
+            info.name
+        ));
+    }
+    if info.open_children != 0 {
+        return Err(format!(
+            "span {id} ({name}) ended with {} child span(s) still open",
+            info.open_children
+        ));
+    }
+    let parent = info.parent;
+    st.open_spans.remove(&id);
+    if let Some(p) = parent {
+        if let Some(pi) = st.open_spans.get_mut(&p) {
+            pi.open_children -= 1;
+        }
+    }
+    st.report.spans += 1;
+    Ok(())
 }
 
 fn check_snapshot(
@@ -710,6 +805,92 @@ mod tests {
         ];
         let err = check_trace(&events, None).unwrap_err();
         assert!(err.contains("accounts for 3 attempts"), "{err}");
+    }
+
+    fn span_start(id: u64, parent: Option<u64>, name: &str) -> Event {
+        Event::SpanStart {
+            id,
+            parent,
+            name: name.into(),
+        }
+    }
+
+    fn span_end(id: u64, name: &str) -> Event {
+        Event::SpanEnd {
+            id,
+            name: name.into(),
+            duration_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn clean_span_tree_passes() {
+        let events = vec![
+            span_start(1, None, "run"),
+            span_start(2, Some(1), "iteration"),
+            span_start(3, Some(2), "gp_fit"),
+            span_end(3, "gp_fit"),
+            span_end(2, "iteration"),
+            span_start(4, Some(1), "eval_attempt"),
+            span_end(4, "eval_attempt"),
+            span_end(1, "run"),
+        ];
+        let report = check_trace(&events, None).expect("span tree is lawful");
+        assert_eq!(report.spans, 4);
+    }
+
+    #[test]
+    fn span_end_without_start_is_rejected() {
+        let events = vec![span_end(7, "run")];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("without a matching start"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_span_id_is_rejected() {
+        let events = vec![
+            span_start(1, None, "run"),
+            span_end(1, "run"),
+            span_start(1, None, "run"),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("started twice"), "{err}");
+    }
+
+    #[test]
+    fn child_of_closed_parent_is_rejected() {
+        let events = vec![
+            span_start(1, None, "run"),
+            span_end(1, "run"),
+            span_start(2, Some(1), "iteration"),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("is not open"), "{err}");
+    }
+
+    #[test]
+    fn parent_closing_before_child_is_rejected() {
+        let events = vec![
+            span_start(1, None, "run"),
+            span_start(2, Some(1), "iteration"),
+            span_end(1, "run"),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("still open"), "{err}");
+    }
+
+    #[test]
+    fn span_name_mismatch_is_rejected() {
+        let events = vec![span_start(1, None, "run"), span_end(1, "iteration")];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("ended as"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_spans_at_trace_end_are_rejected() {
+        let events = vec![span_start(1, None, "run")];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("unclosed span"), "{err}");
     }
 
     #[test]

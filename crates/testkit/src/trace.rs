@@ -116,6 +116,19 @@ pub fn canonical_jsonl(events: &[Event]) -> String {
 /// Fields whose values are wall-clock measurements, not behavior.
 const VOLATILE_FIELDS: [&str; 3] = ["duration_s", "gp_fit_s", "predict_s"];
 
+/// `ResourceSample` counter fields. The counters are process-global
+/// atomics, so concurrently running tests (or a second run in the same
+/// process) pollute the per-iteration deltas — the *presence* of the
+/// sample is behavior, its magnitudes are not.
+const VOLATILE_COUNTER_FIELDS: [&str; 6] = [
+    "chol_flops",
+    "chol_panels",
+    "tri_solve_rhs",
+    "fitcache_hits",
+    "fitcache_misses",
+    "kernel_assemblies",
+];
+
 fn canonicalize(v: &mut Value) {
     match v {
         Value::F64(x) => *x = round_sig(*x),
@@ -124,6 +137,8 @@ fn canonicalize(v: &mut Value) {
             for (key, val) in fields.iter_mut() {
                 if VOLATILE_FIELDS.contains(&key.as_str()) {
                     *val = Value::F64(0.0);
+                } else if VOLATILE_COUNTER_FIELDS.contains(&key.as_str()) {
+                    *val = Value::U64(0);
                 } else {
                     canonicalize(val);
                 }
@@ -218,6 +233,27 @@ mod tests {
         assert!(first.contains("0.3,"), "rounding failed: {first}");
         assert_eq!(lines.next().unwrap(), r#"{"Message":{"text":"hi"}}"#);
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn canonicalization_zeroes_resource_counters_as_integers() {
+        let events = [Event::ResourceSample {
+            iteration: 2,
+            chol_flops: 12345,
+            chol_panels: 7,
+            tri_solve_rhs: 99,
+            fitcache_hits: 3,
+            fitcache_misses: 1,
+            kernel_assemblies: 4,
+        }];
+        let text = canonical_jsonl(&events);
+        let line = text.lines().next().unwrap();
+        // Counters are zeroed but stay integers (no `.0` suffix), and the
+        // iteration — real behavior — survives.
+        assert!(line.contains("\"chol_flops\":0,"), "{line}");
+        assert!(line.contains("\"kernel_assemblies\":0"), "{line}");
+        assert!(line.contains("\"iteration\":2"), "{line}");
+        assert!(!line.contains("12345"), "{line}");
     }
 
     #[test]

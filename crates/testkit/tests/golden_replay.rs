@@ -26,6 +26,14 @@ fn golden_scenario_trace_satisfies_invariants() {
         report.pareto_checked >= 1,
         "no Pareto classification checked: {report:?}"
     );
+    // The causal span tree must be present and closed: at least the run
+    // span, one iteration span with its gp_fit/classify children, and one
+    // eval_attempt per tool run.
+    assert!(report.spans >= 4, "too few spans checked: {report:?}");
+    assert!(
+        report.spans > report.tool_evals,
+        "spans must cover more than eval attempts: {report:?}"
+    );
     // The trace's final accounting matches the result the caller gets.
     assert_eq!(
         report.tool_evals,

@@ -57,6 +57,22 @@ fn small_run_emits_a_complete_trace() {
         result.runs + result.verification_runs
     );
 
+    // Causal spans: starts and ends pair up, and the tree covers the run,
+    // every iteration, and every successful evaluation attempt.
+    assert_eq!(sink.count("SpanStart"), sink.count("SpanEnd"));
+    assert!(
+        sink.count("SpanStart") >= 1 + result.iterations + result.runs + result.verification_runs,
+        "span tree too sparse: {} spans",
+        sink.count("SpanStart")
+    );
+    // One resource sample per iteration, with real work attributed to it.
+    assert_eq!(sink.count("ResourceSample"), result.iterations);
+    let busy = events.iter().any(|e| {
+        matches!(e, Event::ResourceSample { chol_flops, kernel_assemblies, .. }
+            if *chol_flops > 0 && *kernel_assemblies > 0)
+    });
+    assert!(busy, "no iteration recorded Cholesky/kernel work");
+
     // The trace is JSONL-serializable end to end.
     for e in &events {
         let line = serde_json::to_string(e).expect("event serializes");
