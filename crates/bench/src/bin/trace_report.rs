@@ -138,6 +138,9 @@ fn main() {
     let mut quarantined: Vec<usize> = Vec::new();
     let mut checkpoints = 0usize;
     let mut last_checkpoint: Option<(usize, usize)> = None;
+    let mut batch_selects = 0usize;
+    let mut batch_members = 0usize;
+    let mut batch_q = 0usize;
     let mut spans: BTreeMap<String, (usize, f64)> = BTreeMap::new();
     let mut slowest: Vec<(f64, u64, String)> = Vec::new();
     let mut resources = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
@@ -269,6 +272,11 @@ fn main() {
                 resources.4 += fitcache_misses;
                 resources.5 += kernel_assemblies;
             }
+            Event::BatchSelect { q, chosen, .. } => {
+                batch_selects += 1;
+                batch_members += chosen.len();
+                batch_q = batch_q.max(*q);
+            }
             Event::Classify { .. }
             | Event::RegionSnapshot { .. }
             | Event::Select { .. }
@@ -333,6 +341,14 @@ fn main() {
         println!(
             "  undecided {} -> {}, hypervolume {:.4} -> {:.4}",
             first.4, last.4, first.5, last.5
+        );
+    }
+
+    if batch_selects > 0 {
+        println!(
+            "\nbatch selection: {batch_selects} waves at q = {batch_q}, {batch_members} members \
+             total (mean {:.1} per wave)",
+            batch_members as f64 / batch_selects as f64
         );
     }
 

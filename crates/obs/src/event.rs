@@ -129,6 +129,26 @@ pub enum Event {
         diameters: Vec<f64>,
     },
 
+    /// A diverse top-q batch was selected for concurrent evaluation
+    /// (emitted instead of [`Event::Select`] when the configured batch
+    /// size exceeds 1; single-candidate waves keep the classic event so
+    /// q = 1 traces are byte-identical to historical ones).
+    BatchSelect {
+        /// Refinement iteration.
+        iteration: usize,
+        /// The wave's budget: accepted evaluations the iteration still
+        /// wants when this batch was formed (the batch never exceeds it).
+        q: usize,
+        /// Chosen candidate indices, in greedy pick order.
+        chosen: Vec<usize>,
+        /// Uncertainty-region diameter of each pick at selection time.
+        diameters: Vec<f64>,
+        /// Diversity-penalized greedy score `diam·(1 − γ·red)` of each
+        /// pick. Non-increasing along the batch; the first pick is
+        /// unpenalized, so `scores[0] == diameters[0]`.
+        scores: Vec<f64>,
+    },
+
     /// One tool evaluation attempt failed (crash, timeout, or rejected
     /// QoR). The attempt still counts as a tool run; `ToolEval` is
     /// reserved for accepted observations, so in a trace every oracle
@@ -220,9 +240,11 @@ pub enum Event {
     },
 
     /// A causal span opened. Spans form a tree (`run` → `iteration` →
-    /// `gp_fit` / `classify` / `select` / `eval_attempt` / `checkpoint`)
-    /// whose IDs are sequential per run, so a trace's span structure is
-    /// deterministic even though durations are wall-clock.
+    /// `gp_fit` / `classify` / `select` / `batch_eval` / `eval_attempt` /
+    /// `checkpoint`; at batch sizes above 1 the `eval_attempt` spans of a
+    /// wave nest under a `batch_eval` span) whose IDs are sequential per
+    /// run, so a trace's span structure is deterministic even though
+    /// durations are wall-clock.
     SpanStart {
         /// Span ID, unique and strictly increasing within a run (1-based;
         /// the run span is always ID 1).
@@ -230,7 +252,7 @@ pub enum Event {
         /// Parent span ID; `None` only for the root `run` span.
         parent: Option<u64>,
         /// Span name (`"run"`, `"iteration"`, `"gp_fit"`, `"classify"`,
-        /// `"select"`, `"eval_attempt"`, `"checkpoint"`).
+        /// `"select"`, `"batch_eval"`, `"eval_attempt"`, `"checkpoint"`).
         name: String,
     },
 
@@ -286,6 +308,7 @@ impl Event {
             Event::RegionSnapshot { .. } => "RegionSnapshot",
             Event::Classify { .. } => "Classify",
             Event::Select { .. } => "Select",
+            Event::BatchSelect { .. } => "BatchSelect",
             Event::EvalFailed { .. } => "EvalFailed",
             Event::EvalRetry { .. } => "EvalRetry",
             Event::CandidateQuarantined { .. } => "CandidateQuarantined",
@@ -307,6 +330,7 @@ impl Event {
             | Event::RegionSnapshot { iteration, .. }
             | Event::Classify { iteration, .. }
             | Event::Select { iteration, .. }
+            | Event::BatchSelect { iteration, .. }
             | Event::EvalFailed { iteration, .. }
             | Event::EvalRetry { iteration, .. }
             | Event::CandidateQuarantined { iteration, .. }
@@ -422,6 +446,23 @@ mod tests {
             diameters: vec![0.5, 0.25],
         };
         let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn batch_select_round_trips_and_carries_iteration() {
+        let e = Event::BatchSelect {
+            iteration: 7,
+            q: 4,
+            chosen: vec![12, 3, 40],
+            diameters: vec![0.9, 0.4, 0.6],
+            scores: vec![0.9, 0.35, 0.3],
+        };
+        assert_eq!(e.kind(), "BatchSelect");
+        assert_eq!(e.iteration(), Some(7));
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"BatchSelect\""), "{json}");
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
     }

@@ -138,6 +138,12 @@ impl StderrSink {
             Event::Select {
                 iteration, chosen, ..
             } => format!("iter {iteration:3}: select {chosen:?}"),
+            Event::BatchSelect {
+                iteration,
+                q,
+                chosen,
+                ..
+            } => format!("iter {iteration:3}: select batch {chosen:?} (q {q})"),
             Event::EvalFailed {
                 iteration,
                 candidate,

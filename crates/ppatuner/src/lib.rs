@@ -16,7 +16,10 @@
 //!    promote to Pareto candidates that no other point can δ-dominate
 //!    even optimistically (Eq. 12).
 //! 3. **Selection** — evaluate the candidate with the longest uncertainty
-//!    diameter (Eq. 13) on the real tool, collapse its region.
+//!    diameter (Eq. 13) on the real tool, collapse its region. With
+//!    `batch_size > 1` this generalizes to a diverse top-q batch
+//!    ([`select_batch`]) evaluated concurrently through a
+//!    [`ConcurrentOracle`] — same determinism, parallel wall-clock.
 //!
 //! # Example
 //!
@@ -58,9 +61,11 @@ pub use checkpoint::{
     Checkpoint, CheckpointStore, EvalOutcome, EvalRecord, FileCheckpointStore,
     MemoryCheckpointStore, StateSnapshot, CHECKPOINT_VERSION,
 };
-pub use decision::{classify, DecisionOutcome, Status};
+pub use decision::{classify, select_batch, BatchPick, DecisionOutcome, Status};
 pub use error::TunerError;
-pub use oracle::{CountingOracle, EvalError, FallibleOracle, QorOracle, VecOracle};
+pub use oracle::{
+    ConcurrentOracle, CountingOracle, EvalError, FallibleOracle, QorOracle, SharedOracle, VecOracle,
+};
 pub use region::UncertaintyRegion;
 pub use tuner::{IterationRecord, PpaTuner, PpaTunerConfig, SourceData, TuneResult};
 

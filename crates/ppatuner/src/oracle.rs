@@ -230,6 +230,84 @@ impl<F> std::fmt::Debug for FallibleOracle<F> {
     }
 }
 
+/// A thread-safe oracle front end: the contract for concurrent batch
+/// fan-out (`&self` evaluation, `Sync`), so several workers can have tool
+/// runs in flight at once.
+///
+/// Implementations decide how much real concurrency they offer. A farm of
+/// tool licenses (or a simulator that sleeps per run, like the `qscale`
+/// bench) evaluates truly in parallel; [`SharedOracle`] adapts any
+/// sequential [`QorOracle`] by serializing calls behind a mutex —
+/// correct, but without wall-clock overlap.
+///
+/// The tuner guarantees that concurrent calls are always for *distinct*
+/// candidate indices (one batch member each), and that batch composition
+/// and all results are deterministic regardless of completion order.
+pub trait ConcurrentOracle: Sync {
+    /// Runs the tool for candidate `index`; may be called from several
+    /// worker threads at once (always with distinct indices).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::OutOfRange`] for an unknown index; other variants at
+    /// the implementation's discretion (fault injection, live tools).
+    fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError>;
+
+    /// Number of tool runs so far, including failed attempts.
+    fn runs(&self) -> usize;
+}
+
+/// Adapts any sequential [`QorOracle`] into a [`ConcurrentOracle`] by
+/// serializing evaluations behind a mutex.
+///
+/// This keeps table- and closure-backed oracles usable with the
+/// concurrent entry points (`PpaTuner::run_concurrent`) without giving up
+/// their exact sequential semantics: per-candidate attempt counts and
+/// run totals are interleaving-independent, so results match the serial
+/// path bit for bit. Real overlap requires a natively concurrent oracle.
+///
+/// # Example
+///
+/// ```
+/// use ppatuner::{ConcurrentOracle, QorOracle, SharedOracle, VecOracle};
+///
+/// let o = SharedOracle::new(VecOracle::new(vec![vec![1.0], vec![2.0]]));
+/// assert_eq!(o.evaluate(1).unwrap(), vec![2.0]);
+/// assert_eq!(o.runs(), 1);
+/// assert_eq!(o.into_inner().runs(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedOracle<O> {
+    inner: std::sync::Mutex<O>,
+}
+
+impl<O: QorOracle + Send> SharedOracle<O> {
+    /// Wraps a sequential oracle for shared use.
+    pub fn new(oracle: O) -> Self {
+        SharedOracle {
+            inner: std::sync::Mutex::new(oracle),
+        }
+    }
+
+    /// Unwraps the inner oracle (e.g. to read a `VecOracle` table back).
+    pub fn into_inner(self) -> O {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<O: QorOracle + Send> ConcurrentOracle for SharedOracle<O> {
+    fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .evaluate(index)
+    }
+
+    fn runs(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).runs()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +397,23 @@ mod tests {
             assert_eq!(e.is_transient(), transient);
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn shared_oracle_serializes_concurrent_callers() {
+        let o = SharedOracle::new(VecOracle::new((0..64).map(|i| vec![i as f64]).collect()));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let o = &o;
+                s.spawn(move || {
+                    for i in (w..64).step_by(4) {
+                        assert_eq!(o.evaluate(i).unwrap(), vec![i as f64]);
+                    }
+                });
+            }
+        });
+        assert_eq!(o.runs(), 64);
+        assert_eq!(o.into_inner().runs(), 64);
     }
 
     #[test]

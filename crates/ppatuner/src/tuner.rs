@@ -1,7 +1,8 @@
 //! The PPATuner loop (Algorithm 1 of the paper).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -17,8 +18,8 @@ use crate::checkpoint::{
     digest_matrix, source_digest, Checkpoint, CheckpointStore, EvalOutcome, EvalRecord,
     StateSnapshot, CHECKPOINT_VERSION,
 };
-use crate::decision::{classify, Status};
-use crate::oracle::{EvalError, QorOracle};
+use crate::decision::{classify, select_batch, Status};
+use crate::oracle::{ConcurrentOracle, EvalError, QorOracle};
 use crate::region::UncertaintyRegion;
 use crate::{Result, TunerError};
 
@@ -127,8 +128,24 @@ pub struct PpaTunerConfig {
     /// Maximum loop iterations `T_max`.
     pub max_iterations: usize,
     /// Configurations sent to the tool per iteration (the paper's batch
-    /// trials via parallel licenses).
+    /// trials via parallel licenses). Above 1, selection switches from
+    /// argmax-diameter (Eq. 13) to the diverse top-q batch rule
+    /// ([`select_batch`](crate::select_batch)) and each batch is
+    /// evaluated as one concurrent wave.
     pub batch_size: usize,
+    /// Worker threads fanning one evaluation wave out over a
+    /// [`ConcurrentOracle`](crate::ConcurrentOracle). 1 evaluates waves
+    /// sequentially; results are identical at any worker count, so this
+    /// only trades wall-clock. Ignored by the serial `run*` entry points.
+    pub eval_workers: usize,
+    /// Diversity penalty strength γ ∈ [0, 1) of the batch selection rule:
+    /// a pick's score is `diam · (1 − γ·red)` where `red` measures
+    /// redundancy against already-picked members. 0 recovers pure
+    /// top-q-by-diameter; irrelevant at `batch_size` 1.
+    pub batch_diversity: f64,
+    /// Parameter-space radius (encoded coordinates) inside which two
+    /// batch members start counting as redundant.
+    pub diversity_radius: f64,
     /// Re-train GP hyper-parameters every this many iterations (between
     /// refits, the model is re-conditioned on new data with cached
     /// hyper-parameters).
@@ -171,6 +188,9 @@ impl Default for PpaTunerConfig {
             initial_samples: 20,
             max_iterations: 300,
             batch_size: 1,
+            eval_workers: 1,
+            batch_diversity: 0.5,
+            diversity_radius: 0.25,
             refit_every: 25,
             fit_budget: FitBudget::default(),
             seed: 0,
@@ -208,6 +228,24 @@ impl PpaTunerConfig {
             return Err(TunerError::InvalidConfig {
                 name: "batch_size",
                 value: 0.0,
+            });
+        }
+        if self.eval_workers == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "eval_workers",
+                value: 0.0,
+            });
+        }
+        if !(self.batch_diversity.is_finite() && (0.0..1.0).contains(&self.batch_diversity)) {
+            return Err(TunerError::InvalidConfig {
+                name: "batch_diversity",
+                value: self.batch_diversity,
+            });
+        }
+        if !(self.diversity_radius.is_finite() && self.diversity_radius > 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "diversity_radius",
+                value: self.diversity_radius,
             });
         }
         if self.max_eval_attempts == 0 {
@@ -372,7 +410,95 @@ impl PpaTuner {
         oracle: &mut O,
         observer: &dyn Observer,
     ) -> Result<TuneResult> {
-        self.run_core(source, candidates, oracle, observer, None, None)
+        self.run_core(
+            source,
+            candidates,
+            OracleRef::Serial(oracle),
+            observer,
+            None,
+            None,
+        )
+    }
+
+    /// Like [`PpaTuner::run_observed`], but drives a thread-safe
+    /// [`ConcurrentOracle`], fanning each selection batch out over
+    /// `eval_workers` worker threads. With a natively concurrent oracle
+    /// this overlaps tool runs in wall-clock; results, traces, and span
+    /// IDs are identical to the serial path and invariant to the worker
+    /// count — only timing fields differ.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PpaTuner::run`].
+    pub fn run_concurrent(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &dyn ConcurrentOracle,
+        observer: &dyn Observer,
+    ) -> Result<TuneResult> {
+        self.run_core(
+            source,
+            candidates,
+            OracleRef::Concurrent(oracle),
+            observer,
+            None,
+            None,
+        )
+    }
+
+    /// [`PpaTuner::run_concurrent`] with per-iteration checkpointing (see
+    /// [`PpaTuner::run_checkpointed`]). Checkpoints land at iteration
+    /// boundaries, which are always whole-batch boundaries — a resumed
+    /// run replays complete batches, never half of one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PpaTuner::run_checkpointed`].
+    pub fn run_concurrent_checkpointed(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &dyn ConcurrentOracle,
+        observer: &dyn Observer,
+        store: &dyn CheckpointStore,
+    ) -> Result<TuneResult> {
+        self.run_core(
+            source,
+            candidates,
+            OracleRef::Concurrent(oracle),
+            observer,
+            Some(store),
+            None,
+        )
+    }
+
+    /// [`PpaTuner::resume`] over a [`ConcurrentOracle`]: replays the
+    /// checkpoint's evaluation log (whole batches — checkpoints sit at
+    /// batch boundaries), then continues live with concurrent fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PpaTuner::resume`].
+    pub fn resume_concurrent(
+        &self,
+        source: &SourceData,
+        candidates: &[Vec<f64>],
+        oracle: &dyn ConcurrentOracle,
+        observer: &dyn Observer,
+        store: &dyn CheckpointStore,
+    ) -> Result<TuneResult> {
+        let ckpt = store
+            .load()
+            .map_err(|reason| TunerError::Checkpoint { reason })?;
+        self.run_core(
+            source,
+            candidates,
+            OracleRef::Concurrent(oracle),
+            observer,
+            Some(store),
+            ckpt,
+        )
     }
 
     /// Like [`PpaTuner::run_observed`], but persists a [`Checkpoint`] to
@@ -392,7 +518,14 @@ impl PpaTuner {
         observer: &dyn Observer,
         store: &dyn CheckpointStore,
     ) -> Result<TuneResult> {
-        self.run_core(source, candidates, oracle, observer, Some(store), None)
+        self.run_core(
+            source,
+            candidates,
+            OracleRef::Serial(oracle),
+            observer,
+            Some(store),
+            None,
+        )
     }
 
     /// Continues an interrupted [`PpaTuner::run_checkpointed`] run from
@@ -428,7 +561,14 @@ impl PpaTuner {
         let ckpt = store
             .load()
             .map_err(|reason| TunerError::Checkpoint { reason })?;
-        self.run_core(source, candidates, oracle, observer, Some(store), ckpt)
+        self.run_core(
+            source,
+            candidates,
+            OracleRef::Serial(oracle),
+            observer,
+            Some(store),
+            ckpt,
+        )
     }
 
     /// The actual loop. `store` enables per-iteration checkpointing;
@@ -438,7 +578,7 @@ impl PpaTuner {
         &self,
         source: &SourceData,
         candidates: &[Vec<f64>],
-        oracle: &mut dyn QorOracle,
+        oracle: OracleRef<'_>,
         observer: &dyn Observer,
         store: Option<&dyn CheckpointStore>,
         resume_from: Option<Checkpoint>,
@@ -541,36 +681,54 @@ impl PpaTuner {
         let mut init_events: Vec<Event> = Vec::new();
         let mut init_quarantined: Vec<(usize, usize)> = Vec::new();
         let mut n_obj_opt: Option<usize> = None;
-        for &i in &init_idx {
-            let sanitize = |y: &[f64]| sanitize_qor(y, n_obj_opt, None);
-            let out = evaluate_with_retry(
-                &mut driver,
-                i,
-                0,
-                &self.config,
-                &sanitize,
-                live && observer.enabled(),
-                &mut |e| init_events.push(e),
-                &tracer,
-                &run_span,
-            )?;
-            eval_retries += out.attempts.saturating_sub(1);
-            eval_failures += out.failures;
-            match out.qor {
-                Some(y) => {
-                    n_obj_opt.get_or_insert(y.len());
-                    evaluated_flag[i] = true;
-                    evaluated.push((i, y));
-                }
-                None => {
-                    if live && observer.enabled() {
-                        init_events.push(Event::CandidateQuarantined {
-                            iteration: 0,
-                            candidate: i,
-                            attempts: out.attempts,
-                        });
+        for chunk in init_idx.chunks(self.config.batch_size.max(1)) {
+            let outs = {
+                let ctx = WaveCtx {
+                    iteration: 0,
+                    n_obj: n_obj_opt,
+                    gate: None,
+                };
+                evaluate_wave(
+                    &mut driver,
+                    chunk,
+                    &ctx,
+                    &self.config,
+                    live && observer.enabled(),
+                    &mut |e| init_events.push(e),
+                    &tracer,
+                    &run_span,
+                )?
+            };
+            for (&i, out) in chunk.iter().zip(outs) {
+                eval_retries += out.attempts.saturating_sub(1);
+                eval_failures += out.failures;
+                match out.qor {
+                    Some(y) => {
+                        match n_obj_opt {
+                            // The first accepted QoR of a wave fixes the
+                            // objective count; siblings of that same wave
+                            // were sanitized before it was known, so they
+                            // are dimension-checked here instead.
+                            None => n_obj_opt = Some(y.len()),
+                            Some(m) if y.len() != m => return Err(TunerError::InvalidInput {
+                                reason:
+                                    "oracle returned inconsistent objective counts within a batch",
+                            }),
+                            Some(_) => {}
+                        }
+                        evaluated_flag[i] = true;
+                        evaluated.push((i, y));
                     }
-                    init_quarantined.push((i, out.attempts));
+                    None => {
+                        if live && observer.enabled() {
+                            init_events.push(Event::CandidateQuarantined {
+                                iteration: 0,
+                                candidate: i,
+                                attempts: out.attempts,
+                            });
+                        }
+                        init_quarantined.push((i, out.attempts));
+                    }
                 }
             }
         }
@@ -881,12 +1039,15 @@ impl PpaTuner {
             // skip straight past it.
             let mut stop = !statuses.contains(&Status::Undecided);
 
-            // ---- selection (lines 10-11): longest-diameter active
-            // candidates, batched. When a selected candidate exhausts its
-            // failure budget it is quarantined, and the batch falls back
-            // to the next-longest-diameter eligible candidate within the
-            // same iteration (each fallback wave gets its own `Select`
-            // event), so injected faults cost retries, not iterations.
+            // ---- selection (lines 10-11): a diverse batch of the
+            // longest-diameter active candidates (`select_batch`; at
+            // batch size 1 this is exactly Eq. 13's argmax), evaluated as
+            // one concurrent wave. When a selected candidate exhausts its
+            // failure budget it is quarantined, and the iteration falls
+            // back to re-selecting from the remaining eligible candidates
+            // within the same iteration (each fallback wave gets its own
+            // selection event), so injected faults cost retries, not
+            // iterations.
             let mut want = self.config.batch_size;
             let mut selected_any = false;
             while !stop && want > 0 {
@@ -894,50 +1055,57 @@ impl PpaTuner {
                 // live executions of the same wave agree on span IDs; an
                 // empty wave's span is simply never emitted.
                 let select_span = tracer.open("select", Some(&iter_span));
-                let mut selectable: Vec<(usize, f64)> = (0..n)
-                    .filter(|&i| statuses[i].is_active() && !evaluated_flag[i])
-                    .map(|i| (i, regions[i].diameter()))
-                    .collect();
-                selectable
-                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                let batch: Vec<(usize, f64)> = selectable
-                    .iter()
-                    .take(want)
-                    .filter(|(_, d)| *d > 0.0)
-                    .copied()
-                    .collect();
-                if batch.is_empty() {
+                let picks = select_batch(
+                    candidates,
+                    &regions,
+                    &statuses,
+                    &evaluated_flag,
+                    want,
+                    self.config.batch_diversity,
+                    self.config.diversity_radius,
+                );
+                if picks.is_empty() {
                     break;
                 }
                 selected_any = true;
                 if live && observer.enabled() {
                     observer.emit(&select_span.start_event());
-                    observer.emit(&Event::Select {
-                        iteration: t,
-                        chosen: batch.iter().map(|&(i, _)| i).collect(),
-                        diameters: batch.iter().map(|&(_, d)| d).collect(),
-                    });
+                    if self.config.batch_size > 1 {
+                        observer.emit(&Event::BatchSelect {
+                            iteration: t,
+                            q: want,
+                            chosen: picks.iter().map(|p| p.index).collect(),
+                            diameters: picks.iter().map(|p| p.diameter).collect(),
+                            scores: picks.iter().map(|p| p.score).collect(),
+                        });
+                    } else {
+                        observer.emit(&Event::Select {
+                            iteration: t,
+                            chosen: picks.iter().map(|p| p.index).collect(),
+                            diameters: picks.iter().map(|p| p.diameter).collect(),
+                        });
+                    }
                     observer.emit(&tracer.end_event(&select_span));
                 }
-                for (i, _) in batch {
-                    let sanitize = |y: &[f64]| {
-                        sanitize_qor(
-                            y,
-                            Some(n_obj),
-                            Some((&regions[i], &obs_span, self.config.outlier_gate)),
-                        )
+                let members: Vec<usize> = picks.iter().map(|p| p.index).collect();
+                let outs = {
+                    let ctx = WaveCtx {
+                        iteration: t,
+                        n_obj: Some(n_obj),
+                        gate: Some((&regions, &obs_span, self.config.outlier_gate)),
                     };
-                    let out = evaluate_with_retry(
+                    evaluate_wave(
                         &mut driver,
-                        i,
-                        t,
+                        &members,
+                        &ctx,
                         &self.config,
-                        &sanitize,
                         observer.enabled(),
                         &mut |e| observer.emit(&e),
                         &tracer,
                         &iter_span,
-                    )?;
+                    )?
+                };
+                for (&i, out) in members.iter().zip(outs) {
                     eval_retries += out.attempts.saturating_sub(1);
                     eval_failures += out.failures;
                     match out.qor {
@@ -1112,51 +1280,66 @@ impl PpaTuner {
                 }
             }
         }
-        let mut truth: Vec<(usize, Vec<f64>)> = Vec::with_capacity(final_candidates.len());
-        for &i in &final_candidates {
+        // Verification evaluates unmeasured members in batch-sized waves
+        // (same fan-out as the loop); `truth` keeps `final_candidates`
+        // order regardless of the chunking.
+        let mut truth_vals: Vec<Option<Vec<f64>>> = Vec::with_capacity(final_candidates.len());
+        let mut to_verify: Vec<(usize, usize)> = Vec::new();
+        for (slot, &i) in final_candidates.iter().enumerate() {
             match evaluated.iter().find(|(j, _)| *j == i) {
-                Some((_, y)) => truth.push((i, y.clone())),
+                Some((_, y)) => truth_vals.push(Some(y.clone())),
                 None => {
-                    let sanitize = |y: &[f64]| {
-                        sanitize_qor(
-                            y,
-                            Some(n_obj),
-                            Some((&regions[i], &obs_span, self.config.outlier_gate)),
-                        )
-                    };
-                    let out = evaluate_with_retry(
-                        &mut driver,
-                        i,
-                        iterations,
-                        &self.config,
-                        &sanitize,
-                        observer.enabled(),
-                        &mut |e| observer.emit(&e),
-                        &tracer,
-                        &run_span,
-                    )?;
-                    eval_retries += out.attempts.saturating_sub(1);
-                    eval_failures += out.failures;
-                    match out.qor {
-                        Some(y) => truth.push((i, y)),
-                        None => {
-                            // A predicted-front member we could not verify:
-                            // exclude it from the reported set rather than
-                            // vouching for an unmeasured point.
-                            statuses[i] = Status::Quarantined;
-                            quarantined_order.push(i);
-                            if !out.replayed && observer.enabled() {
-                                observer.emit(&Event::CandidateQuarantined {
-                                    iteration: iterations,
-                                    candidate: i,
-                                    attempts: out.attempts,
-                                });
-                            }
+                    truth_vals.push(None);
+                    to_verify.push((slot, i));
+                }
+            }
+        }
+        for chunk in to_verify.chunks(self.config.batch_size.max(1)) {
+            let members: Vec<usize> = chunk.iter().map(|&(_, i)| i).collect();
+            let outs = {
+                let ctx = WaveCtx {
+                    iteration: iterations,
+                    n_obj: Some(n_obj),
+                    gate: Some((&regions, &obs_span, self.config.outlier_gate)),
+                };
+                evaluate_wave(
+                    &mut driver,
+                    &members,
+                    &ctx,
+                    &self.config,
+                    observer.enabled(),
+                    &mut |e| observer.emit(&e),
+                    &tracer,
+                    &run_span,
+                )?
+            };
+            for (&(slot, i), out) in chunk.iter().zip(outs) {
+                eval_retries += out.attempts.saturating_sub(1);
+                eval_failures += out.failures;
+                match out.qor {
+                    Some(y) => truth_vals[slot] = Some(y),
+                    None => {
+                        // A predicted-front member we could not verify:
+                        // exclude it from the reported set rather than
+                        // vouching for an unmeasured point.
+                        statuses[i] = Status::Quarantined;
+                        quarantined_order.push(i);
+                        if !out.replayed && observer.enabled() {
+                            observer.emit(&Event::CandidateQuarantined {
+                                iteration: iterations,
+                                candidate: i,
+                                attempts: out.attempts,
+                            });
                         }
                     }
                 }
             }
         }
+        let truth: Vec<(usize, Vec<f64>)> = final_candidates
+            .iter()
+            .zip(truth_vals)
+            .filter_map(|(&i, v)| v.map(|y| (i, y)))
+            .collect();
         let pts: Vec<Vec<f64>> = truth.iter().map(|(_, y)| y.clone()).collect();
         let pareto_indices: Vec<usize> = pareto::front::pareto_front(&pts)
             .into_iter()
@@ -1217,11 +1400,46 @@ fn status_counts(statuses: &[Status]) -> (usize, usize, usize, usize) {
     (undecided, pareto, dropped, quarantined)
 }
 
+/// How the loop reaches the tool: an exclusive sequential oracle (the
+/// classic entry points) or a shared thread-safe front end the wave
+/// executor can fan out over. Both produce identical results — the
+/// concurrent variant only buys wall-clock overlap.
+enum OracleRef<'a> {
+    Serial(&'a mut dyn QorOracle),
+    Concurrent(&'a dyn ConcurrentOracle),
+}
+
+impl<'a> OracleRef<'a> {
+    fn evaluate(&mut self, index: usize) -> std::result::Result<Vec<f64>, EvalError> {
+        match self {
+            OracleRef::Serial(o) => o.evaluate(index),
+            OracleRef::Concurrent(o) => o.evaluate(index),
+        }
+    }
+
+    fn runs(&self) -> usize {
+        match self {
+            OracleRef::Serial(o) => o.runs(),
+            OracleRef::Concurrent(o) => o.runs(),
+        }
+    }
+
+    /// The shared handle when true fan-out is possible. Returns the
+    /// full-lifetime reference, so a wave can evaluate through it while
+    /// the driver is otherwise untouched until the merge.
+    fn concurrent_handle(&self) -> Option<&'a dyn ConcurrentOracle> {
+        match self {
+            OracleRef::Serial(_) => None,
+            OracleRef::Concurrent(o) => Some(*o),
+        }
+    }
+}
+
 /// Serves oracle attempts — replaying a checkpoint's evaluation log while
 /// it lasts, live afterwards — and records every outcome (the log IS the
 /// resume script, so failures are recorded too).
 struct EvalDriver<'a> {
-    oracle: &'a mut dyn QorOracle,
+    oracle: OracleRef<'a>,
     replay: VecDeque<EvalRecord>,
     replayed_runs: usize,
     log: Vec<EvalRecord>,
@@ -1287,6 +1505,25 @@ impl EvalDriver<'_> {
             },
         });
         Ok((outcome, replayed))
+    }
+
+    /// Records a live outcome produced outside [`EvalDriver::attempt`]:
+    /// concurrent wave workers evaluate without touching the driver, and
+    /// the deterministic batch-order merge logs their results here.
+    fn record_live(
+        &mut self,
+        candidate: usize,
+        outcome: &std::result::Result<Vec<f64>, EvalError>,
+    ) {
+        self.log.push(EvalRecord {
+            candidate,
+            outcome: match outcome {
+                Ok(qor) => EvalOutcome::Accepted { qor: qor.clone() },
+                Err(error) => EvalOutcome::Failed {
+                    error: error.clone(),
+                },
+            },
+        });
     }
 }
 
@@ -1383,6 +1620,294 @@ fn evaluate_with_retry(
         failures,
         replayed,
     })
+}
+
+/// Sanitization inputs of one evaluation wave, frozen at wave start.
+///
+/// Workers must not observe state that other members of the same wave
+/// mutate (the merge updates regions and the observed span only after
+/// the whole wave returns), so a member's outlier gate is identical no
+/// matter which worker runs it or in what order — the root of
+/// worker-count invariance.
+struct WaveCtx<'a> {
+    iteration: usize,
+    /// Established objective count (`None` only for the first
+    /// initialization wave, before any QoR has been accepted).
+    n_obj: Option<usize>,
+    /// Outlier-gate inputs (`None` during initialization): all regions,
+    /// the observed span, and the gate factor.
+    gate: Option<(&'a [UncertaintyRegion], &'a ObservedSpan, f64)>,
+}
+
+impl WaveCtx<'_> {
+    fn sanitize(&self, candidate: usize, y: &[f64]) -> std::result::Result<(), String> {
+        sanitize_qor(
+            y,
+            self.n_obj,
+            self.gate
+                .map(|(regions, span, gate)| (&regions[candidate], span, gate)),
+        )
+    }
+}
+
+/// Raw per-attempt results of one batch member: what a wave worker
+/// produces without touching the driver or the tracer. The deterministic
+/// batch-order merge ([`merge_member`]) later turns them into span IDs,
+/// events, and log records.
+struct MemberOutcome {
+    /// `(outcome, duration_s)` per attempt, in attempt order. Ends early
+    /// on the first acceptance or non-transient error.
+    attempts: Vec<(std::result::Result<Vec<f64>, EvalError>, f64)>,
+}
+
+/// Runs one member's full retry sequence against `eval` (live only; the
+/// replay path never reaches this). The retry policy — sanitize accepted
+/// QoR, retry transient failures up to the budget, stop on acceptance or
+/// a non-transient error — matches [`evaluate_with_retry`] exactly.
+fn member_attempts(
+    mut eval: impl FnMut(usize) -> std::result::Result<Vec<f64>, EvalError>,
+    candidate: usize,
+    ctx: &WaveCtx<'_>,
+    max_attempts: usize,
+) -> MemberOutcome {
+    let mut attempts = Vec::with_capacity(1);
+    for _ in 0..max_attempts {
+        let start = Instant::now();
+        let outcome = match eval(candidate) {
+            Ok(y) => match ctx.sanitize(candidate, &y) {
+                Ok(()) => Ok(y),
+                Err(detail) => Err(EvalError::InvalidQor { detail }),
+            },
+            Err(e) => Err(e),
+        };
+        let duration_s = start.elapsed().as_secs_f64();
+        let stop = match &outcome {
+            Ok(_) => true,
+            Err(e) => !e.is_transient(),
+        };
+        attempts.push((outcome, duration_s));
+        if stop {
+            break;
+        }
+    }
+    MemberOutcome { attempts }
+}
+
+/// Fans one wave out over `workers` threads sharing work through an
+/// atomic cursor (work-stealing over batch positions). Workers only
+/// *evaluate*; all outcome processing happens in the deterministic merge,
+/// so completion order is irrelevant.
+fn run_wave_parallel(
+    oracle: &dyn ConcurrentOracle,
+    members: &[usize],
+    ctx: &WaveCtx<'_>,
+    max_attempts: usize,
+    workers: usize,
+) -> Vec<MemberOutcome> {
+    let slots: Vec<Mutex<Option<MemberOutcome>>> =
+        members.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(members.len()) {
+            s.spawn(|| loop {
+                let pos = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&candidate) = members.get(pos) else {
+                    break;
+                };
+                let out = member_attempts(|i| oracle.evaluate(i), candidate, ctx, max_attempts);
+                *slots[pos].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .expect("every wave slot is filled")
+        })
+        .collect()
+}
+
+/// Merges one member's raw attempt results into the run, in batch order:
+/// allocates the per-attempt `eval_attempt` span IDs (late, at merge time
+/// — so IDs match the sequential path and are worker-count independent),
+/// emits the attempt events in the classic order, and appends the
+/// outcomes to the driver's log. Event sequence and log contents are
+/// bit-identical to [`evaluate_with_retry`] on the same outcomes.
+#[allow(clippy::too_many_arguments)]
+fn merge_member(
+    driver: &mut EvalDriver<'_>,
+    member: MemberOutcome,
+    candidate: usize,
+    iteration: usize,
+    config: &PpaTunerConfig,
+    enabled: bool,
+    emit: &mut dyn FnMut(Event),
+    tracer: &Tracer,
+    parent: &OpenSpan,
+) -> Result<RetryOutcome> {
+    let mut failures = 0;
+    for (k, (outcome, duration_s)) in member.attempts.into_iter().enumerate() {
+        let attempt = k + 1;
+        if attempt > 1 && enabled {
+            emit(Event::EvalRetry {
+                iteration,
+                candidate,
+                attempt,
+                backoff_s: config.retry_backoff_s(attempt),
+            });
+        }
+        let span = tracer.open("eval_attempt", Some(parent));
+        if enabled {
+            emit(span.start_event());
+        }
+        match outcome {
+            Ok(qor) => {
+                driver.record_live(candidate, &Ok(qor.clone()));
+                if enabled {
+                    emit(Event::ToolEval {
+                        iteration,
+                        candidate,
+                        qor: qor.clone(),
+                        duration_s,
+                    });
+                    emit(tracer.end_event(&span));
+                }
+                return Ok(RetryOutcome {
+                    qor: Some(qor),
+                    attempts: attempt,
+                    failures,
+                    replayed: false,
+                });
+            }
+            Err(e) => {
+                if !e.is_transient() {
+                    // Matches the serial driver: a caller bug aborts the
+                    // run without being logged as an attempt.
+                    return Err(TunerError::Evaluation(e));
+                }
+                driver.record_live(candidate, &Err(e.clone()));
+                failures += 1;
+                if enabled {
+                    emit(Event::EvalFailed {
+                        iteration,
+                        candidate,
+                        attempt,
+                        kind: e.kind().to_string(),
+                        detail: e.to_string(),
+                    });
+                    emit(tracer.end_event(&span));
+                }
+            }
+        }
+    }
+    Ok(RetryOutcome {
+        qor: None,
+        attempts: config.max_eval_attempts,
+        failures,
+        replayed: false,
+    })
+}
+
+/// Evaluates one selection wave (a batch of distinct candidates) and
+/// returns each member's [`RetryOutcome`], in batch order.
+///
+/// - **Replay** (resume): members are served sequentially from the
+///   checkpoint log via the classic retry path. Checkpoints land at
+///   iteration — hence whole-batch — boundaries, so a wave is replayed in
+///   full or not at all.
+/// - **Live**: members run their full retry sequences against frozen
+///   sanitization inputs ([`WaveCtx`]) — in parallel through a
+///   [`ConcurrentOracle`] when `eval_workers > 1`, sequentially otherwise
+///   — and the results are merged in batch order. Outcomes, events, span
+///   IDs, and the evaluation log are identical at any worker count.
+///
+/// At `batch_size > 1` a `batch_eval` span (child of `parent`) wraps the
+/// member `eval_attempt` spans; at 1 the wave is a single member hanging
+/// directly under `parent`, byte-identical to the historical trace.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_wave(
+    driver: &mut EvalDriver<'_>,
+    members: &[usize],
+    ctx: &WaveCtx<'_>,
+    config: &PpaTunerConfig,
+    enabled: bool,
+    emit: &mut dyn FnMut(Event),
+    tracer: &Tracer,
+    parent: &OpenSpan,
+) -> Result<Vec<RetryOutcome>> {
+    let batch_span = if config.batch_size > 1 {
+        Some(tracer.open("batch_eval", Some(parent)))
+    } else {
+        None
+    };
+    let attempt_parent = batch_span.as_ref().unwrap_or(parent);
+    if driver.replaying() {
+        // Per-attempt liveness gating inside `evaluate_with_retry`
+        // handles the boundary exactly like the classic path.
+        let mut outs = Vec::with_capacity(members.len());
+        for &candidate in members {
+            let sanitize = |y: &[f64]| ctx.sanitize(candidate, y);
+            outs.push(evaluate_with_retry(
+                driver,
+                candidate,
+                ctx.iteration,
+                config,
+                &sanitize,
+                enabled,
+                emit,
+                tracer,
+                attempt_parent,
+            )?);
+        }
+        return Ok(outs);
+    }
+    if enabled {
+        if let Some(span) = &batch_span {
+            emit(span.start_event());
+        }
+    }
+    let outcomes: Vec<MemberOutcome> = match driver.oracle.concurrent_handle() {
+        Some(oracle) if config.eval_workers > 1 && members.len() > 1 => run_wave_parallel(
+            oracle,
+            members,
+            ctx,
+            config.max_eval_attempts,
+            config.eval_workers,
+        ),
+        _ => members
+            .iter()
+            .map(|&candidate| {
+                member_attempts(
+                    |i| driver.oracle.evaluate(i),
+                    candidate,
+                    ctx,
+                    config.max_eval_attempts,
+                )
+            })
+            .collect(),
+    };
+    let mut outs = Vec::with_capacity(members.len());
+    for (&candidate, member) in members.iter().zip(outcomes) {
+        outs.push(merge_member(
+            driver,
+            member,
+            candidate,
+            ctx.iteration,
+            config,
+            enabled,
+            emit,
+            tracer,
+            attempt_parent,
+        )?);
+    }
+    if enabled {
+        if let Some(span) = &batch_span {
+            emit(tracer.end_event(span));
+        }
+    }
+    Ok(outs)
 }
 
 /// Running per-objective `[min, max]` of accepted observations, the span

@@ -1,0 +1,280 @@
+//! Brute-force reference for the diverse top-q batch selection rule.
+//!
+//! [`ppatuner::select_batch`] picks its batch greedily with an
+//! incrementally-maintained redundancy maximum. This module re-derives
+//! the same answer the expensive way: **enumerate every size-k subset**
+//! of the eligible candidates, order each subset canonically by running
+//! the exact diversity objective restricted to that subset (redundancy
+//! recomputed from scratch each step), and return the subset whose pick
+//! sequence is lexicographically minimal under the pinned tie-break
+//! order `(−score, red, −diameter, index)`.
+//!
+//! The greedy fast path provably produces that minimal sequence (each
+//! of its picks is tuple-minimal over *all* remaining eligible
+//! candidates, hence over any rival subset sharing the same prefix), so
+//! the two implementations must agree **bit-for-bit** — index sequence,
+//! diameters, and scores. The differential suite in
+//! `tests/batch_select.rs` fuzzes that equivalence over ≥1000 seeded
+//! cases, including tie-heavy quantized inputs.
+
+use ppatuner::{BatchPick, Status, UncertaintyRegion};
+use std::cmp::Ordering;
+
+/// Naive redundancy of candidate `i` against picked `j`: 1 when `j`'s
+/// pessimistic corner weakly dominates `i`'s optimistic corner, else
+/// the clamped proximity term `max(0, 1 − dist/radius)`. Mirrors the
+/// fast path's formula term by term (same dimension order, same
+/// expression shape) so agreement is exact, not approximate.
+fn pair_redundancy(
+    candidates: &[Vec<f64>],
+    regions: &[UncertaintyRegion],
+    i: usize,
+    j: usize,
+    radius: f64,
+) -> f64 {
+    let shadowed = regions[j]
+        .pessimistic()
+        .iter()
+        .zip(regions[i].optimistic())
+        .all(|(&pj, &oi)| pj <= oi);
+    if shadowed {
+        return 1.0;
+    }
+    let dist = candidates[i]
+        .iter()
+        .zip(&candidates[j])
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    (1.0 - dist / radius).max(0.0)
+}
+
+/// One step of a canonical sequence: the pick's score, redundancy at
+/// pick time, diameter, and candidate index.
+type PickTuple = (f64, f64, f64, usize);
+
+/// Total order on pick tuples: lexicographic on
+/// `(−score, red, −diameter, index)` under IEEE total order — i.e. the
+/// *better* pick (higher score, lower redundancy, longer diameter,
+/// smaller index) compares `Less`.
+fn pick_cmp(a: &PickTuple, b: &PickTuple) -> Ordering {
+    b.0.total_cmp(&a.0)
+        .then_with(|| a.1.total_cmp(&b.1))
+        .then_with(|| b.2.total_cmp(&a.2))
+        .then_with(|| a.3.cmp(&b.3))
+}
+
+/// Orders `subset` canonically: repeatedly take the remaining member
+/// with the minimal pick tuple, recomputing each member's redundancy
+/// from scratch as the max over all already-ordered members.
+fn canonical_sequence(
+    subset: &[usize],
+    candidates: &[Vec<f64>],
+    regions: &[UncertaintyRegion],
+    diameters: &[f64],
+    diversity: f64,
+    radius: f64,
+) -> Vec<PickTuple> {
+    let mut ordered: Vec<usize> = Vec::with_capacity(subset.len());
+    let mut seq: Vec<PickTuple> = Vec::with_capacity(subset.len());
+    while ordered.len() < subset.len() {
+        let mut best: Option<PickTuple> = None;
+        for &i in subset.iter().filter(|i| !ordered.contains(i)) {
+            // Fresh maximum over the prefix — deliberately not the fast
+            // path's running update, to make the differential meaningful.
+            let mut red = 0.0_f64;
+            for &j in &ordered {
+                let r = pair_redundancy(candidates, regions, i, j, radius);
+                if r > red {
+                    red = r;
+                }
+            }
+            let diam = diameters[i];
+            let tuple = (diam * (1.0 - diversity * red), red, diam, i);
+            if best
+                .as_ref()
+                .is_none_or(|b| pick_cmp(&tuple, b) == Ordering::Less)
+            {
+                best = Some(tuple);
+            }
+        }
+        let tuple = best.expect("subset non-empty while ordering");
+        ordered.push(tuple.3);
+        seq.push(tuple);
+    }
+    seq
+}
+
+/// Lexicographic comparison of two equal-length canonical sequences.
+fn sequence_cmp(a: &[PickTuple], b: &[PickTuple]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match pick_cmp(x, y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Visits every size-`k` subset of `items`, in index order.
+fn for_each_subset(items: &[usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    fn recurse(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if current.len() == k {
+            visit(current);
+            return;
+        }
+        let needed = k - current.len();
+        for idx in start..=items.len().saturating_sub(needed) {
+            current.push(items[idx]);
+            recurse(items, k, idx + 1, current, visit);
+            current.pop();
+        }
+    }
+    if k == 0 {
+        visit(&[]);
+        return;
+    }
+    if k > items.len() {
+        return;
+    }
+    recurse(items, k, 0, &mut Vec::with_capacity(k), visit);
+}
+
+/// Brute-force reference for [`ppatuner::select_batch`]: enumerates all
+/// size-`min(q, eligible)` subsets of the eligible candidates, orders
+/// each canonically under the exact diversity objective, and returns
+/// the lexicographically minimal sequence. Exponential in `q` — test
+/// sizes only.
+pub fn reference_select_batch(
+    candidates: &[Vec<f64>],
+    regions: &[UncertaintyRegion],
+    statuses: &[Status],
+    evaluated: &[bool],
+    q: usize,
+    diversity: f64,
+    radius: f64,
+) -> Vec<BatchPick> {
+    assert_eq!(
+        candidates.len(),
+        regions.len(),
+        "reference: length mismatch"
+    );
+    assert_eq!(
+        candidates.len(),
+        statuses.len(),
+        "reference: length mismatch"
+    );
+    assert_eq!(
+        candidates.len(),
+        evaluated.len(),
+        "reference: length mismatch"
+    );
+    let diameters: Vec<f64> = regions.iter().map(|r| r.diameter()).collect();
+    let eligible: Vec<usize> = (0..candidates.len())
+        .filter(|&i| statuses[i].is_active() && !evaluated[i] && diameters[i] > 0.0)
+        .collect();
+    let k = q.min(eligible.len());
+    let mut best: Option<Vec<PickTuple>> = None;
+    for_each_subset(&eligible, k, &mut |subset| {
+        let seq = canonical_sequence(subset, candidates, regions, &diameters, diversity, radius);
+        if best
+            .as_ref()
+            .is_none_or(|b| sequence_cmp(&seq, b) == Ordering::Less)
+        {
+            best = Some(seq);
+        }
+    });
+    best.unwrap_or_default()
+        .into_iter()
+        .map(|(score, _, diameter, index)| BatchPick {
+            index,
+            diameter,
+            score,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(lo: &[f64], hi: &[f64]) -> UncertaintyRegion {
+        let mut u = UncertaintyRegion::unbounded(lo.len());
+        u.intersect(lo, hi);
+        u
+    }
+
+    #[test]
+    fn subset_enumeration_counts_are_binomial() {
+        let items: Vec<usize> = (0..6).collect();
+        for (k, want) in [(0usize, 1usize), (1, 6), (2, 15), (3, 20), (6, 1)] {
+            let mut count = 0;
+            for_each_subset(&items, k, &mut |s| {
+                assert_eq!(s.len(), k);
+                count += 1;
+            });
+            assert_eq!(count, want, "C(6, {k})");
+        }
+        let mut none = 0;
+        for_each_subset(&items, 7, &mut |_| none += 1);
+        assert_eq!(none, 0, "k > n yields no subsets");
+    }
+
+    #[test]
+    fn reference_q1_is_argmax_diameter() {
+        let cands: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let regions = vec![
+            boxed(&[0.0, 0.0], &[1.0, 0.0]),
+            boxed(&[5.0, 0.0], &[8.0, 0.0]),
+            boxed(&[0.0, 5.0], &[3.0, 5.0]),
+            boxed(&[9.0, 9.0], &[9.5, 9.0]),
+        ];
+        let statuses = vec![Status::Undecided; 4];
+        let picks = reference_select_batch(&cands, &regions, &statuses, &[false; 4], 1, 0.5, 0.25);
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].index, 1, "largest diameter, smallest index on tie");
+        assert_eq!(picks[0].score, picks[0].diameter);
+    }
+
+    #[test]
+    fn reference_prefers_diverse_subset() {
+        // Two colocated long candidates vs one distant slightly shorter
+        // one: with a strong penalty the diverse pair must win.
+        let cands = vec![vec![0.0, 0.0], vec![0.01, 0.0], vec![5.0, 5.0]];
+        let regions = vec![
+            boxed(&[0.0, 0.0], &[2.0, 0.0]),
+            boxed(&[10.0, -3.0], &[11.9, -3.0]),
+            boxed(&[-5.0, 3.0], &[-3.2, 3.0]),
+        ];
+        let statuses = vec![Status::Undecided; 3];
+        let picks = reference_select_batch(&cands, &regions, &statuses, &[false; 3], 2, 0.9, 0.25);
+        let idx: Vec<usize> = picks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn reference_matches_fast_path_on_handpicked_cases() {
+        let cands = vec![vec![0.0], vec![0.1], vec![2.0], vec![2.05], vec![9.0]];
+        let regions = vec![
+            boxed(&[0.0, 0.0], &[4.0, 0.0]),
+            boxed(&[0.0, 1.0], &[3.9, 1.0]),
+            boxed(&[1.0, 2.0], &[4.5, 2.0]),
+            boxed(&[1.0, 3.0], &[4.4, 3.0]),
+            boxed(&[2.0, 4.0], &[2.2, 4.0]),
+        ];
+        let statuses = vec![Status::Undecided; 5];
+        for q in 0..=5 {
+            let reference =
+                reference_select_batch(&cands, &regions, &statuses, &[false; 5], q, 0.7, 0.5);
+            let fast =
+                ppatuner::select_batch(&cands, &regions, &statuses, &[false; 5], q, 0.7, 0.5);
+            assert_eq!(reference, fast, "q = {q}");
+        }
+    }
+}

@@ -13,6 +13,11 @@
 //! - **Selection is greedy by diameter** (Eq. 13): every
 //!   [`obs::Event::Select`] picks eligible (active, unevaluated)
 //!   candidates in descending diameter order, starting at the maximum.
+//! - **Batch selection is lawful**: every [`obs::Event::BatchSelect`]
+//!   names at most `q` distinct eligible members, its first pick is the
+//!   unpenalized max-diameter candidate (so `q = 1` degenerates to
+//!   Eq. 13), scores are non-increasing along the batch, and no score
+//!   exceeds its member's diameter.
 //! - **Classification is δ-accurate** (Eq. 12): every candidate the loop
 //!   classified Pareto is, in golden QoR, at most δ worse than the true
 //!   front in at least one objective.
@@ -47,6 +52,8 @@ pub struct InvariantReport {
     pub snapshots: usize,
     /// `Select` events checked.
     pub selects: usize,
+    /// `BatchSelect` events checked.
+    pub batch_selects: usize,
     /// `ToolEval` events checked.
     pub tool_evals: usize,
     /// `EvalFailed` events counted toward the attempt-conservation law.
@@ -151,6 +158,16 @@ pub fn check_trace(
                 diameters,
             } => {
                 check_select(&mut st, *iteration, chosen, diameters).map_err(|law| fail(&law))?;
+            }
+            Event::BatchSelect {
+                iteration,
+                q,
+                chosen,
+                diameters,
+                scores,
+            } => {
+                check_batch_select(&mut st, *iteration, *q, chosen, diameters, scores)
+                    .map_err(|law| fail(&law))?;
             }
             Event::ToolEval { candidate, qor, .. } => {
                 check_tool_eval(&mut st, *candidate, qor).map_err(|law| fail(&law))?;
@@ -414,6 +431,101 @@ fn check_select(
         ));
     }
     st.report.selects += 1;
+    Ok(())
+}
+
+/// Laws of the diverse top-q batch rule. Diameter/score floats may be
+/// `NaN` after a JSONL round trip (infinities serialize as null), so
+/// every inequality is written to *pass* on `NaN` — same convention as
+/// the snapshot-diameter laws.
+fn check_batch_select(
+    st: &mut CheckerState,
+    iteration: usize,
+    q: usize,
+    chosen: &[usize],
+    diameters: &[f64],
+    scores: &[f64],
+) -> Result<(), String> {
+    if st.snapshot_iteration != Some(iteration) {
+        return Err(format!(
+            "BatchSelect at iteration {iteration} without a same-iteration snapshot"
+        ));
+    }
+    if chosen.is_empty() {
+        return Err("BatchSelect must name at least one member".into());
+    }
+    if chosen.len() != diameters.len() || chosen.len() != scores.len() {
+        return Err("BatchSelect members, diameters, and scores must be parallel".into());
+    }
+    if chosen.len() > q {
+        return Err(format!(
+            "batch of {} members exceeds its budget q = {q}",
+            chosen.len()
+        ));
+    }
+    let mut seen = BTreeSet::new();
+    for ((&i, &d), &s) in chosen.iter().zip(diameters).zip(scores) {
+        if !seen.insert(i) {
+            return Err(format!("candidate {i} appears twice in one batch"));
+        }
+        if st.statuses.get(i) == Some(&'d') {
+            return Err(format!("dropped candidate {i} was batch-selected"));
+        }
+        if st.statuses.get(i) == Some(&'q') || st.quarantined.contains(&i) {
+            return Err(format!("quarantined candidate {i} was batch-selected"));
+        }
+        if st.measured.contains_key(&i) {
+            return Err(format!(
+                "already-evaluated candidate {i} was batch-selected"
+            ));
+        }
+        if d <= 0.0 {
+            return Err(format!("candidate {i} batch-selected with diameter {d}"));
+        }
+        let snap = st.diameters.get(i).copied().unwrap_or(f64::NAN);
+        if (snap - d).abs() > TOL * snap.abs().max(1.0) {
+            return Err(format!(
+                "candidate {i}'s batch diameter {d} disagrees with snapshot {snap}"
+            ));
+        }
+        if s > d + TOL * d.abs().max(1.0) {
+            return Err(format!(
+                "candidate {i}'s score {s} exceeds its diameter {d}"
+            ));
+        }
+    }
+    // Scores are non-increasing along the greedy pick order.
+    for w in scores.windows(2) {
+        if w[1] > w[0] + TOL {
+            return Err(format!("batch scores not descending: {scores:?}"));
+        }
+    }
+    // The first pick is unpenalized argmax-diameter — Eq. 13 exactly.
+    if (scores[0] - diameters[0]).abs() > TOL * diameters[0].abs().max(1.0) {
+        return Err(format!(
+            "first pick's score {} differs from its diameter {}",
+            scores[0], diameters[0]
+        ));
+    }
+    let best = st
+        .diameters
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| {
+            !matches!(st.statuses[i], 'd' | 'q')
+                && !st.quarantined.contains(&i)
+                && !st.measured.contains_key(&i)
+        })
+        .map(|(_, &d)| d)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if best > diameters[0] + TOL * best.abs().max(1.0) {
+        return Err(format!(
+            "batch skipped the max-diameter candidate: picked {} while an \
+             eligible candidate has diameter {best}",
+            diameters[0]
+        ));
+    }
+    st.report.batch_selects += 1;
     Ok(())
 }
 
@@ -805,6 +917,109 @@ mod tests {
         ];
         let err = check_trace(&events, None).unwrap_err();
         assert!(err.contains("accounts for 3 attempts"), "{err}");
+    }
+
+    fn batch(iteration: usize, q: usize, chosen: &[usize], d: &[f64], s: &[f64]) -> Event {
+        Event::BatchSelect {
+            iteration,
+            q,
+            chosen: chosen.to_vec(),
+            diameters: d.to_vec(),
+            scores: s.to_vec(),
+        }
+    }
+
+    #[test]
+    fn lawful_batch_select_passes() {
+        let events = vec![
+            snapshot(0, "uuuu", &[3.0, 2.0, 1.0, 0.5]),
+            batch(0, 3, &[0, 2, 1], &[3.0, 1.0, 2.0], &[3.0, 0.9, 0.4]),
+        ];
+        let report = check_trace(&events, None).expect("batch is lawful");
+        assert_eq!(report.batch_selects, 1);
+        assert_eq!(report.selects, 0);
+    }
+
+    #[test]
+    fn oversize_batch_is_rejected() {
+        let events = vec![
+            snapshot(0, "uuu", &[3.0, 2.0, 1.0]),
+            batch(0, 2, &[0, 1, 2], &[3.0, 2.0, 1.0], &[3.0, 1.0, 0.5]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("exceeds its budget"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_batch_member_is_rejected() {
+        let events = vec![
+            snapshot(0, "uu", &[3.0, 2.0]),
+            batch(0, 2, &[0, 0], &[3.0, 3.0], &[3.0, 1.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("appears twice"), "{err}");
+    }
+
+    #[test]
+    fn quarantined_batch_member_is_rejected() {
+        let events = vec![
+            Event::CandidateQuarantined {
+                iteration: 0,
+                candidate: 1,
+                attempts: 3,
+            },
+            snapshot(0, "uq", &[3.0, 2.0]),
+            batch(0, 2, &[0, 1], &[3.0, 2.0], &[3.0, 1.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("quarantined candidate 1"), "{err}");
+    }
+
+    #[test]
+    fn increasing_batch_scores_are_rejected() {
+        let events = vec![
+            snapshot(0, "uu", &[3.0, 2.0]),
+            batch(0, 2, &[0, 1], &[3.0, 2.0], &[3.0, 3.5]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        // Score 3.5 exceeds member 1's diameter 2.0, the first law to trip.
+        assert!(err.contains("exceeds its diameter"), "{err}");
+        let events = vec![
+            snapshot(0, "uuu", &[3.0, 2.0, 2.0]),
+            batch(0, 3, &[0, 1, 2], &[3.0, 2.0, 2.0], &[3.0, 1.0, 1.5]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("not descending"), "{err}");
+    }
+
+    #[test]
+    fn penalized_first_pick_is_rejected() {
+        let events = vec![
+            snapshot(0, "uu", &[3.0, 2.0]),
+            batch(0, 2, &[0, 1], &[3.0, 2.0], &[2.5, 1.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("differs from its diameter"), "{err}");
+    }
+
+    #[test]
+    fn batch_skipping_max_diameter_is_rejected() {
+        let events = vec![
+            snapshot(0, "uu", &[3.0, 2.0]),
+            batch(0, 1, &[1], &[2.0], &[2.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("skipped the max-diameter"), "{err}");
+    }
+
+    #[test]
+    fn batch_select_requires_same_iteration_snapshot() {
+        let events = vec![
+            snapshot(0, "uu", &[3.0, 2.0]),
+            batch(1, 1, &[0], &[3.0], &[3.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("without a same-iteration snapshot"), "{err}");
     }
 
     fn span_start(id: u64, parent: Option<u64>, name: &str) -> Event {

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batchsel;
 pub mod chaos;
 pub mod diff;
 pub mod gen;

@@ -21,7 +21,7 @@
 use std::path::PathBuf;
 
 use obs::{Event, RecordingSink};
-use ppatuner::{PpaTuner, PpaTunerConfig, SourceData, TuneResult, VecOracle};
+use ppatuner::{PpaTuner, PpaTunerConfig, SharedOracle, SourceData, TuneResult, VecOracle};
 use serde_json::Value;
 
 /// The environment variable that switches golden-trace tests from
@@ -93,6 +93,49 @@ pub fn run_golden_with_threads(threads: usize) -> GoldenRun {
     let result = PpaTuner::new(config)
         .run_observed(&source, &candidates, &mut oracle, &sink)
         .expect("golden scenario tuning run");
+    GoldenRun {
+        events: sink.events(),
+        result,
+        table,
+    }
+}
+
+/// The golden scenario tuned in q-batch mode through the concurrent
+/// entry point: same scenario, configuration, and seed as [`run_golden`]
+/// but with `batch_size: q` and `eval_workers: workers`, driven through
+/// [`ppatuner::PpaTuner::run_concurrent`] on a [`SharedOracle`].
+///
+/// The trace is required to be identical for every `workers` value —
+/// wave results are merged in deterministic batch order regardless of
+/// which worker produced them — and at `q = 1` it must be byte-identical
+/// to [`run_golden`]'s serial trace.
+///
+/// # Panics
+///
+/// Panics when scenario construction or the tuning run fails; both are
+/// deterministic, so a panic here is a real regression.
+pub fn run_golden_batch(q: usize, workers: usize) -> GoldenRun {
+    let scenario = benchgen::Scenario::two_with_counts(9, 120, 100).with_source_budget(60);
+    let space = pdsim::ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("golden scenario source data");
+    let config = PpaTunerConfig {
+        initial_samples: 10,
+        max_iterations: 20,
+        tau: 3.0, // matches run_golden; see the comment there
+        seed: crate::test_seed(),
+        threads: 1,
+        batch_size: q,
+        eval_workers: workers,
+        ..Default::default()
+    };
+    let oracle = SharedOracle::new(VecOracle::new(table.clone()));
+    let sink = RecordingSink::new();
+    let result = PpaTuner::new(config)
+        .run_concurrent(&source, &candidates, &oracle, &sink)
+        .expect("golden batch scenario tuning run");
     GoldenRun {
         events: sink.events(),
         result,

@@ -1,0 +1,221 @@
+//! Differential fuzz: greedy batch selection vs the brute-force subset
+//! enumeration reference, bit-for-bit, over ≥1000 seeded cases.
+//!
+//! Each case draws a random candidate pool (with deliberately tie-heavy
+//! quantized variants), random uncertainty boxes (including unbounded
+//! and zero-diameter degenerates), random statuses/evaluated flags, and
+//! random `(q, γ, radius)`. The fast path must reproduce the reference's
+//! index sequence exactly and its diameters/scores to the last bit —
+//! the property the golden traces and invariant checker rely on.
+
+use ppatuner::{select_batch, Status, UncertaintyRegion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use testkit::batchsel::reference_select_batch;
+use testkit::gen::case_rng;
+
+struct Case {
+    candidates: Vec<Vec<f64>>,
+    regions: Vec<UncertaintyRegion>,
+    statuses: Vec<Status>,
+    evaluated: Vec<bool>,
+    q: usize,
+    diversity: f64,
+    radius: f64,
+}
+
+/// Draws one random selection problem. Quantized ("tie-heavy") cases
+/// snap every coordinate and box corner to a coarse grid so exact score
+/// ties — the tie-break order's reason to exist — actually occur.
+fn draw_case(rng: &mut StdRng) -> Case {
+    let n = rng.gen_range(4..12usize);
+    let param_dim = rng.gen_range(1..=3usize);
+    let obj_dim = rng.gen_range(1..=3usize);
+    let tie_heavy = rng.gen_bool(0.4);
+    let snap = |v: f64| (v * 4.0).round() / 4.0;
+
+    let mut candidates: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..param_dim)
+                .map(|_| {
+                    let v = rng.gen_range(-1.0..1.0);
+                    if tie_heavy {
+                        snap(v)
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Occasionally colocate candidates exactly (distance 0 → maximal
+    // proximity redundancy) to stress the penalty path.
+    if rng.gen_bool(0.3) {
+        let src = rng.gen_range(0..n);
+        let dst = rng.gen_range(0..n);
+        candidates[dst] = candidates[src].clone();
+    }
+
+    let regions: Vec<UncertaintyRegion> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.05) {
+                // Unbounded: infinite diameter, always top priority.
+                return UncertaintyRegion::unbounded(obj_dim);
+            }
+            let mut u = UncertaintyRegion::unbounded(obj_dim);
+            let lo: Vec<f64> = (0..obj_dim)
+                .map(|_| {
+                    let v = rng.gen_range(-2.0..2.0);
+                    if tie_heavy {
+                        snap(v)
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let hi: Vec<f64> = lo
+                .iter()
+                .map(|&l| {
+                    // ~1/8 of widths are exactly zero in this dimension.
+                    let w = if rng.gen_bool(0.125) {
+                        0.0
+                    } else {
+                        let w = rng.gen_range(0.0..2.0);
+                        if tie_heavy {
+                            snap(w)
+                        } else {
+                            w
+                        }
+                    };
+                    l + w
+                })
+                .collect();
+            u.intersect(&lo, &hi);
+            u
+        })
+        .collect();
+
+    let statuses: Vec<Status> = (0..n)
+        .map(|_| match rng.gen_range(0..10u32) {
+            0 => Status::Dropped,
+            1 => Status::Quarantined,
+            2 => Status::Pareto,
+            _ => Status::Undecided,
+        })
+        .collect();
+    let evaluated: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.15)).collect();
+
+    Case {
+        candidates,
+        regions,
+        statuses,
+        evaluated,
+        q: rng.gen_range(1..=4usize),
+        diversity: rng.gen_range(0.0..0.95),
+        radius: rng.gen_range(0.05..1.0),
+    }
+}
+
+#[test]
+fn greedy_matches_brute_force_reference_over_seeded_cases() {
+    let cases = 1200u64;
+    for case in 0..cases {
+        let mut rng = case_rng(testkit::test_seed(), case);
+        let c = draw_case(&mut rng);
+        let fast = select_batch(
+            &c.candidates,
+            &c.regions,
+            &c.statuses,
+            &c.evaluated,
+            c.q,
+            c.diversity,
+            c.radius,
+        );
+        let reference = reference_select_batch(
+            &c.candidates,
+            &c.regions,
+            &c.statuses,
+            &c.evaluated,
+            c.q,
+            c.diversity,
+            c.radius,
+        );
+        let fast_idx: Vec<usize> = fast.iter().map(|p| p.index).collect();
+        let ref_idx: Vec<usize> = reference.iter().map(|p| p.index).collect();
+        assert_eq!(
+            fast_idx, ref_idx,
+            "case {case}: index sequence diverged (q={}, γ={}, r={})",
+            c.q, c.diversity, c.radius
+        );
+        for (f, r) in fast.iter().zip(&reference) {
+            assert_eq!(
+                f.diameter.to_bits(),
+                r.diameter.to_bits(),
+                "case {case}: diameter bits for candidate {}",
+                f.index
+            );
+            assert_eq!(
+                f.score.to_bits(),
+                r.score.to_bits(),
+                "case {case}: score bits for candidate {}",
+                f.index
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_picks_satisfy_structural_laws_over_seeded_cases() {
+    for case in 0..400u64 {
+        let mut rng = case_rng(testkit::test_seed() ^ 0x5bd1_e995, case);
+        let c = draw_case(&mut rng);
+        let picks = select_batch(
+            &c.candidates,
+            &c.regions,
+            &c.statuses,
+            &c.evaluated,
+            c.q,
+            c.diversity,
+            c.radius,
+        );
+        let eligible = (0..c.candidates.len())
+            .filter(|&i| {
+                c.statuses[i].is_active() && !c.evaluated[i] && c.regions[i].diameter() > 0.0
+            })
+            .count();
+        assert_eq!(picks.len(), c.q.min(eligible), "case {case}: batch size");
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &picks {
+            assert!(
+                seen.insert(p.index),
+                "case {case}: duplicate member {}",
+                p.index
+            );
+            assert!(
+                c.statuses[p.index].is_active(),
+                "case {case}: inactive member"
+            );
+            assert!(
+                !c.evaluated[p.index],
+                "case {case}: already-evaluated member"
+            );
+            assert!(
+                p.score <= p.diameter || p.score.is_nan(),
+                "case {case}: score above diameter"
+            );
+        }
+        for w in picks.windows(2) {
+            assert!(
+                w[1].score <= w[0].score,
+                "case {case}: scores increased along the batch"
+            );
+        }
+        if let Some(first) = picks.first() {
+            assert_eq!(
+                first.score.to_bits(),
+                first.diameter.to_bits(),
+                "case {case}: first pick must be unpenalized"
+            );
+        }
+    }
+}

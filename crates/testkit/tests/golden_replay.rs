@@ -6,7 +6,9 @@
 //! with `TESTKIT_BLESS=1 cargo test -p testkit` and commit the diff.
 
 use testkit::invariants::check_trace;
-use testkit::trace::{canonical_jsonl, check_or_bless, run_golden, run_golden_with_threads};
+use testkit::trace::{
+    canonical_jsonl, check_or_bless, run_golden, run_golden_batch, run_golden_with_threads,
+};
 
 #[test]
 fn golden_scenario_trace_is_stable() {
@@ -61,6 +63,85 @@ fn golden_trace_is_thread_count_invariant() {
         single, multi,
         "thread count changed the golden scenario's trace"
     );
+}
+
+#[test]
+fn batch_q1_trace_is_byte_identical_to_the_serial_golden() {
+    // The q = 1 concurrent path must reproduce the committed serial
+    // golden *exactly*: no batch_eval spans, legacy Select events, same
+    // bytes. Compared directly against the in-memory serial run (not via
+    // check_or_bless), so a bless can never paper over a divergence.
+    let serial = canonical_jsonl(&run_golden().events);
+    let batch = canonical_jsonl(&run_golden_batch(1, 4).events);
+    assert_eq!(
+        serial, batch,
+        "q = 1 through the concurrent wave machinery drifted from the serial trace"
+    );
+}
+
+#[test]
+fn golden_batch_q2_trace_is_stable() {
+    let run = run_golden_batch(2, 2);
+    check_or_bless(
+        "scenario_two_seeded_q2.jsonl",
+        &canonical_jsonl(&run.events),
+    );
+}
+
+#[test]
+fn golden_batch_q4_trace_is_stable() {
+    let run = run_golden_batch(4, 4);
+    check_or_bless(
+        "scenario_two_seeded_q4.jsonl",
+        &canonical_jsonl(&run.events),
+    );
+}
+
+#[test]
+fn golden_batch_q4_trace_satisfies_invariants() {
+    let run = run_golden_batch(4, 4);
+    let report = check_trace(&run.events, Some(&run.table)).expect("batch invariants hold");
+    assert!(report.batch_selects >= 1, "no batch checked: {report:?}");
+    assert_eq!(
+        report.selects, 0,
+        "q > 1 must not emit legacy Select events"
+    );
+    assert!(report.tool_evals >= 10, "too few evaluations: {report:?}");
+    assert!(
+        report.spans > report.tool_evals,
+        "missing spans: {report:?}"
+    );
+    assert_eq!(
+        report.tool_evals,
+        run.result.runs + run.result.verification_runs
+    );
+    // The recorded stream must name batch_eval spans (the concurrency
+    // fan-out is visible in the causal tree, not inferred).
+    let batch_spans = run
+        .events
+        .iter()
+        .filter(|e| matches!(e, obs::Event::SpanStart { name, .. } if name == "batch_eval"))
+        .count();
+    assert!(batch_spans >= 1, "no batch_eval span recorded");
+}
+
+#[test]
+fn golden_batch_trace_is_worker_count_invariant() {
+    // Wave merges happen in deterministic batch order, so the recorded
+    // trace — span IDs included — must not depend on how many worker
+    // threads raced through the oracle.
+    let w1 = run_golden_batch(4, 1);
+    let w2 = run_golden_batch(4, 2);
+    let w8 = run_golden_batch(4, 8);
+    let t1 = canonical_jsonl(&w1.events);
+    assert_eq!(t1, canonical_jsonl(&w2.events), "1 vs 2 workers diverged");
+    assert_eq!(t1, canonical_jsonl(&w8.events), "1 vs 8 workers diverged");
+    // Structural result fields agree too (durations legitimately differ).
+    assert_eq!(w1.result.pareto_indices, w8.result.pareto_indices);
+    assert_eq!(w1.result.evaluated, w8.result.evaluated);
+    assert_eq!(w1.result.runs, w8.result.runs);
+    assert_eq!(w1.result.verification_runs, w8.result.verification_runs);
+    assert_eq!(w1.result.iterations, w8.result.iterations);
 }
 
 #[test]

@@ -192,6 +192,85 @@ fn resume_replays_faithfully_under_fault_injection() {
     }
 }
 
+/// Mid-run resume of a q-batch concurrent run: checkpoints land on whole
+/// batch boundaries, and resuming from any of them replays the earlier
+/// waves silently, then re-emits the remaining ones with the *same batch
+/// composition and span IDs* as the uninterrupted run — the resumed
+/// trace's batch events are an exact suffix of the full trace's.
+#[test]
+fn concurrent_resume_replays_whole_batches_with_identical_spans() {
+    use ppatuner::SharedOracle;
+
+    let s = setup();
+    let config = PpaTunerConfig {
+        batch_size: 4,
+        eval_workers: 4,
+        ..s.config.clone()
+    };
+    // Only the events that pin batch structure: which members each wave
+    // took, and the causal span IDs of the fan-out.
+    let batch_shape = |events: &[obs::Event]| -> Vec<String> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                obs::Event::BatchSelect {
+                    iteration,
+                    q,
+                    chosen,
+                    ..
+                } => Some(format!("select it={iteration} q={q} chosen={chosen:?}")),
+                obs::Event::SpanStart { id, parent, name }
+                    if name == "batch_eval" || name == "eval_attempt" =>
+                {
+                    Some(format!("span {name} id={id} parent={parent:?}"))
+                }
+                _ => None,
+            })
+            .collect()
+    };
+
+    let store = CaptureStore::default();
+    let oracle = SharedOracle::new(VecOracle::new(s.truth.clone()));
+    let full_sink = obs::RecordingSink::new();
+    let full = PpaTuner::new(config.clone())
+        .run_concurrent_checkpointed(&s.source, &s.candidates, &oracle, &full_sink, &store)
+        .expect("uninterrupted batch run succeeds");
+    let full_shape = batch_shape(&full_sink.events());
+    assert!(
+        full_shape.iter().any(|l| l.starts_with("select")),
+        "run never batch-selected: {full_shape:?}"
+    );
+
+    let checkpoints = store.all.borrow();
+    assert!(checkpoints.len() >= 2);
+    for (k, ckpt) in checkpoints.iter().enumerate() {
+        let crash_point = CaptureStore::default();
+        crash_point.save(ckpt).unwrap();
+        let fresh = SharedOracle::new(VecOracle::new(s.truth.clone()));
+        let resumed_sink = obs::RecordingSink::new();
+        let resumed = PpaTuner::new(config.clone())
+            .resume_concurrent(
+                &s.source,
+                &s.candidates,
+                &fresh,
+                &resumed_sink,
+                &crash_point,
+            )
+            .unwrap_or_else(|e| panic!("batch resume from checkpoint {k} failed: {e}"));
+        assert_identical(&full, &resumed, &format!("batch checkpoint {k}"));
+        let resumed_shape = batch_shape(&resumed_sink.events());
+        assert!(
+            resumed_shape.len() <= full_shape.len(),
+            "checkpoint {k}: resumed trace has extra batch events"
+        );
+        assert_eq!(
+            resumed_shape.as_slice(),
+            &full_shape[full_shape.len() - resumed_shape.len()..],
+            "checkpoint {k}: resumed batch events are not a suffix of the full trace"
+        );
+    }
+}
+
 /// A checkpoint from a different configuration (different seed, so a
 /// different config digest) is refused instead of silently producing a
 /// diverged run.
