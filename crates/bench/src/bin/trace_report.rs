@@ -144,6 +144,9 @@ fn main() {
     let mut spans: BTreeMap<String, (usize, f64)> = BTreeMap::new();
     let mut slowest: Vec<(f64, u64, String)> = Vec::new();
     let mut resources = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut pool_refines: Vec<(usize, usize, usize, usize, f64)> = Vec::new();
+    let mut pool_splits_total = 0usize;
+    let mut predict_modes: BTreeMap<String, (usize, usize)> = BTreeMap::new();
 
     for e in &events {
         match e {
@@ -277,6 +280,21 @@ fn main() {
                 batch_members += chosen.len();
                 batch_q = batch_q.max(*q);
             }
+            Event::PoolRefine {
+                iteration,
+                splits,
+                leaves,
+                pool_size,
+                effective_pool,
+            } => {
+                pool_splits_total += splits;
+                pool_refines.push((*iteration, *splits, *leaves, *pool_size, *effective_pool));
+            }
+            Event::PredictMode { mode, queries, .. } => {
+                let entry = predict_modes.entry(mode.clone()).or_default();
+                entry.0 += 1;
+                entry.1 += queries;
+            }
             Event::Classify { .. }
             | Event::RegionSnapshot { .. }
             | Event::Select { .. }
@@ -350,6 +368,33 @@ fn main() {
              total (mean {:.1} per wave)",
             batch_members as f64 / batch_selects as f64
         );
+    }
+
+    if !pool_refines.is_empty() {
+        let last = pool_refines[pool_refines.len() - 1];
+        println!(
+            "\nadaptive pool: {pool_splits_total} splits over {} refinement passes",
+            pool_refines.len()
+        );
+        println!(
+            "  final: {} leaves, {} candidates, effective pool {:.0}",
+            last.2, last.3, last.4
+        );
+        let stride = (pool_refines.len() / 12).max(1);
+        println!("  refinement trajectory (iteration: splits, leaves, pool, effective):");
+        for (n, (it, splits, leaves, pool, eff)) in pool_refines.iter().enumerate() {
+            if n % stride == 0 || n + 1 == pool_refines.len() {
+                println!(
+                    "  {it:>4}: +{splits:<3} leaves {leaves:>6}  pool {pool:>6}  eff {eff:>10.0}"
+                );
+            }
+        }
+    }
+    if !predict_modes.is_empty() {
+        println!("\npredict path usage (posterior backend per iteration):");
+        for (mode, (iters, queries)) in &predict_modes {
+            println!("  {mode:<8} {iters:>5} iterations, {queries:>8} box queries");
+        }
     }
 
     let total_failures: usize = failures_by_kind.values().sum();

@@ -109,6 +109,13 @@ pub struct RunSummary {
     /// Summed resource counters across the run's `ResourceSample`s:
     /// (chol_flops, kernel_assemblies, fitcache_hits, fitcache_misses).
     pub resources: (u64, u64, u64, u64),
+    /// Adaptive-pool splits across all `PoolRefine` passes.
+    pub pool_splits: usize,
+    /// Final (pool size, effective pool) from the last `PoolRefine`,
+    /// `None` when the run used a fixed pool.
+    pub pool_final: Option<(usize, f64)>,
+    /// Predict-path usage from `PredictMode`: mode → iterations.
+    pub predict_modes: BTreeMap<String, usize>,
 }
 
 impl RunSummary {
@@ -162,6 +169,18 @@ pub fn summarize_run(name: &str, events: &[Event]) -> RunSummary {
                 s.resources.1 += kernel_assemblies;
                 s.resources.2 += fitcache_hits;
                 s.resources.3 += fitcache_misses;
+            }
+            Event::PoolRefine {
+                splits,
+                pool_size,
+                effective_pool,
+                ..
+            } => {
+                s.pool_splits += splits;
+                s.pool_final = Some((*pool_size, *effective_pool));
+            }
+            Event::PredictMode { mode, .. } => {
+                *s.predict_modes.entry(mode.clone()).or_default() += 1;
             }
             _ => {}
         }
@@ -308,6 +327,57 @@ impl FleetReport {
             }
         }
 
+        let adaptive: Vec<&RunSummary> = self
+            .runs
+            .iter()
+            .filter(|r| r.pool_final.is_some())
+            .collect();
+        if !adaptive.is_empty() {
+            let splits: usize = adaptive.iter().map(|r| r.pool_splits).sum();
+            let effs: Vec<f64> = adaptive
+                .iter()
+                .filter_map(|r| r.pool_final.map(|(_, e)| e))
+                .collect();
+            let sizes: Vec<f64> = adaptive
+                .iter()
+                .filter_map(|r| r.pool_final.map(|(n, _)| n as f64))
+                .collect();
+            let _ = writeln!(
+                out,
+                "\nadaptive pools ({} of {} runs): {splits} splits total",
+                adaptive.len(),
+                self.runs.len()
+            );
+            let _ = writeln!(
+                out,
+                "  final pool size   min {:.0}  median {:.0}  max {:.0}",
+                quantile(&sizes, 0.0),
+                quantile(&sizes, 0.5),
+                quantile(&sizes, 1.0),
+            );
+            let _ = writeln!(
+                out,
+                "  effective pool    min {:.0}  median {:.0}  max {:.0}",
+                quantile(&effs, 0.0),
+                quantile(&effs, 0.5),
+                quantile(&effs, 1.0),
+            );
+            let mut modes: BTreeMap<&str, usize> = BTreeMap::new();
+            for r in &self.runs {
+                for (mode, iters) in &r.predict_modes {
+                    *modes.entry(mode).or_default() += iters;
+                }
+            }
+            if !modes.is_empty() {
+                let parts: Vec<String> = modes.iter().map(|(m, n)| format!("{m} {n}")).collect();
+                let _ = writeln!(
+                    out,
+                    "  predict path usage (iterations): {}",
+                    parts.join(", ")
+                );
+            }
+        }
+
         let flops: u64 = self.runs.iter().map(|r| r.resources.0).sum();
         let kernels: u64 = self.runs.iter().map(|r| r.resources.1).sum();
         let hits: u64 = self.runs.iter().map(|r| r.resources.2).sum();
@@ -437,6 +507,41 @@ mod tests {
             .expect("a slowest-span line");
         assert!(slow_line.contains("seed-2"), "{slow_line}");
         assert!(text.contains("300 Cholesky flops"), "{text}");
+    }
+
+    #[test]
+    fn pool_events_reach_the_fleet_view() {
+        let mut events = mini_run(0.5, 10.0);
+        events.push(Event::PoolRefine {
+            iteration: 0,
+            splits: 3,
+            leaves: 12,
+            pool_size: 12,
+            effective_pool: 64.0,
+        });
+        events.push(Event::PredictMode {
+            iteration: 0,
+            train_size: 300,
+            subset_size: 128,
+            queries: 40,
+            mode: "subset".into(),
+        });
+        let s = summarize_run("pool-run", &events);
+        assert_eq!(s.pool_splits, 3);
+        assert_eq!(s.pool_final, Some((12, 64.0)));
+        assert_eq!(s.predict_modes["subset"], 1);
+        let fixed = summarize_run("fixed-run", &mini_run(0.4, 5.0));
+        assert_eq!(fixed.pool_final, None);
+        let text = FleetReport {
+            runs: vec![s, fixed],
+        }
+        .render(2);
+        assert!(
+            text.contains("adaptive pools (1 of 2 runs): 3 splits total"),
+            "{text}"
+        );
+        assert!(text.contains("effective pool"), "{text}");
+        assert!(text.contains("subset 1"), "{text}");
     }
 
     #[test]

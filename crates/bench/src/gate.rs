@@ -191,6 +191,51 @@ pub fn append_history(history: &mut Vec<GateEntry>, fresh: GateEntry) {
     }
 }
 
+/// One `pool_scale` execution's gate-relevant numbers, stored in the
+/// `pool_history` array of `BENCH_gp.json` (a sibling of the `history`
+/// array `perf_gate` maintains; both rewrite only their own key).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolEntry {
+    /// `smoke` or `full` — entries only compare within a mode.
+    pub mode: String,
+    /// The benchmark seed.
+    pub seed: u64,
+    /// Candidate count of the fixed-pool reference run.
+    pub fixed_pool: usize,
+    /// Initial candidate count of the adaptive run.
+    pub adaptive_start: usize,
+    /// Final candidate count of the adaptive run (start + splits).
+    pub final_pool: usize,
+    /// Peak effective pool size (uniform-grid equivalent resolution).
+    pub effective_pool: f64,
+    /// Adaptive / fixed mean per-iteration wall clock (≤ 1 means the
+    /// adaptive run iterates faster than the fixed-pool reference).
+    pub iter_time_ratio: f64,
+    /// Adaptive hypervolume error divided by the fixed run's.
+    pub hv_ratio: f64,
+    /// Adaptive ADRS divided by the fixed run's.
+    pub adrs_ratio: f64,
+}
+
+/// Appends `fresh` to the pool-sweep history, dropping the oldest
+/// same-mode entries beyond [`HISTORY_CAP_PER_MODE`].
+pub fn append_pool_history(history: &mut Vec<PoolEntry>, fresh: PoolEntry) {
+    history.push(fresh);
+    let mode = history.last().expect("just pushed").mode.clone();
+    let same_mode = history.iter().filter(|e| e.mode == mode).count();
+    if same_mode > HISTORY_CAP_PER_MODE {
+        let mut to_drop = same_mode - HISTORY_CAP_PER_MODE;
+        history.retain(|e| {
+            if to_drop > 0 && e.mode == mode {
+                to_drop -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +347,47 @@ mod tests {
         let e = entry("smoke", 2.37, 18);
         let value = serde_json::to_value(&e);
         let back: GateEntry = serde_json::from_value(&value).expect("round trip");
+        assert_eq!(back, e);
+    }
+
+    fn pool_entry(mode: &str, effective: f64) -> PoolEntry {
+        PoolEntry {
+            mode: mode.into(),
+            seed: 7,
+            fixed_pool: 5000,
+            adaptive_start: 500,
+            final_pool: 1200,
+            effective_pool: effective,
+            iter_time_ratio: 0.4,
+            hv_ratio: 1.01,
+            adrs_ratio: 0.99,
+        }
+    }
+
+    #[test]
+    fn pool_history_caps_per_mode() {
+        let mut history = Vec::new();
+        for i in 0..(HISTORY_CAP_PER_MODE + 3) {
+            append_pool_history(&mut history, pool_entry("smoke", 60_000.0 + i as f64));
+        }
+        append_pool_history(&mut history, pool_entry("full", 70_000.0));
+        assert_eq!(
+            history.iter().filter(|e| e.mode == "smoke").count(),
+            HISTORY_CAP_PER_MODE
+        );
+        assert_eq!(history.iter().filter(|e| e.mode == "full").count(), 1);
+        // The oldest smoke entries aged out; the newest survive.
+        assert!(history
+            .iter()
+            .filter(|e| e.mode == "smoke")
+            .all(|e| e.effective_pool >= 60_003.0));
+    }
+
+    #[test]
+    fn pool_entries_round_trip_through_json() {
+        let e = pool_entry("full", 81_920.0);
+        let value = serde_json::to_value(&e);
+        let back: PoolEntry = serde_json::from_value(&value).expect("round trip");
         assert_eq!(back, e);
     }
 }

@@ -1,0 +1,465 @@
+//! Hierarchical bisection cells over an axis-aligned parameter box.
+//!
+//! An adaptive candidate pool needs a spatial index with three laws:
+//! every point of the box belongs to exactly one *leaf* cell, each leaf
+//! carries at most one *representative* candidate, and refining (splitting)
+//! a leaf is deterministic — longest side first, lowest axis on ties,
+//! bisected at the midpoint. [`CellTree`] provides exactly that: a
+//! pointer-free arena of axis-aligned cells grown by bisection, built once
+//! from an initial candidate set and split on demand by the tuner's
+//! refinement rule ("Beyond Grids"-style adaptive discretization).
+//!
+//! The tree never stores candidate coordinates, only representative
+//! *indices*; callers own the candidate list and pass coordinates into
+//! [`CellTree::split`] when pushing a representative down one level. This
+//! keeps the structure cheap (two `f64` bounds vectors per cell) even for
+//! effective pools of millions of points.
+//!
+//! Containment is half-open on interior faces: a split sends
+//! `point[axis] < mid` left and everything else right, so sibling cells
+//! never share a point while the box's own upper face stays inside its
+//! boundary cells.
+
+use crate::{DoeError, Result};
+
+/// Bisections a single lineage can undergo before the tree refuses to
+/// split further. 2⁶⁰ halvings shrink a unit side far below `f64`
+/// resolution, so the cap only exists to terminate duplicate-point
+/// insertion and runaway refinement deterministically.
+const MAX_DEPTH: usize = 60;
+
+#[derive(Debug, Clone)]
+struct Cell {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rep: Option<usize>,
+    children: Option<(usize, usize)>,
+    depth: usize,
+}
+
+/// Outcome of one leaf bisection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Child cell that inherited the old representative.
+    pub kept_child: usize,
+    /// The other (initially representative-free) child cell.
+    pub new_child: usize,
+    /// Center point of `new_child` — the canonical coordinates for the
+    /// candidate the caller appends to occupy it.
+    pub new_center: Vec<f64>,
+}
+
+/// A hierarchical bisection tree over an axis-aligned box.
+///
+/// # Example
+///
+/// ```
+/// use doe::CellTree;
+///
+/// let points = vec![vec![0.2, 0.2], vec![0.8, 0.7]];
+/// let tree = CellTree::build(&[0.0, 0.0], &[1.0, 1.0], &points).unwrap();
+/// // Both points became representatives of distinct leaves.
+/// assert_ne!(tree.leaf_of(&points[0]), tree.leaf_of(&points[1]));
+/// assert_eq!(tree.rep(tree.leaf_of(&points[0]).unwrap()), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellTree {
+    cells: Vec<Cell>,
+    dim: usize,
+    root_volume: f64,
+}
+
+impl CellTree {
+    /// Builds a tree whose root box is `[lo, hi]` and whose leaves
+    /// separate `points` (candidate coordinates, indexed by position).
+    ///
+    /// Points are pushed down by recursive bisection until each leaf
+    /// holds at most one; the leaf's representative is that point's
+    /// index. Coincident (or nearly coincident) points that no bisection
+    /// within the depth cap can separate share a leaf whose
+    /// representative is the lowest index among them.
+    ///
+    /// # Errors
+    ///
+    /// [`DoeError::InvalidSpace`] when the box is empty, degenerate, or
+    /// non-finite, or a point lies outside it;
+    /// [`DoeError::DimensionMismatch`] when a point has the wrong arity.
+    pub fn build(lo: &[f64], hi: &[f64], points: &[Vec<f64>]) -> Result<Self> {
+        if lo.is_empty() || lo.len() != hi.len() {
+            return Err(DoeError::InvalidSpace {
+                reason: "cell box bounds must be non-empty and of equal dimension",
+            });
+        }
+        for (&l, &h) in lo.iter().zip(hi) {
+            if !(l.is_finite() && h.is_finite() && l < h) {
+                return Err(DoeError::InvalidSpace {
+                    reason: "cell box bounds must be finite with lo < hi",
+                });
+            }
+        }
+        let dim = lo.len();
+        for p in points {
+            if p.len() != dim {
+                return Err(DoeError::DimensionMismatch {
+                    expected: dim,
+                    got: p.len(),
+                });
+            }
+            if p.iter()
+                .zip(lo.iter().zip(hi))
+                .any(|(&v, (&l, &h))| !(v.is_finite() && v >= l && v <= h))
+            {
+                return Err(DoeError::InvalidSpace {
+                    reason: "candidate point lies outside the cell box",
+                });
+            }
+        }
+        let root_volume = lo.iter().zip(hi).map(|(&l, &h)| h - l).product();
+        let mut tree = CellTree {
+            cells: vec![Cell {
+                lo: lo.to_vec(),
+                hi: hi.to_vec(),
+                rep: None,
+                children: None,
+                depth: 0,
+            }],
+            dim,
+            root_volume,
+        };
+        let idxs: Vec<usize> = (0..points.len()).collect();
+        tree.settle(0, idxs, points);
+        Ok(tree)
+    }
+
+    /// Recursively separates `idxs` (all contained in cell `c`) into
+    /// single-representative leaves.
+    fn settle(&mut self, c: usize, idxs: Vec<usize>, points: &[Vec<f64>]) {
+        match idxs.len() {
+            0 => {}
+            1 => self.cells[c].rep = Some(idxs[0]),
+            _ => {
+                let Some((axis, mid)) = self.split_plane(c) else {
+                    // Unsplittable: coincident points share this leaf,
+                    // lowest index represents it.
+                    self.cells[c].rep = idxs.iter().copied().min();
+                    return;
+                };
+                let (left, right) = self.bisect(c, axis, mid);
+                let (l_idxs, r_idxs): (Vec<usize>, Vec<usize>) =
+                    idxs.into_iter().partition(|&i| points[i][axis] < mid);
+                self.settle(left, l_idxs, points);
+                self.settle(right, r_idxs, points);
+            }
+        }
+    }
+
+    /// The deterministic split plane of cell `c`: longest side, lowest
+    /// axis on ties, bisected at the midpoint. `None` when the cell is at
+    /// the depth cap or too thin for the midpoint to strictly separate
+    /// its bounds.
+    fn split_plane(&self, c: usize) -> Option<(usize, f64)> {
+        let cell = &self.cells[c];
+        if cell.depth >= MAX_DEPTH {
+            return None;
+        }
+        let axis = (0..self.dim)
+            .max_by(|&a, &b| {
+                let wa = cell.hi[a] - cell.lo[a];
+                let wb = cell.hi[b] - cell.lo[b];
+                // Strictly-greater keeps the lowest axis on ties.
+                wa.partial_cmp(&wb)
+                    .expect("cell widths are finite")
+                    .then(b.cmp(&a))
+            })
+            .expect("cells have at least one axis");
+        let mid = 0.5 * (cell.lo[axis] + cell.hi[axis]);
+        if mid <= cell.lo[axis] || mid >= cell.hi[axis] {
+            return None;
+        }
+        Some((axis, mid))
+    }
+
+    /// Turns leaf `c` into an internal cell with two children split at
+    /// `(axis, mid)`; returns their arena indices (left, right).
+    fn bisect(&mut self, c: usize, axis: usize, mid: f64) -> (usize, usize) {
+        let (lo, hi, depth) = {
+            let cell = &self.cells[c];
+            (cell.lo.clone(), cell.hi.clone(), cell.depth)
+        };
+        let mut l_hi = hi.clone();
+        l_hi[axis] = mid;
+        let mut r_lo = lo.clone();
+        r_lo[axis] = mid;
+        let left = self.cells.len();
+        self.cells.push(Cell {
+            lo,
+            hi: l_hi,
+            rep: None,
+            children: None,
+            depth: depth + 1,
+        });
+        let right = self.cells.len();
+        self.cells.push(Cell {
+            lo: r_lo,
+            hi,
+            rep: None,
+            children: None,
+            depth: depth + 1,
+        });
+        let cell = &mut self.cells[c];
+        cell.rep = None;
+        cell.children = Some((left, right));
+        (left, right)
+    }
+
+    /// Splits leaf `cell` whose representative sits at `rep_point`,
+    /// moving the representative into the child that contains it. The
+    /// other child starts representative-free; the caller appends a
+    /// candidate at [`Split::new_center`] and registers it with
+    /// [`CellTree::set_rep`].
+    ///
+    /// Returns `None` when the leaf is unsplittable (depth cap or
+    /// degenerate width) — the refinement loop simply skips such cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a leaf, has no representative, or
+    /// `rep_point` has the wrong dimension — all caller bugs.
+    pub fn split(&mut self, cell: usize, rep_point: &[f64]) -> Option<Split> {
+        assert!(
+            self.cells[cell].children.is_none(),
+            "split target must be a leaf"
+        );
+        let rep = self.cells[cell]
+            .rep
+            .expect("split target must have a representative");
+        assert_eq!(rep_point.len(), self.dim, "rep_point dimension mismatch");
+        let (axis, mid) = self.split_plane(cell)?;
+        let (left, right) = self.bisect(cell, axis, mid);
+        let (kept, fresh) = if rep_point[axis] < mid {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.cells[kept].rep = Some(rep);
+        Some(Split {
+            kept_child: kept,
+            new_child: fresh,
+            new_center: self.center(fresh),
+        })
+    }
+
+    /// Registers candidate `index` as the representative of the (leaf,
+    /// representative-free) cell `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is internal or already represented.
+    pub fn set_rep(&mut self, cell: usize, index: usize) {
+        let c = &mut self.cells[cell];
+        assert!(c.children.is_none(), "cannot set rep on an internal cell");
+        assert!(c.rep.is_none(), "cell already has a representative");
+        c.rep = Some(index);
+    }
+
+    /// The unique leaf containing `point`, or `None` when the point lies
+    /// outside the root box (or has the wrong dimension).
+    pub fn leaf_of(&self, point: &[f64]) -> Option<usize> {
+        if point.len() != self.dim {
+            return None;
+        }
+        {
+            let root = &self.cells[0];
+            if point
+                .iter()
+                .zip(root.lo.iter().zip(&root.hi))
+                .any(|(&v, (&l, &h))| !(v >= l && v <= h))
+            {
+                return None;
+            }
+        }
+        let mut c = 0;
+        while let Some((left, right)) = self.cells[c].children {
+            // The split plane is the left child's upper bound on the axis
+            // where the two children differ.
+            let axis = (0..self.dim)
+                .find(|&a| self.cells[left].hi[a] != self.cells[right].hi[a])
+                .expect("children differ on the split axis");
+            let mid = self.cells[left].hi[axis];
+            c = if point[axis] < mid { left } else { right };
+        }
+        Some(c)
+    }
+
+    /// The representative candidate of cell `cell`, when it has one.
+    pub fn rep(&self, cell: usize) -> Option<usize> {
+        self.cells[cell].rep
+    }
+
+    /// Lower/upper bounds of cell `cell`.
+    pub fn bounds(&self, cell: usize) -> (&[f64], &[f64]) {
+        (&self.cells[cell].lo, &self.cells[cell].hi)
+    }
+
+    /// Euclidean diameter of cell `cell` (norm of its side lengths).
+    pub fn diameter(&self, cell: usize) -> f64 {
+        let c = &self.cells[cell];
+        c.lo.iter()
+            .zip(&c.hi)
+            .map(|(&l, &h)| (h - l) * (h - l))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Center point of cell `cell`.
+    pub fn center(&self, cell: usize) -> Vec<f64> {
+        let c = &self.cells[cell];
+        c.lo.iter()
+            .zip(&c.hi)
+            .map(|(&l, &h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Arena indices of all leaf cells, in creation order (deterministic).
+    pub fn leaf_cells(&self) -> Vec<usize> {
+        (0..self.cells.len())
+            .filter(|&c| self.cells[c].children.is_none())
+            .collect()
+    }
+
+    /// Number of leaf cells.
+    pub fn leaf_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.children.is_none()).count()
+    }
+
+    /// Dimensionality of the box.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Effective pool size: how many cells of the *smallest* leaf's
+    /// volume tile the root box. A fixed LHS pool of `N` points has
+    /// effective size `N`; an adaptive tree reaches far larger effective
+    /// sizes by shrinking leaves only near the front.
+    pub fn effective_pool(&self) -> f64 {
+        let min_vol = self
+            .cells
+            .iter()
+            .filter(|c| c.children.is_none())
+            .map(|c| {
+                c.lo.iter()
+                    .zip(&c.hi)
+                    .map(|(&l, &h)| h - l)
+                    .product::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        if min_vol > 0.0 && min_vol.is_finite() {
+            self.root_volume / min_vol
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_separates_points_into_leaves() {
+        let points = vec![
+            vec![0.1, 0.1],
+            vec![0.9, 0.9],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+        ];
+        let tree = CellTree::build(&[0.0, 0.0], &[1.0, 1.0], &points).unwrap();
+        let mut leaves: Vec<usize> = points
+            .iter()
+            .map(|p| tree.leaf_of(p).expect("in box"))
+            .collect();
+        leaves.sort_unstable();
+        leaves.dedup();
+        assert_eq!(leaves.len(), 4, "each point gets its own leaf");
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(tree.rep(tree.leaf_of(p).unwrap()), Some(i));
+        }
+    }
+
+    #[test]
+    fn coincident_points_share_a_leaf_with_lowest_rep() {
+        let points = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let tree = CellTree::build(&[0.0], &[1.0], &points).unwrap();
+        let leaf = tree.leaf_of(&[0.5]).unwrap();
+        assert_eq!(tree.rep(leaf), Some(0));
+    }
+
+    #[test]
+    fn split_moves_rep_and_exposes_sibling_center() {
+        let points = vec![vec![0.25, 0.5]];
+        let mut tree = CellTree::build(&[0.0, 0.0], &[1.0, 1.0], &points).unwrap();
+        let leaf = tree.leaf_of(&points[0]).unwrap();
+        let split = tree.split(leaf, &points[0]).expect("root is splittable");
+        assert_eq!(tree.rep(split.kept_child), Some(0));
+        assert_eq!(tree.rep(split.new_child), None);
+        // Root splits on axis 0 at 0.5; the rep at x = 0.25 keeps the
+        // left half, the fresh cell is centered in the right half.
+        assert_eq!(split.new_center, vec![0.75, 0.5]);
+        tree.set_rep(split.new_child, 1);
+        assert_eq!(tree.leaf_of(&split.new_center), Some(split.new_child));
+        assert_eq!(tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn split_plane_prefers_longest_side_then_lowest_axis() {
+        let points = vec![vec![0.1, 0.1]];
+        let mut tree = CellTree::build(&[0.0, 0.0], &[1.0, 2.0], &points).unwrap();
+        let leaf = tree.leaf_of(&points[0]).unwrap();
+        let split = tree.split(leaf, &points[0]).unwrap();
+        // Axis 1 is longer, so the split halves it: the fresh sibling
+        // spans y ∈ [1, 2].
+        let (lo, hi) = tree.bounds(split.new_child);
+        assert_eq!((lo[1], hi[1]), (1.0, 2.0));
+    }
+
+    #[test]
+    fn effective_pool_grows_with_refinement() {
+        let points = vec![vec![0.25], vec![0.75]];
+        let mut tree = CellTree::build(&[0.0], &[1.0], &points).unwrap();
+        assert!((tree.effective_pool() - 2.0).abs() < 1e-12);
+        let leaf = tree.leaf_of(&[0.25]).unwrap();
+        tree.split(leaf, &[0.25]).unwrap();
+        assert!((tree.effective_pool() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_points_stay_inside_the_box() {
+        let points = vec![vec![0.2], vec![0.8]];
+        let tree = CellTree::build(&[0.0], &[1.0], &points).unwrap();
+        // The box's faces belong to exactly one leaf each.
+        assert!(tree.leaf_of(&[0.0]).is_some());
+        assert!(tree.leaf_of(&[1.0]).is_some());
+        assert_eq!(tree.leaf_of(&[1.5]), None);
+        assert_eq!(tree.leaf_of(&[0.5, 0.5]), None, "wrong dimension");
+    }
+
+    #[test]
+    fn invalid_boxes_and_points_are_rejected() {
+        assert!(CellTree::build(&[], &[], &[]).is_err());
+        assert!(CellTree::build(&[0.0], &[0.0], &[]).is_err());
+        assert!(CellTree::build(&[0.0], &[f64::INFINITY], &[]).is_err());
+        assert!(CellTree::build(&[0.0], &[1.0], &[vec![2.0]]).is_err());
+        assert!(CellTree::build(&[0.0], &[1.0], &[vec![0.1, 0.2]]).is_err());
+    }
+
+    #[test]
+    fn deep_duplicate_insertion_respects_depth_cap() {
+        // Two points closer than 2⁻⁶⁰ cannot be separated: the build
+        // must terminate with both in one leaf rather than recurse
+        // forever.
+        let points = vec![vec![0.5], vec![0.5 + 1e-19]];
+        let tree = CellTree::build(&[0.0], &[1.0], &points).unwrap();
+        let leaf = tree.leaf_of(&[0.5]).unwrap();
+        assert_eq!(tree.rep(leaf), Some(0));
+    }
+}

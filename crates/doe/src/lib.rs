@@ -39,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cells;
 mod config;
 mod error;
 mod halton;
 mod sampler;
 mod space;
 
+pub use cells::{CellTree, Split};
 pub use config::{Config, ParamValue};
 pub use error::DoeError;
 pub use halton::Halton;

@@ -1,6 +1,7 @@
-//! Property-based tests of parameter spaces and samplers.
+//! Property-based tests of parameter spaces, samplers, and the
+//! bisection cell tree behind the adaptive candidate pool.
 
-use doe::{full_factorial, sample_random, LatinHypercube, ParamDef, ParamSpace};
+use doe::{full_factorial, sample_random, CellTree, LatinHypercube, ParamDef, ParamSpace};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +63,76 @@ proptest! {
                     hits[((u * n as f64) as usize).min(n - 1)] += 1;
                 }
                 prop_assert!(hits.iter().all(|&h| h == 1), "axis {axis}: {hits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_tree_is_an_exact_partition(
+        coords in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 2..=2), 1..10),
+        split_picks in prop::collection::vec(0usize..1024, 0..8),
+        queries in prop::collection::vec(
+            prop::collection::vec(0.0f64..=1.0, 2..=2), 1..8),
+    ) {
+        let mut points = coords;
+        let mut tree = CellTree::build(&[0.0, 0.0], &[1.0, 1.0], &points).unwrap();
+
+        // Refine at arbitrary represented leaves.
+        for pick in &split_picks {
+            let leaves: Vec<usize> = tree
+                .leaf_cells()
+                .into_iter()
+                .filter(|&c| tree.rep(c).is_some())
+                .collect();
+            let leaf = leaves[pick % leaves.len()];
+            let rep = tree.rep(leaf).unwrap();
+            if let Some(split) = tree.split(leaf, &points[rep].clone()) {
+                let idx = points.len();
+                points.push(split.new_center);
+                tree.set_rep(split.new_child, idx);
+            }
+        }
+
+        // Law 1: leaf volumes tile the root box exactly.
+        let total: f64 = tree
+            .leaf_cells()
+            .iter()
+            .map(|&c| {
+                let (lo, hi) = tree.bounds(c);
+                lo.iter().zip(hi).map(|(&l, &h)| h - l).product::<f64>()
+            })
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "leaf volumes sum to {total}");
+
+        // Law 2: every in-box point belongs to exactly one leaf under the
+        // half-open containment rule (upper faces closed only at the
+        // root boundary), and leaf_of agrees with it.
+        for q in &queries {
+            let claimed = tree.leaf_of(q);
+            prop_assert!(claimed.is_some(), "in-box point must land in a leaf");
+            let holders: Vec<usize> = tree
+                .leaf_cells()
+                .into_iter()
+                .filter(|&c| {
+                    let (lo, hi) = tree.bounds(c);
+                    q.iter().enumerate().all(|(d, &v)| {
+                        v >= lo[d] && (v < hi[d] || (hi[d] == 1.0 && v <= 1.0))
+                    })
+                })
+                .collect();
+            prop_assert_eq!(holders.len(), 1, "point {:?} held by {:?}", q, holders);
+            prop_assert_eq!(claimed, Some(holders[0]));
+        }
+
+        // Law 3: every representative lies inside its own cell.
+        for c in tree.leaf_cells() {
+            if let Some(rep) = tree.rep(c) {
+                prop_assert_eq!(
+                    tree.leaf_of(&points[rep]),
+                    Some(c),
+                    "rep {} strayed from its leaf", rep
+                );
             }
         }
     }

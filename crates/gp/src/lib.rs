@@ -48,7 +48,7 @@ mod transfer;
 pub use counters::GpCounters;
 pub use error::GpError;
 pub use gp::GpRegressor;
-pub use transfer::{TaskData, TransferGp, TransferGpConfig};
+pub use transfer::{SubsetPredictor, TaskData, TransferGp, TransferGpConfig, PREDICT_BLOCK};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T, E = GpError> = std::result::Result<T, E>;

@@ -290,6 +290,47 @@ pub enum Event {
         kernel_assemblies: u64,
     },
 
+    /// The adaptive candidate pool refined itself: cells whose ε-PAL
+    /// uncertainty-region diameter exceeded their Lipschitz-style bound
+    /// were bisected, each split appending one new representative
+    /// candidate. Emitted once per iteration that performs at least one
+    /// split (fixed-pool runs emit none, keeping their traces
+    /// byte-identical to historical ones). Invariant checkers use it to
+    /// track the lawful growth of per-candidate event payloads.
+    PoolRefine {
+        /// Refinement iteration the splits happened in.
+        iteration: usize,
+        /// Leaf cells bisected this iteration (= candidates appended).
+        splits: usize,
+        /// Leaf count of the cell tree after the splits.
+        leaves: usize,
+        /// Total candidates in the pool after the splits.
+        pool_size: usize,
+        /// Effective resolution of the tree: the size of the uniform
+        /// grid whose cells match the smallest leaf's volume
+        /// (`1 / min leaf volume` in the unit-box metric).
+        effective_pool: f64,
+    },
+
+    /// Which posterior path served this iteration's uncertainty-box
+    /// predictions: the exact Cholesky posterior or the subset-of-data
+    /// approximation. Emitted only when a subset-of-data threshold is
+    /// configured, so legacy traces are unchanged.
+    PredictMode {
+        /// Refinement iteration the predictions belong to.
+        iteration: usize,
+        /// Joint (source + target) training-set size behind the
+        /// surrogates at predict time.
+        train_size: usize,
+        /// Anchor count of the subset-of-data predictor (0 on the exact
+        /// path).
+        subset_size: usize,
+        /// Query points predicted this iteration.
+        queries: usize,
+        /// `"exact"` or `"subset"`.
+        mode: String,
+    },
+
     /// A free-form diagnostic message.
     Message {
         /// Human-readable text.
@@ -318,6 +359,8 @@ impl Event {
             Event::SpanStart { .. } => "SpanStart",
             Event::SpanEnd { .. } => "SpanEnd",
             Event::ResourceSample { .. } => "ResourceSample",
+            Event::PoolRefine { .. } => "PoolRefine",
+            Event::PredictMode { .. } => "PredictMode",
             Event::Message { .. } => "Message",
         }
     }
@@ -336,7 +379,9 @@ impl Event {
             | Event::CandidateQuarantined { iteration, .. }
             | Event::Checkpoint { iteration, .. }
             | Event::IterationEnd { iteration, .. }
-            | Event::ResourceSample { iteration, .. } => Some(*iteration),
+            | Event::ResourceSample { iteration, .. }
+            | Event::PoolRefine { iteration, .. }
+            | Event::PredictMode { iteration, .. } => Some(*iteration),
             _ => None,
         }
     }
@@ -436,6 +481,33 @@ mod tests {
         // The root span's `parent: null` must survive the round trip.
         let root = serde_json::to_string(&events[0]).unwrap();
         assert!(root.contains("\"parent\":null"), "{root}");
+    }
+
+    #[test]
+    fn pool_events_round_trip_and_carry_iterations() {
+        let events = [
+            Event::PoolRefine {
+                iteration: 5,
+                splits: 3,
+                leaves: 67,
+                pool_size: 131,
+                effective_pool: 16384.0,
+            },
+            Event::PredictMode {
+                iteration: 5,
+                train_size: 412,
+                subset_size: 256,
+                queries: 97,
+                mode: "subset".into(),
+            },
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            assert!(json.starts_with(&format!("{{\"{}\":", e.kind())), "{json}");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e);
+            assert_eq!(e.iteration(), Some(5));
+        }
     }
 
     #[test]

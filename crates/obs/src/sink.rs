@@ -221,6 +221,26 @@ impl StderrSink {
                  trisolve {tri_solve_rhs} rhs, fitcache {fitcache_hits}h/{fitcache_misses}m, \
                  {kernel_assemblies} kernels"
             ),
+            Event::PoolRefine {
+                iteration,
+                splits,
+                leaves,
+                pool_size,
+                effective_pool,
+            } => format!(
+                "iter {iteration:3}: pool refine {splits} splits -> {leaves} leaves, \
+                 {pool_size} candidates (effective {effective_pool:.0})"
+            ),
+            Event::PredictMode {
+                iteration,
+                train_size,
+                subset_size,
+                queries,
+                mode,
+            } => format!(
+                "iter {iteration:3}: predict {mode} ({queries} queries, train {train_size}, \
+                 subset {subset_size})"
+            ),
             Event::Message { text } => text.clone(),
         }
     }

@@ -54,6 +54,7 @@ pub mod checkpoint;
 mod decision;
 mod error;
 mod oracle;
+mod pool;
 pub mod region;
 mod tuner;
 
@@ -64,8 +65,10 @@ pub use checkpoint::{
 pub use decision::{classify, select_batch, BatchPick, DecisionOutcome, Status};
 pub use error::TunerError;
 pub use oracle::{
-    ConcurrentOracle, CountingOracle, EvalError, FallibleOracle, QorOracle, SharedOracle, VecOracle,
+    ConcurrentOracle, CountingOracle, EvalError, FallibleOracle, FnOracle, QorOracle, SharedOracle,
+    VecOracle,
 };
+pub use pool::{AdaptivePool, RefineOutcome};
 pub use region::UncertaintyRegion;
 pub use tuner::{IterationRecord, PpaTuner, PpaTunerConfig, SourceData, TuneResult};
 

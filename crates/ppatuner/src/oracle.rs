@@ -98,6 +98,25 @@ pub trait QorOracle {
     /// the implementation's discretion (fault injection, live tools).
     fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError>;
 
+    /// Runs the tool for candidate `index`, whose parameter coordinates
+    /// are `x`.
+    ///
+    /// Table-backed oracles key on the index alone and ignore `x`; the
+    /// default implementation delegates to
+    /// [`evaluate`](QorOracle::evaluate). Oracles that compute QoR from
+    /// the coordinates (live flows, [`FnOracle`]) override this so the
+    /// tuner can evaluate candidates that were *not* in the initial pool
+    /// — adaptive-pool refinement appends candidates at indices the
+    /// oracle has never seen.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`evaluate`](QorOracle::evaluate).
+    fn evaluate_at(&mut self, index: usize, x: &[f64]) -> Result<Vec<f64>, EvalError> {
+        let _ = x;
+        self.evaluate(index)
+    }
+
     /// Number of tool runs so far, including failed attempts.
     fn runs(&self) -> usize;
 }
@@ -253,6 +272,22 @@ pub trait ConcurrentOracle: Sync {
     /// the implementation's discretion (fault injection, live tools).
     fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError>;
 
+    /// Runs the tool for candidate `index` at parameter coordinates `x`;
+    /// may be called from several worker threads at once.
+    ///
+    /// The default delegates to [`evaluate`](ConcurrentOracle::evaluate)
+    /// (index-keyed tables ignore coordinates); coordinate-driven oracles
+    /// override it so adaptive-pool candidates beyond the initial table
+    /// remain evaluable.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`evaluate`](ConcurrentOracle::evaluate).
+    fn evaluate_at(&self, index: usize, x: &[f64]) -> Result<Vec<f64>, EvalError> {
+        let _ = x;
+        self.evaluate(index)
+    }
+
     /// Number of tool runs so far, including failed attempts.
     fn runs(&self) -> usize;
 }
@@ -303,8 +338,96 @@ impl<O: QorOracle + Send> ConcurrentOracle for SharedOracle<O> {
             .evaluate(index)
     }
 
+    fn evaluate_at(&self, index: usize, x: &[f64]) -> Result<Vec<f64>, EvalError> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .evaluate_at(index, x)
+    }
+
     fn runs(&self) -> usize {
         self.inner.lock().unwrap_or_else(|p| p.into_inner()).runs()
+    }
+}
+
+/// An oracle that computes QoR directly from parameter *coordinates* — an
+/// analytic stand-in for a live PD flow. This is the natural oracle for
+/// adaptive candidate pools: refinement appends candidates the initial
+/// table never contained, and only a coordinate-driven oracle can price
+/// them.
+///
+/// Implements both [`QorOracle`] and [`ConcurrentOracle`] (the closure is
+/// `Fn + Sync`, so workers may overlap). The index-keyed
+/// `evaluate(index)` entry point is unsupported — it reports
+/// [`EvalError::OutOfRange`] because there is no table to look up — but
+/// the tuner always calls [`evaluate_at`](QorOracle::evaluate_at), which
+/// this type overrides.
+///
+/// # Example
+///
+/// ```
+/// use ppatuner::{FnOracle, QorOracle};
+///
+/// let mut o = FnOracle::new(|x: &[f64]| vec![x[0], 1.0 - x[0]]);
+/// assert_eq!(o.evaluate_at(7, &[0.25]).unwrap(), vec![0.25, 0.75]);
+/// assert_eq!(o.runs(), 1);
+/// assert!(o.evaluate(7).is_err()); // no table behind this oracle
+/// ```
+pub struct FnOracle<F> {
+    f: F,
+    runs: std::sync::atomic::AtomicUsize,
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64>> FnOracle<F> {
+    /// Wraps a coordinate-to-QoR closure.
+    pub fn new(f: F) -> Self {
+        FnOracle {
+            f,
+            runs: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<F> std::fmt::Debug for FnOracle<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnOracle")
+            .field(
+                "runs",
+                &self.runs.load(std::sync::atomic::Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64>> QorOracle for FnOracle<F> {
+    fn evaluate(&mut self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Err(EvalError::OutOfRange { index, len: 0 })
+    }
+
+    fn evaluate_at(&mut self, _index: usize, x: &[f64]) -> Result<Vec<f64>, EvalError> {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok((self.f)(x))
+    }
+
+    fn runs(&self) -> usize {
+        self.runs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64> + Sync> ConcurrentOracle for FnOracle<F> {
+    fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Err(EvalError::OutOfRange { index, len: 0 })
+    }
+
+    fn evaluate_at(&self, _index: usize, x: &[f64]) -> Result<Vec<f64>, EvalError> {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok((self.f)(x))
+    }
+
+    fn runs(&self) -> usize {
+        self.runs.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -414,6 +537,30 @@ mod tests {
         });
         assert_eq!(o.runs(), 64);
         assert_eq!(o.into_inner().runs(), 64);
+    }
+
+    #[test]
+    fn evaluate_at_defaults_to_index_lookup() {
+        // Table oracles ignore the coordinates: same answer either way.
+        let mut o = VecOracle::new(vec![vec![1.0], vec![2.0]]);
+        assert_eq!(o.evaluate_at(1, &[0.123]).unwrap(), vec![2.0]);
+        assert_eq!(o.runs(), 1);
+        let shared = SharedOracle::new(VecOracle::new(vec![vec![5.0]]));
+        assert_eq!(shared.evaluate_at(0, &[0.9]).unwrap(), vec![5.0]);
+    }
+
+    #[test]
+    fn fn_oracle_evaluates_coordinates_and_counts() {
+        let o = FnOracle::new(|x: &[f64]| vec![x[0] + x[1], x[0] * x[1]]);
+        // Concurrent entry point (shared reference).
+        assert_eq!(
+            ConcurrentOracle::evaluate_at(&o, 99, &[2.0, 3.0]).unwrap(),
+            vec![5.0, 6.0]
+        );
+        // The index-keyed path has no table to answer from.
+        assert!(ConcurrentOracle::evaluate(&o, 0).is_err());
+        assert_eq!(ConcurrentOracle::runs(&o), 2);
+        assert!(format!("{o:?}").contains("runs"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use gp::optimize::{fit_transfer_gp_from_starts, restart_starts, FitBudget};
-use gp::{GpCounters, TaskData, TransferGp};
+use gp::{GpCounters, SubsetPredictor, TaskData, TransferGp};
 use obs::{Event, Observer, OpenSpan, Tracer, NULL_SINK};
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +20,7 @@ use crate::checkpoint::{
 };
 use crate::decision::{classify, select_batch, Status};
 use crate::oracle::{ConcurrentOracle, EvalError, QorOracle};
+use crate::pool::AdaptivePool;
 use crate::region::UncertaintyRegion;
 use crate::{Result, TunerError};
 
@@ -178,6 +179,52 @@ pub struct PpaTunerConfig {
     /// span)`. Large by default so only tool garbage (unit mix-ups,
     /// truncated reports) trips it, never a merely surprising true value.
     pub outlier_gate: f64,
+    /// Grow the candidate pool adaptively (off by default): the initial
+    /// candidates become leaf representatives of a bisection cell tree
+    /// over the parameter box, and each iteration splits the cells whose
+    /// representative's uncertainty-region diameter still exceeds
+    /// [`pool_refine_scale`](PpaTunerConfig::pool_refine_scale) times the
+    /// cell's own diameter, appending the new sibling centers as fresh
+    /// candidates. Requires an oracle that can evaluate arbitrary
+    /// coordinates ([`QorOracle::evaluate_at`], e.g.
+    /// [`FnOracle`](crate::FnOracle)) — a purely index-table oracle
+    /// aborts with an out-of-range error once a grown candidate is
+    /// selected.
+    pub adaptive_pool: bool,
+    /// Lipschitz-style refinement threshold of the adaptive pool: a leaf
+    /// splits while `diam(U_t(rep)) > pool_refine_scale × diam(cell)`.
+    /// Smaller values refine more aggressively.
+    pub pool_refine_scale: f64,
+    /// Upper bound on the region diameter a leaf may have and still be
+    /// refined (default `f64::MAX`, i.e. effectively no bound — the
+    /// checkpoint format cannot round-trip IEEE infinities). Leaves whose
+    /// representative's region is at or past the ceiling are
+    /// prior-dominated — nothing has been learned there yet — and are
+    /// left for the selection rule to evaluate instead of being
+    /// subdivided; see [`AdaptivePool::refine`] for why unbounded
+    /// refinement stalls on exploration chains.
+    pub pool_refine_ceiling: f64,
+    /// Maximum leaf splits per iteration (the refinement-rate cap of the
+    /// adaptive pool).
+    pub pool_max_refines: usize,
+    /// Hard cap on the total candidate count the adaptive pool may grow
+    /// to (initial candidates included).
+    pub pool_max_size: usize,
+    /// Training-set size (source + target observations) above which
+    /// box prediction switches from the exact transfer-GP posterior to
+    /// the subset-of-data path ([`gp::SubsetPredictor`]), whose per-query
+    /// cost is bounded by [`sod_subset`](PpaTunerConfig::sod_subset)
+    /// instead of the full training size. The subset variance dominates
+    /// the exact variance, so ε-PAL's uncertainty boxes stay
+    /// conservative. `usize::MAX` (the default) never switches.
+    pub sod_threshold: usize,
+    /// Anchor count of the subset-of-data predictor (ignored while the
+    /// exact path is active).
+    pub sod_subset: usize,
+    /// Query block size of batched GP prediction. Results are
+    /// bit-identical at any block size; this only tunes the
+    /// cache-locality/latency trade-off of large query sets.
+    pub predict_block: usize,
 }
 
 impl Default for PpaTunerConfig {
@@ -200,6 +247,14 @@ impl Default for PpaTunerConfig {
             backoff_base_s: 1.0,
             backoff_cap_s: 60.0,
             outlier_gate: 8.0,
+            adaptive_pool: false,
+            pool_refine_scale: 1.0,
+            pool_refine_ceiling: f64::MAX,
+            pool_max_refines: 16,
+            pool_max_size: 4096,
+            sod_threshold: usize::MAX,
+            sod_subset: 256,
+            predict_block: gp::PREDICT_BLOCK,
         }
     }
 }
@@ -270,6 +325,42 @@ impl PpaTunerConfig {
             return Err(TunerError::InvalidConfig {
                 name: "outlier_gate",
                 value: self.outlier_gate,
+            });
+        }
+        if !(self.pool_refine_scale.is_finite() && self.pool_refine_scale > 0.0) {
+            return Err(TunerError::InvalidConfig {
+                name: "pool_refine_scale",
+                value: self.pool_refine_scale,
+            });
+        }
+        if self.pool_refine_ceiling.is_nan() || self.pool_refine_ceiling <= 0.0 {
+            return Err(TunerError::InvalidConfig {
+                name: "pool_refine_ceiling",
+                value: self.pool_refine_ceiling,
+            });
+        }
+        if self.pool_max_refines == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "pool_max_refines",
+                value: 0.0,
+            });
+        }
+        if self.pool_max_size == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "pool_max_size",
+                value: 0.0,
+            });
+        }
+        if self.sod_subset == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "sod_subset",
+                value: 0.0,
+            });
+        }
+        if self.predict_block == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "predict_block",
+                value: 0.0,
             });
         }
         Ok(())
@@ -606,15 +697,21 @@ impl PpaTuner {
                 reason: "candidates must be finite (no NaN/inf)",
             });
         }
+        // From here on the candidate list is owned: the adaptive pool
+        // appends refinement candidates to it. Digests and checkpoint
+        // validation below run against this initial (caller) state —
+        // growth only ever appends, and replays deterministically, so
+        // the caller's candidates stay the run's identity.
+        let mut candidates: Vec<Vec<f64>> = candidates.to_vec();
 
         // Checkpoint plumbing. `driver` serves oracle attempts — from the
         // resume log while it lasts, live afterwards — and records every
         // outcome so later checkpoints carry the complete history. `live`
         // gates run-structure events (and checkpoint writes) off while
         // replay reproduces already-traced iterations.
-        let digests = store.map(|_| (digest_matrix(candidates), source_digest(source)));
+        let digests = store.map(|_| (digest_matrix(&candidates), source_digest(source)));
         if let Some(ckpt) = &resume_from {
-            ckpt.validate(&self.config, candidates, source)
+            ckpt.validate(&self.config, &candidates, source)
                 .map_err(|reason| TunerError::Checkpoint { reason })?;
         }
         let resume_state = resume_from.map(|c| (c.next_iteration, c.snapshot, c.eval_log));
@@ -685,6 +782,7 @@ impl PpaTuner {
             let outs = {
                 let ctx = WaveCtx {
                     iteration: 0,
+                    candidates: &candidates,
                     n_obj: n_obj_opt,
                     gate: None,
                 };
@@ -816,6 +914,15 @@ impl PpaTuner {
         }
 
         let source_tasks: Vec<TaskData> = (0..n_obj).map(|k| source.task_data(k)).collect();
+
+        // The adaptive pool (when enabled) wraps the candidates in a
+        // bisection cell tree; refinement happens inside the loop once
+        // uncertainty regions carry evidence.
+        let mut pool = if self.config.adaptive_pool {
+            Some(AdaptivePool::new(&candidates)?)
+        } else {
+            None
+        };
 
         let mut history = Vec::new();
         let mut iterations = 0;
@@ -993,35 +1100,118 @@ impl PpaTuner {
             }
             let models = models_opt.as_ref().expect("models exist past fitting");
 
-            // Predict boxes for active, un-evaluated candidates.
+            // Predict boxes for active, un-evaluated candidates — through
+            // the exact posterior, or the subset-of-data path once the
+            // training set outgrows `sod_threshold`. Subset predictors
+            // are rebuilt from the freshly fitted/conditioned models each
+            // iteration, so they never lag the exact posterior's data.
             let predict_phase = Instant::now();
-            let active: Vec<usize> = (0..n)
+            let train_size = source.len() + evaluated.len();
+            let sod: Option<Vec<SubsetPredictor>> = if train_size > self.config.sod_threshold {
+                Some(
+                    models
+                        .iter()
+                        .map(|m| m.subset_predictor(self.config.sod_subset))
+                        .collect::<gp::Result<_>>()?,
+                )
+            } else {
+                None
+            };
+            let surrogates = match &sod {
+                Some(preds) => Surrogates::Subset(preds),
+                None => Surrogates::Exact(models),
+            };
+            let active: Vec<usize> = (0..candidates.len())
                 .filter(|&i| statuses[i].is_active() && !evaluated_flag[i])
                 .collect();
+            // PredictMode is only in the trace when the SoD feature is
+            // actually configured — legacy traces stay byte-identical.
+            if live && observer.enabled() && self.config.sod_threshold != usize::MAX {
+                observer.emit(&Event::PredictMode {
+                    iteration: t,
+                    train_size,
+                    subset_size: sod
+                        .as_ref()
+                        .and_then(|preds| preds.first())
+                        .map_or(train_size, SubsetPredictor::subset_size),
+                    queries: active.len(),
+                    mode: if sod.is_some() { "subset" } else { "exact" }.into(),
+                });
+            }
             let boxes = predict_boxes(
-                models,
-                candidates,
+                &surrogates,
+                &candidates,
                 &active,
                 self.config.tau,
                 self.config.threads,
+                self.config.predict_block,
             )?;
             for (pos, &i) in active.iter().enumerate() {
                 let (lo, hi) = &boxes[pos];
                 regions[i].intersect(lo, hi);
+            }
+
+            // ---- adaptive refinement: split the cells whose
+            // representative's region stayed wide relative to the cell
+            // itself, then box the new representatives immediately so this
+            // iteration's classification and selection see them.
+            if let Some(pool) = pool.as_mut() {
+                let before = candidates.len();
+                let outcome = pool.refine(
+                    &mut candidates,
+                    &regions,
+                    &statuses,
+                    self.config.pool_refine_scale,
+                    self.config.pool_refine_ceiling,
+                    self.config.pool_max_refines,
+                    self.config.pool_max_size,
+                );
+                if outcome.splits > 0 {
+                    for _ in before..candidates.len() {
+                        regions.push(UncertaintyRegion::unbounded(n_obj));
+                        statuses.push(Status::Undecided);
+                        evaluated_flag.push(false);
+                    }
+                    let fresh: Vec<usize> = (before..candidates.len()).collect();
+                    let fresh_boxes = predict_boxes(
+                        &surrogates,
+                        &candidates,
+                        &fresh,
+                        self.config.tau,
+                        self.config.threads,
+                        self.config.predict_block,
+                    )?;
+                    for (pos, &i) in fresh.iter().enumerate() {
+                        let (lo, hi) = &fresh_boxes[pos];
+                        regions[i].intersect(lo, hi);
+                    }
+                }
+                if live && observer.enabled() {
+                    observer.emit(&Event::PoolRefine {
+                        iteration: t,
+                        splits: outcome.splits,
+                        leaves: outcome.leaves,
+                        pool_size: candidates.len(),
+                        effective_pool: outcome.effective_pool,
+                    });
+                }
             }
             let predict_s = predict_phase.elapsed().as_secs_f64();
 
             // ---- decision-making (lines 7-9)
             let classify_span = tracer.open("classify", Some(&iter_span));
             classify(&regions, &mut statuses, &delta);
+            // Counted once per iteration here, then maintained through the
+            // quarantine transitions below — `IterationEnd` and the
+            // history row never re-scan the status vector.
+            let mut counts = status_counts(&statuses);
             if live && observer.enabled() {
                 observer.emit(&classify_span.start_event());
-                let (undecided, pareto, dropped, _) = status_counts(&statuses);
                 observer.emit(&Event::Classify {
                     iteration: t,
-                    pareto,
-                    dropped,
-                    undecided,
+                    pareto: counts.1,
+                    dropped: counts.2,
+                    undecided: counts.0,
                     delta: delta.clone(),
                 });
                 observer.emit(&Event::RegionSnapshot {
@@ -1037,7 +1227,7 @@ impl PpaTuner {
             // measure), the iteration is still recorded and checkpointed
             // like any other before the loop stops, so a resumed run can
             // skip straight past it.
-            let mut stop = !statuses.contains(&Status::Undecided);
+            let mut stop = counts.0 == 0;
 
             // ---- selection (lines 10-11): a diverse batch of the
             // longest-diameter active candidates (`select_batch`; at
@@ -1056,7 +1246,7 @@ impl PpaTuner {
                 // empty wave's span is simply never emitted.
                 let select_span = tracer.open("select", Some(&iter_span));
                 let picks = select_batch(
-                    candidates,
+                    &candidates,
                     &regions,
                     &statuses,
                     &evaluated_flag,
@@ -1091,6 +1281,7 @@ impl PpaTuner {
                 let outs = {
                     let ctx = WaveCtx {
                         iteration: t,
+                        candidates: &candidates,
                         n_obj: Some(n_obj),
                         gate: Some((&regions, &obs_span, self.config.outlier_gate)),
                     };
@@ -1117,6 +1308,17 @@ impl PpaTuner {
                             want -= 1;
                         }
                         None => {
+                            // Maintain the once-per-iteration counts
+                            // through the status transition (a selected
+                            // candidate is Undecided or Pareto, but the
+                            // match is total for safety).
+                            match statuses[i] {
+                                Status::Undecided => counts.0 -= 1,
+                                Status::Pareto => counts.1 -= 1,
+                                Status::Dropped => counts.2 -= 1,
+                                Status::Quarantined => counts.3 -= 1,
+                            }
+                            counts.3 += 1;
                             statuses[i] = Status::Quarantined;
                             quarantined_order.push(i);
                             if !out.replayed && observer.enabled() {
@@ -1159,7 +1361,7 @@ impl PpaTuner {
                 observer,
                 live,
                 &mut history,
-                &statuses,
+                counts,
                 &evaluated,
                 &hv_reference,
                 ctx,
@@ -1240,13 +1442,14 @@ impl PpaTuner {
         // classified Pareto members plus the measured front; verification
         // evaluates any member not yet measured, and the final answer is
         // the non-dominated subset on golden values.
-        let mut final_candidates: Vec<usize> =
-            (0..n).filter(|&i| statuses[i] == Status::Pareto).collect();
+        let mut final_candidates: Vec<usize> = (0..candidates.len())
+            .filter(|&i| statuses[i] == Status::Pareto)
+            .collect();
         // When the loop stopped before full classification, add the
         // surrogate's predicted front over the still-active candidates.
         if self.config.include_predicted_front {
             if let Some(models) = &models_opt {
-                let undecided: Vec<usize> = (0..n)
+                let undecided: Vec<usize> = (0..candidates.len())
                     .filter(|&i| statuses[i] == Status::Undecided && !evaluated_flag[i])
                     .collect();
                 if !undecided.is_empty() {
@@ -1255,7 +1458,7 @@ impl PpaTuner {
                     let mut mus: Vec<Vec<f64>> = vec![Vec::with_capacity(n_obj); undecided.len()];
                     for model in models {
                         for (q, (mu, _)) in model
-                            .predict_latent_batch(&queries)?
+                            .predict_latent_batch_with_block(&queries, self.config.predict_block)?
                             .into_iter()
                             .enumerate()
                         {
@@ -1299,6 +1502,7 @@ impl PpaTuner {
             let outs = {
                 let ctx = WaveCtx {
                     iteration: iterations,
+                    candidates: &candidates,
                     n_obj: Some(n_obj),
                     gate: Some((&regions, &obs_span, self.config.outlier_gate)),
                 };
@@ -1410,10 +1614,10 @@ enum OracleRef<'a> {
 }
 
 impl<'a> OracleRef<'a> {
-    fn evaluate(&mut self, index: usize) -> std::result::Result<Vec<f64>, EvalError> {
+    fn evaluate_at(&mut self, index: usize, x: &[f64]) -> std::result::Result<Vec<f64>, EvalError> {
         match self {
-            OracleRef::Serial(o) => o.evaluate(index),
-            OracleRef::Concurrent(o) => o.evaluate(index),
+            OracleRef::Serial(o) => o.evaluate_at(index, x),
+            OracleRef::Concurrent(o) => o.evaluate_at(index, x),
         }
     }
 
@@ -1463,6 +1667,7 @@ impl EvalDriver<'_> {
     fn attempt(
         &mut self,
         candidate: usize,
+        x: &[f64],
         sanitize: &dyn Fn(&[f64]) -> std::result::Result<(), String>,
     ) -> Result<(std::result::Result<Vec<f64>, EvalError>, bool)> {
         let (outcome, replayed) = if let Some(rec) = self.replay.pop_front() {
@@ -1481,7 +1686,7 @@ impl EvalDriver<'_> {
             };
             (outcome, true)
         } else {
-            let outcome = match self.oracle.evaluate(candidate) {
+            let outcome = match self.oracle.evaluate_at(candidate, x) {
                 Ok(y) => match sanitize(&y) {
                     Ok(()) => Ok(y),
                     Err(detail) => Err(EvalError::InvalidQor { detail }),
@@ -1551,6 +1756,7 @@ struct RetryOutcome {
 fn evaluate_with_retry(
     driver: &mut EvalDriver<'_>,
     candidate: usize,
+    x: &[f64],
     iteration: usize,
     config: &PpaTunerConfig,
     sanitize: &dyn Fn(&[f64]) -> std::result::Result<(), String>,
@@ -1579,7 +1785,7 @@ fn evaluate_with_retry(
             emit(span.start_event());
         }
         let start = Instant::now();
-        let (outcome, from_replay) = driver.attempt(candidate, sanitize)?;
+        let (outcome, from_replay) = driver.attempt(candidate, x, sanitize)?;
         replayed = from_replay;
         match outcome {
             Ok(qor) => {
@@ -1631,6 +1837,9 @@ fn evaluate_with_retry(
 /// worker-count invariance.
 struct WaveCtx<'a> {
     iteration: usize,
+    /// The full (possibly pool-grown) candidate list, so workers can hand
+    /// each member's coordinates to [`QorOracle::evaluate_at`].
+    candidates: &'a [Vec<f64>],
     /// Established objective count (`None` only for the first
     /// initialization wave, before any QoR has been accepted).
     n_obj: Option<usize>,
@@ -1714,7 +1923,12 @@ fn run_wave_parallel(
                 let Some(&candidate) = members.get(pos) else {
                     break;
                 };
-                let out = member_attempts(|i| oracle.evaluate(i), candidate, ctx, max_attempts);
+                let out = member_attempts(
+                    |i| oracle.evaluate_at(i, &ctx.candidates[i]),
+                    candidate,
+                    ctx,
+                    max_attempts,
+                );
                 *slots[pos].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
             });
         }
@@ -1852,6 +2066,7 @@ fn evaluate_wave(
             outs.push(evaluate_with_retry(
                 driver,
                 candidate,
+                &ctx.candidates[candidate],
                 ctx.iteration,
                 config,
                 &sanitize,
@@ -1880,7 +2095,7 @@ fn evaluate_wave(
             .iter()
             .map(|&candidate| {
                 member_attempts(
-                    |i| driver.oracle.evaluate(i),
+                    |i| driver.oracle.evaluate_at(i, &ctx.candidates[i]),
                     candidate,
                     ctx,
                     config.max_eval_attempts,
@@ -2066,12 +2281,12 @@ fn record(
     observer: &dyn Observer,
     live: bool,
     history: &mut Vec<IterationRecord>,
-    statuses: &[Status],
+    counts: (usize, usize, usize, usize),
     evaluated: &[(usize, Vec<f64>)],
     hv_reference: &[f64],
     ctx: IterationOutcome,
 ) {
-    let (undecided, pareto, dropped, quarantined) = status_counts(statuses);
+    let (undecided, pareto, dropped, quarantined) = counts;
     history.push(IterationRecord {
         iteration: ctx.iteration,
         undecided,
@@ -2100,28 +2315,65 @@ fn record(
     }
 }
 
+/// The prediction back end of one iteration: every objective's exact
+/// transfer GP, or its subset-of-data predictor once the training set
+/// outgrows the configured threshold. Both expose the same blocked
+/// latent-batch call, so the box-prediction plumbing is path-agnostic.
+enum Surrogates<'a> {
+    Exact(&'a [TransferGp]),
+    Subset(&'a [SubsetPredictor]),
+}
+
+impl Surrogates<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Surrogates::Exact(models) => models.len(),
+            Surrogates::Subset(preds) => preds.len(),
+        }
+    }
+
+    /// One prediction list per objective, each parallel to `queries`.
+    fn predict_latent_batch(
+        &self,
+        queries: &[Vec<f64>],
+        block: usize,
+    ) -> gp::Result<Vec<Vec<(f64, f64)>>> {
+        match self {
+            Surrogates::Exact(models) => models
+                .iter()
+                .map(|m| m.predict_latent_batch_with_block(queries, block))
+                .collect(),
+            Surrogates::Subset(preds) => preds
+                .iter()
+                .map(|p| p.predict_latent_batch_with_block(queries, block))
+                .collect(),
+        }
+    }
+}
+
 /// Predicts `[μ − √τ·σ, μ + √τ·σ]` boxes for the active candidates via
-/// the multi-RHS batch path of [`TransferGp::predict_latent_batch`],
-/// chunking the query set across `threads` scoped threads.
+/// the multi-RHS blocked batch path of the active surrogate (exact or
+/// subset-of-data), chunking the query set across `threads` scoped
+/// threads.
 ///
-/// Batch prediction is bit-identical however the queries are chunked, so
-/// the boxes — and everything downstream of them — do not depend on the
-/// thread count.
+/// Batch prediction is bit-identical however the queries are chunked or
+/// blocked, so the boxes — and everything downstream of them — do not
+/// depend on the thread count or block size.
 fn predict_boxes(
-    models: &[TransferGp],
+    surrogates: &Surrogates<'_>,
     candidates: &[Vec<f64>],
     active: &[usize],
     tau: f64,
     threads: usize,
+    block: usize,
 ) -> Result<Vec<(Vec<f64>, Vec<f64>)>> {
-    let n_obj = models.len();
+    let n_obj = surrogates.len();
     let scale = tau.sqrt();
     let queries: Vec<Vec<f64>> = active.iter().map(|&i| candidates[i].clone()).collect();
     // One prediction list per objective, each parallel to `queries`.
     type ModelPreds = gp::Result<Vec<Vec<(f64, f64)>>>;
-    let predict_chunk = |qs: &[Vec<f64>]| -> ModelPreds {
-        models.iter().map(|m| m.predict_latent_batch(qs)).collect()
-    };
+    let predict_chunk =
+        |qs: &[Vec<f64>]| -> ModelPreds { surrogates.predict_latent_batch(qs, block) };
 
     let threads = threads.max(1).min(queries.len().max(1));
     let preds: Vec<Vec<(f64, f64)>> = if threads == 1 || queries.len() < 64 {
@@ -2814,6 +3066,326 @@ mod tests {
         assert_eq!(cfg.retry_backoff_s(4), 8.0);
         assert_eq!(cfg.retry_backoff_s(5), 10.0);
         assert_eq!(cfg.retry_backoff_s(50), 10.0);
+    }
+
+    // ---------------------------------------------- adaptive pool / SoD
+
+    use crate::oracle::FnOracle;
+
+    /// A 2-D landscape as a coordinate function (what a real PD tool is:
+    /// QoR of an arbitrary configuration, not a table row). The front
+    /// trades off along both axes, so a coarse seed grid leaves genuine
+    /// uncertainty for the pool to refine into.
+    fn toy_fn(x: &[f64]) -> Vec<f64> {
+        let (a, b) = (x[0], x[1]);
+        vec![
+            a + 0.25 * b * b + 0.05,
+            (1.0 - a).powi(2) + 0.25 * (1.0 - b).powi(2) + 0.05,
+        ]
+    }
+
+    fn pool_config() -> PpaTunerConfig {
+        PpaTunerConfig {
+            adaptive_pool: true,
+            pool_refine_scale: 0.03,
+            pool_max_refines: 4,
+            pool_max_size: 64,
+            initial_samples: 5,
+            delta_rel: 0.002,
+            max_iterations: 12,
+            seed: 3,
+            ..quick_config()
+        }
+    }
+
+    /// Coarse 3×3 seed grid plus a coordinate oracle: the pool's natural
+    /// habitat.
+    fn pool_setup() -> (Vec<Vec<f64>>, SourceData) {
+        let candidates: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![((i % 3) as f64 + 0.5) / 3.0, ((i / 3) as f64 + 0.5) / 3.0])
+            .collect();
+        let source_x: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64 / 3.0, (i / 4) as f64 / 2.0])
+            .collect();
+        let source_y: Vec<Vec<f64>> = source_x
+            .iter()
+            .map(|p| toy_fn(p).iter().map(|v| v * 1.2 + 0.1).collect())
+            .collect();
+        (candidates, SourceData::new(source_x, source_y).unwrap())
+    }
+
+    #[test]
+    fn adaptive_pool_grows_the_candidate_set() {
+        let (candidates, source) = pool_setup();
+        let mut oracle = FnOracle::new(toy_fn);
+        let sink = obs::RecordingSink::new();
+        let result = PpaTuner::new(pool_config())
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert!(!result.pareto_indices.is_empty());
+        // One PoolRefine per iteration, and the pool actually grew: some
+        // evaluated candidate carries an index past the initial eight.
+        assert_eq!(sink.count("PoolRefine"), result.iterations);
+        let grown = sink.events().iter().any(
+            |e| matches!(e, Event::PoolRefine { pool_size, .. } if *pool_size > candidates.len()),
+        );
+        assert!(grown, "pool never grew past the seed grid");
+        // Legacy events are still consistent on the grown run.
+        assert_eq!(sink.count("GpFit"), 2 * result.iterations);
+        assert_eq!(
+            sink.count("ToolEval"),
+            result.runs + result.verification_runs
+        );
+    }
+
+    #[test]
+    fn adaptive_pool_is_deterministic() {
+        let (candidates, source) = pool_setup();
+        let run = || {
+            let mut oracle = FnOracle::new(toy_fn);
+            PpaTuner::new(pool_config())
+                .run(&source, &candidates, &mut oracle)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.pareto_indices, b.pareto_indices);
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn adaptive_pool_composes_with_batch_and_resume() {
+        let (candidates, source) = pool_setup();
+        let cfg = PpaTunerConfig {
+            batch_size: 2,
+            ..pool_config()
+        };
+        let store = CaptureStore::default();
+        let mut oracle = FnOracle::new(toy_fn);
+        let full = PpaTuner::new(cfg.clone())
+            .run_checkpointed(&source, &candidates, &mut oracle, &NULL_SINK, &store)
+            .unwrap();
+        let all = store.all.borrow();
+        assert!(all.len() >= 2, "need checkpoints to resume from");
+        // Resume from a middle checkpoint: pool growth replays
+        // deterministically, so the resumed run matches the full one.
+        let crash_point = MemoryCheckpointStore::new();
+        crash_point.put(all[all.len() / 2].clone());
+        let mut fresh = FnOracle::new(toy_fn);
+        let resumed = PpaTuner::new(cfg)
+            .resume(&source, &candidates, &mut fresh, &NULL_SINK, &crash_point)
+            .unwrap();
+        assert_same_outcome(&full, &resumed);
+    }
+
+    #[test]
+    fn sod_path_stays_close_to_exact_path() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let exact = {
+            let mut oracle = VecOracle::new(truth.clone());
+            PpaTuner::new(quick_config())
+                .run(&source, &candidates, &mut oracle)
+                .unwrap()
+        };
+        // Tiny threshold: the subset path is active from the first
+        // iteration, with enough anchors to stay informative.
+        let cfg = PpaTunerConfig {
+            sod_threshold: 10,
+            sod_subset: 48,
+            ..quick_config()
+        };
+        let mut oracle = VecOracle::new(truth.clone());
+        let sink = obs::RecordingSink::new();
+        let sod = PpaTuner::new(cfg)
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert_eq!(sink.count("PredictMode"), sod.iterations);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::PredictMode { mode, .. } if mode == "subset")));
+        // The subset posterior's boxes are conservative, not wrong: the
+        // search still lands near the true front.
+        let golden: Vec<Vec<f64>> = pareto::front::pareto_front(&truth)
+            .into_iter()
+            .map(|i| truth[i].clone())
+            .collect();
+        let predicted: Vec<Vec<f64>> = sod
+            .pareto_indices
+            .iter()
+            .map(|&i| truth[i].clone())
+            .collect();
+        let adrs = pareto::metrics::adrs(&golden, &predicted).unwrap();
+        assert!(adrs < 0.25, "adrs {adrs}");
+        assert!(!exact.pareto_indices.is_empty());
+    }
+
+    #[test]
+    fn iteration_counts_match_the_emitted_trace() {
+        // Satellite regression for the counts-once refactor: rebuild each
+        // iteration's counts from RegionSnapshot + same-iteration
+        // quarantines and compare against IterationEnd — on a run where
+        // quarantines actually perturb the counts mid-iteration.
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let broken_truth = truth.clone();
+        let mut oracle = FallibleOracle::new(move |i: usize| {
+            if i % 2 == 1 {
+                Err(EvalError::Timeout {
+                    stage: "route".into(),
+                    elapsed_s: 9.9,
+                })
+            } else {
+                Ok(broken_truth[i].clone())
+            }
+        });
+        let sink = obs::RecordingSink::new();
+        let result = PpaTuner::new(quick_config())
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert!(!result.quarantined.is_empty(), "need mid-iteration churn");
+        let events = sink.events();
+        let mut checked = 0;
+        for (end_pos, e) in events.iter().enumerate() {
+            let Event::IterationEnd {
+                iteration,
+                pareto,
+                dropped,
+                undecided,
+                ..
+            } = e
+            else {
+                continue;
+            };
+            // The iteration's snapshot (classify-time counts), and the
+            // quarantine transitions that happened between it and the
+            // iteration end. Initialization quarantines are also tagged
+            // iteration 0 but precede the snapshot, so position — not the
+            // iteration field — is what separates them.
+            let (snap_pos, snapshot) = events
+                .iter()
+                .enumerate()
+                .find_map(|(pos, s)| match s {
+                    Event::RegionSnapshot {
+                        iteration: it,
+                        statuses,
+                        ..
+                    } if it == iteration => Some((pos, statuses.clone())),
+                    _ => None,
+                })
+                .expect("every iteration snapshots");
+            let post_quarantines = events[snap_pos..end_pos]
+                .iter()
+                .filter(|q| matches!(q, Event::CandidateQuarantined { .. }))
+                .count();
+            let count_of = |c: char| snapshot.chars().filter(|&s| s == c).count();
+            // Drops only happen at classify; selection only converts
+            // active candidates (u or p) into q.
+            assert_eq!(*dropped, count_of('d'), "iter {iteration}");
+            assert!(*undecided <= count_of('u'), "iter {iteration}");
+            assert!(*pareto <= count_of('p'), "iter {iteration}");
+            assert_eq!(
+                (count_of('u') - undecided) + (count_of('p') - pareto),
+                post_quarantines,
+                "iter {iteration}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, result.history.len());
+        // And the history rows agree with the trace rows.
+        for (rec, e) in result.history.iter().zip(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::IterationEnd { .. })),
+        ) {
+            if let Event::IterationEnd {
+                pareto,
+                dropped,
+                undecided,
+                ..
+            } = e
+            {
+                assert_eq!(rec.pareto, *pareto);
+                assert_eq!(rec.dropped, *dropped);
+                assert_eq!(rec.undecided, *undecided);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_and_sod_config_are_validated() {
+        let bad = |cfg: PpaTunerConfig| {
+            let mut oracle = VecOracle::new(vec![vec![1.0, 2.0]; 4]);
+            PpaTuner::new(cfg)
+                .run(&SourceData::empty(), &[vec![0.0]], &mut oracle)
+                .unwrap_err()
+        };
+        for (name, cfg) in [
+            (
+                "pool_refine_scale",
+                PpaTunerConfig {
+                    pool_refine_scale: 0.0,
+                    ..quick_config()
+                },
+            ),
+            (
+                "pool_max_refines",
+                PpaTunerConfig {
+                    pool_max_refines: 0,
+                    ..quick_config()
+                },
+            ),
+            (
+                "pool_max_size",
+                PpaTunerConfig {
+                    pool_max_size: 0,
+                    ..quick_config()
+                },
+            ),
+            (
+                "sod_subset",
+                PpaTunerConfig {
+                    sod_subset: 0,
+                    ..quick_config()
+                },
+            ),
+            (
+                "predict_block",
+                PpaTunerConfig {
+                    predict_block: 0,
+                    ..quick_config()
+                },
+            ),
+        ] {
+            match bad(cfg) {
+                TunerError::InvalidConfig { name: got, .. } => assert_eq!(got, name),
+                other => panic!("expected InvalidConfig for {name}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn predict_block_size_does_not_change_results() {
+        let (candidates, truth) = toy(50);
+        let source = shifted_source(&candidates, &truth);
+        let run = |block: usize| {
+            let mut oracle = VecOracle::new(truth.clone());
+            let cfg = PpaTunerConfig {
+                predict_block: block,
+                ..quick_config()
+            };
+            PpaTuner::new(cfg)
+                .run(&source, &candidates, &mut oracle)
+                .unwrap()
+        };
+        let base = run(gp::PREDICT_BLOCK);
+        for block in [1, 7, 1024] {
+            let other = run(block);
+            assert_eq!(base.evaluated, other.evaluated, "block={block}");
+            assert_eq!(base.pareto_indices, other.pareto_indices, "block={block}");
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   exceeds its member's diameter.
 //! - **Classification is δ-accurate** (Eq. 12): every candidate the loop
 //!   classified Pareto is, in golden QoR, at most δ worse than the true
-//!   front in at least one objective.
+//!   front in at least one objective. The front is scoped to candidates
+//!   that existed when the classification was made: an adaptive pool may
+//!   later grow a strictly better point next to an earlier Pareto call,
+//!   and that is refinement, not a misclassification.
 //! - **Quarantine is terminal**: a candidate announced in
 //!   [`obs::Event::CandidateQuarantined`] shows status `'q'` in every
 //!   later snapshot, is never selected and never evaluated again.
@@ -28,6 +31,11 @@
 //!   trace as exactly one [`obs::Event::ToolEval`] (accepted) or
 //!   [`obs::Event::EvalFailed`] (failed), so their counts sum to the
 //!   `runs + verification_runs` reported by [`obs::Event::RunEnd`].
+//! - **Pool growth is append-only**: every [`obs::Event::PoolRefine`]
+//!   reports a pool size equal to the previous size plus its splits
+//!   (candidates are never removed or reordered), leaf counts grow by
+//!   exactly one per split, and the effective pool never falls below
+//!   the leaf count. Later snapshots must match the grown size.
 //! - **Spans form a tree**: every [`obs::Event::SpanEnd`] closes a span
 //!   that a [`obs::Event::SpanStart`] opened under the same name, span
 //!   IDs are never reused, a child span only starts while its parent is
@@ -64,6 +72,8 @@ pub struct InvariantReport {
     pub pareto_checked: usize,
     /// Spans opened and cleanly closed (`SpanStart`/`SpanEnd` pairs).
     pub spans: usize,
+    /// `PoolRefine` events checked against the growth law.
+    pub pool_refines: usize,
 }
 
 /// Bookkeeping for one span that has started but not yet ended.
@@ -88,6 +98,11 @@ struct CheckerState {
     delta: Vec<f64>,
     /// Counts from the most recent `Classify`, awaiting its snapshot.
     pending_classify: Option<(usize, usize, usize, usize)>,
+    /// Pool size at the snapshot where each candidate first showed 'p' —
+    /// the universe its δ-accuracy is judged against.
+    first_pareto_n: BTreeMap<usize, usize>,
+    /// Leaf count reported by the last `PoolRefine`, if any.
+    pool_leaves: Option<usize>,
     /// Currently open spans, keyed by id.
     open_spans: BTreeMap<u64, OpenSpanInfo>,
     /// Every span id ever started (IDs are never reused).
@@ -120,6 +135,8 @@ pub fn check_trace(
         quarantined: BTreeSet::new(),
         delta: Vec::new(),
         pending_classify: None,
+        first_pareto_n: BTreeMap::new(),
+        pool_leaves: None,
         open_spans: BTreeMap::new(),
         span_ids: BTreeSet::new(),
         report: InvariantReport::default(),
@@ -205,6 +222,16 @@ pub fn check_trace(
                     st.report.eval_failures
                 )));
             }
+            Event::PoolRefine {
+                splits,
+                leaves,
+                pool_size,
+                effective_pool,
+                ..
+            } => {
+                check_pool_refine(&mut st, *splits, *leaves, *pool_size, *effective_pool)
+                    .map_err(|law| fail(&law))?;
+            }
             Event::SpanStart { id, parent, name } => {
                 check_span_start(&mut st, *id, *parent, name).map_err(|law| fail(&law))?;
             }
@@ -228,6 +255,42 @@ pub fn check_trace(
     }
     check_delta_accuracy(&mut st, truth)?;
     Ok(st.report)
+}
+
+fn check_pool_refine(
+    st: &mut CheckerState,
+    splits: usize,
+    leaves: usize,
+    pool_size: usize,
+    effective_pool: f64,
+) -> Result<(), String> {
+    if let Some(n) = st.n {
+        if pool_size != n + splits {
+            return Err(format!(
+                "pool grew from {n} by {splits} splits but reports size \
+                 {pool_size} (growth must be append-only)"
+            ));
+        }
+    }
+    st.n = Some(pool_size);
+    if let Some(prev) = st.pool_leaves {
+        if leaves != prev + splits {
+            return Err(format!(
+                "leaf count went {prev} -> {leaves} across {splits} splits \
+                 (each split adds exactly one leaf)"
+            ));
+        }
+    }
+    st.pool_leaves = Some(leaves);
+    // Effective pool = box volume / smallest leaf volume, which can never
+    // undercut the leaf count (the mean leaf is at least the smallest).
+    if !(effective_pool.is_nan()) && effective_pool + TOL < leaves as f64 {
+        return Err(format!(
+            "effective pool {effective_pool} is below the leaf count {leaves}"
+        ));
+    }
+    st.report.pool_refines += 1;
+    Ok(())
 }
 
 fn check_span_start(
@@ -361,6 +424,11 @@ fn check_snapshot(
                  collapse (diameter {})",
                 diameters[cand]
             ));
+        }
+    }
+    for (i, &c) in chars.iter().enumerate() {
+        if c == 'p' {
+            st.first_pareto_n.entry(i).or_insert(chars.len());
         }
     }
     st.statuses = chars;
@@ -555,6 +623,13 @@ fn check_tool_eval(st: &mut CheckerState, candidate: usize, qor: &[f64]) -> Resu
 
 /// Eq. 12 at trace end: every candidate the loop classified Pareto must
 /// not be beaten by the true front by more than δ in **every** objective.
+///
+/// The front each candidate is judged against is scoped to the pool as
+/// it stood when that candidate was first classified: a point the
+/// adaptive pool grew *afterwards* could not have informed the decision,
+/// so beating an earlier Pareto call is refinement, not inaccuracy. On a
+/// fixed pool the scope is always the whole candidate set, which is the
+/// original law unchanged.
 fn check_delta_accuracy(
     st: &mut CheckerState,
     truth: Option<&[Vec<f64>]>,
@@ -562,26 +637,47 @@ fn check_delta_accuracy(
     if st.statuses.is_empty() || st.delta.is_empty() {
         return Ok(st.report);
     }
-    // Universe for the true front: the full golden table when available,
-    // else everything the tool actually measured.
-    let universe: Vec<Vec<f64>> = match truth {
-        Some(table) => table.to_vec(),
-        None => st.measured.values().cloned().collect(),
+    // Universe for a classification made with `scope` candidates: the
+    // golden table when available, else everything the tool actually
+    // measured — restricted to indices below the scope. Fronts are
+    // cached per distinct scope (one per refinement burst at most).
+    let measured = &st.measured;
+    let mut fronts: BTreeMap<usize, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut front_at = |scope: usize| -> Vec<Vec<f64>> {
+        fronts
+            .entry(scope)
+            .or_insert_with(|| {
+                let universe: Vec<Vec<f64>> = match truth {
+                    Some(table) => table.iter().take(scope).cloned().collect(),
+                    None => measured
+                        .iter()
+                        .filter(|(&j, _)| j < scope)
+                        .map(|(_, y)| y.clone())
+                        .collect(),
+                };
+                crate::reference::pareto_front(&universe)
+                    .into_iter()
+                    .map(|i| universe[i].clone())
+                    .collect()
+            })
+            .clone()
     };
-    let front: Vec<Vec<f64>> = crate::reference::pareto_front(&universe)
-        .into_iter()
-        .map(|i| universe[i].clone())
-        .collect();
+    let mut pareto_checked = 0usize;
     for (i, &status) in st.statuses.iter().enumerate() {
         if status != 'p' {
             continue;
         }
         let mine: Option<&Vec<f64>> = match truth {
             Some(table) => table.get(i),
-            None => st.measured.get(&i),
+            None => measured.get(&i),
         };
         let Some(mine) = mine else { continue };
-        for f in &front {
+        let scope = st
+            .first_pareto_n
+            .get(&i)
+            .copied()
+            .unwrap_or(st.statuses.len());
+        for f in &front_at(scope) {
             let beaten_everywhere = f
                 .iter()
                 .zip(mine)
@@ -590,13 +686,15 @@ fn check_delta_accuracy(
             if beaten_everywhere {
                 return Err(format!(
                     "candidate {i} classified Pareto is not δ-accurate: \
-                     front point {f:?} beats {mine:?} by more than δ = {:?}",
+                     front point {f:?} beats {mine:?} by more than δ = {:?} \
+                     (classification scope: first {scope} candidates)",
                     st.delta
                 ));
             }
         }
-        st.report.pareto_checked += 1;
+        pareto_checked += 1;
     }
+    st.report.pareto_checked += pareto_checked;
     Ok(st.report)
 }
 
@@ -1106,6 +1204,87 @@ mod tests {
         let events = vec![span_start(1, None, "run")];
         let err = check_trace(&events, None).unwrap_err();
         assert!(err.contains("unclosed span"), "{err}");
+    }
+
+    fn pool_refine(splits: usize, leaves: usize, pool_size: usize, eff: f64) -> Event {
+        Event::PoolRefine {
+            iteration: 0,
+            splits,
+            leaves,
+            pool_size,
+            effective_pool: eff,
+        }
+    }
+
+    #[test]
+    fn lawful_pool_growth_passes() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 2,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            pool_refine(1, 3, 3, 4.0),
+            snapshot(0, "uuu", &[1.0, 1.0, 1.0]),
+            pool_refine(2, 5, 5, 16.0),
+            snapshot(1, "uuuuu", &[1.0, 1.0, 1.0, 1.0, 1.0]),
+        ];
+        let report = check_trace(&events, None).expect("pool growth is lawful");
+        assert_eq!(report.pool_refines, 2);
+        assert_eq!(report.snapshots, 2);
+    }
+
+    #[test]
+    fn non_append_only_pool_growth_is_rejected() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 4,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            // 1 split cannot shrink a 4-candidate pool to 3.
+            pool_refine(1, 3, 3, 4.0),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("append-only"), "{err}");
+    }
+
+    #[test]
+    fn pool_leaf_count_must_track_splits() {
+        let events = vec![pool_refine(1, 3, 3, 4.0), pool_refine(1, 7, 4, 8.0)];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("exactly one leaf"), "{err}");
+    }
+
+    #[test]
+    fn effective_pool_below_leaf_count_is_rejected() {
+        let events = vec![pool_refine(2, 8, 8, 3.0)];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("below the leaf count"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_after_growth_must_match_grown_size() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 2,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            pool_refine(1, 3, 3, 4.0),
+            snapshot(0, "uu", &[1.0, 1.0]),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("disagree with RunStart"), "{err}");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use std::path::PathBuf;
 
 use obs::{Event, RecordingSink};
-use ppatuner::{PpaTuner, PpaTunerConfig, SharedOracle, SourceData, TuneResult, VecOracle};
+use ppatuner::{
+    FnOracle, PpaTuner, PpaTunerConfig, SharedOracle, SourceData, TuneResult, VecOracle,
+};
 use serde_json::Value;
 
 /// The environment variable that switches golden-trace tests from
@@ -136,6 +138,64 @@ pub fn run_golden_batch(q: usize, workers: usize) -> GoldenRun {
     let result = PpaTuner::new(config)
         .run_concurrent(&source, &candidates, &oracle, &sink)
         .expect("golden batch scenario tuning run");
+    GoldenRun {
+        events: sink.events(),
+        result,
+        table,
+    }
+}
+
+/// The golden scenario with the adaptive candidate pool and the
+/// subset-of-data predict path both enabled: same reduced Scenario Two
+/// and seed as [`run_golden`], but candidates grow in-loop (cell-tree
+/// refinement) and the posterior switches to subset-of-data once the
+/// training set crosses `sod_threshold`. Because grown candidates have no
+/// row in the offline QoR table, the oracle is a [`FnOracle`] that decodes
+/// joint-encoded points and runs the PD flow directly — the same flow
+/// that generated the table, so original candidates get identical QoR.
+///
+/// Deterministic like the other golden runs; its snapshot pins the
+/// refinement sequence (which leaf splits when) byte-for-byte.
+///
+/// # Panics
+///
+/// Panics when scenario construction or the tuning run fails; both are
+/// deterministic, so a panic here is a real regression.
+pub fn run_golden_pool() -> GoldenRun {
+    let scenario = benchgen::Scenario::two_with_counts(9, 120, 100).with_source_budget(60);
+    let space = pdsim::ObjectiveSpace::PowerDelay;
+    let candidates = scenario.target_candidates();
+    let table = scenario.target_table(space);
+    let (sx, sy) = scenario.source_xy(space);
+    let source = SourceData::new(sx, sy).expect("golden scenario source data");
+    let config = PpaTunerConfig {
+        initial_samples: 10,
+        max_iterations: 20,
+        tau: 3.0, // matches run_golden; see the comment there
+        seed: crate::test_seed(),
+        threads: 1,
+        adaptive_pool: true,
+        pool_refine_scale: 0.05,
+        pool_max_refines: 4,
+        pool_max_size: 160,
+        sod_threshold: 64,
+        sod_subset: 48,
+        ..Default::default()
+    };
+    let joint = scenario.joint().clone();
+    let flow = pdsim::PdFlow::new(scenario.target().id().design());
+    let mut oracle = FnOracle::new(move |x: &[f64]| {
+        let config = joint
+            .decode(x)
+            .expect("pool candidates decode in the joint space");
+        let params = pdsim::ToolParams::from_config(&joint, &config)
+            .expect("decoded configs belong to their space");
+        flow.run(&params).project(space)
+    });
+    let sink = RecordingSink::new();
+    let result = PpaTuner::new(config)
+        .run_observed(&source, &candidates, &mut oracle, &sink)
+        .expect("golden pool scenario tuning run");
     GoldenRun {
         events: sink.events(),
         result,

@@ -7,7 +7,8 @@
 
 use testkit::invariants::check_trace;
 use testkit::trace::{
-    canonical_jsonl, check_or_bless, run_golden, run_golden_batch, run_golden_with_threads,
+    canonical_jsonl, check_or_bless, run_golden, run_golden_batch, run_golden_pool,
+    run_golden_with_threads,
 };
 
 #[test]
@@ -142,6 +143,51 @@ fn golden_batch_trace_is_worker_count_invariant() {
     assert_eq!(w1.result.runs, w8.result.runs);
     assert_eq!(w1.result.verification_runs, w8.result.verification_runs);
     assert_eq!(w1.result.iterations, w8.result.iterations);
+}
+
+#[test]
+fn golden_pool_trace_is_stable() {
+    // Pins the adaptive-pool refinement sequence (which leaf splits at
+    // which iteration) and the subset-of-data predict-path switchovers.
+    let run = run_golden_pool();
+    check_or_bless(
+        "scenario_two_seeded_pool.jsonl",
+        &canonical_jsonl(&run.events),
+    );
+}
+
+#[test]
+fn golden_pool_trace_satisfies_invariants() {
+    let run = run_golden_pool();
+    let report = check_trace(&run.events, Some(&run.table)).expect("pool invariants hold");
+    // The pool must actually refine, and every refinement obeys the
+    // append-only growth law.
+    assert!(report.pool_refines >= 2, "pool never refined: {report:?}");
+    assert!(report.snapshots >= 2, "too few snapshots: {report:?}");
+    assert!(report.tool_evals >= 10, "too few evaluations: {report:?}");
+    assert_eq!(
+        report.tool_evals,
+        run.result.runs + run.result.verification_runs
+    );
+    // The pool actually grew: a PoolRefine with nonzero splits exists.
+    let grew = run
+        .events
+        .iter()
+        .any(|e| matches!(e, obs::Event::PoolRefine { splits, .. } if *splits > 0));
+    assert!(grew, "trace shows no pool growth");
+    // The subset-of-data path activated at least once.
+    let subset = run
+        .events
+        .iter()
+        .any(|e| matches!(e, obs::Event::PredictMode { mode, .. } if mode == "subset"));
+    assert!(subset, "subset predict path never activated");
+}
+
+#[test]
+fn golden_pool_run_is_reproducible_within_process() {
+    let a = canonical_jsonl(&run_golden_pool().events);
+    let b = canonical_jsonl(&run_golden_pool().events);
+    assert_eq!(a, b, "pool golden scenario is not deterministic");
 }
 
 #[test]
