@@ -44,20 +44,23 @@ fn main() {
     let results = perfrun::run_sizes(smoke, args.seed);
     let size_reports: Vec<Value> = results.into_iter().map(|r| r.json).collect();
     // Rewriting the benchmark file must not erase the regression-gate
-    // trajectory perf_gate appends to it.
-    let history: Vec<Value> = std::fs::read_to_string(&out_path)
+    // trajectories other bins append to it (`history` from perf_gate,
+    // `pool_history` from pool_scale).
+    let old: Option<Value> = std::fs::read_to_string(&out_path)
         .ok()
-        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
-        .and_then(|old| {
-            old.get("history")
-                .and_then(|h| h.as_array().map(<[Value]>::to_vec))
-        })
-        .unwrap_or_default();
+        .and_then(|text| serde_json::from_str(&text).ok());
+    let carried = |key: &str| -> Vec<Value> {
+        old.as_ref()
+            .and_then(|o| o.get(key))
+            .and_then(|h| h.as_array().map(<[Value]>::to_vec))
+            .unwrap_or_default()
+    };
     let report = json!({
         "seed": args.seed,
         "mode": if smoke { "smoke" } else { "full" },
         "sizes": size_reports,
-        "history": history,
+        "history": carried("history"),
+        "pool_history": carried("pool_history"),
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &text).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -68,11 +68,13 @@ fn main() {
     for s in &fresh.sizes {
         eprintln!(
             "perf_gate: {}: search {:.2}x, condition {:.2}x, batch {:.2}x, \
-             tuner {:.3}s / {} tool runs",
+             sweep par {:.2}x / cached {:.2}x, tuner {:.3}s / {} tool runs",
             s.name,
             s.search_speedup,
             s.condition_speedup,
             s.batch_speedup,
+            s.predict_par_speedup,
+            s.predict_cached_speedup,
             s.tuner_total_s,
             s.tool_runs
         );

@@ -144,6 +144,7 @@ fn main() {
     let mut spans: BTreeMap<String, (usize, f64)> = BTreeMap::new();
     let mut slowest: Vec<(f64, u64, String)> = Vec::new();
     let mut resources = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut predict_resources = (0u64, 0u64, 0u64, 0u64);
     let mut pool_refines: Vec<(usize, usize, usize, usize, f64)> = Vec::new();
     let mut pool_splits_total = 0usize;
     let mut predict_modes: BTreeMap<String, (usize, usize)> = BTreeMap::new();
@@ -266,6 +267,10 @@ fn main() {
                 fitcache_hits,
                 fitcache_misses,
                 kernel_assemblies,
+                predict_cache_hits,
+                predict_cache_misses,
+                predict_cache_evictions,
+                predict_chunks,
                 ..
             } => {
                 resources.0 += chol_flops;
@@ -274,6 +279,10 @@ fn main() {
                 resources.3 += fitcache_hits;
                 resources.4 += fitcache_misses;
                 resources.5 += kernel_assemblies;
+                predict_resources.0 += predict_cache_hits;
+                predict_resources.1 += predict_cache_misses;
+                predict_resources.2 += predict_cache_evictions;
+                predict_resources.3 += predict_chunks;
             }
             Event::BatchSelect { q, chosen, .. } => {
                 batch_selects += 1;
@@ -446,6 +455,19 @@ fn main() {
         println!(
             "\nresources: {flops} Cholesky flops in {panels} panels, {rhs} triangular-solve \
              rhs, fitcache {hits} hits / {misses} misses, {kernels} kernel assemblies"
+        );
+    }
+    let (p_hits, p_misses, p_evict, p_chunks) = predict_resources;
+    if p_hits + p_misses + p_evict + p_chunks > 0 {
+        let served = p_hits + p_misses;
+        let rate = if served > 0 {
+            100.0 * p_hits as f64 / served as f64
+        } else {
+            0.0
+        };
+        println!(
+            "predict sweep: cache {p_hits} hits / {p_misses} misses ({rate:.1}% hit), \
+             {p_evict} evictions, {p_chunks} chunks dispatched"
         );
     }
 }

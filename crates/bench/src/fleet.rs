@@ -109,6 +109,10 @@ pub struct RunSummary {
     /// Summed resource counters across the run's `ResourceSample`s:
     /// (chol_flops, kernel_assemblies, fitcache_hits, fitcache_misses).
     pub resources: (u64, u64, u64, u64),
+    /// Summed predict-sweep counters across the run's `ResourceSample`s:
+    /// (cache hits, cache misses, cache evictions, chunks dispatched).
+    /// All zero for traces predating the predict cache.
+    pub predict_resources: (u64, u64, u64, u64),
     /// Adaptive-pool splits across all `PoolRefine` passes.
     pub pool_splits: usize,
     /// Final (pool size, effective pool) from the last `PoolRefine`,
@@ -163,12 +167,20 @@ pub fn summarize_run(name: &str, events: &[Event]) -> RunSummary {
                 kernel_assemblies,
                 fitcache_hits,
                 fitcache_misses,
+                predict_cache_hits,
+                predict_cache_misses,
+                predict_cache_evictions,
+                predict_chunks,
                 ..
             } => {
                 s.resources.0 += chol_flops;
                 s.resources.1 += kernel_assemblies;
                 s.resources.2 += fitcache_hits;
                 s.resources.3 += fitcache_misses;
+                s.predict_resources.0 += predict_cache_hits;
+                s.predict_resources.1 += predict_cache_misses;
+                s.predict_resources.2 += predict_cache_evictions;
+                s.predict_resources.3 += predict_chunks;
             }
             Event::PoolRefine {
                 splits,
@@ -389,6 +401,23 @@ impl FleetReport {
                  fitcache {hits} hits / {misses} misses"
             );
         }
+        let p_hits: u64 = self.runs.iter().map(|r| r.predict_resources.0).sum();
+        let p_misses: u64 = self.runs.iter().map(|r| r.predict_resources.1).sum();
+        let p_evict: u64 = self.runs.iter().map(|r| r.predict_resources.2).sum();
+        let p_chunks: u64 = self.runs.iter().map(|r| r.predict_resources.3).sum();
+        if p_hits + p_misses + p_evict + p_chunks > 0 {
+            let served = p_hits + p_misses;
+            let rate = if served > 0 {
+                100.0 * p_hits as f64 / served as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "predict sweep: cache {p_hits} hits / {p_misses} misses ({rate:.1}% hit), \
+                 {p_evict} evictions, {p_chunks} chunks"
+            );
+        }
         out
     }
 }
@@ -435,6 +464,10 @@ mod tests {
                 fitcache_hits: 3,
                 fitcache_misses: 1,
                 kernel_assemblies: 2,
+                predict_cache_hits: 9,
+                predict_cache_misses: 4,
+                predict_cache_evictions: 2,
+                predict_chunks: 6,
             },
             Event::IterationEnd {
                 iteration: 0,
@@ -481,6 +514,7 @@ mod tests {
         assert_eq!(s.phase_seconds["gp_fit"].0, 1);
         assert_eq!(s.spans.len(), 2);
         assert_eq!(s.resources, (100, 2, 3, 1));
+        assert_eq!(s.predict_resources, (9, 4, 2, 6));
     }
 
     #[test]
@@ -507,6 +541,12 @@ mod tests {
             .expect("a slowest-span line");
         assert!(slow_line.contains("seed-2"), "{slow_line}");
         assert!(text.contains("300 Cholesky flops"), "{text}");
+        // 3 runs × (9 hits, 4 misses): 27/39 served from cache = 69.2%.
+        assert!(
+            text.contains("predict sweep: cache 27 hits / 12 misses (69.2% hit)"),
+            "{text}"
+        );
+        assert!(text.contains("6 evictions, 18 chunks"), "{text}");
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub struct GateSize {
     pub condition_speedup: f64,
     /// Batch-prediction speedup vs the scalar loop.
     pub batch_speedup: f64,
+    /// Predict-sweep data-parallel speedup vs the serial sweep. Absent
+    /// in pre-sweep history entries, where it parses as 0 and the gate
+    /// skips the metric rather than comparing against a zero median.
+    #[serde(default)]
+    pub predict_par_speedup: f64,
+    /// Predict-sweep cached-incremental speedup vs the serial
+    /// from-scratch sweep (same `#[serde(default)]` back-compat rule).
+    #[serde(default)]
+    pub predict_cached_speedup: f64,
     /// Tuner scenario wall clock (recorded, not gated — machine-bound).
     pub tuner_total_s: f64,
     /// Tuner scenario tool runs (gated exactly — deterministic).
@@ -60,6 +69,8 @@ impl GateEntry {
                     search_speedup: r.search_speedup,
                     condition_speedup: r.condition_speedup,
                     batch_speedup: r.batch_speedup,
+                    predict_par_speedup: r.predict_par_speedup,
+                    predict_cached_speedup: r.predict_cached_speedup,
                     tuner_total_s: r.tuner_total_s,
                     tool_runs: r.tool_runs,
                 })
@@ -129,13 +140,27 @@ pub fn evaluate(
             continue;
         }
         type MetricReader = fn(&GateSize) -> f64;
-        let metrics: [(&str, f64, MetricReader); 3] = [
+        let metrics: [(&str, f64, MetricReader); 5] = [
             ("search", size.search_speedup, |s| s.search_speedup),
             ("condition", size.condition_speedup, |s| s.condition_speedup),
             ("batch_predict", size.batch_speedup, |s| s.batch_speedup),
+            ("predict_par", size.predict_par_speedup, |s| {
+                s.predict_par_speedup
+            }),
+            ("predict_cached", size.predict_cached_speedup, |s| {
+                s.predict_cached_speedup
+            }),
         ];
         for (label, fresh_value, read) in metrics {
-            let mut values: Vec<f64> = past.iter().map(|s| read(s)).collect();
+            // Entries recorded before a metric existed deserialize it as
+            // 0 (`#[serde(default)]`); a speedup is positive by
+            // construction, so only positive values are real
+            // measurements. A metric with no history yet is skipped, not
+            // bootstrapped against a zero median.
+            let mut values: Vec<f64> = past.iter().map(|s| read(s)).filter(|v| *v > 0.0).collect();
+            if values.is_empty() {
+                continue;
+            }
             let med = median(&mut values);
             let floor = config.min_speedup_ratio * med;
             checks += 1;
@@ -246,6 +271,8 @@ mod tests {
             search_speedup: speedup,
             condition_speedup: speedup + 1.0,
             batch_speedup: speedup + 0.5,
+            predict_par_speedup: speedup + 0.7,
+            predict_cached_speedup: speedup + 3.0,
             tuner_total_s: 0.1,
             tool_runs,
         }
@@ -279,7 +306,34 @@ mod tests {
         // Half the median is tolerated; 1.3 is comfortably above 1.2.
         let fresh = entry("smoke", 1.3, 18);
         let outcome = evaluate(&fresh, &history, &GateConfig::default()).expect("passes");
+        assert_eq!(outcome, GateOutcome::Pass { checks: 6 });
+    }
+
+    #[test]
+    fn pre_sweep_history_skips_the_new_metrics() {
+        // History recorded before the predict-sweep metrics existed
+        // carries them as the `#[serde(default)]` zero; the gate must
+        // skip those comparisons instead of flooring against 0.
+        let mut old = entry("smoke", 2.0, 18);
+        old.sizes[0].predict_par_speedup = 0.0;
+        old.sizes[0].predict_cached_speedup = 0.0;
+        let fresh = entry("smoke", 2.0, 18);
+        let outcome = evaluate(&fresh, &[old], &GateConfig::default()).expect("passes");
         assert_eq!(outcome, GateOutcome::Pass { checks: 4 });
+    }
+
+    #[test]
+    fn sweep_metric_regression_fails_the_gate() {
+        let history = [entry("smoke", 2.0, 18), entry("smoke", 2.4, 18)];
+        let mut fresh = entry("smoke", 2.2, 18);
+        // The cache lost its edge: 1.0x against a 5.2x median.
+        fresh.sizes[0].predict_cached_speedup = 1.0;
+        let violations = evaluate(&fresh, &history, &GateConfig::default()).unwrap_err();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("smoke/predict_cached"),
+            "{violations:?}"
+        );
     }
 
     #[test]

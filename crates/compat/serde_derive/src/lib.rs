@@ -16,16 +16,29 @@
 //! - tuple enum variant → `{"Variant": [..]}`
 //! - struct enum variant → `{"Variant": {..}}`
 //!
+//! The only field attribute honoured is `#[serde(default)]`: on
+//! deserialize a missing key yields `Default::default()` instead of a
+//! `missing_field` error (serialization is unchanged — the field is
+//! always written). Other `#[serde(...)]` arguments are ignored.
+//!
 //! Unsupported shapes (generic items, unions) produce a clear
 //! compile-time error instead of silently wrong output.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus whether it carries
+/// `#[serde(default)]` (missing keys then deserialize to
+/// `Default::default()` instead of erroring).
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// Shape of one enum variant.
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -36,7 +49,7 @@ struct Variant {
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -75,6 +88,53 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
         }
     }
     i
+}
+
+/// Returns true if the bracketed attribute body (the tokens inside
+/// `#[...]`) is a `serde(...)` list containing the bare ident `default`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let is_serde =
+        matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return false;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return false;
+    };
+    if args.delimiter() != Delimiter::Parenthesis {
+        return false;
+    }
+    args.stream()
+        .into_iter()
+        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+}
+
+/// Like [`skip_attributes`], but also reports whether any of the skipped
+/// attributes was `#[serde(default)]`.
+fn scan_field_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Bracket && attr_is_serde_default(g) {
+                        default = true;
+                    }
+                }
+                // The bracketed attribute body.
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    (i, default)
 }
 
 /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
@@ -121,12 +181,13 @@ fn tuple_arity(group: &proc_macro::Group) -> usize {
 }
 
 /// Parses the named fields of a braced struct/variant body.
-fn named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+fn named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attributes(&tokens, i);
+        let (next, default) = scan_field_attributes(&tokens, i);
+        i = next;
         i = skip_visibility(&tokens, i);
         if i >= tokens.len() {
             break;
@@ -160,7 +221,7 @@ fn named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -267,6 +328,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -336,10 +398,13 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         Shape::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let binds = binds.join(", ");
                             let vals: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), \
                                          ::serde::Serialize::to_value({f}))"
@@ -371,14 +436,26 @@ fn gen_serialize(item: &Item) -> String {
 
 // ----------------------------------------------------------- Deserialize
 
-fn named_fields_ctor(fields: &[String], source: &str) -> String {
+fn named_fields_ctor(fields: &[Field], source: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value({source}.get({f:?})\
-                     .ok_or_else(|| ::serde::DeError::missing_field({f:?}))?)?"
-            )
+        .map(|field| {
+            let f = &field.name;
+            if field.default {
+                format!(
+                    "{f}: match {source}.get({f:?}) {{\
+                         ::std::option::Option::Some(v) => \
+                             ::serde::Deserialize::from_value(v)?,\
+                         ::std::option::Option::None => \
+                             ::std::default::Default::default(),\
+                     }}"
+                )
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value({source}.get({f:?})\
+                         .ok_or_else(|| ::serde::DeError::missing_field({f:?}))?)?"
+                )
+            }
         })
         .collect();
     inits.join(", ")

@@ -42,12 +42,14 @@ mod error;
 mod gp;
 pub mod kernel;
 pub mod optimize;
+mod predict_cache;
 pub mod standardize;
 mod transfer;
 
 pub use counters::GpCounters;
 pub use error::GpError;
 pub use gp::GpRegressor;
+pub use predict_cache::PredictCache;
 pub use transfer::{SubsetPredictor, TaskData, TransferGp, TransferGpConfig, PREDICT_BLOCK};
 
 /// Convenience alias for results returned by this crate.

@@ -1,0 +1,149 @@
+//! Persistent per-candidate solve cache for the predict sweep.
+//!
+//! Between hyper-parameter refits the tuner only *appends* target rows to
+//! the joint Cholesky factor ([`linalg::Cholesky::extend`] keeps every
+//! old factor row bit-identical), so the expensive part of a candidate's
+//! prediction — the cross-kernel column `k* = k(X, x*)` and its forward
+//! substitution `v = L⁻¹ k*` — stays valid as a *prefix*: only the `q`
+//! newly conditioned rows are missing. A [`PredictCache`] stores that
+//! prefix per candidate so the next sweep pays O(n·q) per still-undecided
+//! candidate (q new kernel entries + a q-row tail substitution, see
+//! `Cholesky::solve_lower_only_tail`) instead of O(n²) from scratch.
+//!
+//! ## Invalidation laws
+//!
+//! 1. **Refit** (fresh [`crate::TransferGp::fit`], including the full-refit
+//!    fallback inside `condition_on`) replaces the factor wholesale; the
+//!    model's fit epoch changes and
+//!    [`crate::TransferGp::predict_latent_batch_cached`] clears the whole
+//!    cache on the mismatch. Entries never survive a factor they were not
+//!    computed against.
+//! 2. **Standardization / weight changes** (every `condition_on` re-fits
+//!    the target standardizer and recomputes α) need *no* invalidation:
+//!    entries hold only factor-space state (`k*`, `v`); means and
+//!    variances are reduced from them afresh on every sweep with the
+//!    model's current α and standardizer.
+//! 3. **Candidate retirement**: [`PredictCache::begin_sweep`] drops every
+//!    entry not touched by the previous sweep, so candidates that were
+//!    classified or pruned since then stop occupying memory after one
+//!    sweep boundary.
+//!
+//! The cache never changes results: the cached path is bit-for-bit
+//! identical to the from-scratch batch predict (asserted by the gp unit
+//! tests and `testkit`'s differential suite).
+
+use std::collections::HashMap;
+
+use crate::counters;
+
+/// One cached candidate: the cross-kernel column and its forward
+/// substitution against the factor rows that existed when it was last
+/// refreshed (always `k_star.len() == v.len()`), plus the sweep stamp of
+/// its last use.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheEntry {
+    pub(crate) k_star: Vec<f64>,
+    pub(crate) v: Vec<f64>,
+}
+
+/// Per-model, per-objective solve cache for
+/// [`crate::TransferGp::predict_latent_batch_cached`]. See the module
+/// docs for the invalidation laws.
+#[derive(Debug, Default)]
+pub struct PredictCache {
+    /// Fit epoch of the model the entries were computed against.
+    pub(crate) epoch: u64,
+    /// Monotone sweep counter; entries carry the stamp of their last use.
+    sweep: u64,
+    pub(crate) entries: HashMap<u64, (CacheEntry, u64)>,
+}
+
+impl PredictCache {
+    /// An empty cache. The first cached sweep populates it.
+    pub fn new() -> Self {
+        PredictCache::default()
+    }
+
+    /// Number of cached candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no candidate is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Starts a new sweep: drops every entry the *previous* sweep did not
+    /// touch (its candidate was classified or pruned, so it will never be
+    /// queried again) and advances the sweep stamp. Call once per tuner
+    /// iteration, before the iteration's first cached predict; the
+    /// iteration may then run several cached predicts (active set, pool
+    /// refinement) that all share the sweep.
+    pub fn begin_sweep(&mut self) {
+        let sweep = self.sweep;
+        let before = self.entries.len();
+        self.entries.retain(|_, (_, touched)| *touched == sweep);
+        let evicted = before - self.entries.len();
+        if evicted > 0 {
+            counters::add_predict_cache_evictions(evicted as u64);
+        }
+        self.sweep += 1;
+    }
+
+    /// The current sweep stamp (entries refreshed now carry it).
+    pub(crate) fn sweep(&self) -> u64 {
+        self.sweep
+    }
+
+    /// Drops everything, counting the evictions — the epoch-mismatch
+    /// (refit) path.
+    pub(crate) fn clear_stale(&mut self, new_epoch: u64) {
+        if !self.entries.is_empty() {
+            counters::add_predict_cache_evictions(self.entries.len() as u64);
+            self.entries.clear();
+        }
+        self.epoch = new_epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(p: usize) -> CacheEntry {
+        CacheEntry {
+            k_star: vec![0.0; p],
+            v: vec![0.0; p],
+        }
+    }
+
+    #[test]
+    fn begin_sweep_retains_only_touched_entries() {
+        let mut cache = PredictCache::new();
+        cache.begin_sweep(); // sweep 0 -> 1
+        let s = cache.sweep();
+        cache.entries.insert(7, (entry(3), s));
+        cache.entries.insert(9, (entry(3), s));
+        cache.begin_sweep(); // both touched last sweep: kept
+        assert_eq!(cache.len(), 2);
+        // Only candidate 7 is touched this sweep.
+        let s = cache.sweep();
+        cache.entries.get_mut(&7).unwrap().1 = s;
+        cache.begin_sweep(); // 9 was not touched: evicted
+        assert_eq!(cache.len(), 1);
+        assert!(cache.entries.contains_key(&7));
+        cache.begin_sweep(); // 7 not touched either: empty again
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_stale_drops_everything_and_moves_epoch() {
+        let mut cache = PredictCache::new();
+        let s = cache.sweep();
+        cache.entries.insert(1, (entry(2), s));
+        cache.clear_stale(42);
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch, 42);
+    }
+}

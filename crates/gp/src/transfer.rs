@@ -1,10 +1,22 @@
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use linalg::{Cholesky, Matrix};
 
 use crate::kernel::{Kernel, SquaredExponential, Task, TransferKernel};
+use crate::predict_cache::{CacheEntry, PredictCache};
 use crate::standardize::Standardizer;
 use crate::{GpError, Result};
+
+/// Process-global fit-epoch source: every [`TransferGp::fit`] stamps the
+/// model with a fresh, process-unique epoch, while the incremental
+/// [`TransferGp::condition_on`] path keeps it (the old factor rows stay
+/// bit-identical, so factor-space caches remain valid). A
+/// [`PredictCache`] compares its stored epoch against the model's to
+/// detect refits — including the full-refit fallback inside
+/// `condition_on`, which goes through `fit` and is therefore stamped
+/// automatically.
+static FIT_EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// Default number of query columns handled per multi-RHS triangular
 /// solve in [`TransferGp::predict_latent_batch`]. At 256 columns the
@@ -139,6 +151,10 @@ pub struct TransferGp {
     /// Diagonal jitter that `Cholesky::new_with_jitter` had to add to the
     /// joint kernel before factorization succeeded (0 when none).
     jitter: f64,
+    /// Process-unique stamp of the factorization lineage (see
+    /// [`FIT_EPOCH`]); preserved by incremental conditioning, refreshed
+    /// by every full (re)fit.
+    fit_epoch: u64,
     config: TransferGpConfig,
 }
 
@@ -261,6 +277,7 @@ impl TransferGp {
             z_joint,
             source_lml,
             jitter,
+            fit_epoch: FIT_EPOCH.fetch_add(1, Ordering::Relaxed) + 1,
             config,
         })
     }
@@ -387,6 +404,15 @@ impl TransferGp {
         self.jitter
     }
 
+    /// Process-unique stamp of this model's factorization lineage: fresh
+    /// after every full (re)fit, preserved across incremental
+    /// [`TransferGp::condition_on`] extensions (whose appended rows leave
+    /// the old factor rows bit-identical). [`PredictCache`] keys its
+    /// validity on this.
+    pub fn fit_epoch(&self) -> u64 {
+        self.fit_epoch
+    }
+
     /// The hyper-parameter configuration in use.
     pub fn config(&self) -> &TransferGpConfig {
         &self.config
@@ -507,21 +533,7 @@ impl TransferGp {
         xs: &[Vec<f64>],
         block: usize,
     ) -> Result<Vec<(f64, f64)>> {
-        if block == 0 {
-            return Err(GpError::InvalidHyperparameter {
-                name: "predict_block",
-                value: 0.0,
-            });
-        }
-        let dim = self.kernel.base().dim();
-        for x in xs {
-            if x.len() != dim {
-                return Err(GpError::DimensionMismatch {
-                    expected: dim,
-                    got: x.len(),
-                });
-            }
-        }
+        self.check_batch_args(xs, block)?;
         let mut out = Vec::with_capacity(xs.len());
         for chunk in xs.chunks(block) {
             self.predict_latent_block(chunk, &mut out)?;
@@ -563,6 +575,243 @@ impl TransferGp {
                 self.std_target.inverse(mean_z),
                 self.std_target.inverse_var(var_z),
             ));
+        }
+        Ok(())
+    }
+
+    /// Data-parallel form of
+    /// [`TransferGp::predict_latent_batch_with_block`]: the `block`-sized
+    /// chunks are fanned out over at most `workers` scoped threads with
+    /// an atomic-cursor work queue and merged in chunk order. Because the
+    /// chunk decomposition is exactly the serial `xs.chunks(block)` walk
+    /// and per-chunk arithmetic never crosses chunk boundaries, the
+    /// output is **bitwise identical** for every worker count (including
+    /// 1, which skips the fan-out) and every valid `block`.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::InvalidHyperparameter`] when `block` is 0;
+    /// [`GpError::DimensionMismatch`] for queries of the wrong dimension.
+    pub fn predict_latent_batch_par(
+        &self,
+        xs: &[Vec<f64>],
+        block: usize,
+        workers: usize,
+    ) -> Result<Vec<(f64, f64)>> {
+        self.check_batch_args(xs, block)?;
+        let n_chunks = xs.len().div_ceil(block);
+        crate::counters::add_predict_chunks(n_chunks as u64);
+        let chunks = run_chunks_par(n_chunks, workers, |c| {
+            let lo = c * block;
+            let hi = (lo + block).min(xs.len());
+            let mut out = Vec::with_capacity(hi - lo);
+            self.predict_latent_block(&xs[lo..hi], &mut out)
+                .map(|()| out)
+        });
+        let mut out = Vec::with_capacity(xs.len());
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// Cached-incremental predict sweep: like
+    /// [`TransferGp::predict_latent_batch_par`], but candidate solve
+    /// state (`k* = k(X, x*)`, `v = L⁻¹k*`) persists in `cache` between
+    /// sweeps, keyed by the caller's stable candidate `ids`. When the
+    /// model has only been *conditioned* since a candidate's last sweep
+    /// (q appended target rows), the candidate pays q new kernel entries
+    /// plus a q-row tail substitution instead of a from-scratch column —
+    /// O(P·n·q) per sweep instead of O(P·n²) over P undecided candidates.
+    ///
+    /// Results are **bitwise identical** to
+    /// [`TransferGp::predict_latent_batch_with_block`] at any worker
+    /// count and any hit/miss mix: cached prefixes are bit-stable because
+    /// [`Cholesky::extend`] never rewrites old factor rows, the tail
+    /// substitution replays the exact from-scratch recurrence, and means
+    /// and variances are reduced from factor-space state afresh each call
+    /// with the current weights and standardizer (so conditioning's α and
+    /// standardizer updates need no invalidation). A fit-epoch mismatch
+    /// (any full refit) clears the cache wholesale before the sweep.
+    ///
+    /// Call [`PredictCache::begin_sweep`] once per tuner iteration before
+    /// the first cached sweep so entries whose candidates were classified
+    /// or pruned stop occupying memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::InvalidHyperparameter`] when `block` is 0;
+    /// [`GpError::InvalidTrainingData`] when `ids` and `xs` disagree in
+    /// length; [`GpError::DimensionMismatch`] for queries of the wrong
+    /// dimension.
+    pub fn predict_latent_batch_cached(
+        &self,
+        ids: &[u64],
+        xs: &[Vec<f64>],
+        block: usize,
+        workers: usize,
+        cache: &mut PredictCache,
+    ) -> Result<Vec<(f64, f64)>> {
+        self.check_batch_args(xs, block)?;
+        if ids.len() != xs.len() {
+            return Err(GpError::InvalidTrainingData {
+                reason: "candidate ids and queries must have equal length",
+            });
+        }
+        if cache.epoch != self.fit_epoch {
+            cache.clear_stale(self.fit_epoch);
+        }
+        let p = self.x_source.len() + self.x_target.len();
+        let n_chunks = xs.len().div_ceil(block);
+        crate::counters::add_predict_chunks(n_chunks as u64);
+
+        // Drain this sweep's entries from the map serially, pre-split
+        // into per-chunk owned batches each worker takes whole. An entry
+        // longer than the current factor cannot exist at a matching epoch;
+        // drop it defensively as a miss.
+        let mut taken = ids.iter().map(|id| {
+            cache
+                .entries
+                .remove(id)
+                .map(|(e, _)| e)
+                .filter(|e| e.k_star.len() <= p)
+        });
+        let mut chunk_inputs: Vec<Mutex<Vec<Option<CacheEntry>>>> = Vec::with_capacity(n_chunks);
+        for c in 0..n_chunks {
+            let len = ((c + 1) * block).min(xs.len()) - c * block;
+            chunk_inputs.push(Mutex::new(taken.by_ref().take(len).collect()));
+        }
+
+        let chunks = run_chunks_par(n_chunks, workers, |c| {
+            let lo = c * block;
+            let hi = (lo + block).min(xs.len());
+            let entries = std::mem::take(
+                &mut *chunk_inputs[c]
+                    .lock()
+                    .expect("predict chunk input poisoned"),
+            );
+            self.predict_chunk_cached(&xs[lo..hi], entries)
+        });
+
+        let sweep = cache.sweep();
+        let mut out = Vec::with_capacity(xs.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (c, chunk) in chunks.into_iter().enumerate() {
+            let (chunk_out, entries, h, m) = chunk?;
+            hits += h;
+            misses += m;
+            let lo = c * block;
+            for (j, entry) in entries.into_iter().enumerate() {
+                cache.entries.insert(ids[lo + j], (entry, sweep));
+            }
+            out.extend(chunk_out);
+        }
+        crate::counters::add_predict_cache_hits(hits);
+        crate::counters::add_predict_cache_misses(misses);
+        Ok(out)
+    }
+
+    /// One chunk of [`TransferGp::predict_latent_batch_cached`]: extend
+    /// every hit's solve state by the factor's tail rows, compute all
+    /// misses with one multi-RHS solve (per-column bit-identical to the
+    /// scalar path, see [`linalg::solve::solve_lower_multi`]), then
+    /// reduce every candidate with the exact scalar accumulation order of
+    /// [`TransferGp::predict_latent_block`].
+    #[allow(clippy::type_complexity)]
+    fn predict_chunk_cached(
+        &self,
+        xs: &[Vec<f64>],
+        entries: Vec<Option<CacheEntry>>,
+    ) -> Result<(Vec<(f64, f64)>, Vec<CacheEntry>, u64, u64)> {
+        let n = self.x_source.len();
+        let p = n + self.x_target.len();
+        let mut hits = 0u64;
+        let mut updated: Vec<Option<CacheEntry>> = Vec::with_capacity(xs.len());
+        for (x, maybe) in xs.iter().zip(entries) {
+            if let Some(mut e) = maybe {
+                // The cached rows cover the old factor; only appended
+                // target rows are missing (conditioning never adds source
+                // points).
+                let start = e.k_star.len();
+                for i in start..p {
+                    e.k_star.push(self.kernel.eval_task(
+                        &self.x_target[i - n],
+                        Task::Target,
+                        x,
+                        Task::Target,
+                    ));
+                }
+                self.chol
+                    .solve_lower_only_tail(&e.k_star[start..], &mut e.v)?;
+                hits += 1;
+                updated.push(Some(e));
+            } else {
+                updated.push(None);
+            }
+        }
+        let miss_idx: Vec<usize> = updated
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_none())
+            .map(|(q, _)| q)
+            .collect();
+        if !miss_idx.is_empty() {
+            let k_star = Matrix::from_fn(p, miss_idx.len(), |i, c| {
+                let (xi, ti) = if i < n {
+                    (&self.x_source[i], Task::Source)
+                } else {
+                    (&self.x_target[i - n], Task::Target)
+                };
+                self.kernel
+                    .eval_task(xi, ti, &xs[miss_idx[c]], Task::Target)
+            });
+            let v = self.chol.solve_lower_only_multi(&k_star)?;
+            for (c, &q) in miss_idx.iter().enumerate() {
+                updated[q] = Some(CacheEntry {
+                    k_star: k_star.col(c),
+                    v: v.col(c),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(xs.len());
+        let mut final_entries = Vec::with_capacity(xs.len());
+        for (x, e) in xs.iter().zip(updated) {
+            let e = e.expect("every cached chunk entry is filled");
+            let mut mean_z = 0.0;
+            for (i, &a) in self.alpha.iter().enumerate() {
+                mean_z += e.k_star[i] * a;
+            }
+            let mut vv = 0.0;
+            for &vi in &e.v {
+                vv += vi * vi;
+            }
+            let c = self.kernel.eval_task(x, Task::Target, x, Task::Target);
+            let var_z = (c - vv).max(0.0);
+            out.push((
+                self.std_target.inverse(mean_z),
+                self.std_target.inverse_var(var_z),
+            ));
+            final_entries.push(e);
+        }
+        Ok((out, final_entries, hits, miss_idx.len() as u64))
+    }
+
+    /// Shared validation of the batch predict entry points.
+    fn check_batch_args(&self, xs: &[Vec<f64>], block: usize) -> Result<()> {
+        if block == 0 {
+            return Err(GpError::InvalidHyperparameter {
+                name: "predict_block",
+                value: 0.0,
+            });
+        }
+        let dim = self.kernel.base().dim();
+        for x in xs {
+            if x.len() != dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: dim,
+                    got: x.len(),
+                });
+            }
         }
         Ok(())
     }
@@ -706,6 +955,47 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
 }
 
+/// Runs `run(0..n_chunks)` across at most `workers` scoped threads with
+/// an atomic-cursor work-stealing queue (the `run_concurrent` idiom from
+/// the oracle fan-out), collecting results into preallocated per-chunk
+/// slots and returning them in chunk order. Determinism: every chunk is
+/// computed by exactly one worker from the same inputs a serial loop
+/// would see, and the merge is by position — so the output is bitwise
+/// independent of the worker count and of claim interleaving. With one
+/// worker (or one chunk) the fan-out is skipped entirely.
+fn run_chunks_par<T, F>(n_chunks: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n_chunks);
+    if workers <= 1 {
+        return (0..n_chunks).map(run).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let result = run(c);
+                *slots[c].lock().expect("predict chunk slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("predict chunk slot poisoned")
+                .expect("every predict chunk slot is filled")
+        })
+        .collect()
+}
+
 /// A subset-of-data approximation of a [`TransferGp`] posterior: the
 /// exact GP posterior of a maximin-chosen anchor subset of the joint
 /// training set. See [`TransferGp::subset_predictor`] for the
@@ -771,6 +1061,51 @@ impl SubsetPredictor {
         xs: &[Vec<f64>],
         block: usize,
     ) -> Result<Vec<(f64, f64)>> {
+        self.check_batch_args(xs, block)?;
+        let mut out = Vec::with_capacity(xs.len());
+        for chunk in xs.chunks(block) {
+            self.predict_latent_block(chunk, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Data-parallel form of
+    /// [`SubsetPredictor::predict_latent_batch_with_block`], with the
+    /// same chunk decomposition and position-order merge as
+    /// [`TransferGp::predict_latent_batch_par`] — bitwise identical at
+    /// any worker count and any valid `block`. The subset posterior is
+    /// rebuilt each refit, so there is no cached variant; parallelism is
+    /// the whole win here.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::InvalidHyperparameter`] when `block` is 0;
+    /// [`GpError::DimensionMismatch`] for queries of the wrong dimension.
+    pub fn predict_latent_batch_par(
+        &self,
+        xs: &[Vec<f64>],
+        block: usize,
+        workers: usize,
+    ) -> Result<Vec<(f64, f64)>> {
+        self.check_batch_args(xs, block)?;
+        let n_chunks = xs.len().div_ceil(block);
+        crate::counters::add_predict_chunks(n_chunks as u64);
+        let chunks = run_chunks_par(n_chunks, workers, |c| {
+            let lo = c * block;
+            let hi = (lo + block).min(xs.len());
+            let mut out = Vec::with_capacity(hi - lo);
+            self.predict_latent_block(&xs[lo..hi], &mut out)
+                .map(|()| out)
+        });
+        let mut out = Vec::with_capacity(xs.len());
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// Shared validation of the batch predict entry points.
+    fn check_batch_args(&self, xs: &[Vec<f64>], block: usize) -> Result<()> {
         if block == 0 {
             return Err(GpError::InvalidHyperparameter {
                 name: "predict_block",
@@ -786,11 +1121,7 @@ impl SubsetPredictor {
                 });
             }
         }
-        let mut out = Vec::with_capacity(xs.len());
-        for chunk in xs.chunks(block) {
-            self.predict_latent_block(chunk, &mut out)?;
-        }
-        Ok(out)
+        Ok(())
     }
 
     /// One block: assemble the anchor cross-covariance, one multi-RHS
@@ -1174,6 +1505,136 @@ mod tests {
         assert!(a.predict_latent_batch_with_block(&queries, 0).is_err());
         assert!(tgp.subset_predictor(0).is_err());
         assert!(format!("{a:?}").contains("SubsetPredictor"));
+    }
+
+    #[test]
+    fn parallel_predict_is_bitwise_worker_and_block_invariant() {
+        let tgp = TransferGp::fit(
+            source_dense(),
+            target_sparse(0.1),
+            TransferGpConfig::default_for_dim(1),
+        )
+        .unwrap();
+        let queries: Vec<Vec<f64>> = (0..53).map(|i| vec![i as f64 / 52.0]).collect();
+        let reference = tgp.predict_latent_batch(&queries).unwrap();
+        for block in [1, 3, 7, 53, 200] {
+            for workers in [1, 2, 4, 8] {
+                let got = tgp
+                    .predict_latent_batch_par(&queries, block, workers)
+                    .unwrap();
+                assert_eq!(got, reference, "block {block} workers {workers} drifted");
+            }
+        }
+        let sod = tgp.subset_predictor(12).unwrap();
+        let sod_ref = sod.predict_latent_batch_with_block(&queries, 256).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let got = sod.predict_latent_batch_par(&queries, 5, workers).unwrap();
+            assert_eq!(got, sod_ref, "subset workers {workers} drifted");
+        }
+        // Validation still applies on the parallel entry points.
+        assert!(tgp.predict_latent_batch_par(&queries, 0, 4).is_err());
+        assert!(tgp
+            .predict_latent_batch_par(&[vec![0.1, 0.2]], 8, 4)
+            .is_err());
+        assert!(sod.predict_latent_batch_par(&queries, 0, 4).is_err());
+        assert!(tgp.predict_latent_batch_par(&[], 8, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cached_predict_is_bitwise_identical_across_conditioning() {
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.2],
+            signal_var: 1.0,
+            lambda: 0.9,
+            noise_source: 1e-3,
+            noise_target: 1e-3,
+        };
+        let mut model = TransferGp::fit(source_dense(), target_sparse(0.1), cfg).unwrap();
+        let queries: Vec<Vec<f64>> = (0..41).map(|i| vec![i as f64 / 40.0]).collect();
+        let ids: Vec<u64> = (0..queries.len() as u64).collect();
+        let mut cache = PredictCache::new();
+
+        // Sweep 1: all misses. Must match the uncached path bit for bit.
+        cache.begin_sweep();
+        let got = model
+            .predict_latent_batch_cached(&ids, &queries, 7, 4, &mut cache)
+            .unwrap();
+        let scratch = model.predict_latent_batch(&queries).unwrap();
+        assert_eq!(got, scratch, "all-miss sweep drifted from scratch");
+        assert_eq!(cache.len(), queries.len());
+
+        // Condition on a few points, then sweep again: all hits (tail
+        // path). Still bitwise identical to from-scratch on the extended
+        // model, at every worker count (the persistent `cache` is
+        // consumed by worker count 1 and rebuilt identically each round:
+        // same (seed, q) state, same bits).
+        model
+            .condition_on(&[vec![0.11], vec![0.77]], &[f(0.11) + 0.1, f(0.77) + 0.1])
+            .unwrap();
+        let scratch = model.predict_latent_batch(&queries).unwrap();
+        for workers in [1, 2, 4, 8] {
+            cache.begin_sweep();
+            let got = model
+                .predict_latent_batch_cached(&ids, &queries, 7, workers, &mut cache)
+                .unwrap();
+            assert_eq!(got, scratch, "hit sweep (workers {workers}) drifted");
+        }
+
+        // A subset of candidates (evictions) plus new ones (misses) mixes
+        // hit/miss within chunks; still exact.
+        let sub_ids: Vec<u64> = ids.iter().copied().step_by(3).collect();
+        let sub_q: Vec<Vec<f64>> = queries.iter().cloned().step_by(3).collect();
+        cache.begin_sweep();
+        let got = model
+            .predict_latent_batch_cached(&sub_ids, &sub_q, 4, 2, &mut cache)
+            .unwrap();
+        let scratch = model.predict_latent_batch(&sub_q).unwrap();
+        assert_eq!(got, scratch, "mixed sweep drifted");
+        cache.begin_sweep();
+        assert_eq!(cache.len(), sub_ids.len(), "untouched entries must evict");
+
+        // Validation.
+        assert!(model
+            .predict_latent_batch_cached(&ids[..3], &queries, 7, 2, &mut cache)
+            .is_err());
+        assert!(model
+            .predict_latent_batch_cached(&ids, &queries, 0, 2, &mut cache)
+            .is_err());
+    }
+
+    #[test]
+    fn refit_changes_epoch_and_clears_cache() {
+        let cfg = TransferGpConfig::default_for_dim(1);
+        let mut model = TransferGp::fit(source_dense(), target_sparse(0.1), cfg.clone()).unwrap();
+        let epoch0 = model.fit_epoch();
+        let queries: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let ids: Vec<u64> = (0..9).collect();
+        let mut cache = PredictCache::new();
+        cache.begin_sweep();
+        model
+            .predict_latent_batch_cached(&ids, &queries, 4, 1, &mut cache)
+            .unwrap();
+        assert_eq!(cache.len(), 9);
+
+        // Incremental conditioning preserves the epoch.
+        model.condition_on(&[vec![0.5]], &[f(0.5) + 0.1]).unwrap();
+        assert_eq!(model.fit_epoch(), epoch0);
+
+        // A full refit gets a fresh epoch, and the next cached sweep
+        // against it starts from scratch yet still matches exactly.
+        let refit = TransferGp::fit(
+            source_dense(),
+            TaskData::new((*model.x_target).clone(), model.y_target.clone()),
+            cfg,
+        )
+        .unwrap();
+        assert_ne!(refit.fit_epoch(), epoch0);
+        cache.begin_sweep();
+        let got = refit
+            .predict_latent_batch_cached(&ids, &queries, 4, 1, &mut cache)
+            .unwrap();
+        let scratch = refit.predict_latent_batch(&queries).unwrap();
+        assert_eq!(got, scratch, "post-refit sweep drifted");
     }
 
     #[test]

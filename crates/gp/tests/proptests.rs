@@ -2,7 +2,7 @@
 
 use gp::kernel::{Kernel, Matern52, SquaredExponential, Task, TransferKernel};
 use gp::standardize::Standardizer;
-use gp::{GpRegressor, TaskData, TransferGp, TransferGpConfig};
+use gp::{GpRegressor, TaskData, TransferGp, TransferGpConfig, PREDICT_BLOCK};
 use proptest::prelude::*;
 
 fn points(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -104,6 +104,33 @@ proptest! {
         let within = tk.eval_task(&x, Task::Source, &y, Task::Source);
         let across = tk.eval_task(&x, Task::Source, &y, Task::Target);
         prop_assert!(across.abs() <= within.abs() + 1e-12);
+    }
+
+    #[test]
+    fn parallel_predict_is_chunk_and_worker_invariant(
+        xt in points(6, 2), xs in points(8, 2), q in points(13, 2),
+        block in 1usize..20, workers in 1usize..9) {
+        // 13 queries with block drawn from 1..20 covers block = 1,
+        // non-divisor blocks, and block > pool; every (block, workers)
+        // combination must return the serial sweep's exact bits.
+        let f = |p: &[f64]| p[0] + 0.5 * p[1];
+        let cfg = TransferGpConfig {
+            lengthscales: vec![0.4; 2],
+            signal_var: 1.0,
+            lambda: 0.8,
+            noise_source: 1e-3,
+            noise_target: 1e-3,
+        };
+        let target = TaskData::new(xt.clone(), xt.iter().map(|p| f(p)).collect());
+        let source = TaskData::new(xs.clone(), xs.iter().map(|p| f(p)).collect());
+        let model = TransferGp::fit(source, target, cfg).unwrap();
+        let base = model.predict_latent_batch_with_block(&q, PREDICT_BLOCK).unwrap();
+        let par = model.predict_latent_batch_par(&q, block, workers).unwrap();
+        prop_assert_eq!(base.len(), par.len());
+        for ((bm, bv), (pm, pv)) in base.iter().zip(&par) {
+            prop_assert!(bm.to_bits() == pm.to_bits() && bv.to_bits() == pv.to_bits(),
+                "block={} workers={}: ({}, {}) vs ({}, {})", block, workers, bm, bv, pm, pv);
+        }
     }
 
     #[test]

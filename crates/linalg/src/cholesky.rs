@@ -1,5 +1,5 @@
 use crate::counters;
-use crate::solve::{solve_lower, solve_lower_multi, solve_lower_transposed};
+use crate::solve::{solve_lower, solve_lower_multi, solve_lower_tail, solve_lower_transposed};
 use crate::{LinalgError, Matrix, Result};
 
 /// Panel width of the blocked factorization. Dots in the trailing update
@@ -299,6 +299,22 @@ impl Cholesky {
         solve_lower_multi(&self.l, b)
     }
 
+    /// Extends a previously computed `L z = b` solution by the factor's
+    /// trailing rows: `z` holds the solved prefix and `b_tail` the
+    /// right-hand side for the remaining `self.dim() - z.len()` rows (see
+    /// [`solve_lower_tail`]). Because [`Cholesky::extend`] leaves the old
+    /// factor rows bit-identical, the result equals a from-scratch
+    /// [`Cholesky::solve_lower_only`] on the extended system, bit for
+    /// bit, at O(n·q) instead of O(n²) cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if
+    /// `z.len() + b_tail.len() != self.dim()`.
+    pub fn solve_lower_only_tail(&self, b_tail: &[f64], z: &mut Vec<f64>) -> Result<()> {
+        solve_lower_tail(&self.l, b_tail, z)
+    }
+
     /// Extends the factorization in place with `k` appended rows/columns:
     /// given the factor of `A₁₁`, produce the factor of
     /// `[[A₁₁, B], [Bᵀ, C]]` where `cross = B` (`n × k`) and
@@ -567,6 +583,28 @@ mod tests {
             for i in 0..3 {
                 assert_eq!(z[(i, col)], zc[i]);
             }
+        }
+    }
+
+    #[test]
+    fn extend_plus_tail_solve_is_bitwise_from_scratch() {
+        // The predict-cache law: extend() keeps the old factor rows
+        // bit-identical, so a cached prefix z = L₁₁⁻¹ b₁ extended by
+        // solve_lower_only_tail equals solve_lower_only on the extended
+        // factor, bit for bit.
+        for &(n, k) in &[(3usize, 1usize), (5, 2), (9, 4)] {
+            let a = spd(n + k, (n * 7 + k) as u64);
+            let mut inc = Cholesky::new(&a.submatrix(0, n, 0, n)).unwrap();
+            let b: Vec<f64> = (0..n + k).map(|i| (i as f64) * 0.7 - 1.3).collect();
+            let mut z = inc.solve_lower_only(&b[..n]).unwrap();
+            inc.extend(
+                &a.submatrix(0, n, n, n + k),
+                &a.submatrix(n, n + k, n, n + k),
+            )
+            .unwrap();
+            inc.solve_lower_only_tail(&b[n..], &mut z).unwrap();
+            let scratch = inc.solve_lower_only(&b).unwrap();
+            assert_eq!(z, scratch, "n={n} k={k}");
         }
     }
 

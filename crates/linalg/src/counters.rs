@@ -25,6 +25,11 @@ pub static CHOL_PANELS: AtomicU64 = AtomicU64::new(0);
 /// solve counts once per column).
 pub static TRI_SOLVE_RHS: AtomicU64 = AtomicU64::new(0);
 
+/// Rows appended by partial-tail forward substitutions
+/// (`solve_lower_tail`), i.e. the incremental work the predict cache pays
+/// instead of a full O(n²) re-solve.
+pub static TRI_SOLVE_TAIL_ROWS: AtomicU64 = AtomicU64::new(0);
+
 #[inline]
 pub(crate) fn add_chol_flops(n: u64) {
     CHOL_FLOPS.fetch_add(n, Ordering::Relaxed);
@@ -40,6 +45,11 @@ pub(crate) fn add_tri_solve_rhs(n: u64) {
     TRI_SOLVE_RHS.fetch_add(n, Ordering::Relaxed);
 }
 
+#[inline]
+pub(crate) fn add_tri_solve_tail_rows(n: u64) {
+    TRI_SOLVE_TAIL_ROWS.fetch_add(n, Ordering::Relaxed);
+}
+
 /// A point-in-time reading of every linalg counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinalgCounters {
@@ -49,6 +59,8 @@ pub struct LinalgCounters {
     pub chol_panels: u64,
     /// Triangular-solve right-hand sides.
     pub tri_solve_rhs: u64,
+    /// Partial-tail forward-substitution rows.
+    pub tri_solve_tail_rows: u64,
 }
 
 impl LinalgCounters {
@@ -58,6 +70,7 @@ impl LinalgCounters {
             chol_flops: CHOL_FLOPS.load(Ordering::Relaxed),
             chol_panels: CHOL_PANELS.load(Ordering::Relaxed),
             tri_solve_rhs: TRI_SOLVE_RHS.load(Ordering::Relaxed),
+            tri_solve_tail_rows: TRI_SOLVE_TAIL_ROWS.load(Ordering::Relaxed),
         }
     }
 
@@ -68,6 +81,9 @@ impl LinalgCounters {
             chol_flops: self.chol_flops.saturating_sub(earlier.chol_flops),
             chol_panels: self.chol_panels.saturating_sub(earlier.chol_panels),
             tri_solve_rhs: self.tri_solve_rhs.saturating_sub(earlier.tri_solve_rhs),
+            tri_solve_tail_rows: self
+                .tri_solve_tail_rows
+                .saturating_sub(earlier.tri_solve_tail_rows),
         }
     }
 }
@@ -102,11 +118,13 @@ mod tests {
             chol_flops: 1,
             chol_panels: 0,
             tri_solve_rhs: 0,
+            tri_solve_tail_rows: 0,
         };
         let b = LinalgCounters {
             chol_flops: 5,
             chol_panels: 2,
             tri_solve_rhs: 3,
+            tri_solve_tail_rows: 4,
         };
         assert_eq!(a.since(&b), LinalgCounters::default());
     }

