@@ -24,8 +24,8 @@ use std::cell::RefCell;
 use obs::RecordingSink;
 use pdsim::{FaultPlan, ObjectiveSpace};
 use ppatuner::{
-    Checkpoint, CheckpointStore, MemoryCheckpointStore, PpaTuner, PpaTunerConfig, SourceData,
-    TuneResult, VecOracle,
+    Checkpoint, CheckpointError, CheckpointStore, MemoryCheckpointStore, PpaTuner, PpaTunerConfig,
+    SourceData, TuneResult, VecOracle,
 };
 use testkit::chaos::FaultyVecOracle;
 use testkit::invariants;
@@ -39,12 +39,12 @@ struct CaptureStore {
 }
 
 impl CheckpointStore for CaptureStore {
-    fn save(&self, c: &Checkpoint) -> Result<(), String> {
+    fn save(&self, c: &Checkpoint) -> Result<(), CheckpointError> {
         self.all.borrow_mut().push(c.clone());
         self.inner.save(c)
     }
 
-    fn load(&self) -> Result<Option<Checkpoint>, String> {
+    fn load(&self) -> Result<Option<Checkpoint>, CheckpointError> {
         self.inner.load()
     }
 }

@@ -148,6 +148,11 @@ fn main() {
     let mut pool_refines: Vec<(usize, usize, usize, usize, f64)> = Vec::new();
     let mut pool_splits_total = 0usize;
     let mut predict_modes: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut degraded_by_mode: BTreeMap<String, usize> = BTreeMap::new();
+    let mut degraded_max_streak = 0usize;
+    let mut recovery_scans = 0usize;
+    let mut recovery_skipped = 0usize;
+    let mut watchdog_firings = 0usize;
 
     for e in &events {
         match e {
@@ -304,6 +309,17 @@ fn main() {
                 entry.0 += 1;
                 entry.1 += queries;
             }
+            Event::DegradedFit {
+                mode, consecutive, ..
+            } => {
+                *degraded_by_mode.entry(mode.clone()).or_default() += 1;
+                degraded_max_streak = degraded_max_streak.max(*consecutive);
+            }
+            Event::RecoveryScan { skipped, .. } => {
+                recovery_scans += 1;
+                recovery_skipped += skipped;
+            }
+            Event::WatchdogFired { .. } => watchdog_firings += 1,
             Event::Classify { .. }
             | Event::RegionSnapshot { .. }
             | Event::Select { .. }
@@ -426,6 +442,30 @@ fn main() {
     if checkpoints > 0 {
         let (it, runs) = last_checkpoint.expect("count implies a checkpoint was seen");
         println!("\ncheckpoints: {checkpoints} written, last at iteration {it} ({runs} runs)");
+    }
+
+    let degraded_total: usize = degraded_by_mode.values().sum();
+    if degraded_total + recovery_scans + watchdog_firings > 0 {
+        println!("\nresilience:");
+        if degraded_total > 0 {
+            let modes: Vec<String> = degraded_by_mode
+                .iter()
+                .map(|(mode, count)| format!("{count} {mode}"))
+                .collect();
+            println!(
+                "  {degraded_total} degraded fits ({}), longest streak {degraded_max_streak}",
+                modes.join(", ")
+            );
+        }
+        if recovery_scans > 0 {
+            println!(
+                "  {recovery_scans} recovery scans skipped {recovery_skipped} damaged \
+                 checkpoint(s)"
+            );
+        }
+        if watchdog_firings > 0 {
+            println!("  {watchdog_firings} watchdog deadline firings");
+        }
     }
 
     if !spans.is_empty() {

@@ -120,6 +120,13 @@ pub struct RunSummary {
     pub pool_final: Option<(usize, f64)>,
     /// Predict-path usage from `PredictMode`: mode → iterations.
     pub predict_modes: BTreeMap<String, usize>,
+    /// Degraded surrogate calibrations (`DegradedFit` count).
+    pub degraded_fits: usize,
+    /// Checkpoint-chain recovery scans that skipped damaged entries
+    /// (`RecoveryScan` count).
+    pub recovery_scans: usize,
+    /// Watchdog deadline firings (`WatchdogFired` count).
+    pub watchdog_firings: usize,
 }
 
 impl RunSummary {
@@ -194,6 +201,9 @@ pub fn summarize_run(name: &str, events: &[Event]) -> RunSummary {
             Event::PredictMode { mode, .. } => {
                 *s.predict_modes.entry(mode.clone()).or_default() += 1;
             }
+            Event::DegradedFit { .. } => s.degraded_fits += 1,
+            Event::RecoveryScan { .. } => s.recovery_scans += 1,
+            Event::WatchdogFired { .. } => s.watchdog_firings += 1,
             _ => {}
         }
     }
@@ -288,6 +298,27 @@ impl FleetReport {
             pct(failures),
             pct(retries),
         );
+
+        let degraded: usize = self.runs.iter().map(|r| r.degraded_fits).sum();
+        let scans: usize = self.runs.iter().map(|r| r.recovery_scans).sum();
+        let watchdogs: usize = self.runs.iter().map(|r| r.watchdog_firings).sum();
+        if degraded + scans + watchdogs > 0 {
+            let affected = self
+                .runs
+                .iter()
+                .filter(|r| r.degraded_fits + r.recovery_scans + r.watchdog_firings > 0)
+                .count();
+            let _ = writeln!(
+                out,
+                "\nresilience ({affected} of {} runs affected):",
+                self.runs.len()
+            );
+            let _ = writeln!(
+                out,
+                "  {degraded} degraded fits, {scans} recovery scans past damaged checkpoints, \
+                 {watchdogs} watchdog firings"
+            );
+        }
 
         let mut phases: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
         for r in &self.runs {
@@ -582,6 +613,52 @@ mod tests {
         );
         assert!(text.contains("effective pool"), "{text}");
         assert!(text.contains("subset 1"), "{text}");
+    }
+
+    #[test]
+    fn resilience_events_reach_the_fleet_view() {
+        let mut events = mini_run(0.5, 10.0);
+        events.push(Event::DegradedFit {
+            iteration: 3,
+            objective: 0,
+            cause: "kernel matrix factorization failed".into(),
+            mode: "refit-reused-hypers".into(),
+            consecutive: 1,
+        });
+        events.push(Event::RecoveryScan {
+            scanned: 3,
+            skipped: 2,
+            next_iteration: Some(4),
+        });
+        events.push(Event::WatchdogFired {
+            iteration: 5,
+            candidate: 7,
+            attempt: 1,
+            deadline_s: 30.0,
+        });
+        let s = summarize_run("chaos-run", &events);
+        assert_eq!(s.degraded_fits, 1);
+        assert_eq!(s.recovery_scans, 1);
+        assert_eq!(s.watchdog_firings, 1);
+        let clean = summarize_run("clean-run", &mini_run(0.4, 5.0));
+        assert_eq!(clean.degraded_fits, 0);
+        let text = FleetReport {
+            runs: vec![s, clean],
+        }
+        .render(2);
+        assert!(text.contains("resilience (1 of 2 runs affected)"), "{text}");
+        assert!(
+            text.contains(
+                "1 degraded fits, 1 recovery scans past damaged checkpoints, 1 watchdog firings"
+            ),
+            "{text}"
+        );
+        // Clean fleets keep their report unchanged.
+        let quiet = FleetReport {
+            runs: vec![summarize_run("q", &mini_run(0.4, 5.0))],
+        }
+        .render(2);
+        assert!(!quiet.contains("resilience"), "{quiet}");
     }
 
     #[test]

@@ -30,6 +30,28 @@ pub enum GpError {
     Factorization(LinalgError),
 }
 
+impl GpError {
+    /// Whether a degraded-mode supervisor may sensibly fall back to a
+    /// last-good model after this error.
+    ///
+    /// Recoverable failures are *data- or conditioning-driven*: the jitter
+    /// ladder was exhausted ([`GpError::Factorization`]) or the
+    /// hyper-parameter search produced a non-finite value
+    /// ([`GpError::InvalidHyperparameter`] with a NaN/inf value). Both can
+    /// vanish on the next iteration once more observations arrive, so
+    /// serving stale predictions meanwhile is sound. Structural errors —
+    /// malformed training data, dimension mismatches, a *finite*
+    /// out-of-range hyper-parameter supplied by the caller — are caller
+    /// bugs that retrying with an older model cannot fix.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            GpError::Factorization(_) => true,
+            GpError::InvalidHyperparameter { value, .. } => !value.is_finite(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for GpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -75,5 +97,28 @@ mod tests {
         assert!(e.to_string().contains("lengthscale"));
         let e = GpError::from(LinalgError::Singular { pivot: 0 });
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn recoverability_splits_numerical_from_structural() {
+        assert!(GpError::from(LinalgError::Singular { pivot: 0 }).is_recoverable());
+        assert!(GpError::InvalidHyperparameter {
+            name: "lengthscale",
+            value: f64::NAN,
+        }
+        .is_recoverable());
+        // A finite out-of-range hyper-parameter is a caller bug, not a
+        // transient conditioning problem.
+        assert!(!GpError::InvalidHyperparameter {
+            name: "lengthscale",
+            value: -1.0,
+        }
+        .is_recoverable());
+        assert!(!GpError::InvalidTrainingData { reason: "empty" }.is_recoverable());
+        assert!(!GpError::DimensionMismatch {
+            expected: 2,
+            got: 3
+        }
+        .is_recoverable());
     }
 }

@@ -367,19 +367,42 @@ impl TransferGp {
             return Ok(());
         }
 
+        // Every fallible step runs on locals first, so a failure leaves
+        // `self` exactly as it was (the documented error contract), never
+        // half-extended. Per-task standardization is over the *current*
+        // target sample, so the whole target block of z is recomputed (the
+        // source block and its marginal likelihood are untouched).
+        let mut y_target = self.y_target.clone();
+        y_target.extend_from_slice(new_y);
+        let std_target = Standardizer::fit(&y_target);
+        let mut z_joint = self.z_joint[..n].to_vec();
+        z_joint.extend(y_target.iter().map(|&v| std_target.transform(v)));
+        let alpha = chol.solve_vec(&z_joint)?;
+
         Arc::make_mut(&mut self.x_target).extend(new_x.iter().cloned());
-        self.y_target.extend_from_slice(new_y);
-        // Per-task standardization is over the *current* target sample, so
-        // the whole target block of z is recomputed (the source block and
-        // its marginal likelihood are untouched).
-        self.std_target = Standardizer::fit(&self.y_target);
-        self.z_joint.truncate(n);
-        let std_target = self.std_target;
-        self.z_joint
-            .extend(self.y_target.iter().map(|&v| std_target.transform(v)));
-        self.alpha = chol.solve_vec(&self.z_joint)?;
+        self.y_target = y_target;
+        self.std_target = std_target;
+        self.z_joint = z_joint;
+        self.alpha = alpha;
         self.chol = chol;
         Ok(())
+    }
+
+    /// Refits on `source`/`target` with this model's hyper-parameters
+    /// unchanged — no marginal-likelihood search, just a fresh joint
+    /// factorization (with jitter escalation) over the given data. This is
+    /// the degraded-mode recovery hook: when a full re-optimization fails
+    /// numerically (jitter ladder exhausted, NaN in the hyper-parameter
+    /// search), a run supervisor can fall back to the last-good
+    /// hyper-parameters while still incorporating fresh observations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransferGp::fit`]. `self` is unchanged — the
+    /// recovered model is returned by value so the caller decides whether
+    /// to adopt it.
+    pub fn refit_data_only(&self, source: TaskData, target: TaskData) -> Result<TransferGp> {
+        TransferGp::fit(source, target, self.config.clone())
     }
 
     /// Number of source observations.

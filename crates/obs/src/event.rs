@@ -346,6 +346,59 @@ pub enum Event {
         mode: String,
     },
 
+    /// A surrogate calibration failed numerically and the run supervisor
+    /// fell back to the last-good model instead of aborting. Emitted only
+    /// when a fallback actually happens, so fault-free traces are
+    /// byte-identical to historical ones (a degraded objective emits this
+    /// *instead of* its [`Event::GpFit`]).
+    DegradedFit {
+        /// Refinement iteration the calibration belonged to.
+        iteration: usize,
+        /// Objective whose surrogate degraded.
+        objective: usize,
+        /// The numerical failure that triggered the fallback (jitter
+        /// ladder exhausted, NaN in the hyper-parameter search, ...).
+        cause: String,
+        /// Recovery mode: `"refit-reused-hypers"` (data-only refit with
+        /// the last-good hyper-parameters) or `"frozen"` (the previous
+        /// model serves one more iteration unchanged).
+        mode: String,
+        /// Consecutive degraded iterations including this one (resets on
+        /// a fully clean calibration; the configured budget turns
+        /// persistence into a typed error).
+        consecutive: usize,
+    },
+
+    /// Checkpoint recovery scanned back past torn/corrupt entries of a
+    /// rotating checkpoint chain to the newest valid one. Emitted only
+    /// when at least one entry had to be skipped — a clean resume leaves
+    /// its trace unchanged.
+    RecoveryScan {
+        /// Chain entries examined, newest first.
+        scanned: usize,
+        /// Entries skipped as torn, unparseable, or digest-mismatched.
+        skipped: usize,
+        /// `next_iteration` of the checkpoint recovery landed on (`None`
+        /// when every entry was skipped and resume started fresh).
+        next_iteration: Option<usize>,
+    },
+
+    /// The wave watchdog converted a hung evaluation into a deterministic
+    /// timeout feeding the ordinary retry/quarantine machinery. Always
+    /// followed by the matching [`Event::EvalFailed`] of kind
+    /// `"timeout"` for the same attempt.
+    WatchdogFired {
+        /// Refinement iteration (0 covers the initial design).
+        iteration: usize,
+        /// Candidate whose evaluation hung.
+        candidate: usize,
+        /// Attempt number for this candidate, 1-based.
+        attempt: usize,
+        /// The enforced per-attempt deadline in seconds (the configured
+        /// value, not measured wall-clock, so traces stay deterministic).
+        deadline_s: f64,
+    },
+
     /// A free-form diagnostic message.
     Message {
         /// Human-readable text.
@@ -376,6 +429,9 @@ impl Event {
             Event::ResourceSample { .. } => "ResourceSample",
             Event::PoolRefine { .. } => "PoolRefine",
             Event::PredictMode { .. } => "PredictMode",
+            Event::DegradedFit { .. } => "DegradedFit",
+            Event::RecoveryScan { .. } => "RecoveryScan",
+            Event::WatchdogFired { .. } => "WatchdogFired",
             Event::Message { .. } => "Message",
         }
     }
@@ -396,7 +452,9 @@ impl Event {
             | Event::IterationEnd { iteration, .. }
             | Event::ResourceSample { iteration, .. }
             | Event::PoolRefine { iteration, .. }
-            | Event::PredictMode { iteration, .. } => Some(*iteration),
+            | Event::PredictMode { iteration, .. }
+            | Event::DegradedFit { iteration, .. }
+            | Event::WatchdogFired { iteration, .. } => Some(*iteration),
             _ => None,
         }
     }
@@ -556,6 +614,45 @@ mod tests {
             assert_eq!(&back, e);
             assert_eq!(e.iteration(), Some(5));
         }
+    }
+
+    #[test]
+    fn resilience_events_round_trip_and_carry_iterations() {
+        let events = [
+            Event::DegradedFit {
+                iteration: 5,
+                objective: 1,
+                cause: "factorization failed: matrix is not positive definite".into(),
+                mode: "refit-reused-hypers".into(),
+                consecutive: 2,
+            },
+            Event::WatchdogFired {
+                iteration: 5,
+                candidate: 42,
+                attempt: 1,
+                deadline_s: 0.25,
+            },
+        ];
+        for e in &events {
+            let json = serde_json::to_string(e).unwrap();
+            assert!(json.starts_with(&format!("{{\"{}\":", e.kind())), "{json}");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, e);
+            assert_eq!(e.iteration(), Some(5));
+        }
+
+        // RecoveryScan happens before any iteration exists, so it carries
+        // the recovered checkpoint's position instead of an iteration tag.
+        let scan = Event::RecoveryScan {
+            scanned: 3,
+            skipped: 2,
+            next_iteration: Some(7),
+        };
+        assert_eq!(scan.kind(), "RecoveryScan");
+        assert_eq!(scan.iteration(), None);
+        let json = serde_json::to_string(&scan).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scan);
     }
 
     #[test]

@@ -247,6 +247,39 @@ impl StderrSink {
                 "iter {iteration:3}: predict {mode} ({queries} queries, train {train_size}, \
                  subset {subset_size})"
             ),
+            Event::DegradedFit {
+                iteration,
+                objective,
+                cause,
+                mode,
+                consecutive,
+            } => format!(
+                "iter {iteration:3}: gp[{objective}] DEGRADED ({mode}, streak {consecutive}): \
+                 {cause}"
+            ),
+            Event::RecoveryScan {
+                scanned,
+                skipped,
+                next_iteration,
+            } => match next_iteration {
+                Some(next) => format!(
+                    "recovery: scanned {scanned} checkpoints, skipped {skipped} damaged, \
+                     resuming at iter {next}"
+                ),
+                None => format!(
+                    "recovery: scanned {scanned} checkpoints, skipped {skipped} damaged, \
+                     nothing recoverable"
+                ),
+            },
+            Event::WatchdogFired {
+                iteration,
+                candidate,
+                attempt,
+                deadline_s,
+            } => format!(
+                "iter {iteration:3}: eval #{candidate} attempt {attempt} WATCHDOG after \
+                 {deadline_s:.1} s deadline"
+            ),
             Event::Message { text } => text.clone(),
         }
     }
@@ -258,7 +291,10 @@ impl Observer for StderrSink {
             Event::RunStart { .. } | Event::RunEnd { .. } | Event::Message { .. } => {
                 Verbosity::Quiet
             }
-            Event::IterationEnd { .. } => Verbosity::Normal,
+            Event::IterationEnd { .. }
+            | Event::DegradedFit { .. }
+            | Event::RecoveryScan { .. }
+            | Event::WatchdogFired { .. } => Verbosity::Normal,
             _ => Verbosity::Verbose,
         };
         if self.verbosity >= wanted {

@@ -30,7 +30,7 @@
 //! offline *inspection* of an interrupted run without re-executing it.
 
 use std::cell::RefCell;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -97,6 +97,14 @@ pub struct StateSnapshot {
     pub regions: Vec<UncertaintyRegion>,
     /// Per-iteration trajectory so far.
     pub history: Vec<IterationRecord>,
+    /// Degraded-fit fallbacks the run has taken so far (surrogate
+    /// calibrations served by the last-good model; see the `DegradedFit`
+    /// trace event). Compared after replay like the other derived
+    /// counters: a resume that forgets to re-install an injected fault
+    /// plan (or hits different numerics) is caught here, before going
+    /// live.
+    #[serde(default)]
+    pub degraded_fits: usize,
 }
 
 /// A complete, resumable checkpoint of a tuning run.
@@ -119,6 +127,15 @@ pub struct Checkpoint {
     pub eval_log: Vec<EvalRecord>,
     /// Derived loop state for verification and inspection.
     pub snapshot: StateSnapshot,
+    /// FNV-1a content digest over the JSON form of this checkpoint with
+    /// `digest` itself zeroed. `0` means "unsealed" (legacy checkpoints
+    /// predate the digest; [`Checkpoint::seal`] never produces 0).
+    /// [`Checkpoint::from_json`] rejects a sealed checkpoint whose bytes
+    /// do not hash back to the stored digest, so a torn or bit-flipped
+    /// write surfaces as *corrupt* instead of silently resuming from
+    /// damaged state.
+    #[serde(default)]
+    pub digest: u64,
 }
 
 impl Checkpoint {
@@ -166,14 +183,70 @@ impl Checkpoint {
         serde_json::to_string(self).expect("checkpoint serialization cannot fail")
     }
 
-    /// Parses a checkpoint from its JSON form.
+    /// The content digest this checkpoint's data hashes to: FNV-1a over
+    /// the JSON serialization with the `digest` field zeroed. Never 0 (a
+    /// zero hash is remapped so it cannot collide with the "unsealed"
+    /// sentinel), and independent of whether the checkpoint is currently
+    /// sealed — so sealing is idempotent.
+    pub fn content_digest(&self) -> u64 {
+        let mut unsealed = self.clone();
+        unsealed.digest = 0;
+        let h = fnv1a(unsealed.to_json().as_bytes());
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+
+    /// Stamps the content digest into `self` so persisted bytes are
+    /// verifiable. The tuner seals every checkpoint it writes; stores also
+    /// serialize through [`Checkpoint::sealed_json`], so file bytes carry
+    /// a digest even for hand-built checkpoints.
+    pub fn seal(&mut self) {
+        self.digest = self.content_digest();
+    }
+
+    /// The JSON form with the content digest stamped in (without mutating
+    /// `self`). Idempotent: sealing a sealed checkpoint yields the same
+    /// bytes.
+    pub fn sealed_json(&self) -> String {
+        let mut sealed = self.clone();
+        sealed.seal();
+        sealed.to_json()
+    }
+
+    /// Parses a checkpoint from its JSON form and verifies the content
+    /// digest when one is present (`digest != 0`).
     ///
     /// # Errors
     ///
-    /// A description of the parse failure.
+    /// A description of the parse failure or digest mismatch.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| format!("malformed checkpoint: {e}"))
+        let ckpt: Checkpoint =
+            serde_json::from_str(s).map_err(|e| format!("malformed checkpoint: {e}"))?;
+        if ckpt.digest != 0 {
+            let expected = ckpt.content_digest();
+            if ckpt.digest != expected {
+                return Err(format!(
+                    "checkpoint digest mismatch: stored {:#x}, content hashes to {:#x} \
+                     (torn or tampered write)",
+                    ckpt.digest, expected
+                ));
+            }
+        }
+        Ok(ckpt)
     }
+}
+
+/// FNV-1a over raw bytes (same constants as [`digest_matrix`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// FNV-1a over the bit patterns of an `f64` matrix (rows delimited), used
@@ -201,6 +274,61 @@ pub fn source_digest(source: &SourceData) -> u64 {
     digest_matrix(source.inputs()) ^ digest_matrix(source.outputs()).rotate_left(1)
 }
 
+/// Why a checkpoint store operation failed, split along the axis callers
+/// branch on: *corrupt data* can be degraded around (scan back to an
+/// older entry, or accept losing progress), while an *I/O failure* means
+/// the storage itself is unhealthy and retrying or aborting is the only
+/// sound move. Refuse-with-reason for foreign checkpoints (wrong version,
+/// config, or data digest) is unchanged — that check lives in
+/// [`Checkpoint::validate`], after a load succeeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The stored bytes exist but do not parse as a checkpoint or fail
+    /// their content-digest check (torn write, bit rot, tampering).
+    Corrupt {
+        /// What was wrong with the bytes.
+        reason: String,
+    },
+    /// The underlying storage failed (permissions, disk full, transient
+    /// filesystem error). The data may be fine; the medium is not.
+    Io {
+        /// The failing operation and OS error.
+        reason: String,
+    },
+}
+
+impl CheckpointError {
+    /// `true` for [`CheckpointError::Corrupt`] — the variant a caller may
+    /// degrade around by falling back to an older checkpoint.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, CheckpointError::Corrupt { .. })
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
+            CheckpointError::Io { reason } => write!(f, "checkpoint I/O failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// What a [`CheckpointStore::recover`] scan found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// The newest valid checkpoint, or `None` when the store is empty.
+    pub checkpoint: Option<Checkpoint>,
+    /// Entries examined, newest first (0 for an empty store).
+    pub scanned: usize,
+    /// Entries skipped as torn/corrupt/digest-mismatched before a valid
+    /// one was found. Always 0 for single-slot stores.
+    pub skipped: usize,
+}
+
 /// Where checkpoints are persisted and recovered from.
 ///
 /// `&self` receivers keep the store usable through the tuner's shared
@@ -211,16 +339,35 @@ pub trait CheckpointStore {
     ///
     /// # Errors
     ///
-    /// A description of the persistence failure.
-    fn save(&self, checkpoint: &Checkpoint) -> Result<(), String>;
+    /// [`CheckpointError::Io`] describing the persistence failure.
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), CheckpointError>;
 
     /// Recovers the most recent checkpoint, or `None` when the store is
     /// empty (resume then starts a fresh run).
     ///
     /// # Errors
     ///
-    /// A description of the recovery failure (distinct from "empty").
-    fn load(&self) -> Result<Option<Checkpoint>, String>;
+    /// [`CheckpointError::Corrupt`] when the stored bytes are damaged
+    /// (callers may fall back), [`CheckpointError::Io`] when the storage
+    /// failed (callers should abort).
+    fn load(&self) -> Result<Option<Checkpoint>, CheckpointError>;
+
+    /// Like [`CheckpointStore::load`], but reports how the recovery went:
+    /// chain stores scan back past damaged entries and count what they
+    /// skipped, which resume surfaces as a `RecoveryScan` trace event.
+    /// The default implementation is a plain load with no scan-back.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`CheckpointStore::load`].
+    fn recover(&self) -> Result<Recovery, CheckpointError> {
+        let checkpoint = self.load()?;
+        Ok(Recovery {
+            scanned: usize::from(checkpoint.is_some()),
+            skipped: 0,
+            checkpoint,
+        })
+    }
 }
 
 /// In-memory store, for tests and same-process recovery drills.
@@ -248,18 +395,68 @@ impl MemoryCheckpointStore {
 }
 
 impl CheckpointStore for MemoryCheckpointStore {
-    fn save(&self, checkpoint: &Checkpoint) -> Result<(), String> {
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
         *self.slot.borrow_mut() = Some(checkpoint.clone());
         Ok(())
     }
 
-    fn load(&self) -> Result<Option<Checkpoint>, String> {
+    fn load(&self) -> Result<Option<Checkpoint>, CheckpointError> {
         Ok(self.slot.borrow().clone())
     }
 }
 
+/// An I/O-failure error tagged with the failing operation and path.
+fn io_failure(op: &str, path: &Path, e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        reason: format!("{op} {}: {e}", path.display()),
+    }
+}
+
+/// Writes `contents` to `path` and flushes it to the storage device
+/// (`fsync`), so the bytes survive power loss once this returns.
+fn write_durable(path: &Path, contents: &str) -> Result<(), CheckpointError> {
+    use std::io::Write;
+    let mut file = std::fs::File::create(path).map_err(|e| io_failure("creating", path, e))?;
+    file.write_all(contents.as_bytes())
+        .map_err(|e| io_failure("writing", path, e))?;
+    file.sync_all().map_err(|e| io_failure("syncing", path, e))
+}
+
+/// Flushes the directory entry for `path` (the rename itself) to the
+/// storage device. Without this the atomic rename is crash-*consistent*
+/// but not *durable*: after power loss the directory may still name the
+/// old file.
+fn sync_parent_dir(path: &Path) -> Result<(), CheckpointError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = std::fs::File::open(parent).map_err(|e| io_failure("opening dir", parent, e))?;
+    dir.sync_all()
+        .map_err(|e| io_failure("syncing dir", parent, e))
+}
+
+/// Reads and parses one checkpoint file. `Ok(None)` when the file does
+/// not exist; parse/digest failures are [`CheckpointError::Corrupt`],
+/// everything else [`CheckpointError::Io`].
+fn read_checkpoint_file(path: &Path) -> Result<Option<Checkpoint>, CheckpointError> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Checkpoint::from_json(&s)
+            .map(Some)
+            .map_err(|reason| CheckpointError::Corrupt {
+                reason: format!("{}: {reason}", path.display()),
+            }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_failure("reading", path, e)),
+    }
+}
+
 /// File-backed store: one JSON checkpoint file, replaced atomically via a
-/// sibling temp file and rename.
+/// sibling temp file and rename, with the temp file and the parent
+/// directory fsynced around the rename so a completed [`save`] survives
+/// power loss (not just a process crash).
+///
+/// [`save`]: CheckpointStore::save
 #[derive(Debug, Clone)]
 pub struct FileCheckpointStore {
     path: PathBuf,
@@ -278,22 +475,150 @@ impl FileCheckpointStore {
 }
 
 impl CheckpointStore for FileCheckpointStore {
-    fn save(&self, checkpoint: &Checkpoint) -> Result<(), String> {
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
         let mut tmp = self.path.clone().into_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, checkpoint.to_json())
-            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        write_durable(&tmp, &checkpoint.sealed_json())?;
         std::fs::rename(&tmp, &self.path)
-            .map_err(|e| format!("renaming into {}: {e}", self.path.display()))
+            .map_err(|e| io_failure("renaming into", &self.path, e))?;
+        sync_parent_dir(&self.path)
     }
 
-    fn load(&self) -> Result<Option<Checkpoint>, String> {
-        match std::fs::read_to_string(&self.path) {
-            Ok(s) => Checkpoint::from_json(&s).map(Some),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(format!("reading {}: {e}", self.path.display())),
+    fn load(&self) -> Result<Option<Checkpoint>, CheckpointError> {
+        read_checkpoint_file(&self.path)
+    }
+}
+
+/// Bounded rotating checkpoint chain: each save writes a fresh
+/// `ckpt-NNNNNNNN.json` entry (durably, like [`FileCheckpointStore`]) and
+/// prunes entries beyond the newest `keep`. Recovery scans back from the
+/// newest entry past anything torn, unparseable, or digest-mismatched to
+/// the newest *valid* checkpoint — so a crash at any byte of a save costs
+/// at most one iteration of progress, never the run.
+#[derive(Debug, Clone)]
+pub struct ChainCheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl ChainCheckpointStore {
+    /// A chain rooted at directory `dir` keeping the newest `keep`
+    /// entries (at least 1; 0 is clamped).
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Self {
+        ChainCheckpointStore {
+            dir: dir.into(),
+            keep: keep.max(1),
         }
+    }
+
+    /// The chain directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many entries the chain retains.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    fn entry_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{seq:08}.json"))
+    }
+
+    /// Chain entries as `(sequence, path)`, ascending by sequence. Files
+    /// that do not match the `ckpt-NNNNNNNN.json` pattern (including
+    /// leftover `.tmp` files from a crashed save) are ignored.
+    fn entries(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        let read = match std::fs::read_dir(&self.dir) {
+            Ok(read) => read,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_failure("listing", &self.dir, e)),
+        };
+        let mut entries = Vec::new();
+        for entry in read {
+            let entry = entry.map_err(|e| io_failure("listing", &self.dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix("ckpt-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            entries.push((seq, entry.path()));
+        }
+        entries.sort_unstable();
+        Ok(entries)
+    }
+}
+
+impl CheckpointStore for ChainCheckpointStore {
+    fn save(&self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| io_failure("creating dir", &self.dir, e))?;
+        let entries = self.entries()?;
+        let seq = entries.last().map_or(0, |&(seq, _)| seq + 1);
+        let path = self.entry_path(seq);
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        write_durable(&tmp, &checkpoint.sealed_json())?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_failure("renaming into", &path, e))?;
+        sync_parent_dir(&path)?;
+        // Prune beyond keep-last-k, oldest first. Best-effort: the new
+        // entry is already durable, and a failed unlink only costs disk.
+        let excess = (entries.len() + 1).saturating_sub(self.keep);
+        for (_, old) in entries.into_iter().take(excess) {
+            std::fs::remove_file(old).ok();
+        }
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Option<Checkpoint>, CheckpointError> {
+        self.recover().map(|r| r.checkpoint)
+    }
+
+    fn recover(&self) -> Result<Recovery, CheckpointError> {
+        let entries = self.entries()?;
+        let mut scanned = 0;
+        let mut skipped = 0;
+        let mut first_damage: Option<String> = None;
+        for (_, path) in entries.iter().rev() {
+            scanned += 1;
+            match read_checkpoint_file(path) {
+                Ok(Some(checkpoint)) => {
+                    return Ok(Recovery {
+                        checkpoint: Some(checkpoint),
+                        scanned,
+                        skipped,
+                    });
+                }
+                // Raced unlink (e.g. a concurrent prune): not damage.
+                Ok(None) => {}
+                Err(CheckpointError::Corrupt { reason }) => {
+                    skipped += 1;
+                    first_damage.get_or_insert(reason);
+                }
+                Err(e @ CheckpointError::Io { .. }) => return Err(e),
+            }
+        }
+        if skipped > 0 {
+            // Every entry was damaged: losing the whole campaign silently
+            // would be worse than surfacing it.
+            return Err(CheckpointError::Corrupt {
+                reason: format!(
+                    "all {skipped} chain entr{} corrupt (newest: {})",
+                    if skipped == 1 { "y is" } else { "ies are" },
+                    first_damage.unwrap_or_default()
+                ),
+            });
+        }
+        Ok(Recovery {
+            checkpoint: None,
+            scanned,
+            skipped,
+        })
     }
 }
 
@@ -335,7 +660,9 @@ mod tests {
                     UncertaintyRegion::point(&[3.0, 4.0]),
                 ],
                 history: Vec::new(),
+                degraded_fits: 0,
             },
+            digest: 0,
         }
     }
 
@@ -420,7 +747,140 @@ mod tests {
         let path = dir.join("bad.ckpt.json");
         std::fs::write(&path, "{ not json").unwrap();
         let store = FileCheckpointStore::new(&path);
-        assert!(store.load().is_err());
+        // Malformed bytes are a *corrupt* error — the variant a caller
+        // may degrade around — never silently `None`, and never mistaken
+        // for an I/O failure.
+        let err = store.load().unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealing_is_idempotent_and_detects_tampering() {
+        let mut ckpt = sample_checkpoint();
+        ckpt.seal();
+        assert_ne!(ckpt.digest, 0);
+        let json = ckpt.to_json();
+        assert_eq!(json, ckpt.sealed_json());
+        assert_eq!(json, sample_checkpoint().sealed_json());
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back, ckpt);
+
+        // Any content change under an unrefreshed digest is rejected.
+        let tampered = json.replace("\"next_iteration\":3", "\"next_iteration\":4");
+        assert_ne!(tampered, json);
+        let e = Checkpoint::from_json(&tampered).unwrap_err();
+        assert!(e.contains("digest mismatch"), "{e}");
+
+        // Legacy unsealed checkpoints (digest 0 / missing) still load.
+        let mut unsealed = sample_checkpoint();
+        unsealed.digest = 0;
+        assert_eq!(
+            Checkpoint::from_json(&unsealed.to_json()).unwrap(),
+            unsealed
+        );
+    }
+
+    #[test]
+    fn file_store_seals_on_disk_and_rejects_truncation() {
+        let dir = std::env::temp_dir().join(format!("ppat-ckpt-seal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.json");
+        let store = FileCheckpointStore::new(&path);
+        store.save(&sample_checkpoint()).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(Checkpoint::from_json(&on_disk).unwrap().digest != 0);
+
+        // A torn (truncated) file is corrupt, not an I/O failure.
+        std::fs::write(&path, &on_disk[..on_disk.len() - 7]).unwrap();
+        let err = store.load().unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn chain_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppat-chain-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn chain_store_rotates_and_loads_newest() {
+        let dir = chain_dir("rotate");
+        let store = ChainCheckpointStore::new(&dir, 3);
+        assert_eq!(store.keep(), 3);
+        assert!(store.load().unwrap().is_none());
+        for t in 0..5 {
+            let mut ckpt = sample_checkpoint();
+            ckpt.next_iteration = t;
+            store.save(&ckpt).unwrap();
+        }
+        assert_eq!(store.load().unwrap().unwrap().next_iteration, 4);
+        // Only the newest `keep` entries survive pruning.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names.len(), 3, "{names:?}");
+        assert!(
+            names.contains(&"ckpt-00000004.json".to_string()),
+            "{names:?}"
+        );
+        assert!(
+            !names.contains(&"ckpt-00000001.json".to_string()),
+            "{names:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chain_recover_scans_past_damaged_entries() {
+        let dir = chain_dir("scan");
+        let store = ChainCheckpointStore::new(&dir, 4);
+        for t in 0..3 {
+            let mut ckpt = sample_checkpoint();
+            ckpt.next_iteration = t;
+            store.save(&ckpt).unwrap();
+        }
+        // Tear the newest entry mid-byte and digest-tamper the next one:
+        // recovery must land on entry 0 and count both skips.
+        let newest = dir.join("ckpt-00000002.json");
+        let bytes = std::fs::read_to_string(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let middle = dir.join("ckpt-00000001.json");
+        let bytes = std::fs::read_to_string(&middle).unwrap();
+        std::fs::write(&middle, bytes.replace("\"runs\":2", "\"runs\":3")).unwrap();
+
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.checkpoint.as_ref().unwrap().next_iteration, 0);
+        assert_eq!(recovery.scanned, 3);
+        assert_eq!(recovery.skipped, 2);
+        assert_eq!(store.load().unwrap().unwrap().next_iteration, 0);
+
+        // A leftover .tmp from a crashed save is ignored entirely.
+        std::fs::write(dir.join("ckpt-00000003.json.tmp"), "torn").unwrap();
+        assert_eq!(store.recover().unwrap().skipped, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chain_with_only_damaged_entries_is_corrupt_not_empty() {
+        let dir = chain_dir("all-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ckpt-00000000.json"), "{ torn").unwrap();
+        let store = ChainCheckpointStore::new(&dir, 2);
+        let err = store.recover().unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
+        // An actually-empty chain is a fresh start, not an error.
+        std::fs::remove_dir_all(&dir).ok();
+        let empty = store.recover().unwrap();
+        assert_eq!(
+            empty,
+            Recovery {
+                checkpoint: None,
+                scanned: 0,
+                skipped: 0
+            }
+        );
     }
 }

@@ -35,6 +35,19 @@ pub enum TunerError {
         /// Description of the problem.
         reason: String,
     },
+    /// Surrogate calibration degraded (served by a last-good model) for
+    /// more consecutive iterations than `degraded_fit_budget` allows.
+    /// Isolated numerical failures are absorbed by the degraded-mode
+    /// supervisor and never surface here; this fires only when
+    /// degradation is *persistent*, i.e. the model is no longer tracking
+    /// fresh observations and continuing would waste real tool runs.
+    DegradationBudgetExhausted {
+        /// Consecutive degraded iterations, including the one that broke
+        /// the budget.
+        consecutive: usize,
+        /// The most recent calibration failure.
+        cause: String,
+    },
 }
 
 impl fmt::Display for TunerError {
@@ -47,6 +60,11 @@ impl fmt::Display for TunerError {
             TunerError::Surrogate(e) => write!(f, "surrogate model failure: {e}"),
             TunerError::Evaluation(e) => write!(f, "tool evaluation failure: {e}"),
             TunerError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
+            TunerError::DegradationBudgetExhausted { consecutive, cause } => write!(
+                f,
+                "surrogate degraded for {consecutive} consecutive iterations \
+                 (budget exhausted; last cause: {cause})"
+            ),
         }
     }
 }
@@ -95,6 +113,18 @@ mod tests {
         assert!(e.to_string().contains("out of range"), "{e}");
         let src = e.source().expect("Evaluation carries a source");
         assert_eq!(src.to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn degradation_budget_variant_displays_streak_and_cause() {
+        let e = TunerError::DegradationBudgetExhausted {
+            consecutive: 4,
+            cause: "kernel matrix factorization failed: not positive definite".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("4 consecutive"), "{text}");
+        assert!(text.contains("positive definite"), "{text}");
+        assert!(e.source().is_none());
     }
 
     #[test]

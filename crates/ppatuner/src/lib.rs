@@ -56,20 +56,22 @@ mod error;
 mod oracle;
 mod pool;
 pub mod region;
+pub mod supervisor;
 mod tuner;
 
 pub use checkpoint::{
-    Checkpoint, CheckpointStore, EvalOutcome, EvalRecord, FileCheckpointStore,
-    MemoryCheckpointStore, StateSnapshot, CHECKPOINT_VERSION,
+    ChainCheckpointStore, Checkpoint, CheckpointError, CheckpointStore, EvalOutcome, EvalRecord,
+    FileCheckpointStore, MemoryCheckpointStore, Recovery, StateSnapshot, CHECKPOINT_VERSION,
 };
 pub use decision::{classify, select_batch, BatchPick, DecisionOutcome, Status};
 pub use error::TunerError;
 pub use oracle::{
     ConcurrentOracle, CountingOracle, EvalError, FallibleOracle, FnOracle, QorOracle, SharedOracle,
-    VecOracle,
+    VecOracle, WatchdogOracle, WATCHDOG_STAGE,
 };
 pub use pool::{AdaptivePool, RefineOutcome};
 pub use region::UncertaintyRegion;
+pub use supervisor::{inject_fit_faults, FitFaultGuard, FitFaultPlan};
 pub use tuner::{IterationRecord, PpaTuner, PpaTunerConfig, SourceData, TuneResult};
 
 /// Convenience alias for results returned by this crate.

@@ -431,6 +431,109 @@ impl<F: Fn(&[f64]) -> Vec<f64> + Sync> ConcurrentOracle for FnOracle<F> {
     }
 }
 
+/// The `stage` string of watchdog-produced [`EvalError::Timeout`]s. The
+/// tuner recognizes it to emit a `WatchdogFired` trace event alongside
+/// the ordinary `EvalFailed`; real tool timeouts carry flow-stage names
+/// (`synth`, `route`, ...) and are left alone.
+pub const WATCHDOG_STAGE: &str = "watchdog";
+
+/// Wraps a [`ConcurrentOracle`] with an enforced per-attempt wall-clock
+/// deadline: an evaluation that has not returned within `deadline_s` is
+/// abandoned and reported as a deterministic [`EvalError::Timeout`] with
+/// stage [`WATCHDOG_STAGE`], feeding the tuner's existing
+/// retry/quarantine machinery. A hung worker thus costs one attempt, not
+/// the whole wave.
+///
+/// Each evaluation runs on a detached helper thread holding an `Arc` of
+/// the inner oracle; on expiry the helper is *abandoned*, not killed (the
+/// hung tool call keeps its thread until it returns, which is the only
+/// option without OS-level cancellation — real deployments put the tool
+/// in a child process and make the inner oracle kill it on drop). The
+/// reported `elapsed_s` is the *configured deadline*, not measured
+/// wall-clock, so replay logs and traces stay bit-identical across runs
+/// and worker counts.
+#[derive(Debug)]
+pub struct WatchdogOracle<O> {
+    inner: std::sync::Arc<O>,
+    deadline_s: f64,
+    runs: std::sync::atomic::AtomicUsize,
+    fired: std::sync::atomic::AtomicUsize,
+}
+
+impl<O: ConcurrentOracle + Send + Sync + 'static> WatchdogOracle<O> {
+    /// Wraps `oracle` with a per-attempt deadline of `deadline_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// When `deadline_s` is not finite and positive — a watchdog that can
+    /// never fire (or always fires) is a configuration bug.
+    pub fn new(oracle: O, deadline_s: f64) -> Self {
+        assert!(
+            deadline_s.is_finite() && deadline_s > 0.0,
+            "watchdog deadline must be finite and positive, got {deadline_s}"
+        );
+        WatchdogOracle {
+            inner: std::sync::Arc::new(oracle),
+            deadline_s,
+            runs: std::sync::atomic::AtomicUsize::new(0),
+            fired: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// The enforced per-attempt deadline, in seconds.
+    pub fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+
+    /// How many evaluations the watchdog has abandoned so far.
+    pub fn fired(&self) -> usize {
+        self.fired.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn guard<F>(&self, call: F) -> Result<Vec<f64>, EvalError>
+    where
+        F: FnOnce(&O) -> Result<Vec<f64>, EvalError> + Send + 'static,
+    {
+        self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let inner = std::sync::Arc::clone(&self.inner);
+        std::thread::spawn(move || {
+            // The receiver may be gone if the deadline already expired;
+            // a refused send is exactly the abandoned-attempt case.
+            let _ = tx.send(call(&inner));
+        });
+        match rx.recv_timeout(std::time::Duration::from_secs_f64(self.deadline_s)) {
+            Ok(result) => result,
+            Err(_) => {
+                self.fired
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(EvalError::Timeout {
+                    stage: WATCHDOG_STAGE.into(),
+                    elapsed_s: self.deadline_s,
+                })
+            }
+        }
+    }
+}
+
+impl<O: ConcurrentOracle + Send + Sync + 'static> ConcurrentOracle for WatchdogOracle<O> {
+    fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.guard(move |inner| inner.evaluate(index))
+    }
+
+    fn evaluate_at(&self, index: usize, x: &[f64]) -> Result<Vec<f64>, EvalError> {
+        let x = x.to_vec();
+        self.guard(move |inner| inner.evaluate_at(index, &x))
+    }
+
+    fn runs(&self) -> usize {
+        // Attempts *this wrapper* started: abandoned attempts must keep
+        // counting as burned tool runs even though the inner oracle may
+        // still be stuck inside them.
+        self.runs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +664,68 @@ mod tests {
         assert!(ConcurrentOracle::evaluate(&o, 0).is_err());
         assert_eq!(ConcurrentOracle::runs(&o), 2);
         assert!(format!("{o:?}").contains("runs"));
+    }
+
+    /// Hangs (well past any test deadline) on index 1, answers instantly
+    /// elsewhere.
+    struct HangOnOne {
+        runs: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ConcurrentOracle for HangOnOne {
+        fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError> {
+            self.runs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if index == 1 {
+                std::thread::sleep(std::time::Duration::from_secs(5));
+            }
+            Ok(vec![index as f64])
+        }
+
+        fn runs(&self) -> usize {
+            self.runs.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn watchdog_passes_fast_results_and_abandons_hung_ones() {
+        let o = WatchdogOracle::new(
+            HangOnOne {
+                runs: std::sync::atomic::AtomicUsize::new(0),
+            },
+            0.05,
+        );
+        assert_eq!(o.deadline_s(), 0.05);
+        assert_eq!(o.evaluate(0).unwrap(), vec![0.0]);
+        assert_eq!(o.evaluate_at(2, &[0.5]).unwrap(), vec![2.0]);
+        assert_eq!(o.fired(), 0);
+
+        let err = o.evaluate(1).unwrap_err();
+        // The reported timeout is the *configured* deadline under the
+        // dedicated watchdog stage — fully deterministic, so it can live
+        // in replay logs.
+        assert_eq!(
+            err,
+            EvalError::Timeout {
+                stage: WATCHDOG_STAGE.into(),
+                elapsed_s: 0.05,
+            },
+            "got {err}"
+        );
+        assert!(err.is_transient());
+        assert_eq!(o.fired(), 1);
+        // Abandoned attempts still count as burned tool runs.
+        assert_eq!(o.runs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog deadline")]
+    fn watchdog_rejects_nonpositive_deadline() {
+        let _ = WatchdogOracle::new(
+            HangOnOne {
+                runs: std::sync::atomic::AtomicUsize::new(0),
+            },
+            0.0,
+        );
     }
 
     #[test]

@@ -19,10 +19,18 @@ use crate::checkpoint::{
     StateSnapshot, CHECKPOINT_VERSION,
 };
 use crate::decision::{classify, select_batch, Status};
-use crate::oracle::{ConcurrentOracle, EvalError, QorOracle};
+use crate::oracle::{ConcurrentOracle, EvalError, QorOracle, WATCHDOG_STAGE};
 use crate::pool::AdaptivePool;
 use crate::region::UncertaintyRegion;
+use crate::supervisor;
 use crate::{Result, TunerError};
+
+/// `DegradedFit.mode` when the failed refit was replaced by a data-only
+/// refit reusing the last-good hyper-parameters.
+const DEGRADED_REFIT_REUSED: &str = "refit-reused-hypers";
+/// `DegradedFit.mode` when the last-good model served the iteration
+/// unchanged.
+const DEGRADED_FROZEN: &str = "frozen";
 
 /// Historical (source-task) tool-run data: encoded configurations and
 /// their QoR vectors.
@@ -237,6 +245,14 @@ pub struct PpaTunerConfig {
     /// [`predict_block`](PpaTunerConfig::predict_block) for the chunk
     /// granularity the workers operate at).
     pub predict_workers: usize,
+    /// Consecutive iterations the surrogate may run degraded (served by a
+    /// last-good model after a numerical calibration failure — see the
+    /// `DegradedFit` trace event) before the run aborts with
+    /// [`TunerError::DegradationBudgetExhausted`]. Isolated failures cost
+    /// nothing; this bounds how long the model may stop tracking fresh
+    /// observations. Must be at least 1.
+    #[serde(default)]
+    pub degraded_fit_budget: usize,
 }
 
 impl Default for PpaTunerConfig {
@@ -268,6 +284,7 @@ impl Default for PpaTunerConfig {
             sod_subset: 256,
             predict_block: gp::PREDICT_BLOCK,
             predict_workers: 0,
+            degraded_fit_budget: 8,
         }
     }
 }
@@ -384,6 +401,14 @@ impl PpaTunerConfig {
                 value: self.predict_workers as f64,
             });
         }
+        // A zero budget would make the very first degraded iteration
+        // fatal, i.e. silently disable the degraded mode.
+        if self.degraded_fit_budget == 0 {
+            return Err(TunerError::InvalidConfig {
+                name: "degraded_fit_budget",
+                value: 0.0,
+            });
+        }
         Ok(())
     }
 
@@ -467,6 +492,11 @@ pub struct TuneResult {
     pub eval_failures: usize,
     /// Retry attempts issued after failures (successful or not).
     pub eval_retries: usize,
+    /// Surrogate calibrations served by a last-good model after a
+    /// numerical failure (one count per degraded objective per iteration;
+    /// see the `DegradedFit` trace event). 0 on a numerically clean run.
+    #[serde(default)]
+    pub degraded_fits: usize,
 }
 
 impl TuneResult {
@@ -613,9 +643,8 @@ impl PpaTuner {
         observer: &dyn Observer,
         store: &dyn CheckpointStore,
     ) -> Result<TuneResult> {
-        let ckpt = store
-            .load()
-            .map_err(|reason| TunerError::Checkpoint { reason })?;
+        let ckpt = recover_checkpoint(store, observer)?;
+        let snapshot_degraded = ckpt.as_ref().map_or(0, |c| c.snapshot.degraded_fits);
         self.run_core(
             source,
             candidates,
@@ -624,6 +653,7 @@ impl PpaTuner {
             Some(store),
             ckpt,
         )
+        .map_err(|e| explain_degraded_divergence(e, snapshot_degraded))
     }
 
     /// Like [`PpaTuner::run_observed`], but persists a [`Checkpoint`] to
@@ -683,9 +713,8 @@ impl PpaTuner {
         observer: &dyn Observer,
         store: &dyn CheckpointStore,
     ) -> Result<TuneResult> {
-        let ckpt = store
-            .load()
-            .map_err(|reason| TunerError::Checkpoint { reason })?;
+        let ckpt = recover_checkpoint(store, observer)?;
+        let snapshot_degraded = ckpt.as_ref().map_or(0, |c| c.snapshot.degraded_fits);
         self.run_core(
             source,
             candidates,
@@ -694,6 +723,7 @@ impl PpaTuner {
             Some(store),
             ckpt,
         )
+        .map_err(|e| explain_degraded_divergence(e, snapshot_degraded))
     }
 
     /// The actual loop. `store` enables per-iteration checkpointing;
@@ -964,8 +994,22 @@ impl PpaTuner {
         // hyper-parameter refits replace them, warm iterations extend them
         // in place (`condition_on`) with the observations made since.
         let mut models_opt: Option<Vec<TransferGp>> = None;
-        // How many entries of `evaluated` the persistent models have seen.
-        let mut conditioned_upto = 0usize;
+        // How many entries of `evaluated` each objective's persistent
+        // model has seen. Per-objective because a degraded (frozen) model
+        // lags its peers until a later calibration catches it up on
+        // everything it missed.
+        let mut conditioned_upto = vec![0usize; n_obj];
+        // Degraded-mode supervisor state. `degraded_streak` counts
+        // *consecutive* iterations in which at least one objective was
+        // served by a last-good model after a numerical calibration
+        // failure; a fully clean calibration resets it, and exceeding
+        // `degraded_fit_budget` aborts with a typed error. Replay
+        // re-derives both deterministically (an injected fault plan must
+        // be re-armed on resume — `verify_resumed_state` compares the
+        // total against the snapshot to catch a forgotten one).
+        let mut degraded_total = 0usize;
+        let mut degraded_streak = 0usize;
+        let mut last_degraded_cause = String::new();
         // Per-objective predict caches, persistent like the models: warm
         // iterations only append rows to the joint factor, so each
         // undecided candidate's forward-substitution prefix survives and
@@ -992,6 +1036,7 @@ impl PpaTuner {
                         driver.runs(),
                         &rng,
                         &delta,
+                        degraded_total,
                     )?;
                 }
                 live = true;
@@ -1018,6 +1063,9 @@ impl PpaTuner {
                 observer.emit(&fit_span.start_event());
             }
             let needs_refit = models_opt.is_none() || t % self.config.refit_every.max(1) == 0;
+            // Set when any objective's calibration fell back to a
+            // last-good model this iteration (degraded mode).
+            let mut iter_degraded = false;
             if needs_refit {
                 // One shared encoded copy of the evaluated configurations;
                 // each objective's task view only materializes its own
@@ -1047,7 +1095,18 @@ impl PpaTuner {
                 let fit_threads = self.config.threads.max(1);
                 let restart_threads = (fit_threads / n_obj).max(1);
                 type FitOut = gp::Result<(TransferGp, gp::optimize::FitReport, f64)>;
+                // Injected numerical faults (chaos suites) are decided
+                // here on the coordinator thread — a pure hash of
+                // (iteration, objective) — so the scoped fit workers stay
+                // oblivious to the thread-local plan and replay re-derives
+                // identical decisions.
+                let injected: Vec<Option<gp::GpError>> = (0..n_obj)
+                    .map(|k| supervisor::injected_fault(supervisor::FitStage::Refit, t, k))
+                    .collect();
                 let fit_one = |k: usize| -> FitOut {
+                    if let Some(e) = injected[k].clone() {
+                        return Err(e);
+                    }
                     let fit_start = Instant::now();
                     let (m, report) = fit_transfer_gp_from_starts(
                         &source_tasks[k],
@@ -1074,69 +1133,168 @@ impl PpaTuner {
                         .map(|o| o.expect("every fit slot is filled"))
                         .collect()
                 };
+                // Last-good surrogates, one slot per objective, for the
+                // degraded fallback below. None before the bootstrap fit.
+                let mut prev_models: Vec<Option<TransferGp>> = match models_opt.take() {
+                    Some(v) => v.into_iter().map(Some).collect(),
+                    None => (0..n_obj).map(|_| None).collect(),
+                };
                 let mut models: Vec<TransferGp> = Vec::with_capacity(n_obj);
                 for (k, out) in outs.into_iter().enumerate() {
-                    let (model, report, fit_duration) = out?;
-                    if live && observer.enabled() {
-                        let cfg = model.config();
-                        observer.emit(&Event::GpFit {
-                            iteration: t,
-                            objective: k,
-                            refit: true,
-                            lengthscales: cfg.lengthscales.clone(),
-                            signal_var: cfg.signal_var,
-                            noise_target: cfg.noise_target,
-                            lambda: model.lambda(),
-                            restarts: report.restarts,
-                            evals: report.evals,
-                            cached_evals: report.cached_evals,
-                            fresh_evals: report.fresh_evals,
-                            log_marginal: model.log_marginal_likelihood(),
-                            jitter: model.jitter(),
-                            duration_s: fit_duration,
-                        });
+                    match out {
+                        Ok((model, report, fit_duration)) => {
+                            if live && observer.enabled() {
+                                let cfg = model.config();
+                                observer.emit(&Event::GpFit {
+                                    iteration: t,
+                                    objective: k,
+                                    refit: true,
+                                    lengthscales: cfg.lengthscales.clone(),
+                                    signal_var: cfg.signal_var,
+                                    noise_target: cfg.noise_target,
+                                    lambda: model.lambda(),
+                                    restarts: report.restarts,
+                                    evals: report.evals,
+                                    cached_evals: report.cached_evals,
+                                    fresh_evals: report.fresh_evals,
+                                    log_marginal: model.log_marginal_likelihood(),
+                                    jitter: model.jitter(),
+                                    duration_s: fit_duration,
+                                });
+                            }
+                            conditioned_upto[k] = evaluated.len();
+                            models.push(model);
+                        }
+                        Err(e) if e.is_recoverable() && prev_models[k].is_some() => {
+                            // Degraded mode: the last-good surrogate for
+                            // this objective absorbs the failure. First
+                            // choice is a data-only refit reusing its
+                            // hyper-parameters (fresh observations still
+                            // enter the model); if that fails too, the
+                            // previous model serves one more iteration
+                            // frozen. A DegradedFit event replaces the
+                            // objective's GpFit, so clean traces are
+                            // untouched.
+                            let prev = prev_models[k].take().expect("just checked");
+                            let fallback = match supervisor::injected_fault(
+                                supervisor::FitStage::Fallback,
+                                t,
+                                k,
+                            ) {
+                                Some(fe) => Err(fe),
+                                None => prev.refit_data_only(
+                                    source_tasks[k].clone(),
+                                    target_tasks[k].clone(),
+                                ),
+                            };
+                            let (model, mode) = match fallback {
+                                Ok(m) => {
+                                    conditioned_upto[k] = evaluated.len();
+                                    (m, DEGRADED_REFIT_REUSED)
+                                }
+                                // Frozen: conditioned_upto[k] stays put, so
+                                // the next successful calibration catches
+                                // this objective up on what it missed.
+                                Err(_) => (prev, DEGRADED_FROZEN),
+                            };
+                            degraded_total += 1;
+                            iter_degraded = true;
+                            last_degraded_cause = e.to_string();
+                            if live && observer.enabled() {
+                                observer.emit(&Event::DegradedFit {
+                                    iteration: t,
+                                    objective: k,
+                                    cause: e.to_string(),
+                                    mode: mode.to_string(),
+                                    consecutive: degraded_streak + 1,
+                                });
+                            }
+                            models.push(model);
+                        }
+                        // Structural failure, or no last-good model to
+                        // degrade to (the bootstrap fit): abort as before.
+                        Err(e) => return Err(e.into()),
                     }
-                    models.push(model);
                 }
                 models_opt = Some(models);
             } else {
                 // Warm iteration: extend each persistent surrogate with the
                 // observations made since its factorization — a rank-k
-                // Cholesky append instead of a from-scratch refit.
+                // Cholesky append instead of a from-scratch refit. A
+                // numerically rejected extension freezes that objective's
+                // model for this iteration (degraded mode); its
+                // conditioning mark stays put so a later calibration
+                // catches it up.
                 let models = models_opt.as_mut().expect("warm path follows a refit");
-                let new_x: Vec<Vec<f64>> = evaluated[conditioned_upto..]
-                    .iter()
-                    .map(|(i, _)| candidates[*i].clone())
-                    .collect();
                 for (k, model) in models.iter_mut().enumerate() {
                     let fit_start = Instant::now();
-                    let new_y: Vec<f64> = evaluated[conditioned_upto..]
+                    let new_x: Vec<Vec<f64>> = evaluated[conditioned_upto[k]..]
+                        .iter()
+                        .map(|(i, _)| candidates[*i].clone())
+                        .collect();
+                    let new_y: Vec<f64> = evaluated[conditioned_upto[k]..]
                         .iter()
                         .map(|(_, y)| y[k])
                         .collect();
-                    model.condition_on(&new_x, &new_y)?;
-                    if live && observer.enabled() {
-                        let cfg = model.config();
-                        observer.emit(&Event::GpFit {
-                            iteration: t,
-                            objective: k,
-                            refit: false,
-                            lengthscales: cfg.lengthscales.clone(),
-                            signal_var: cfg.signal_var,
-                            noise_target: cfg.noise_target,
-                            lambda: model.lambda(),
-                            restarts: 0,
-                            evals: 0,
-                            cached_evals: 0,
-                            fresh_evals: 0,
-                            log_marginal: model.log_marginal_likelihood(),
-                            jitter: model.jitter(),
-                            duration_s: fit_start.elapsed().as_secs_f64(),
-                        });
+                    let outcome =
+                        match supervisor::injected_fault(supervisor::FitStage::Condition, t, k) {
+                            Some(e) => Err(e),
+                            None => model.condition_on(&new_x, &new_y),
+                        };
+                    match outcome {
+                        Ok(()) => {
+                            conditioned_upto[k] = evaluated.len();
+                            if live && observer.enabled() {
+                                let cfg = model.config();
+                                observer.emit(&Event::GpFit {
+                                    iteration: t,
+                                    objective: k,
+                                    refit: false,
+                                    lengthscales: cfg.lengthscales.clone(),
+                                    signal_var: cfg.signal_var,
+                                    noise_target: cfg.noise_target,
+                                    lambda: model.lambda(),
+                                    restarts: 0,
+                                    evals: 0,
+                                    cached_evals: 0,
+                                    fresh_evals: 0,
+                                    log_marginal: model.log_marginal_likelihood(),
+                                    jitter: model.jitter(),
+                                    duration_s: fit_start.elapsed().as_secs_f64(),
+                                });
+                            }
+                        }
+                        Err(e) if e.is_recoverable() => {
+                            // `condition_on` leaves the model untouched on
+                            // error, so "frozen" needs no restore step.
+                            degraded_total += 1;
+                            iter_degraded = true;
+                            last_degraded_cause = e.to_string();
+                            if live && observer.enabled() {
+                                observer.emit(&Event::DegradedFit {
+                                    iteration: t,
+                                    objective: k,
+                                    cause: e.to_string(),
+                                    mode: DEGRADED_FROZEN.to_string(),
+                                    consecutive: degraded_streak + 1,
+                                });
+                            }
+                        }
+                        Err(e) => return Err(e.into()),
                     }
                 }
             }
-            conditioned_upto = evaluated.len();
+            if iter_degraded {
+                degraded_streak += 1;
+                if degraded_streak > self.config.degraded_fit_budget {
+                    return Err(TunerError::DegradationBudgetExhausted {
+                        consecutive: degraded_streak,
+                        cause: std::mem::take(&mut last_degraded_cause),
+                    });
+                }
+            } else {
+                degraded_streak = 0;
+            }
             let gp_fit_s = fit_phase.elapsed().as_secs_f64();
             if live && observer.enabled() {
                 observer.emit(&tracer.end_event(&fit_span));
@@ -1441,7 +1599,7 @@ impl PpaTuner {
             if let (Some(store), Some((candidates_digest, src_digest)), true) =
                 (store, digests, live && driver.log.len() > log_mark)
             {
-                let checkpoint = Checkpoint {
+                let mut checkpoint = Checkpoint {
                     version: CHECKPOINT_VERSION,
                     next_iteration: t + 1,
                     config: self.config.clone(),
@@ -1456,11 +1614,16 @@ impl PpaTuner {
                         delta: delta.clone(),
                         regions: regions.clone(),
                         history: history.clone(),
+                        degraded_fits: degraded_total,
                     },
+                    digest: 0,
                 };
+                checkpoint.seal();
                 store
                     .save(&checkpoint)
-                    .map_err(|reason| TunerError::Checkpoint { reason })?;
+                    .map_err(|e| TunerError::Checkpoint {
+                        reason: e.to_string(),
+                    })?;
                 if observer.enabled() {
                     if let Some(span) = &ckpt_span {
                         observer.emit(&span.start_event());
@@ -1621,6 +1784,7 @@ impl PpaTuner {
             quarantined: quarantined_order,
             eval_failures,
             eval_retries,
+            degraded_fits: degraded_total,
         };
         if live && observer.enabled() {
             observer.emit(&Event::RunEnd {
@@ -1806,6 +1970,32 @@ struct RetryOutcome {
     replayed: bool,
 }
 
+/// Emits `WatchdogFired` directly before the `EvalFailed` it explains,
+/// when (and only when) the failure is a watchdog-produced timeout — the
+/// dedicated [`WATCHDOG_STAGE`] marker distinguishes it from real tool
+/// timeouts, whose stages are flow-stage names. Like `EvalFailed`, the
+/// event is created at the deterministic batch-order merge, so traces
+/// stay worker-count-invariant; `elapsed_s` is the configured deadline,
+/// not wall-clock.
+fn emit_watchdog_fired(
+    e: &EvalError,
+    iteration: usize,
+    candidate: usize,
+    attempt: usize,
+    emit: &mut dyn FnMut(Event),
+) {
+    if let EvalError::Timeout { stage, elapsed_s } = e {
+        if stage == WATCHDOG_STAGE {
+            emit(Event::WatchdogFired {
+                iteration,
+                candidate,
+                attempt,
+                deadline_s: *elapsed_s,
+            });
+        }
+    }
+}
+
 /// Runs one candidate's evaluation with up to `max_eval_attempts`
 /// attempts, sanitizing each result and emitting `EvalRetry`,
 /// `EvalFailed`, `ToolEval`, and per-attempt `eval_attempt` span events
@@ -1868,6 +2058,7 @@ fn evaluate_with_retry(
             Err(e) => {
                 failures += 1;
                 if enabled && !from_replay {
+                    emit_watchdog_fired(&e, iteration, candidate, attempt, emit);
                     emit(Event::EvalFailed {
                         iteration,
                         candidate,
@@ -2064,6 +2255,7 @@ fn merge_member(
                 driver.record_live(candidate, &Err(e.clone()));
                 failures += 1;
                 if enabled {
+                    emit_watchdog_fired(&e, iteration, candidate, attempt, emit);
                     emit(Event::EvalFailed {
                         iteration,
                         candidate,
@@ -2278,6 +2470,27 @@ fn sanitize_qor(
     Ok(())
 }
 
+/// Recovers the checkpoint the resume entry points start from, surfacing
+/// scan-back recoveries (chain stores skipping torn/corrupt entries) as a
+/// `RecoveryScan` trace event. Clean recoveries emit nothing, so existing
+/// resume traces stay byte-identical.
+fn recover_checkpoint(
+    store: &dyn CheckpointStore,
+    observer: &dyn Observer,
+) -> Result<Option<Checkpoint>> {
+    let recovery = store.recover().map_err(|e| TunerError::Checkpoint {
+        reason: e.to_string(),
+    })?;
+    if recovery.skipped > 0 && observer.enabled() {
+        observer.emit(&Event::RecoveryScan {
+            scanned: recovery.scanned,
+            skipped: recovery.skipped,
+            next_iteration: recovery.checkpoint.as_ref().map(|c| c.next_iteration),
+        });
+    }
+    Ok(recovery.checkpoint)
+}
+
 /// Compares the state replay re-derived against the checkpoint's
 /// snapshot; any divergence means the checkpoint does not belong to this
 /// run (or determinism broke) and live evaluation must not proceed.
@@ -2291,6 +2504,7 @@ fn verify_resumed_state(
     runs: usize,
     rng: &StdRng,
     delta: &[f64],
+    degraded_fits: usize,
 ) -> Result<()> {
     let status_string: String = statuses.iter().map(status_char).collect();
     let mismatch = if t != next_iteration {
@@ -2314,12 +2528,39 @@ fn verify_resumed_state(
         Some("RNG state diverged from the checkpoint snapshot".into())
     } else if delta != snapshot.delta {
         Some("δ thresholds diverged from the checkpoint snapshot".into())
+    } else if degraded_fits != snapshot.degraded_fits {
+        Some(format!(
+            "replay produced {degraded_fits} degraded fits, checkpoint recorded {} \
+             (was the fit-fault plan re-armed?)",
+            snapshot.degraded_fits
+        ))
     } else {
         None
     };
     match mismatch {
         Some(reason) => Err(TunerError::Checkpoint { reason }),
         None => Ok(()),
+    }
+}
+
+/// A replay that diverges before the drain boundary surfaces as a bare
+/// candidate mismatch, even when the real culprit is a forgotten fault
+/// plan: clean refits produce different models, which select different
+/// candidates. When the checkpoint recorded degraded fits, say so — the
+/// operator needs to re-arm the plan, not debug the selection.
+fn explain_degraded_divergence(err: TunerError, snapshot_degraded: usize) -> TunerError {
+    match err {
+        TunerError::Checkpoint { reason }
+            if snapshot_degraded > 0 && reason.starts_with("replay divergence") =>
+        {
+            TunerError::Checkpoint {
+                reason: format!(
+                    "{reason}; the checkpoint records {snapshot_degraded} degraded fits, \
+                     which replay re-derives only when the original fault plan is re-armed"
+                ),
+            }
+        }
+        other => other,
     }
 }
 
@@ -2742,7 +2983,7 @@ mod tests {
 
     // ---------------------------------------------- fault tolerance
 
-    use crate::checkpoint::MemoryCheckpointStore;
+    use crate::checkpoint::{CheckpointError, MemoryCheckpointStore};
     use crate::oracle::{CountingOracle, FallibleOracle};
     use std::cell::RefCell;
     use std::collections::HashMap;
@@ -2757,12 +2998,12 @@ mod tests {
     }
 
     impl CheckpointStore for CaptureStore {
-        fn save(&self, c: &Checkpoint) -> std::result::Result<(), String> {
+        fn save(&self, c: &Checkpoint) -> std::result::Result<(), CheckpointError> {
             self.all.borrow_mut().push(c.clone());
             self.inner.save(c)
         }
 
-        fn load(&self) -> std::result::Result<Option<Checkpoint>, String> {
+        fn load(&self) -> std::result::Result<Option<Checkpoint>, CheckpointError> {
             self.inner.load()
         }
     }
@@ -2779,6 +3020,7 @@ mod tests {
         assert_eq!(a.quarantined, b.quarantined);
         assert_eq!(a.eval_failures, b.eval_failures);
         assert_eq!(a.eval_retries, b.eval_retries);
+        assert_eq!(a.degraded_fits, b.degraded_fits);
         assert_eq!(a.history.len(), b.history.len());
         for (x, y) in a.history.iter().zip(&b.history) {
             assert_eq!(
@@ -3105,6 +3347,16 @@ mod tests {
                 ..
             }
         ));
+        assert!(matches!(
+            bad(PpaTunerConfig {
+                degraded_fit_budget: 0,
+                ..quick_config()
+            }),
+            TunerError::InvalidConfig {
+                name: "degraded_fit_budget",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -3119,6 +3371,222 @@ mod tests {
         assert_eq!(cfg.retry_backoff_s(4), 8.0);
         assert_eq!(cfg.retry_backoff_s(5), 10.0);
         assert_eq!(cfg.retry_backoff_s(50), 10.0);
+    }
+
+    // ---------------------------------------------- degraded-mode supervisor
+
+    use crate::supervisor::{inject_fit_faults, FitFaultPlan};
+
+    fn fault_plan(refit: f64, fallback: f64, condition: f64) -> FitFaultPlan {
+        FitFaultPlan {
+            seed: 11,
+            refit_fail: refit,
+            fallback_fail: fallback,
+            condition_fail: condition,
+        }
+    }
+
+    #[test]
+    fn injected_refit_faults_degrade_to_data_only_refits() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        // Tight δ and a small seed set keep the loop alive past bootstrap,
+        // so the refit fault sites are actually reached.
+        let cfg = PpaTunerConfig {
+            refit_every: 1,
+            degraded_fit_budget: 64,
+            initial_samples: 4,
+            delta_rel: 0.001,
+            ..quick_config()
+        };
+        let mut oracle = VecOracle::new(truth.clone());
+        let sink = obs::RecordingSink::new();
+        let _guard = inject_fit_faults(fault_plan(1.0, 0.0, 0.0));
+        let result = PpaTuner::new(cfg)
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert!(
+            result.degraded_fits > 0,
+            "every refit past bootstrap faults"
+        );
+        assert_eq!(sink.count("DegradedFit"), result.degraded_fits);
+        // A DegradedFit replaces that objective's GpFit: per iteration,
+        // each objective emits exactly one of the two.
+        assert_eq!(
+            sink.count("GpFit") + sink.count("DegradedFit"),
+            2 * result.iterations
+        );
+        for e in &sink.events() {
+            if let Event::DegradedFit {
+                mode,
+                cause,
+                consecutive,
+                ..
+            } = e
+            {
+                assert_eq!(mode, "refit-reused-hypers");
+                assert!(cause.contains("injected_fit_fault"), "{cause}");
+                assert!(*consecutive >= 1);
+            }
+        }
+        // The degraded run still classifies a front: data-only refits keep
+        // absorbing fresh observations under the last-good hypers.
+        assert!(!result.pareto_indices.is_empty());
+    }
+
+    #[test]
+    fn failing_fallback_freezes_the_last_good_model() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let cfg = PpaTunerConfig {
+            refit_every: 1,
+            degraded_fit_budget: 64,
+            initial_samples: 4,
+            delta_rel: 0.001,
+            ..quick_config()
+        };
+        let mut oracle = VecOracle::new(truth.clone());
+        let sink = obs::RecordingSink::new();
+        let _guard = inject_fit_faults(fault_plan(1.0, 1.0, 0.0));
+        let result = PpaTuner::new(cfg)
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert!(result.degraded_fits > 0);
+        for e in &sink.events() {
+            if let Event::DegradedFit { mode, .. } = e {
+                assert_eq!(mode, "frozen");
+            }
+        }
+    }
+
+    #[test]
+    fn condition_faults_freeze_on_the_warm_path() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let cfg = PpaTunerConfig {
+            degraded_fit_budget: 64,
+            initial_samples: 4,
+            delta_rel: 0.001,
+            ..quick_config() // refit_every = 10: iterations 1..9 are warm
+        };
+        let mut oracle = VecOracle::new(truth.clone());
+        let sink = obs::RecordingSink::new();
+        let _guard = inject_fit_faults(fault_plan(0.0, 0.0, 1.0));
+        let result = PpaTuner::new(cfg)
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert!(result.degraded_fits > 0, "every warm extension faults");
+        let mut saw_streak = 0usize;
+        for e in &sink.events() {
+            if let Event::DegradedFit {
+                mode, consecutive, ..
+            } = e
+            {
+                assert_eq!(mode, "frozen");
+                saw_streak = saw_streak.max(*consecutive);
+            }
+        }
+        assert!(
+            saw_streak >= 2,
+            "consecutive warm faults must grow the streak, saw {saw_streak}"
+        );
+    }
+
+    #[test]
+    fn persistent_degradation_exhausts_the_budget() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        // Tight δ keeps the loop running well past the budget's horizon.
+        let cfg = PpaTunerConfig {
+            refit_every: 1,
+            degraded_fit_budget: 2,
+            initial_samples: 4,
+            delta_rel: 0.001,
+            ..quick_config()
+        };
+        let mut oracle = VecOracle::new(truth.clone());
+        let _guard = inject_fit_faults(fault_plan(1.0, 0.0, 0.0));
+        let err = PpaTuner::new(cfg)
+            .run(&source, &candidates, &mut oracle)
+            .unwrap_err();
+        match err {
+            TunerError::DegradationBudgetExhausted { consecutive, cause } => {
+                assert_eq!(consecutive, 3, "budget 2 breaks on the third streak");
+                assert!(cause.contains("injected_fit_fault"), "{cause}");
+            }
+            other => panic!("expected a budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_run_resumes_identically_when_the_plan_is_rearmed() {
+        let (candidates, truth) = toy(40);
+        let source = shifted_source(&candidates, &truth);
+        let cfg = PpaTunerConfig {
+            refit_every: 2,
+            degraded_fit_budget: 64,
+            initial_samples: 4,
+            delta_rel: 0.001,
+            ..slow_config()
+        };
+        let plan = fault_plan(1.0, 0.0, 0.0);
+        let store = CaptureStore::default();
+        let full = {
+            let _guard = inject_fit_faults(plan.clone());
+            let mut oracle = VecOracle::new(truth.clone());
+            PpaTuner::new(cfg.clone())
+                .run_checkpointed(&source, &candidates, &mut oracle, &NULL_SINK, &store)
+                .unwrap()
+        };
+        assert!(full.degraded_fits > 0);
+        let all = store.all.borrow();
+        let mid = all
+            .iter()
+            .find(|c| c.snapshot.degraded_fits > 0)
+            .expect("some checkpoint records a degraded fit")
+            .clone();
+        // Re-armed plan: replay re-derives the same degraded fits and the
+        // resumed run finishes identically.
+        let crash_point = MemoryCheckpointStore::new();
+        crash_point.put(mid.clone());
+        let resumed = {
+            let _guard = inject_fit_faults(plan);
+            let mut oracle = VecOracle::new(truth.clone());
+            PpaTuner::new(cfg.clone())
+                .resume(&source, &candidates, &mut oracle, &NULL_SINK, &crash_point)
+                .unwrap()
+        };
+        assert_same_outcome(&full, &resumed);
+        // Forgotten plan: replay finds no faults, the degraded-fit counter
+        // diverges from the snapshot, and the resume refuses to go live.
+        let crash_point = MemoryCheckpointStore::new();
+        crash_point.put(mid);
+        let mut oracle = VecOracle::new(truth);
+        let err = PpaTuner::new(cfg)
+            .resume(&source, &candidates, &mut oracle, &NULL_SINK, &crash_point)
+            .unwrap_err();
+        match err {
+            TunerError::Checkpoint { reason } => {
+                assert!(reason.contains("degraded fits"), "{reason}");
+                assert!(reason.contains("fault plan"), "{reason}");
+            }
+            other => panic!("expected a checkpoint refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_runs_report_zero_degraded_fits() {
+        let (candidates, truth) = toy(30);
+        let source = shifted_source(&candidates, &truth);
+        let mut oracle = VecOracle::new(truth.clone());
+        let sink = obs::RecordingSink::new();
+        let result = PpaTuner::new(quick_config())
+            .run_observed(&source, &candidates, &mut oracle, &sink)
+            .unwrap();
+        assert_eq!(result.degraded_fits, 0);
+        assert_eq!(sink.count("DegradedFit"), 0);
+        assert_eq!(sink.count("RecoveryScan"), 0);
+        assert_eq!(sink.count("WatchdogFired"), 0);
     }
 
     // ---------------------------------------------- adaptive pool / SoD

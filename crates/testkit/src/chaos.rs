@@ -10,10 +10,13 @@
 //! run is exactly as reproducible as a clean one, and the *same plan* can
 //! be replayed in a proptest, in CI, and at a debugger prompt.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 use pdsim::{FaultDecision, FaultPlan};
-use ppatuner::{EvalError, QorOracle};
+use ppatuner::{ConcurrentOracle, EvalError, QorOracle};
 
 /// Wall-clock budget reported by injected timeouts (arbitrary but stable,
 /// so traces and goldens do not wobble).
@@ -108,6 +111,83 @@ impl QorOracle for FaultyVecOracle {
     }
 }
 
+/// A golden-table [`ConcurrentOracle`] where chosen `(candidate,
+/// attempt)` pairs *hang* — sleep far past any reasonable deadline
+/// before answering — instead of failing cleanly.
+///
+/// This is the liveness fault [`FaultyVecOracle`] cannot model: a
+/// crashed attempt returns an error the retry machinery can route, but a
+/// hung attempt never returns at all. Wrap it in a
+/// [`ppatuner::WatchdogOracle`] to convert each hang into a
+/// deterministic [`EvalError::Timeout`] and let the run proceed; the
+/// abandoned worker eventually wakes, returns the truth into a closed
+/// channel, and is dropped.
+///
+/// Hangs are keyed by per-candidate attempt number (first attempt is 1),
+/// so a retried candidate can hang once and then succeed — which is the
+/// recovery path the watchdog exists to feed.
+#[derive(Debug)]
+pub struct HangingOracle {
+    table: Vec<Vec<f64>>,
+    hangs: BTreeSet<(usize, usize)>,
+    hang_s: f64,
+    attempts: Mutex<HashMap<usize, usize>>,
+    runs: AtomicUsize,
+}
+
+impl HangingOracle {
+    /// Wraps a golden QoR table; attempts listed in `hangs` (as
+    /// `(candidate, attempt)` pairs, attempts starting at 1) sleep for
+    /// `hang_s` seconds before answering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hang_s` is not finite and non-negative.
+    pub fn new(
+        table: Vec<Vec<f64>>,
+        hangs: impl IntoIterator<Item = (usize, usize)>,
+        hang_s: f64,
+    ) -> Self {
+        assert!(
+            hang_s.is_finite() && hang_s >= 0.0,
+            "hang duration must be finite and non-negative"
+        );
+        HangingOracle {
+            table,
+            hangs: hangs.into_iter().collect(),
+            hang_s,
+            attempts: Mutex::new(HashMap::new()),
+            runs: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ConcurrentOracle for HangingOracle {
+    fn evaluate(&self, index: usize) -> Result<Vec<f64>, EvalError> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let Some(y) = self.table.get(index) else {
+            return Err(EvalError::OutOfRange {
+                index,
+                len: self.table.len(),
+            });
+        };
+        let attempt = {
+            let mut attempts = self.attempts.lock().expect("attempt map poisoned");
+            let a = attempts.entry(index).or_insert(0);
+            *a += 1;
+            *a
+        };
+        if self.hangs.contains(&(index, attempt)) {
+            std::thread::sleep(Duration::from_secs_f64(self.hang_s));
+        }
+        Ok(y.clone())
+    }
+
+    fn runs(&self) -> usize {
+        self.runs.load(Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +243,42 @@ mod tests {
             oracle.evaluate(99),
             Err(EvalError::OutOfRange { index: 99, len: 10 })
         ));
+    }
+
+    #[test]
+    fn hanging_oracle_hangs_only_the_listed_attempts() {
+        let oracle = HangingOracle::new(table(), [(1, 1)], 0.05);
+        let t0 = std::time::Instant::now();
+        assert_eq!(oracle.evaluate(0).unwrap(), table()[0]);
+        assert!(
+            t0.elapsed().as_secs_f64() < 0.04,
+            "candidate 0 must not hang"
+        );
+        let t1 = std::time::Instant::now();
+        // Attempt 1 on candidate 1 hangs, attempt 2 answers promptly.
+        assert_eq!(oracle.evaluate(1).unwrap(), table()[1]);
+        assert!(t1.elapsed().as_secs_f64() >= 0.05);
+        let t2 = std::time::Instant::now();
+        assert_eq!(oracle.evaluate(1).unwrap(), table()[1]);
+        assert!(t2.elapsed().as_secs_f64() < 0.04, "retry must not hang");
+        assert_eq!(ConcurrentOracle::runs(&oracle), 3);
+    }
+
+    #[test]
+    fn watchdog_converts_a_hang_into_a_timeout() {
+        use ppatuner::{WatchdogOracle, WATCHDOG_STAGE};
+        let oracle = WatchdogOracle::new(HangingOracle::new(table(), [(2, 1)], 2.0), 0.05);
+        assert_eq!(oracle.evaluate(0).unwrap(), table()[0]);
+        match oracle.evaluate(2) {
+            Err(EvalError::Timeout { stage, elapsed_s }) => {
+                assert_eq!(stage, WATCHDOG_STAGE);
+                assert_eq!(elapsed_s, 0.05);
+            }
+            other => panic!("expected a watchdog timeout, got {other:?}"),
+        }
+        // The retry reaches attempt 2, which does not hang.
+        assert_eq!(oracle.evaluate(2).unwrap(), table()[2]);
+        assert_eq!(oracle.fired(), 1);
     }
 
     #[test]

@@ -41,6 +41,17 @@
 //!   IDs are never reused, a child span only starts while its parent is
 //!   open, no span closes with children still open, and a trace that
 //!   contains spans at all closes every one of them by its end.
+//! - **Degradation is lawful**: every [`obs::Event::DegradedFit`] names
+//!   a known recovery mode (`refit-reused-hypers` or `frozen`), an
+//!   in-range objective, and a consecutive streak of at least 1.
+//! - **Watchdogs convert to failures**: every
+//!   [`obs::Event::WatchdogFired`] carries a finite positive deadline
+//!   and is followed by an [`obs::Event::EvalFailed`] of kind `timeout`
+//!   for the same `(iteration, candidate, attempt)`; none is left
+//!   dangling at trace end.
+//! - **Recovery scans are meaningful**: every
+//!   [`obs::Event::RecoveryScan`] skipped at least one damaged entry
+//!   and scanned at least as many entries as it skipped.
 //!
 //! Violations are reported as `Err(String)` naming the event index and
 //! the law broken, so a failing golden trace pinpoints the regression.
@@ -74,6 +85,12 @@ pub struct InvariantReport {
     pub spans: usize,
     /// `PoolRefine` events checked against the growth law.
     pub pool_refines: usize,
+    /// `DegradedFit` events checked against the degradation laws.
+    pub degraded_fits: usize,
+    /// `WatchdogFired` events paired with their timeout `EvalFailed`.
+    pub watchdog_firings: usize,
+    /// `RecoveryScan` events checked.
+    pub recovery_scans: usize,
 }
 
 /// Bookkeeping for one span that has started but not yet ended.
@@ -86,6 +103,10 @@ struct OpenSpanInfo {
 struct CheckerState {
     /// Candidate count, from `RunStart`.
     n: Option<usize>,
+    /// Objective count, from `RunStart`.
+    objectives: Option<usize>,
+    /// `WatchdogFired` tuples awaiting their timeout `EvalFailed`.
+    watchdog_pending: BTreeSet<(usize, usize, usize)>,
     /// Latest snapshot: per-candidate status chars and diameters.
     statuses: Vec<char>,
     diameters: Vec<f64>,
@@ -128,6 +149,8 @@ pub fn check_trace(
 ) -> Result<InvariantReport, String> {
     let mut st = CheckerState {
         n: None,
+        objectives: None,
+        watchdog_pending: BTreeSet::new(),
         statuses: Vec::new(),
         diameters: Vec::new(),
         snapshot_iteration: None,
@@ -147,7 +170,14 @@ pub fn check_trace(
             Event::RunStart { .. } if st.n.is_some() => {
                 return Err(fail("trace contains a second RunStart"));
             }
-            Event::RunStart { candidates, .. } => st.n = Some(*candidates),
+            Event::RunStart {
+                candidates,
+                objectives,
+                ..
+            } => {
+                st.n = Some(*candidates);
+                st.objectives = Some(*objectives);
+            }
             Event::Classify {
                 iteration,
                 pareto,
@@ -189,10 +219,26 @@ pub fn check_trace(
             Event::ToolEval { candidate, qor, .. } => {
                 check_tool_eval(&mut st, *candidate, qor).map_err(|law| fail(&law))?;
             }
-            Event::EvalFailed { candidate, .. } => {
+            Event::EvalFailed {
+                iteration,
+                candidate,
+                attempt,
+                kind,
+                ..
+            } => {
                 if st.quarantined.contains(candidate) {
                     return Err(fail(&format!(
                         "quarantined candidate {candidate} was attempted again"
+                    )));
+                }
+                if st
+                    .watchdog_pending
+                    .remove(&(*iteration, *candidate, *attempt))
+                    && kind != "timeout"
+                {
+                    return Err(fail(&format!(
+                        "attempt {attempt} on candidate {candidate} had its watchdog \
+                         fire but failed with kind {kind:?}, not \"timeout\""
                     )));
                 }
                 st.report.eval_failures += 1;
@@ -238,8 +284,81 @@ pub fn check_trace(
             Event::SpanEnd { id, name, .. } => {
                 check_span_end(&mut st, *id, name).map_err(|law| fail(&law))?;
             }
+            Event::DegradedFit {
+                objective,
+                mode,
+                consecutive,
+                ..
+            } => {
+                if mode != "refit-reused-hypers" && mode != "frozen" {
+                    return Err(fail(&format!("unknown degradation mode {mode:?}")));
+                }
+                if *consecutive < 1 {
+                    return Err(fail("a degraded iteration's streak must be at least 1"));
+                }
+                if let Some(m) = st.objectives {
+                    if *objective >= m {
+                        return Err(fail(&format!(
+                            "degraded objective {objective} out of range (run has {m})"
+                        )));
+                    }
+                }
+                st.report.degraded_fits += 1;
+            }
+            Event::WatchdogFired {
+                iteration,
+                candidate,
+                attempt,
+                deadline_s,
+            } => {
+                if !(deadline_s.is_finite() && *deadline_s > 0.0) {
+                    return Err(fail(&format!(
+                        "watchdog deadline must be finite and positive, got {deadline_s}"
+                    )));
+                }
+                if !st
+                    .watchdog_pending
+                    .insert((*iteration, *candidate, *attempt))
+                {
+                    return Err(fail(&format!(
+                        "watchdog fired twice for attempt {attempt} on candidate \
+                         {candidate}"
+                    )));
+                }
+                st.report.watchdog_firings += 1;
+            }
+            Event::RecoveryScan {
+                scanned, skipped, ..
+            } => {
+                if *skipped == 0 {
+                    return Err(fail(
+                        "RecoveryScan with nothing skipped must not be emitted \
+                         (clean resumes keep their traces unchanged)",
+                    ));
+                }
+                if scanned < skipped {
+                    return Err(fail(&format!(
+                        "recovery scanned {scanned} entries but claims to have \
+                         skipped {skipped}"
+                    )));
+                }
+                st.report.recovery_scans += 1;
+            }
             _ => {}
         }
+    }
+    if !st.watchdog_pending.is_empty() {
+        let dangling: Vec<String> = st
+            .watchdog_pending
+            .iter()
+            .map(|(it, c, a)| format!("iter {it} candidate {c} attempt {a}"))
+            .collect();
+        return Err(format!(
+            "trace ended with {} watchdog firing(s) never converted to a \
+             timeout EvalFailed: {}",
+            dangling.len(),
+            dangling.join(", ")
+        ));
     }
     if !st.open_spans.is_empty() {
         let open: Vec<String> = st
@@ -1285,6 +1404,130 @@ mod tests {
         ];
         let err = check_trace(&events, None).unwrap_err();
         assert!(err.contains("disagree with RunStart"), "{err}");
+    }
+
+    fn degraded(objective: usize, mode: &str, consecutive: usize) -> Event {
+        Event::DegradedFit {
+            iteration: 3,
+            objective,
+            cause: "kernel matrix factorization failed".into(),
+            mode: mode.into(),
+            consecutive,
+        }
+    }
+
+    fn watchdog(iteration: usize, candidate: usize, attempt: usize) -> Event {
+        Event::WatchdogFired {
+            iteration,
+            candidate,
+            attempt,
+            deadline_s: 30.0,
+        }
+    }
+
+    fn failed(iteration: usize, candidate: usize, attempt: usize, kind: &str) -> Event {
+        Event::EvalFailed {
+            iteration,
+            candidate,
+            attempt,
+            kind: kind.into(),
+            detail: "x".into(),
+        }
+    }
+
+    #[test]
+    fn lawful_resilience_events_pass() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 3,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            Event::RecoveryScan {
+                scanned: 3,
+                skipped: 2,
+                next_iteration: Some(2),
+            },
+            degraded(1, "refit-reused-hypers", 1),
+            degraded(0, "frozen", 2),
+            watchdog(3, 1, 1),
+            failed(3, 1, 1, "timeout"),
+        ];
+        let report = check_trace(&events, None).expect("resilience trace is lawful");
+        assert_eq!(report.degraded_fits, 2);
+        assert_eq!(report.watchdog_firings, 1);
+        assert_eq!(report.recovery_scans, 1);
+        assert_eq!(report.eval_failures, 1);
+    }
+
+    #[test]
+    fn unknown_degradation_mode_is_rejected() {
+        let err = check_trace(&[degraded(0, "limp-home", 1)], None).unwrap_err();
+        assert!(err.contains("unknown degradation mode"), "{err}");
+        let err = check_trace(&[degraded(0, "frozen", 0)], None).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn degraded_objective_out_of_range_is_rejected() {
+        let events = vec![
+            Event::RunStart {
+                candidates: 3,
+                objectives: 2,
+                dim: 1,
+                initial_samples: 1,
+                max_iterations: 4,
+                seed: 1,
+            },
+            degraded(2, "frozen", 1),
+        ];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_without_timeout_failure_is_rejected() {
+        // Dangling at trace end.
+        let err = check_trace(&[watchdog(0, 1, 1)], None).unwrap_err();
+        assert!(err.contains("never converted"), "{err}");
+        // Converted to the wrong failure kind.
+        let events = vec![watchdog(0, 1, 1), failed(0, 1, 1, "crash")];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("not \"timeout\""), "{err}");
+        // Fired twice for the same attempt.
+        let events = vec![watchdog(0, 1, 1), watchdog(0, 1, 1)];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("fired twice"), "{err}");
+        // Non-positive deadline.
+        let events = vec![Event::WatchdogFired {
+            iteration: 0,
+            candidate: 1,
+            attempt: 1,
+            deadline_s: 0.0,
+        }];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("finite and positive"), "{err}");
+    }
+
+    #[test]
+    fn empty_or_inconsistent_recovery_scan_is_rejected() {
+        let events = vec![Event::RecoveryScan {
+            scanned: 3,
+            skipped: 0,
+            next_iteration: Some(1),
+        }];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("nothing skipped"), "{err}");
+        let events = vec![Event::RecoveryScan {
+            scanned: 1,
+            skipped: 2,
+            next_iteration: None,
+        }];
+        let err = check_trace(&events, None).unwrap_err();
+        assert!(err.contains("claims to have"), "{err}");
     }
 
     #[test]

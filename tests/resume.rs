@@ -8,8 +8,8 @@ use std::cell::RefCell;
 use benchgen::Scenario;
 use pdsim::{FaultPlan, ObjectiveSpace};
 use ppatuner::{
-    Checkpoint, CheckpointStore, FileCheckpointStore, PpaTuner, PpaTunerConfig, SourceData,
-    TuneResult, VecOracle,
+    Checkpoint, CheckpointError, CheckpointStore, FileCheckpointStore, PpaTuner, PpaTunerConfig,
+    SourceData, TuneResult, VecOracle,
 };
 use testkit::chaos::FaultyVecOracle;
 
@@ -21,12 +21,12 @@ struct CaptureStore {
 }
 
 impl CheckpointStore for CaptureStore {
-    fn save(&self, c: &Checkpoint) -> Result<(), String> {
+    fn save(&self, c: &Checkpoint) -> Result<(), CheckpointError> {
         self.all.borrow_mut().push(c.clone());
         Ok(())
     }
 
-    fn load(&self) -> Result<Option<Checkpoint>, String> {
+    fn load(&self) -> Result<Option<Checkpoint>, CheckpointError> {
         Ok(self.all.borrow().last().cloned())
     }
 }
